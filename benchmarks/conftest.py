@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling harness module importable from every bench file.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,167 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure/table in the paper's evaluation has one bench module; they
+all build pipelines through these helpers so configurations stay
+comparable. Scale knobs:
+
+- ``REPRO_BENCH_MESSAGES`` — messages per device for live runs
+  (default scaled down from the paper's 512 so the suite finishes in
+  minutes; set to 512 to reproduce the paper's run length),
+- ``REPRO_BENCH_SIM_MESSAGES`` — messages per device for simulated runs
+  (cheap; defaults to the paper's shape).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro import (
+    ContinuumTopology,
+    EdgeToCloudPipeline,
+    PilotComputeService,
+    PilotDescription,
+    PipelineConfig,
+    ResourceSpec,
+    make_block_producer,
+    make_model_processor,
+    passthrough_processor,
+)
+from repro.ml import AutoEncoder, IsolationForest, StreamingKMeans
+from repro.netem import LinkProfile
+
+#: VM-to-VM network inside one cloud, standing in for the paper's LRZ
+#: deployment where generator, broker and processing run on separate
+#: VMs: sub-millisecond RTT, ~1 Gbit/s effective per flow (cloud virtual
+#: NICs + broker framing overhead). This is what makes small messages
+#: per-message-overhead-bound and large messages bandwidth-bound — the
+#: paper's Fig. 2 shape.
+CLOUD_LAN = LinkProfile("cloud-lan", 0.2, 0.6, 900.0, 1100.0)
+
+#: Live-run messages per device (paper: 512 total messages per run).
+LIVE_MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "8"))
+#: Simulated-run messages per device (virtual time is cheap).
+SIM_MESSAGES = int(os.environ.get("REPRO_BENCH_SIM_MESSAGES", "128"))
+
+#: The paper's message-size sweep: 25 to 10,000 points x 32 features,
+#: i.e. 7 KB to 2.6 MB serialized.
+MESSAGE_SIZES = (25, 100, 1000, 5000, 10_000)
+FEATURES = 32
+
+#: Model factories exactly as evaluated in section III-2.
+MODEL_FACTORIES = {
+    "baseline": None,  # pass-through
+    "kmeans": lambda: StreamingKMeans(n_clusters=25),
+    "iforest": lambda: IsolationForest(n_estimators=100, refresh_fraction=0.25),
+    "autoencoder": lambda: AutoEncoder(hidden_neurons=(64, 32, 32, 64), epochs=10),
+}
+
+
+def processor_for(model_name: str):
+    factory = MODEL_FACTORIES[model_name]
+    if factory is None:
+        return passthrough_processor
+    return make_model_processor(factory)
+
+
+def acquire_pilots(devices: int, service: PilotComputeService):
+    """Edge devices + LRZ-large processing VM, as in the paper."""
+    edge = service.submit_pilot(
+        PilotDescription(
+            resource="ssh",
+            site="edge",
+            nodes=devices,
+            node_spec=ResourceSpec(cores=1, memory_gb=4),
+        )
+    )
+    cloud = service.submit_pilot(
+        PilotDescription(resource="cloud", site="lrz", instance_type="lrz.large")
+    )
+    if not service.wait_all(timeout=60):
+        raise RuntimeError("pilot acquisition failed")
+    return edge, cloud
+
+
+def make_cloud_topology(profile: LinkProfile = CLOUD_LAN, time_scale: float = 1.0):
+    """Edge site and cloud site joined by a datacenter-class link."""
+    topo = ContinuumTopology(time_scale=time_scale, seed=0)
+    topo.add_site("edge", tier="edge")
+    topo.add_site("lrz", tier="cloud")
+    topo.connect("edge", "lrz", profile)
+    return topo
+
+
+def run_live(
+    points: int,
+    devices: int = 1,
+    messages: int | None = None,
+    model: str = "baseline",
+    topology=None,
+    placement=None,
+    edge_fn=None,
+    use_cloud_lan: bool = True,
+):
+    """One live pipeline run; returns its PipelineResult.
+
+    By default the run crosses an emulated datacenter network
+    (``CLOUD_LAN``) between the edge and cloud sites, matching the
+    paper's multi-VM deployment; pass ``use_cloud_lan=False`` for a pure
+    in-process run.
+    """
+    if topology is None and use_cloud_lan:
+        topology = make_cloud_topology()
+    service = PilotComputeService(time_scale=0.0, plugins={})
+    # A fresh SSH pool per run so device counts never collide.
+    from repro.pilot.plugins.ssh_edge import SshEdgePlugin
+
+    service.register_plugin("ssh", SshEdgePlugin(devices=max(devices, 4)))
+    try:
+        edge, cloud = acquire_pilots(devices, service)
+        pipeline = EdgeToCloudPipeline(
+            pilot_edge=edge,
+            pilot_cloud_processing=cloud,
+            produce_function_handler=make_block_producer(
+                points=points, features=FEATURES, clusters=25
+            ),
+            process_cloud_function_handler=processor_for(model),
+            process_edge_function_handler=edge_fn,
+            config=PipelineConfig(
+                num_devices=devices,
+                messages_per_device=messages if messages is not None else LIVE_MESSAGES,
+                max_duration=600.0,
+            ),
+            topology=topology,
+            placement=placement,
+        )
+        return pipeline.run()
+    finally:
+        service.close()
+
+
+#: Where per-bench CSV artefacts land (git-ignorable, regenerated).
+ARTIFACTS_DIR = Path(__file__).parent / "artifacts"
+
+
+def print_table(title: str, header: list, rows: list, artifact: str | None = None) -> None:
+    """Render one figure's data as the rows the paper plots.
+
+    With *artifact* set, the same rows are written to
+    ``benchmarks/artifacts/<artifact>.csv`` for offline plotting.
+    """
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    if artifact:
+        import csv
+
+        ARTIFACTS_DIR.mkdir(exist_ok=True)
+        path = ARTIFACTS_DIR / f"{artifact}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(header)
+            writer.writerows(rows)
+        print(f"[artifact: {path}]")

@@ -1,0 +1,88 @@
+"""Ablation — energy accounting across placements (paper future work).
+
+The paper's future work names energy consumption as a next investigation
+axis. The simulator accounts busy-time energy per station (RasPi-class
+devices at ~4 W, busy cloud cores at ~95 W), so placements can be
+compared by joules per processed message as well as by throughput.
+
+Expected shape: edge processing costs far fewer joules per message
+(low-power devices) at far lower throughput — the classic energy/latency
+trade of the continuum.
+"""
+
+import pytest
+
+from harness import print_table, processor_for
+from repro.netem import LAN, TRANSATLANTIC
+from repro.sim import SimConfig, SimulatedPipeline, StageCostModel, calibrate_model_cost
+
+POINTS = 1000
+MESSAGES = 64
+DEVICES = 4
+#: Edge devices are slower per block but draw a fraction of the power.
+EDGE_SLOWDOWN = 8.0
+
+
+def _sweep():
+    cloud_cost = calibrate_model_cost(processor_for("kmeans"), points=POINTS, reps=3)
+    results = {}
+    rows = []
+    scenarios = {
+        # Cloud-centric: transfer raw blocks, burn cloud cores.
+        "cloud": dict(
+            uplink=TRANSATLANTIC,
+            process_cost=cloud_cost,
+            cloud_power_watts=95.0,
+        ),
+        # Edge-centric: no transfer, burn device cores (slower, cheaper).
+        "edge": dict(
+            uplink=LAN,
+            process_cost=StageCostModel("kmeans-edge", cloud_cost.mean_s * EDGE_SLOWDOWN),
+            cloud_power_watts=4.0,  # the "consumers" stand in for devices
+        ),
+    }
+    for name, opts in scenarios.items():
+        cfg = SimConfig(
+            num_devices=DEVICES,
+            messages_per_device=MESSAGES,
+            points=POINTS,
+            uplink=opts["uplink"],
+            process_cost=opts["process_cost"],
+            cloud_power_watts=opts["cloud_power_watts"],
+            seed=5,
+        )
+        result = SimulatedPipeline(cfg).run()
+        results[name] = result
+        joules_per_msg = result.energy_joules["total_joules"] / result.report.messages
+        rows.append(
+            (
+                name,
+                result.report.row()["msgs/s"],
+                round(result.energy_joules["total_joules"], 1),
+                round(joules_per_msg, 3),
+            )
+        )
+    print_table(
+        "Ablation — energy by placement (k-means, 1,000-point blocks)",
+        ["placement", "msgs/s", "total_J", "J/msg"],
+        rows,
+    )
+    return results
+
+
+def test_energy_latency_tradeoff(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    def joules_per_msg(name):
+        r = results[name]
+        return r.energy_joules["total_joules"] / r.report.messages
+
+    def rate(name):
+        return results[name].report.throughput_msgs_s
+
+    # The trade: cloud is faster, edge is cheaper per message.
+    assert rate("cloud") != rate("edge")
+    assert joules_per_msg("edge") < joules_per_msg("cloud")
+    # Busy-time energy scales with power x service time: the 95 W cloud
+    # at 1x time vs 4 W devices at 8x time → ~3x advantage for the edge.
+    assert joules_per_msg("cloud") / joules_per_msg("edge") > 1.5

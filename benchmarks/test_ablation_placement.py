@@ -1,0 +1,115 @@
+"""Ablation — deployment placement across link profiles (section II-D).
+
+The paper's discussion argues that bandwidth-bound geographic scenarios
+"would benefit from a hybrid edge-to-cloud deployment, e.g., by adding a
+data compression step before the data transfer". This ablation
+quantifies that: for each link profile we simulate cloud-centric (raw),
+hybrid (4x mean-pool compression at the edge) and edge-centric
+(process on-device, ship results) placements of the k-means workload,
+and cross-checks the CostBasedPlacement policy's choice against the
+measured winner.
+"""
+
+import pytest
+
+from harness import print_table, processor_for
+from repro import ContinuumTopology, CostBasedPlacement
+from repro.netem import LAN, REGIONAL_WAN, TRANSATLANTIC
+from repro.sim import SimConfig, SimulatedPipeline, StageCostModel, calibrate_model_cost, calibrate_produce_cost
+
+POINTS = 10_000
+MESSAGES = 64
+DEVICES = 4
+COMPRESSION = 4
+#: Emulated edge devices are ~8x slower than the LRZ large VM per block.
+EDGE_SLOWDOWN = 8.0
+
+LINKS = {"lan": LAN, "regional-wan": REGIONAL_WAN, "transatlantic": TRANSATLANTIC}
+
+
+def _simulate(uplink, points, process_cost, produce_cost, consumers=DEVICES):
+    cfg = SimConfig(
+        num_devices=DEVICES,
+        messages_per_device=MESSAGES,
+        points=points,
+        uplink=uplink,
+        produce_cost=produce_cost,
+        process_cost=process_cost,
+        num_consumers=consumers,
+        seed=3,
+    )
+    return SimulatedPipeline(cfg).run()
+
+
+def _sweep():
+    produce = calibrate_produce_cost(points=POINTS, reps=3)
+    cloud_cost = calibrate_model_cost(processor_for("kmeans"), points=POINTS, reps=3)
+    edge_cost = StageCostModel("kmeans-on-edge", cloud_cost.mean_s * EDGE_SLOWDOWN)
+    results = {}
+    rows = []
+    for link_name, profile in LINKS.items():
+        # Cloud-centric: raw blocks cross the link, cloud does the work.
+        cloud = _simulate(profile, POINTS, cloud_cost, produce)
+        # Hybrid: compressed blocks cross, cloud does the work.
+        hybrid = _simulate(profile, POINTS // COMPRESSION, cloud_cost, produce)
+        # Edge-centric: only tiny results cross; devices do the work
+        # (modelled as the processing stage running at edge speed with
+        # one server per device and a negligible transfer).
+        edge = _simulate(LAN, 1, edge_cost, produce, consumers=DEVICES)
+        results[link_name] = {"cloud": cloud, "hybrid": hybrid, "edge": edge}
+        for placement, res in results[link_name].items():
+            rows.append(
+                (link_name, placement, res.report.row()["msgs/s"],
+                 round(res.report.latency_p50_s, 3), res.bottleneck["bottleneck"])
+            )
+    print_table(
+        "Ablation — placement x link profile (k-means, 10,000-point blocks)",
+        ["link", "placement", "msgs/s", "lat_p50_s", "bottleneck"],
+        rows,
+    )
+    return results, produce, cloud_cost
+
+
+def test_hybrid_wins_on_bandwidth_bound_links(benchmark):
+    results, produce, cloud_cost = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    def rate(link, placement):
+        return results[link][placement].report.throughput_msgs_s
+
+    # On the LAN, compressing at the edge buys nothing fundamental —
+    # cloud-centric is already compute/produce-bound.
+    assert rate("lan", "cloud") > rate("transatlantic", "cloud") * 2
+    # On the transatlantic link, hybrid (compressed) beats raw by ~the
+    # compression factor, the paper's recommendation.
+    assert rate("transatlantic", "hybrid") > rate("transatlantic", "cloud") * 2
+
+    # The cost-based policy agrees with the measured transatlantic winner.
+    topo = ContinuumTopology(time_scale=0.0)
+    topo.add_site("jetstream", tier="cloud")
+    topo.add_site("lrz", tier="cloud")
+    topo.connect("jetstream", "lrz", TRANSATLANTIC)
+    decision = CostBasedPlacement(edge_preprocess_s=produce.mean_s).decide(
+        message_bytes=POINTS * 32 * 8,
+        edge_site="jetstream",
+        cloud_site="lrz",
+        topology=topo,
+        edge_compute_s=cloud_cost.mean_s * EDGE_SLOWDOWN,
+        cloud_compute_s=cloud_cost.mean_s,
+        compression_ratio=1.0 / COMPRESSION,
+    )
+    measured = {
+        "cloud-centric": rate("transatlantic", "cloud"),
+        "hybrid": rate("transatlantic", "hybrid"),
+        "edge-centric": rate("transatlantic", "edge"),
+    }
+    winner = max(measured, key=measured.get)
+    decided = {
+        ("cloud", False): "cloud-centric",
+        ("cloud", True): "hybrid",
+        ("edge", True): "edge-centric",
+    }[(decision.processing_tier, decision.edge_preprocess)]
+    print(f"\nmeasured winner: {winner}; cost-based policy chose: {decided}")
+    print(f"policy rationale: {decision.rationale}")
+    # The policy must not pick the measured loser.
+    loser = min(measured, key=measured.get)
+    assert decided != loser

@@ -1,0 +1,76 @@
+"""Supporting microbenchmark — broker ingest vs consumer drain rates.
+
+Fig. 2's diagnostic observation: "for four partitions, it is apparent
+that the Kafka broker can process more data than the consuming
+processing tasks in the cloud". This bench measures the broker's raw
+produce and fetch rates per partition count, independent of any
+processing, so that the pipeline throughputs in fig2/fig3 can be
+compared against the broker's ceiling.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from harness import print_table
+from repro.broker import Broker, Consumer, Producer
+from repro.data import encode_block
+
+MESSAGES = 256
+POINTS = 1000
+
+
+def _producer_rate(partitions: int, payload: bytes) -> float:
+    broker = Broker()
+    broker.create_topic("bench", partitions)
+    producer = Producer(broker)
+    t0 = time.perf_counter()
+    for i in range(MESSAGES):
+        producer.send("bench", payload, partition=i % partitions)
+    elapsed = time.perf_counter() - t0
+    return MESSAGES * len(payload) / elapsed / 1e6
+
+
+def _consumer_rate(partitions: int, payload: bytes) -> float:
+    broker = Broker()
+    broker.create_topic("bench", partitions)
+    producer = Producer(broker)
+    for i in range(MESSAGES):
+        producer.send("bench", payload, partition=i % partitions)
+    consumer = Consumer(broker)
+    consumer.assign([("bench", p) for p in range(partitions)])
+    t0 = time.perf_counter()
+    got = 0
+    while got < MESSAGES:
+        got += len(consumer.poll(max_records=64))
+    elapsed = time.perf_counter() - t0
+    return MESSAGES * len(payload) / elapsed / 1e6
+
+
+def _sweep():
+    payload = encode_block(np.random.default_rng(0).normal(size=(POINTS, 32)))
+    rows = []
+    rates = {}
+    for partitions in (1, 2, 4):
+        p_rate = _producer_rate(partitions, payload)
+        c_rate = _consumer_rate(partitions, payload)
+        rates[partitions] = (p_rate, c_rate)
+        rows.append((partitions, round(p_rate, 1), round(c_rate, 1)))
+    print_table(
+        f"Broker micro — raw rates, {MESSAGES} x {len(payload)/1e3:.0f} KB messages",
+        ["partitions", "produce MB/s", "fetch MB/s"],
+        rows,
+    )
+    return rates
+
+
+def test_broker_is_not_the_bottleneck(benchmark):
+    rates = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # The broker's raw ingest rate must exceed what any model-processing
+    # pipeline achieves end to end (hundreds of MB/s vs tens) — this is
+    # the structural reason the consuming tasks, not the broker, limit
+    # Fig. 2's four-partition scenario.
+    for partitions, (p_rate, c_rate) in rates.items():
+        assert p_rate > 100.0, f"produce rate too low at {partitions} partitions"
+        assert c_rate > 100.0, f"fetch rate too low at {partitions} partitions"

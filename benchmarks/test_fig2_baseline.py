@@ -1,0 +1,69 @@
+"""Figure 2 — baseline throughput and latency by message size and partitions.
+
+Paper setup: edge data source, broker and processing co-located on the
+LRZ cloud; one partition per simulated edge device (a 1-core/4-GB Dask
+task); message sizes 25..10,000 points x 32 features; pass-through
+processing. The figure plots throughput (top) and latency (bottom)
+against message size for 1, 2 and 4 partitions.
+
+Expected shape (asserted): throughput grows with message size and with
+partition count; latency grows with message size.
+"""
+
+import pytest
+
+from harness import LIVE_MESSAGES, MESSAGE_SIZES, print_table, run_live
+
+
+def _sweep():
+    rows = []
+    results = {}
+    for partitions in (1, 2, 4):
+        for points in MESSAGE_SIZES:
+            result = run_live(points=points, devices=partitions, model="baseline")
+            assert result.completed, result.errors
+            r = result.report
+            results[(partitions, points)] = result
+            rows.append(
+                (
+                    partitions,
+                    points,
+                    round(points * 32 * 8 / 1e3, 1),
+                    r.messages,
+                    r.row()["MB/s"],
+                    r.row()["msgs/s"],
+                    r.row()["lat_mean_ms"],
+                    r.row()["lat_p50_ms"],
+                )
+            )
+    print_table(
+        f"Fig. 2 — baseline, {LIVE_MESSAGES} msgs/device (paper: 512 total)",
+        ["partitions", "points", "KB", "msgs", "MB/s", "msgs/s", "lat_mean_ms", "lat_p50_ms"],
+        rows,
+        artifact="fig2_baseline",
+    )
+    return results
+
+
+def test_fig2_baseline_shape(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    def mbps(partitions, points):
+        return results[(partitions, points)].report.throughput_mb_s
+
+    # Throughput grows with message size (per partition count).
+    for partitions in (1, 2, 4):
+        assert mbps(partitions, 10_000) > mbps(partitions, 25) * 3
+
+    # Total throughput increases with the number of edge devices /
+    # partitions (the paper's headline Fig. 2 observation).
+    assert mbps(4, 10_000) > mbps(1, 10_000)
+
+    # Latency grows with message size.
+    lat = lambda p, n: results[(p, n)].report.latency_mean_s
+    assert lat(1, 10_000) > lat(1, 25)
+
+    # Broker-side observation: at 4 partitions the broker has ingested
+    # everything while consumers still lag — broker is not the bottleneck.
+    big = results[(4, 10_000)]
+    assert big.broker_stats["topics"]["pilot-edge-data"]["records_in"] == big.report.messages

@@ -1,0 +1,59 @@
+"""Figure 3 (model columns) — throughput & latency by model type and size.
+
+Paper setup: cloud-centric deployment; data generator at the edge;
+pre-processing + training + inference in the cloud on the LRZ large VM
+(10 cores / 44 GB); models k-means (25 clusters), isolation forest
+(100 trees), auto-encoder ([64,32,32,64], 11,552 params); model updated
+on every incoming block via partial fit.
+
+Expected shape (asserted): k-means > isolation forest > auto-encoder in
+throughput at the large message size; latency ordering is the reverse.
+"""
+
+import pytest
+
+from harness import MESSAGE_SIZES, print_table, run_live
+
+SIZES = (25, 1000, 10_000)
+MODELS = ("baseline", "kmeans", "iforest", "autoencoder")
+
+
+def _sweep():
+    results = {}
+    rows = []
+    for model in MODELS:
+        for points in SIZES:
+            # Heavy models get fewer messages; throughput is steady-state.
+            messages = 6 if model in ("iforest", "autoencoder") else None
+            result = run_live(points=points, devices=2, model=model, messages=messages)
+            assert result.completed, result.errors
+            results[(model, points)] = result
+            r = result.report.row()
+            rows.append((model, points, r["MB/s"], r["msgs/s"], r["lat_mean_ms"], r["lat_p50_ms"]))
+    print_table(
+        "Fig. 3 — throughput/latency by model type and message size (cloud-centric)",
+        ["model", "points", "MB/s", "msgs/s", "lat_mean_ms", "lat_p50_ms"],
+        rows,
+        artifact="fig3_models",
+    )
+    return results
+
+
+def test_fig3_model_complexity_ordering(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    def mbps(model, points=10_000):
+        return results[(model, points)].report.throughput_mb_s
+
+    def lat(model, points=10_000):
+        return results[(model, points)].report.latency_mean_s
+
+    # Fig. 3's central finding: model complexity orders the metrics.
+    assert mbps("baseline") >= mbps("kmeans")
+    assert mbps("kmeans") > mbps("iforest")
+    assert mbps("iforest") > mbps("autoencoder")
+    assert lat("autoencoder") > lat("iforest") > lat("kmeans")
+
+    # The heavy models are processing-bound (not transfer-bound).
+    assert results[("iforest", 10_000)].bottleneck["bottleneck"] == "processing"
+    assert results[("autoencoder", 10_000)].bottleneck["bottleneck"] == "processing"

@@ -1,0 +1,67 @@
+"""Headline quantitative claims from the paper's conclusion.
+
+1. "k-means can achieve five times the throughput of isolation forests
+   for large message sizes (10,000 points)" — we assert k-means wins by
+   a large factor and report the measured multiple (our from-scratch
+   NumPy isolation forest is slower than the Cython/sklearn forest the
+   paper used via PyOD, so the measured factor is larger than 5x; the
+   ordering and the who-wins structure hold).
+2. "auto-encoders proved unsuitable for the investigated resource
+   configurations due to their high computational demands" — the
+   auto-encoder must be the slowest model by throughput and latency.
+"""
+
+import pytest
+
+from harness import print_table, run_live
+
+POINTS = 10_000
+
+
+def _run_models():
+    results = {}
+    for model in ("kmeans", "iforest", "autoencoder"):
+        messages = 6 if model != "kmeans" else 12
+        result = run_live(points=POINTS, devices=2, model=model, messages=messages)
+        assert result.completed, result.errors
+        results[model] = result
+    rows = [
+        (m, results[m].report.row()["MB/s"], results[m].report.row()["lat_mean_ms"])
+        for m in results
+    ]
+    print_table(
+        "Headline claims — 10,000-point messages",
+        ["model", "MB/s", "lat_mean_ms"],
+        rows,
+    )
+    factor = results["kmeans"].report.throughput_mb_s / results["iforest"].report.throughput_mb_s
+    print(f"\nmeasured k-means / isolation-forest throughput factor: {factor:.1f}x "
+          f"(paper: ~5x with sklearn-backed PyOD)")
+    return results
+
+
+def test_kmeans_beats_iforest_by_large_factor(benchmark):
+    results = benchmark.pedantic(_run_models, rounds=1, iterations=1)
+    factor = (
+        results["kmeans"].report.throughput_mb_s
+        / results["iforest"].report.throughput_mb_s
+    )
+    # Paper: ~5x. Our Python forest is slower than sklearn's Cython one,
+    # so the factor can only be larger; assert the claim's direction and
+    # minimum magnitude.
+    assert factor >= 3.0
+
+
+def test_autoencoder_is_unsuitable_for_streaming(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            m: run_live(points=POINTS, devices=2, model=m, messages=6)
+            for m in ("kmeans", "iforest", "autoencoder")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    ae = results["autoencoder"].report
+    assert ae.throughput_mb_s < results["kmeans"].report.throughput_mb_s
+    assert ae.throughput_mb_s < results["iforest"].report.throughput_mb_s
+    assert ae.latency_mean_s > results["kmeans"].report.latency_mean_s

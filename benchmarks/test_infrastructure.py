@@ -1,0 +1,89 @@
+"""Section III infrastructure table — resource classes and acquisition.
+
+Paper: "we use the Leibniz Supercomputing Center (LRZ) und XSEDE
+Jetstream clouds and different VM types: 4 core/18 GB (medium),
+10 cores/44 GB (large) (LRZ) and 6 cores/16 GB (medium) (Jetstream)";
+edge devices are 1-core/4-GB Raspberry-Pi-class.
+
+This bench reproduces the table from the pilot plugins' catalogues and
+measures the emulated acquisition state machine for each resource class.
+"""
+
+import time
+
+import pytest
+
+from harness import print_table
+from repro import PilotComputeService, PilotDescription, PilotState, ResourceSpec
+from repro.pilot.plugins.cloud_vm import DEFAULT_CATALOG
+from repro.pilot.plugins.ssh_edge import RASPBERRY_PI
+
+
+def _acquire_all():
+    """Acquire one pilot of each class; returns per-class timings."""
+    service = PilotComputeService(time_scale=1e-4)  # emulated delays, scaled
+    rows = []
+    try:
+        descriptions = {
+            "edge (RasPi via SSH)": PilotDescription(
+                resource="ssh", site="edge", nodes=2, node_spec=RASPBERRY_PI
+            ),
+            "lrz.medium": PilotDescription(
+                resource="cloud", site="lrz", instance_type="lrz.medium"
+            ),
+            "lrz.large": PilotDescription(
+                resource="cloud", site="lrz", instance_type="lrz.large"
+            ),
+            "jetstream.medium": PilotDescription(
+                resource="cloud", site="jetstream", instance_type="jetstream.medium"
+            ),
+            "hpc (4 nodes)": PilotDescription(
+                resource="hpc", site="hpc", nodes=4,
+                node_spec=ResourceSpec(cores=24, memory_gb=96),
+            ),
+            "serverless (10 slots)": PilotDescription(
+                resource="serverless", site="lrz", nodes=10,
+                node_spec=ResourceSpec(cores=1, memory_gb=2),
+            ),
+        }
+        pilots = {}
+        t0 = time.monotonic()
+        for name, desc in descriptions.items():
+            pilots[name] = (service.submit_pilot(desc), time.monotonic())
+        for name, (pilot, submitted) in pilots.items():
+            ok = pilot.wait(PilotState.RUNNING, timeout=30)
+            assert ok, f"{name}: {pilot.state} {pilot.error}"
+            spec = pilot.cluster.worker_resources
+            rows.append(
+                (
+                    name,
+                    pilot.description.nodes,
+                    spec.cores,
+                    spec.memory_gb,
+                    round((time.monotonic() - submitted) * 1e3, 1),
+                )
+            )
+        return rows, service
+    except Exception:
+        service.close()
+        raise
+
+
+def test_infrastructure_table(benchmark):
+    rows, service = benchmark.pedantic(_acquire_all, rounds=1, iterations=1)
+    try:
+        print_table(
+            "Infrastructure (paper section III) — acquired resource classes",
+            ["resource class", "nodes", "cores/node", "GB/node", "acquire_ms (scaled)"],
+            rows,
+        )
+        by_name = {r[0]: r for r in rows}
+        # The paper's exact VM classes.
+        assert by_name["lrz.medium"][2:4] == (4, 18)
+        assert by_name["lrz.large"][2:4] == (10, 44)
+        assert by_name["jetstream.medium"][2:4] == (6, 16)
+        assert by_name["edge (RasPi via SSH)"][2:4] == (1, 4)
+        # Catalogue completeness.
+        assert set(DEFAULT_CATALOG) == {"lrz.medium", "lrz.large", "jetstream.medium"}
+    finally:
+        service.close()

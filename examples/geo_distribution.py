@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Geographic distribution along the continuum (paper section III-2).
+
+Places the data source at Jetstream (US) and processing at LRZ (Germany),
+connected by the paper's measured transatlantic link (140-160 ms RTT,
+60-100 Mbit/s), and compares placements:
+
+- cloud-centric (raw blocks cross the Atlantic),
+- hybrid (mean-pool compression at the source before the transfer),
+- the cost-based policy choosing automatically.
+
+The sweep runs in the discrete-event simulator with compute costs
+calibrated from the real model implementations, so a 512-message
+transatlantic run takes milliseconds of wall-clock.
+
+Run:  python examples/geo_distribution.py
+"""
+
+from repro import CostBasedPlacement, ContinuumTopology, TRANSATLANTIC
+from repro.core import make_model_processor
+from repro.ml import StreamingKMeans
+from repro.netem import LAN
+from repro.sim import (
+    SimConfig,
+    SimulatedPipeline,
+    StageCostModel,
+    calibrate_model_cost,
+    calibrate_produce_cost,
+)
+
+POINTS = 10_000       # the paper's largest message size (2.6 MB)
+MESSAGES = 128        # per device
+DEVICES = 4           # the paper's 4-partition geo configuration
+
+
+def main() -> None:
+    print("calibrating compute costs from the real implementations ...")
+    produce_cost = calibrate_produce_cost(points=POINTS, reps=3)
+    kmeans_cost = calibrate_model_cost(
+        make_model_processor(StreamingKMeans), points=POINTS, reps=3
+    )
+    print(f"  produce: {produce_cost.mean_s*1e3:.2f} ms/block")
+    print(f"  k-means: {kmeans_cost.mean_s*1e3:.2f} ms/block\n")
+
+    scenarios = {
+        "co-located (LAN)": dict(uplink=LAN),
+        "transatlantic raw": dict(uplink=TRANSATLANTIC),
+        "transatlantic compressed 4x": dict(
+            uplink=TRANSATLANTIC, compression=4
+        ),
+    }
+    print(f"{'scenario':<30} {'MB/s':>8} {'msgs/s':>8} {'lat p50 (s)':>12} {'bottleneck':>12}")
+    for name, opts in scenarios.items():
+        compression = opts.get("compression", 1)
+        cfg = SimConfig(
+            num_devices=DEVICES,
+            messages_per_device=MESSAGES,
+            points=POINTS // compression,   # compressed blocks are smaller
+            features=32,
+            uplink=opts["uplink"],
+            produce_cost=produce_cost,
+            process_cost=kmeans_cost,
+            seed=7,
+        )
+        result = SimulatedPipeline(cfg).run()
+        row = result.report.row()
+        print(
+            f"{name:<30} {row['MB/s']:>8} {row['msgs/s']:>8} "
+            f"{row['lat_p50_ms']/1e3:>12.2f} {result.bottleneck['bottleneck']:>12}"
+        )
+
+    # -- cost-based placement decision ------------------------------------
+    print("\ncost-based placement for the transatlantic deployment:")
+    topo = ContinuumTopology(time_scale=0.0)
+    topo.add_site("jetstream", tier="cloud", region="us")
+    topo.add_site("lrz", tier="cloud", region="eu")
+    topo.connect("jetstream", "lrz", TRANSATLANTIC)
+    policy = CostBasedPlacement(edge_preprocess_s=produce_cost.mean_s)
+    decision = policy.decide(
+        message_bytes=POINTS * 32 * 8,
+        edge_site="jetstream",
+        cloud_site="lrz",
+        topology=topo,
+        edge_compute_s=kmeans_cost.mean_s * 8,   # weaker source machine
+        cloud_compute_s=kmeans_cost.mean_s,
+        compression_ratio=0.25,
+    )
+    print(f"  decision: {decision.processing_tier}"
+          f"{' + edge pre-processing' if decision.edge_preprocess else ''}")
+    print(f"  rationale: {decision.rationale}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Multi-tier continuum topologies (a paper future-work item).
+
+The paper's implementation is "limited to two layers: edge and cloud";
+its future work proposes arbitrary topologies. This example builds a
+four-tier continuum —
+
+    devices -> edge gateway -> regional cloud -> central cloud (EU)
+
+— and uses the topology's routing plus the cost-based placement policy to
+decide, per message size, which tier should host the heavy processing.
+
+Run:  python examples/hierarchical_continuum.py
+"""
+
+from repro import ContinuumTopology, CostBasedPlacement
+from repro.core import make_model_processor
+from repro.ml import IsolationForest, StreamingKMeans
+from repro.netem import CELLULAR_EDGE, LAN, REGIONAL_WAN, TRANSATLANTIC
+from repro.sim import calibrate_model_cost
+
+
+def build_topology() -> ContinuumTopology:
+    topo = ContinuumTopology(time_scale=0.0, seed=0)
+    topo.add_site("devices", tier="device", region="factory")
+    topo.add_site("gateway", tier="edge", region="factory")
+    topo.add_site("regional", tier="cloud", region="us")
+    topo.add_site("central", tier="cloud", region="eu")
+    topo.connect("devices", "gateway", CELLULAR_EDGE)
+    topo.connect("gateway", "regional", REGIONAL_WAN)
+    topo.connect("regional", "central", TRANSATLANTIC)
+    # A direct LAN-ish backhaul from the gateway to the regional DC is
+    # also available; routing picks the lower-RTT path automatically.
+    topo.connect("gateway", "central", TRANSATLANTIC)
+    return topo
+
+
+def main() -> None:
+    topo = build_topology()
+    print("continuum sites:")
+    for site in topo.sites:
+        print(f"  {site.name:<10} tier={site.tier:<7} region={site.region}")
+
+    print("\nrouting (lowest mean RTT):")
+    for a, b in [("devices", "central"), ("devices", "regional"), ("gateway", "central")]:
+        path = topo.route(a, b)
+        print(f"  {a} -> {b}: {' -> '.join(path)}  (rtt {topo.path_rtt_ms(a, b):.0f} ms)")
+
+    print("\ncalibrating model costs ...")
+    kmeans_cost = calibrate_model_cost(
+        make_model_processor(StreamingKMeans), points=1000, reps=2
+    )
+    iforest_cost = calibrate_model_cost(
+        make_model_processor(lambda: IsolationForest(n_estimators=100)),
+        points=1000, reps=2,
+    )
+
+    # A gateway-class box is ~4x slower than the cloud; devices ~20x.
+    policy = CostBasedPlacement(edge_preprocess_s=0.002)
+    print(f"\n{'message':>10} {'model':>10} {'placement':>14}  rationale")
+    for points in (25, 1000, 10_000):
+        nbytes = points * 32 * 8
+        for model, cost in (("kmeans", kmeans_cost), ("iforest", iforest_cost)):
+            scaled = cost.mean_s * points / 1000.0
+            decision = policy.decide(
+                message_bytes=nbytes,
+                edge_site="gateway",
+                cloud_site="central",
+                topology=topo,
+                edge_compute_s=scaled * 4,
+                cloud_compute_s=scaled,
+                compression_ratio=0.25,
+            )
+            label = decision.processing_tier + (
+                "+preproc" if decision.edge_preprocess else ""
+            )
+            print(f"{points:>10} {model:>10} {label:>14}  {decision.rationale[:70]}")
+
+    print("\nSmall messages tolerate the WAN; large messages push processing "
+          "toward the gateway or demand compression — the trade-off the "
+          "paper's discussion anticipates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Objective-driven resource planning (paper future work).
+
+The paper envisions Pilot-Edge growing into "a distributed workload
+management system that can select, acquire and dynamically scale
+resources across the continuum at runtime based on the application's
+objectives". This example exercises that planner:
+
+1. calibrate the workload's per-message compute cost from the real
+   k-means implementation,
+2. ask the planner for plans under three different objectives
+   (cheapest / lowest latency / lowest energy),
+3. validate the chosen plan in the discrete-event simulator,
+4. acquire the planned pilots for real through the pilot service.
+
+Run:  python examples/objective_planning.py
+"""
+
+def main() -> None:
+    from repro import ContinuumTopology, PilotComputeService, TRANSATLANTIC
+    from repro.core import make_model_processor
+    from repro.ml import StreamingKMeans
+    from repro.planner import (
+        ApplicationObjective,
+        ResourcePlanner,
+        WorkloadProfile,
+        validate_plan,
+    )
+    from repro.sim import calibrate_model_cost
+
+    # -- the continuum ----------------------------------------------------
+    topo = ContinuumTopology(time_scale=0.0, seed=0)
+    topo.add_site("factory", tier="edge")
+    topo.add_site("lrz", tier="cloud")
+    topo.connect("factory", "lrz", TRANSATLANTIC)
+    planner = ResourcePlanner(topo, edge_site="factory", cloud_site="lrz")
+
+    # -- the workloads (calibrated, not guessed) ----------------------------
+    from repro.ml import IsolationForest
+
+    print("calibrating per-message costs from the real models ...")
+    kmeans_cost = calibrate_model_cost(
+        make_model_processor(StreamingKMeans), points=1000, reps=3
+    )
+    iforest_cost = calibrate_model_cost(
+        make_model_processor(lambda: IsolationForest(n_estimators=100)),
+        points=1000, reps=3,
+    )
+    workloads = {
+        "k-means": WorkloadProfile(
+            points=1000, rate_msgs_s=12.0, num_devices=4,
+            process_cost_s=kmeans_cost.mean_s, edge_slowdown=8.0,
+            compression_ratio=0.25,
+        ),
+        "iforest": WorkloadProfile(
+            points=1000, rate_msgs_s=12.0, num_devices=4,
+            process_cost_s=iforest_cost.mean_s, edge_slowdown=8.0,
+            compression_ratio=0.25,
+        ),
+    }
+    print(f"  k-means: {kmeans_cost.mean_s * 1e3:.1f} ms/msg, "
+          f"iforest: {iforest_cost.mean_s * 1e3:.1f} ms/msg on a cloud core\n")
+
+    # -- plans under different objectives -----------------------------------
+    objectives = {
+        "cheapest": ApplicationObjective(prefer="cost"),
+        "lowest latency": ApplicationObjective(prefer="latency"),
+        "lowest energy": ApplicationObjective(prefer="energy"),
+    }
+    chosen = None
+    for model_name, workload in workloads.items():
+        print(f"--- {model_name} at {workload.rate_msgs_s} msgs/s ---")
+        for label, objective in objectives.items():
+            plan = planner.plan(workload, objective)
+            print(f"{label:<16} {plan.describe()}")
+        print()
+        if model_name == "k-means":
+            chosen = planner.plan(workload, objectives["cheapest"])
+            workload_for_validation = workload
+    workload = workload_for_validation
+
+    # -- validate the cheapest plan in the simulator -------------------------
+    ok, sim = validate_plan(chosen, workload, link_profile=TRANSATLANTIC,
+                            messages_per_device=48)
+    print(f"\nsimulated validation of the cheapest plan: "
+          f"{'PASS' if ok else 'FAIL'} "
+          f"({sim.report.throughput_msgs_s:.1f} msgs/s achieved vs "
+          f"{workload.rate_msgs_s:.1f} offered)")
+
+    # -- acquire it for real ---------------------------------------------------
+    pcs = PilotComputeService(time_scale=0.0)
+    try:
+        pilots = [pcs.submit_pilot(chosen.edge_pilot)]
+        if chosen.cloud_pilot is not None:
+            pilots.append(pcs.submit_pilot(chosen.cloud_pilot))
+        assert pcs.wait_all(timeout=30)
+        print("acquired pilots:")
+        for pilot in pilots:
+            print(f"  {pilot} -> {pilot.cluster.n_workers} workers")
+    finally:
+        pcs.close()
+
+
+if __name__ == "__main__":
+    main()

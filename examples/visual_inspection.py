@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Real-time visual inspection across the continuum.
+
+The paper's industrial motivation (its reference [3]) is a cloud
+pipeline for "real-time visual inspection using fast streaming
+high-definition images". This example rebuilds that scenario on
+Pilot-Edge:
+
+- *cameras* (edge devices) emit frames as feature blocks — each row is
+  one image patch's feature vector (brightness/texture statistics, the
+  kind a lightweight on-camera extractor produces),
+- the *edge function* is an event trigger: only frames containing
+  patches that deviate from calibration are forwarded (quiet production
+  lines send almost nothing),
+- the *cloud function* scores forwarded frames with a streaming
+  isolation forest and flags defect patches,
+- a :class:`DataTrigger` on a separate alerts topic fires a task per
+  defect batch (the "notify the line operator" hook).
+
+Run:  python examples/visual_inspection.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro import (
+    EdgeToCloudPipeline,
+    PilotComputeService,
+    PilotDescription,
+    PipelineConfig,
+    ResourceSpec,
+    make_model_processor,
+)
+from repro.core import HybridPlacement, make_threshold_filter
+from repro.broker import JsonSerde, Producer
+from repro.core.triggers import DataTrigger
+from repro.ml import IsolationForest
+
+CAMERAS = 3
+FRAMES_PER_CAMERA = 40
+PATCHES = 64          # patches per frame
+FEATURES = 12         # per-patch statistics
+DEFECT_RATE = 0.15    # fraction of frames containing a defect
+
+
+def make_camera_producer():
+    """Per-camera frame source; most frames are clean."""
+    rngs: dict = {}
+
+    def produce_edge(context):
+        device = context.get("pilot_edge.device_id", "cam")
+        rng = rngs.setdefault(device, np.random.default_rng(hash(device) % 2**31))
+        frame = rng.normal(0.0, 1.0, size=(PATCHES, FEATURES))
+        if rng.random() < DEFECT_RATE:
+            # A defect: a few patches with a strong signature in feature 0.
+            idx = rng.integers(0, PATCHES, size=3)
+            frame[idx, 0] += rng.uniform(8.0, 12.0)
+        return frame
+
+    return produce_edge
+
+
+def main() -> None:
+    pcs = PilotComputeService(time_scale=0.0)
+    try:
+        cameras = pcs.submit_pilot(
+            PilotDescription(resource="ssh", site="factory", nodes=CAMERAS,
+                             node_spec=ResourceSpec(cores=1, memory_gb=4))
+        )
+        cloud = pcs.submit_pilot(
+            PilotDescription(resource="cloud", site="lrz", instance_type="lrz.large")
+        )
+        assert pcs.wait_all(timeout=30)
+
+        # Cloud function: score with iforest, publish defect alerts.
+        score = make_model_processor(lambda: IsolationForest(n_estimators=50))
+        alerts: list = []
+        alert_lock = threading.Lock()
+
+        def inspect(context=None, data=None):
+            result = score(context, data)
+            if result["outliers"] > 0:
+                with alert_lock:
+                    alerts.append(result)
+            return result
+
+        pipeline = EdgeToCloudPipeline(
+            pilot_edge=cameras,
+            pilot_cloud_processing=cloud,
+            produce_function_handler=make_camera_producer(),
+            # Event-triggered transmission: forward only frames with any
+            # patch whose defect feature exceeds the calibration band.
+            process_edge_function_handler=make_threshold_filter(
+                feature=0, threshold=5.0
+            ),
+            process_cloud_function_handler=inspect,
+            # Hybrid placement activates the edge pre-processing stage.
+            placement=HybridPlacement(),
+            config=PipelineConfig(
+                num_devices=CAMERAS,
+                messages_per_device=FRAMES_PER_CAMERA,
+                max_duration=120.0,
+            ),
+        )
+
+        # Alert fan-out: a DataTrigger fires a task per defect batch.
+        pipeline.broker.create_topic("defect-alerts", 1)
+        alert_producer = Producer(pipeline.broker, serde=JsonSerde())
+        notified: list = []
+
+        def notify(records):
+            notified.extend(records)
+
+        trigger = DataTrigger(
+            pipeline.broker, "defect-alerts", cloud.cluster, notify,
+            poll_timeout=0.05,
+        ).start()
+
+        result = pipeline.run()
+
+        # Publish one alert per defect frame (post-run for determinism).
+        for alert in alerts:
+            alert_producer.send("defect-alerts", alert, partition=0)
+        trigger.wait_for_invocations(1, timeout=10)
+        trigger.stop()
+
+        total_frames = CAMERAS * FRAMES_PER_CAMERA
+        forwarded = result.report.messages
+        absorbed = pipeline.collector.counter("messages_absorbed_at_edge")
+        print(f"frames captured:     {total_frames}")
+        print(f"forwarded to cloud:  {forwarded} "
+              f"({forwarded / total_frames:.0%} — event-triggered transmission)")
+        print(f"suppressed at edge:  {int(absorbed)}")
+        print(f"defect frames:       {len(alerts)}")
+        print(f"operator alerts:     {len(notified)} (via DataTrigger)")
+        print(f"bottleneck:          {result.bottleneck['bottleneck']}")
+        assert forwarded + absorbed == total_frames
+        print("\naccounting verified: every frame was forwarded or suppressed.")
+    finally:
+        pcs.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""In-memory message brokering substrate (Kafka-equivalent).
+
+Pilot-Edge moves data between continuum layers through a pilot-managed
+broker. The paper uses Apache Kafka with one partition per edge device;
+this package provides a from-scratch broker with the same semantics the
+paper's evaluation depends on:
+
+- topics split into append-only, offset-addressed partitions,
+- producers with pluggable partitioners (key-hash / round-robin / sticky),
+- consumers organised in consumer groups with cooperative rebalancing and
+  committed offsets,
+- broker-side metrics (bytes/records in and out per topic) so broker
+  throughput can be observed independently from consumer throughput —
+  the Fig. 2 observation that "the broker can process more data than the
+  consuming processing tasks".
+
+A lightweight MQTT-style plugin (:class:`MqttStyleBroker`) demonstrates
+the paper's broker plugin mechanism for low-power environments.
+"""
+
+from repro.broker.errors import (
+    BrokerError,
+    UnknownTopicError,
+    UnknownPartitionError,
+    OffsetOutOfRangeError,
+    RebalanceInProgressError,
+)
+from repro.broker.message import Record, RecordMetadata
+from repro.broker.partition import PartitionLog
+from repro.broker.topic import Topic
+from repro.broker.broker import Broker
+from repro.broker.producer import Producer, Partitioner, KeyHashPartitioner, RoundRobinPartitioner, StickyPartitioner
+from repro.broker.consumer import Consumer
+from repro.broker.group import GroupCoordinator, AssignmentStrategy, RangeAssignor, RoundRobinAssignor
+from repro.broker.serde import Serde, BytesSerde, JsonSerde, BlockSerde, PickleSerde
+from repro.broker.plugins import broker_plugin, create_broker, available_plugins
+from repro.broker.mqtt import MqttStyleBroker
+from repro.broker.remote import BrokerServer, RemoteBroker, RemoteBrokerError
+
+__all__ = [
+    "BrokerServer",
+    "RemoteBroker",
+    "RemoteBrokerError",
+    "BrokerError",
+    "UnknownTopicError",
+    "UnknownPartitionError",
+    "OffsetOutOfRangeError",
+    "RebalanceInProgressError",
+    "Record",
+    "RecordMetadata",
+    "PartitionLog",
+    "Topic",
+    "Broker",
+    "Producer",
+    "Partitioner",
+    "KeyHashPartitioner",
+    "RoundRobinPartitioner",
+    "StickyPartitioner",
+    "Consumer",
+    "GroupCoordinator",
+    "AssignmentStrategy",
+    "RangeAssignor",
+    "RoundRobinAssignor",
+    "Serde",
+    "BytesSerde",
+    "JsonSerde",
+    "BlockSerde",
+    "PickleSerde",
+    "broker_plugin",
+    "create_broker",
+    "available_plugins",
+    "MqttStyleBroker",
+]

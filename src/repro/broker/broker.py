@@ -1,0 +1,159 @@
+"""The broker node: topic registry, produce/fetch API, offset store.
+
+One :class:`Broker` instance models the pilot-managed Kafka broker the
+paper deploys on the cloud (or edge) tier. Producers and consumers talk
+to it through thin client objects (:class:`~repro.broker.producer.Producer`
+and :class:`~repro.broker.consumer.Consumer`); the group coordinator for
+consumer-group rebalancing also lives here, as it does in Kafka.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.broker.errors import TopicExistsError, UnknownTopicError
+from repro.broker.group import GroupCoordinator
+from repro.broker.message import Record, RecordMetadata
+from repro.broker.topic import Topic
+from repro.util.ids import new_id
+from repro.util.validation import check_non_negative, check_positive
+
+
+class Broker:
+    """In-memory broker with Kafka-like semantics.
+
+    Parameters
+    ----------
+    name:
+        Human-readable broker name (shows up in monitoring output).
+    auto_create_topics:
+        When true, producing to a missing topic creates it with one
+        partition — convenient in examples, disabled in the benchmarks
+        where partition counts are explicit.
+    """
+
+    def __init__(self, name: str | None = None, auto_create_topics: bool = False) -> None:
+        self.name = name or new_id("broker")
+        self.auto_create_topics = bool(auto_create_topics)
+        self._topics: dict[str, Topic] = {}
+        self._lock = threading.RLock()
+        self._coordinator = GroupCoordinator(self)
+        # Committed offsets: (group, topic, partition) -> offset.
+        self._committed: dict[tuple, int] = {}
+        self._offsets_lock = threading.Lock()
+
+    # -- topic management -----------------------------------------------------
+
+    def create_topic(
+        self,
+        name: str,
+        num_partitions: int = 1,
+        retention_bytes: int = 0,
+        exist_ok: bool = False,
+    ) -> Topic:
+        check_positive("num_partitions", num_partitions)
+        with self._lock:
+            if name in self._topics:
+                if exist_ok:
+                    return self._topics[name]
+                raise TopicExistsError(name)
+            topic = Topic(name, num_partitions, retention_bytes=retention_bytes)
+            self._topics[name] = topic
+            return topic
+
+    def delete_topic(self, name: str) -> None:
+        with self._lock:
+            if name not in self._topics:
+                raise UnknownTopicError(name)
+            del self._topics[name]
+
+    def topic(self, name: str) -> Topic:
+        with self._lock:
+            try:
+                return self._topics[name]
+            except KeyError:
+                if self.auto_create_topics:
+                    return self.create_topic(name, num_partitions=1)
+                raise UnknownTopicError(name) from None
+
+    def list_topics(self) -> list[str]:
+        with self._lock:
+            return sorted(self._topics)
+
+    def has_topic(self, name: str) -> bool:
+        with self._lock:
+            return name in self._topics
+
+    # -- data path ---------------------------------------------------------------
+
+    def append(
+        self,
+        topic: str,
+        partition: int,
+        value: bytes,
+        key: bytes | None = None,
+        headers: dict | None = None,
+        produce_ts: float | None = None,
+    ) -> RecordMetadata:
+        """Append a record; returns its metadata (offset assignment)."""
+        log = self.topic(topic).partition(partition)
+        record = log.append(value, key=key, headers=headers, produce_ts=produce_ts)
+        return RecordMetadata(topic=topic, partition=partition, offset=record.offset)
+
+    def fetch(
+        self,
+        topic: str,
+        partition: int,
+        offset: int,
+        max_records: int = 64,
+        timeout: float = 0.0,
+    ) -> list[Record]:
+        """Fetch records from one partition starting at *offset*."""
+        return self.topic(topic).partition(partition).fetch(
+            offset, max_records=max_records, timeout=timeout
+        )
+
+    def earliest_offset(self, topic: str, partition: int) -> int:
+        return self.topic(topic).partition(partition).earliest_offset
+
+    def latest_offset(self, topic: str, partition: int) -> int:
+        return self.topic(topic).partition(partition).latest_offset
+
+    # -- committed offsets ----------------------------------------------------------
+
+    def commit_offset(self, group: str, topic: str, partition: int, offset: int) -> None:
+        check_non_negative("offset", offset)
+        self.topic(topic).partition(partition)  # validate existence
+        with self._offsets_lock:
+            key = (group, topic, partition)
+            # Commits are monotonic; a stale commit from a pre-rebalance
+            # consumer must not rewind the group's progress.
+            self._committed[key] = max(self._committed.get(key, 0), int(offset))
+
+    def committed_offset(self, group: str, topic: str, partition: int) -> int | None:
+        with self._offsets_lock:
+            return self._committed.get((group, topic, partition))
+
+    # -- coordination ------------------------------------------------------------------
+
+    @property
+    def coordinator(self) -> GroupCoordinator:
+        return self._coordinator
+
+    # -- monitoring --------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Broker-level counters for monitoring/bottleneck analysis."""
+        with self._lock:
+            topics = {}
+            for name, topic in self._topics.items():
+                topics[name] = {
+                    "partitions": topic.num_partitions,
+                    "records_in": topic.total_appended,
+                    "bytes_in": topic.total_bytes_in,
+                    "bytes_retained": topic.size_bytes,
+                }
+        return {"broker": self.name, "topics": topics}
+
+    def __repr__(self) -> str:
+        return f"Broker({self.name!r}, topics={len(self._topics)})"

@@ -1,0 +1,234 @@
+"""Consumer client: group membership, polling, offset management.
+
+A consumer either subscribes through a consumer group (partitions are
+assigned by the coordinator and rebalanced as members come and go) or is
+manually assigned partitions with :meth:`assign` — both modes exist in
+Kafka and both are used by the pipeline (grouped consumers for the
+processing tier, manual assignment for monitoring taps).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.broker.broker import Broker
+from repro.broker.group import AssignmentStrategy
+from repro.broker.message import Record
+from repro.broker.serde import BytesSerde, Serde
+from repro.util.ids import new_id
+from repro.util.validation import ValidationError, check_positive
+
+
+class Consumer:
+    """Client for fetching records from a broker.
+
+    Parameters
+    ----------
+    broker:
+        The broker to consume from.
+    group_id:
+        Consumer-group name; ``None`` for standalone (manual-assign) use.
+    serde:
+        Value deserializer applied in :meth:`poll`.
+    auto_offset_reset:
+        Where to start when the group has no committed offset:
+        ``"earliest"`` or ``"latest"``.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        group_id: str | None = None,
+        serde: Serde | None = None,
+        auto_offset_reset: str = "earliest",
+        client_id: str | None = None,
+    ) -> None:
+        if auto_offset_reset not in ("earliest", "latest"):
+            raise ValidationError(
+                f"auto_offset_reset must be 'earliest' or 'latest', got {auto_offset_reset!r}"
+            )
+        self._broker = broker
+        self._serde = serde or BytesSerde()
+        self.group_id = group_id
+        self.client_id = client_id or new_id("consumer")
+        self._auto_offset_reset = auto_offset_reset
+        self._subscribed_topics: list[str] = []
+        self._generation = -1
+        self._assignment: list[tuple] = []
+        #: (topic, partition) -> next offset to fetch
+        self._positions: dict[tuple, int] = {}
+        self._closed = False
+        # Consume-side metrics.
+        self.records_consumed = 0
+        self.bytes_consumed = 0
+
+    # -- subscription -----------------------------------------------------
+
+    def subscribe(self, topics: list[str] | str, strategy: AssignmentStrategy | None = None) -> None:
+        """Join the consumer group for *topics*."""
+        if self.group_id is None:
+            raise ValidationError("subscribe() requires a group_id; use assign() instead")
+        if isinstance(topics, str):
+            topics = [topics]
+        self._check_open()
+        self._subscribed_topics = list(topics)
+        self._broker.coordinator.join(
+            self.group_id, self.client_id, self._subscribed_topics, strategy=strategy
+        )
+        self._refresh_assignment()
+
+    def assign(self, partitions: list[tuple]) -> None:
+        """Manually assign ``(topic, partition)`` pairs (no group)."""
+        self._check_open()
+        if self.group_id is not None and self._subscribed_topics:
+            raise ValidationError("cannot mix subscribe() and assign()")
+        for topic, partition in partitions:
+            # Validate against partition count (works for local topics
+            # and remote topic proxies alike).
+            n = self._broker.topic(topic).num_partitions
+            if not 0 <= partition < n:
+                from repro.broker.errors import UnknownPartitionError
+
+                raise UnknownPartitionError(topic, partition)
+        self._assignment = sorted(partitions)
+        self._init_positions()
+
+    def _refresh_assignment(self) -> None:
+        generation, assignment = self._broker.coordinator.assignment(
+            self.group_id, self.client_id
+        )
+        if generation != self._generation:
+            self._generation = generation
+            self._assignment = assignment
+            self._init_positions()
+
+    def _init_positions(self) -> None:
+        positions: dict[tuple, int] = {}
+        for tp in self._assignment:
+            if tp in self._positions:
+                positions[tp] = self._positions[tp]
+                continue
+            committed = (
+                self._broker.committed_offset(self.group_id, *tp)
+                if self.group_id
+                else None
+            )
+            if committed is not None:
+                positions[tp] = committed
+            elif self._auto_offset_reset == "earliest":
+                positions[tp] = self._broker.earliest_offset(*tp)
+            else:
+                positions[tp] = self._broker.latest_offset(*tp)
+        self._positions = positions
+
+    @property
+    def assignment(self) -> list[tuple]:
+        return list(self._assignment)
+
+    def position(self, topic: str, partition: int) -> int | None:
+        return self._positions.get((topic, partition))
+
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        tp = (topic, partition)
+        if tp not in self._positions:
+            raise ValidationError(f"{tp} is not assigned to this consumer")
+        self._positions[tp] = int(offset)
+
+    # -- polling ------------------------------------------------------------
+
+    def poll(self, max_records: int = 64, timeout: float = 0.0) -> list[Record]:
+        """Fetch up to *max_records* across assigned partitions.
+
+        Returns raw :class:`Record` objects; use :meth:`poll_values` to
+        get deserialized payloads. Blocks up to *timeout* seconds when no
+        data is available on any partition.
+        """
+        check_positive("max_records", max_records)
+        self._check_open()
+        if self.group_id is not None and self._subscribed_topics:
+            # Eager rebalance check, as Kafka consumers do on poll().
+            current = self._broker.coordinator.generation(self.group_id)
+            if current != self._generation:
+                self._refresh_assignment()
+        if not self._assignment:
+            return []
+
+        out: list[Record] = []
+        budget = int(max_records)
+        # First pass: non-blocking round-robin over assigned partitions.
+        for tp in self._assignment:
+            if budget <= 0:
+                break
+            batch = self._broker.fetch(*tp, self._positions[tp], max_records=budget)
+            if batch:
+                self._positions[tp] = batch[-1].offset + 1
+                out.extend(batch)
+                budget -= len(batch)
+        if out or timeout <= 0:
+            for r in out:
+                self.records_consumed += 1
+                self.bytes_consumed += r.size
+            return out
+        # Blocking pass: wait on the first assigned partition (timeout
+        # split is not needed since appends notify per-partition and the
+        # pipeline assigns exactly one partition per processing consumer
+        # in the latency-sensitive configurations).
+        tp = self._assignment[0]
+        batch = self._broker.fetch(
+            *tp, self._positions[tp], max_records=int(max_records), timeout=timeout
+        )
+        if batch:
+            self._positions[tp] = batch[-1].offset + 1
+            for r in batch:
+                self.records_consumed += 1
+                self.bytes_consumed += r.size
+        return batch
+
+    def poll_values(self, max_records: int = 64, timeout: float = 0.0) -> list:
+        """Like :meth:`poll`, but returns deserialized values."""
+        return [self._serde.deserialize(r.value) for r in self.poll(max_records, timeout)]
+
+    # -- offsets ----------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit current positions for all assigned partitions."""
+        if self.group_id is None:
+            raise ValidationError("commit() requires a consumer group")
+        for tp, offset in self._positions.items():
+            self._broker.commit_offset(self.group_id, tp[0], tp[1], offset)
+
+    def lag(self) -> dict[tuple, int]:
+        """Per-partition lag: records between position and the log head."""
+        return {
+            tp: max(0, self._broker.latest_offset(*tp) - pos)
+            for tp, pos in self._positions.items()
+        }
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Leave the group (triggering a rebalance) and stop consuming."""
+        if self._closed:
+            return
+        if self.group_id is not None and self._subscribed_topics:
+            self._broker.coordinator.leave(self.group_id, self.client_id)
+        self._closed = True
+
+    def __enter__(self) -> "Consumer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValidationError("consumer is closed")
+
+    def stats(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "group_id": self.group_id,
+            "records_consumed": self.records_consumed,
+            "bytes_consumed": self.bytes_consumed,
+            "assignment": list(self._assignment),
+        }

@@ -1,0 +1,50 @@
+"""Broker error hierarchy."""
+
+from __future__ import annotations
+
+
+class BrokerError(Exception):
+    """Base class for all brokering errors."""
+
+
+class UnknownTopicError(BrokerError):
+    """The referenced topic does not exist."""
+
+    def __init__(self, topic: str) -> None:
+        super().__init__(f"unknown topic {topic!r}")
+        self.topic = topic
+
+
+class UnknownPartitionError(BrokerError):
+    """The referenced partition does not exist within its topic."""
+
+    def __init__(self, topic: str, partition: int) -> None:
+        super().__init__(f"topic {topic!r} has no partition {partition}")
+        self.topic = topic
+        self.partition = partition
+
+
+class OffsetOutOfRangeError(BrokerError):
+    """A fetch requested an offset outside the retained log range."""
+
+    def __init__(self, topic: str, partition: int, offset: int, lo: int, hi: int) -> None:
+        super().__init__(
+            f"offset {offset} out of range [{lo}, {hi}) for {topic}/{partition}"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.offset = offset
+        self.lo = lo
+        self.hi = hi
+
+
+class RebalanceInProgressError(BrokerError):
+    """Raised when a consumer operation races a group rebalance."""
+
+
+class TopicExistsError(BrokerError):
+    """Topic creation collided with an existing topic."""
+
+    def __init__(self, topic: str) -> None:
+        super().__init__(f"topic {topic!r} already exists")
+        self.topic = topic

@@ -1,0 +1,196 @@
+"""Consumer-group coordination and partition assignment.
+
+Mirrors Kafka's group-coordinator role: consumers join a group for a set
+of topics, the coordinator assigns each partition to exactly one group
+member, and any membership change (join/leave/crash) triggers an eager
+rebalance that bumps the group *generation*. Consumers detect a stale
+generation on their next poll and refresh their assignment.
+
+Two assignment strategies are provided, matching Kafka's classic
+assignors:
+
+- :class:`RangeAssignor` — contiguous partition ranges per member
+  (Kafka's default; keeps a device's partition stream on one consumer),
+- :class:`RoundRobinAssignor` — partitions dealt one-by-one for the most
+  even spread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.util.validation import ValidationError
+
+
+class AssignmentStrategy:
+    """Maps (members, partitions) to a per-member partition allocation."""
+
+    name = "base"
+
+    def assign(
+        self, members: list[str], partitions: list[tuple]
+    ) -> dict[str, list[tuple]]:
+        """Return ``{member_id: [(topic, partition), ...]}``.
+
+        *members* is sorted; *partitions* is a sorted list of
+        ``(topic, partition)`` pairs. Every partition must appear exactly
+        once in the result.
+        """
+        raise NotImplementedError
+
+
+class RangeAssignor(AssignmentStrategy):
+    """Contiguous ranges: member i gets the i-th slice of each topic."""
+
+    name = "range"
+
+    def assign(self, members, partitions):
+        out = {m: [] for m in members}
+        if not members:
+            return out
+        by_topic: dict[str, list[tuple]] = {}
+        for tp in partitions:
+            by_topic.setdefault(tp[0], []).append(tp)
+        for topic in sorted(by_topic):
+            tps = sorted(by_topic[topic])
+            n, k = len(tps), len(members)
+            base, extra = divmod(n, k)
+            start = 0
+            for i, member in enumerate(members):
+                take = base + (1 if i < extra else 0)
+                out[member].extend(tps[start : start + take])
+                start += take
+        return out
+
+
+class RoundRobinAssignor(AssignmentStrategy):
+    """Deal partitions across members one at a time."""
+
+    name = "roundrobin"
+
+    def assign(self, members, partitions):
+        out = {m: [] for m in members}
+        if not members:
+            return out
+        for i, tp in enumerate(sorted(partitions)):
+            out[members[i % len(members)]].append(tp)
+        return out
+
+
+@dataclass
+class _GroupState:
+    group_id: str
+    strategy: AssignmentStrategy
+    generation: int = 0
+    #: member_id -> subscribed topics
+    members: dict = field(default_factory=dict)
+    #: member_id -> [(topic, partition), ...]
+    assignment: dict = field(default_factory=dict)
+
+
+class GroupCoordinator:
+    """Tracks consumer groups for one broker."""
+
+    def __init__(self, broker) -> None:
+        self._broker = broker
+        self._groups: dict[str, _GroupState] = {}
+        self._lock = threading.RLock()
+
+    def join(
+        self,
+        group_id: str,
+        member_id: str,
+        topics: list[str],
+        strategy: AssignmentStrategy | None = None,
+    ) -> int:
+        """Add *member_id* to the group; returns the new generation."""
+        if not topics:
+            raise ValidationError("a consumer must subscribe to at least one topic")
+        with self._lock:
+            state = self._groups.get(group_id)
+            if state is None:
+                state = _GroupState(
+                    group_id=group_id,
+                    strategy=strategy or RangeAssignor(),
+                )
+                self._groups[group_id] = state
+            elif strategy is not None and type(strategy) is not type(state.strategy):
+                raise ValidationError(
+                    f"group {group_id!r} already uses strategy "
+                    f"{state.strategy.name!r}"
+                )
+            state.members[member_id] = list(topics)
+            self._rebalance(state)
+            return state.generation
+
+    def leave(self, group_id: str, member_id: str) -> None:
+        with self._lock:
+            state = self._groups.get(group_id)
+            if state is None or member_id not in state.members:
+                return
+            del state.members[member_id]
+            if state.members:
+                self._rebalance(state)
+            else:
+                del self._groups[group_id]
+
+    def _rebalance(self, state: _GroupState) -> None:
+        all_topics = sorted({t for topics in state.members.values() for t in topics})
+        partitions: list[tuple] = []
+        for topic_name in all_topics:
+            topic = self._broker.topic(topic_name)  # raises on unknown topic
+            partitions.extend((topic_name, p) for p in topic.partitions)
+        members = sorted(state.members)
+        # Only members subscribed to a topic are eligible for its partitions.
+        eligible: dict[str, list[str]] = {}
+        for tp in partitions:
+            eligible.setdefault(tp[0], [])
+        raw = state.strategy.assign(members, partitions)
+        # Strip partitions of topics a member did not subscribe to, and
+        # reassign them among the subscribers.
+        final = {m: [] for m in members}
+        orphans: list[tuple] = []
+        for member, tps in raw.items():
+            for tp in tps:
+                if tp[0] in state.members[member]:
+                    final[member].append(tp)
+                else:
+                    orphans.append(tp)
+        for i, tp in enumerate(sorted(orphans)):
+            subscribers = sorted(m for m in members if tp[0] in state.members[m])
+            if subscribers:
+                final[subscribers[i % len(subscribers)]].append(tp)
+        state.assignment = {m: sorted(tps) for m, tps in final.items()}
+        state.generation += 1
+
+    def assignment(self, group_id: str, member_id: str) -> tuple[int, list[tuple]]:
+        """Return ``(generation, [(topic, partition), ...])`` for a member."""
+        with self._lock:
+            state = self._groups.get(group_id)
+            if state is None or member_id not in state.members:
+                return (0, [])
+            return (state.generation, list(state.assignment.get(member_id, [])))
+
+    def generation(self, group_id: str) -> int:
+        with self._lock:
+            state = self._groups.get(group_id)
+            return state.generation if state else 0
+
+    def members(self, group_id: str) -> list[str]:
+        with self._lock:
+            state = self._groups.get(group_id)
+            return sorted(state.members) if state else []
+
+    def describe(self, group_id: str) -> dict:
+        """Full group snapshot for monitoring."""
+        with self._lock:
+            state = self._groups.get(group_id)
+            if state is None:
+                return {"group": group_id, "members": {}, "generation": 0}
+            return {
+                "group": group_id,
+                "generation": state.generation,
+                "strategy": state.strategy.name,
+                "members": {m: list(tps) for m, tps in state.assignment.items()},
+            }

@@ -1,0 +1,51 @@
+"""Record types exchanged through the broker.
+
+A :class:`Record` is what consumers receive: payload plus full
+provenance (topic, partition, offset, timestamps). ``produce_ts`` is
+stamped by the producer and ``append_ts`` by the broker, which lets the
+monitoring subsystem split end-to-end latency into producer->broker and
+broker->consumer components — the linked-metrics capability highlighted
+in section III-1 of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Record:
+    """One message as stored in / fetched from a partition log."""
+
+    topic: str
+    partition: int
+    offset: int
+    value: bytes
+    key: bytes | None = None
+    headers: dict = field(default_factory=dict)
+    #: Monotonic time the producer created the record.
+    produce_ts: float = 0.0
+    #: Monotonic time the broker appended the record.
+    append_ts: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Approximate wire size in bytes (key + value)."""
+        return len(self.value) + (len(self.key) if self.key else 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Record({self.topic}/{self.partition}@{self.offset}, "
+            f"{len(self.value)}B)"
+        )
+
+
+@dataclass(frozen=True)
+class RecordMetadata:
+    """Acknowledgement returned to the producer on append."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float = field(default_factory=time.monotonic)

@@ -1,0 +1,122 @@
+"""MQTT-style lightweight broker plugin.
+
+Demonstrates the paper's plugin mechanism for "low-performance and
+low-power environments": topic-based publish/subscribe with bounded
+per-subscriber queues and QoS-0 semantics (fire-and-forget; messages
+published while a subscriber's queue is full are dropped and counted).
+No partitions, no offsets, no replay — exactly the trade-off an MQTT
+deployment makes versus Kafka.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from repro.util.ids import new_id
+from repro.util.validation import ValidationError, check_positive
+
+
+class MqttSubscription:
+    """Handle owned by one subscriber on one topic filter."""
+
+    def __init__(self, topic: str, maxsize: int) -> None:
+        self.topic = topic
+        self.subscription_id = new_id("sub")
+        self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
+        self.dropped = 0
+
+    def deliver(self, payload: Any) -> bool:
+        try:
+            self._queue.put_nowait(payload)
+            return True
+        except queue.Full:
+            self.dropped += 1
+            return False
+
+    def get(self, timeout: float = 0.0):
+        """Next message, or ``None`` on timeout."""
+        try:
+            if timeout > 0:
+                return self._queue.get(timeout=timeout)
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+
+class MqttStyleBroker:
+    """Topic pub/sub with QoS-0 delivery and ``+``/``#`` wildcards."""
+
+    def __init__(self, name: str | None = None, queue_size: int = 256) -> None:
+        check_positive("queue_size", queue_size)
+        self.name = name or new_id("mqtt")
+        self._queue_size = int(queue_size)
+        self._subs: dict[str, list[MqttSubscription]] = {}
+        self._lock = threading.Lock()
+        self.messages_published = 0
+        self.messages_dropped = 0
+
+    # MQTT topic filters: levels split on '/', '+' matches one level,
+    # '#' matches the remainder.
+    @staticmethod
+    def _matches(filter_: str, topic: str) -> bool:
+        f_parts = filter_.split("/")
+        t_parts = topic.split("/")
+        for i, fp in enumerate(f_parts):
+            if fp == "#":
+                return True
+            if i >= len(t_parts):
+                return False
+            if fp != "+" and fp != t_parts[i]:
+                return False
+        return len(f_parts) == len(t_parts)
+
+    def subscribe(self, topic_filter: str) -> MqttSubscription:
+        if not topic_filter:
+            raise ValidationError("empty topic filter")
+        sub = MqttSubscription(topic_filter, self._queue_size)
+        with self._lock:
+            self._subs.setdefault(topic_filter, []).append(sub)
+        return sub
+
+    def unsubscribe(self, sub: MqttSubscription) -> None:
+        with self._lock:
+            subs = self._subs.get(sub.topic, [])
+            if sub in subs:
+                subs.remove(sub)
+            if not subs and sub.topic in self._subs:
+                del self._subs[sub.topic]
+
+    def publish(self, topic: str, payload: Any) -> int:
+        """Deliver to all matching subscriptions; returns delivery count."""
+        if not topic or "+" in topic or "#" in topic:
+            raise ValidationError(f"invalid publish topic {topic!r}")
+        delivered = 0
+        with self._lock:
+            targets = [
+                s
+                for filt, subs in self._subs.items()
+                if self._matches(filt, topic)
+                for s in subs
+            ]
+        for sub in targets:
+            if sub.deliver(payload):
+                delivered += 1
+            else:
+                self.messages_dropped += 1
+        self.messages_published += 1
+        return delivered
+
+    def stats(self) -> dict:
+        with self._lock:
+            n_subs = sum(len(s) for s in self._subs.values())
+        return {
+            "broker": self.name,
+            "subscriptions": n_subs,
+            "messages_published": self.messages_published,
+            "messages_dropped": self.messages_dropped,
+        }

@@ -1,0 +1,220 @@
+"""Append-only partition log with offset addressing and retention.
+
+The partition is the broker's unit of parallelism — the paper assigns one
+partition per edge device so device streams can be consumed concurrently.
+
+Thread safety: appends and reads are guarded by one lock per partition; a
+condition variable lets consumers block on new data with a timeout, which
+is what gives the pipeline its push-like latency without busy polling.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+
+from repro.broker.errors import OffsetOutOfRangeError
+from repro.broker.message import Record
+from repro.util.validation import check_non_negative, check_positive
+
+
+class PartitionLog:
+    """A single partition: an append-only record log.
+
+    Parameters
+    ----------
+    topic, partition:
+        Identity, stamped into every record.
+    retention_bytes:
+        Oldest records are dropped once the log exceeds this size
+        (0 = unlimited). Mirrors Kafka size-based retention; the
+        experiments keep it unlimited, the property tests exercise it.
+    retention_seconds:
+        Records older than this (by append time) are dropped on the next
+        append or explicit :meth:`enforce_retention` call (0 = unlimited).
+    """
+
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        retention_bytes: int = 0,
+        retention_seconds: float = 0.0,
+    ) -> None:
+        check_non_negative("partition", partition)
+        check_non_negative("retention_bytes", retention_bytes)
+        check_non_negative("retention_seconds", retention_seconds)
+        self.topic = topic
+        self.partition = int(partition)
+        self.retention_bytes = int(retention_bytes)
+        self.retention_seconds = float(retention_seconds)
+        self._records: list[Record] = []
+        self._base_offset = 0  # offset of _records[0]
+        self._next_offset = 0
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._data_available = threading.Condition(self._lock)
+        # Cumulative counters for broker-side metrics.
+        self.total_appended = 0
+        self.total_bytes_in = 0
+
+    # -- write path ---------------------------------------------------------
+
+    def append(
+        self,
+        value: bytes,
+        key: bytes | None = None,
+        headers: dict | None = None,
+        produce_ts: float | None = None,
+    ) -> Record:
+        """Append one record; returns it (with offset and append_ts set)."""
+        now = time.monotonic()
+        record = Record(
+            topic=self.topic,
+            partition=self.partition,
+            offset=0,  # replaced below under the lock
+            value=value,
+            key=key,
+            headers=dict(headers or {}),
+            produce_ts=now if produce_ts is None else produce_ts,
+            append_ts=now,
+        )
+        with self._lock:
+            record = Record(
+                topic=record.topic,
+                partition=record.partition,
+                offset=self._next_offset,
+                value=record.value,
+                key=record.key,
+                headers=record.headers,
+                produce_ts=record.produce_ts,
+                append_ts=record.append_ts,
+            )
+            self._records.append(record)
+            self._next_offset += 1
+            self._bytes += record.size
+            self.total_appended += 1
+            self.total_bytes_in += record.size
+            self._enforce_retention()
+            self._data_available.notify_all()
+        return record
+
+    def _enforce_retention(self) -> None:
+        if self.retention_bytes > 0:
+            while self._bytes > self.retention_bytes and len(self._records) > 1:
+                self._evict_head()
+        if self.retention_seconds > 0:
+            cutoff = time.monotonic() - self.retention_seconds
+            while len(self._records) > 1 and self._records[0].append_ts < cutoff:
+                self._evict_head()
+
+    def _evict_head(self) -> None:
+        evicted = self._records.pop(0)
+        self._bytes -= evicted.size
+        self._base_offset += 1
+
+    def enforce_retention(self) -> None:
+        """Apply retention policies now (normally piggybacked on append)."""
+        with self._lock:
+            self._enforce_retention()
+
+    def compact(self) -> int:
+        """Key-based log compaction: keep only the newest record per key.
+
+        Keyless records are always retained (they cannot be superseded).
+        Offsets of surviving records are preserved — like Kafka, a
+        compacted log has offset gaps. Returns the number of records
+        removed.
+        """
+        with self._lock:
+            latest_for_key: dict = {}
+            for record in self._records:
+                if record.key is not None:
+                    latest_for_key[record.key] = record.offset
+            kept = [
+                r
+                for r in self._records
+                if r.key is None or latest_for_key[r.key] == r.offset
+            ]
+            removed = len(self._records) - len(kept)
+            if removed:
+                self._records = kept
+                self._bytes = sum(r.size for r in kept)
+            return removed
+
+    # -- read path ------------------------------------------------------------
+
+    def fetch(
+        self,
+        offset: int,
+        max_records: int = 64,
+        timeout: float = 0.0,
+    ) -> list[Record]:
+        """Fetch up to *max_records* starting at *offset*.
+
+        Blocks up to *timeout* seconds when the offset is at the head and
+        no data is available. Raises :class:`OffsetOutOfRangeError` for
+        offsets below the retention floor or beyond the head.
+        """
+        check_non_negative("offset", offset)
+        check_positive("max_records", max_records)
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if offset < self._base_offset or offset > self._next_offset:
+                    raise OffsetOutOfRangeError(
+                        self.topic, self.partition, offset, self._base_offset, self._next_offset
+                    )
+                # Binary search: compaction leaves offset gaps, so the
+                # record list cannot be indexed positionally.
+                start = bisect.bisect_left(self._records, offset, key=lambda r: r.offset)
+                batch = self._records[start : start + int(max_records)]
+                if batch or timeout <= 0:
+                    return list(batch)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._data_available.wait(remaining)
+
+    def offset_for_time(self, timestamp: float) -> int | None:
+        """Earliest offset whose append time is >= *timestamp*.
+
+        Returns ``None`` when every retained record is older — the
+        consumer should then start at :attr:`latest_offset`.
+        """
+        with self._lock:
+            idx = bisect.bisect_left(
+                self._records, timestamp, key=lambda r: r.append_ts
+            )
+            if idx >= len(self._records):
+                return None
+            return self._records[idx].offset
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def earliest_offset(self) -> int:
+        with self._lock:
+            return self._base_offset
+
+    @property
+    def latest_offset(self) -> int:
+        """Offset that the *next* append will receive (log head)."""
+        with self._lock:
+            return self._next_offset
+
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionLog({self.topic}/{self.partition}, "
+            f"offsets=[{self._base_offset}, {self._next_offset}))"
+        )

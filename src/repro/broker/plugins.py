@@ -1,0 +1,66 @@
+"""Broker plugin registry.
+
+The paper encapsulates "brokering concerns" behind a plugin mechanism so
+that alternative brokers (MQTT for low-power edges) can replace Kafka.
+Plugins are registered by name with the :func:`broker_plugin` decorator
+and instantiated through :func:`create_broker`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.validation import ValidationError
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def broker_plugin(name: str) -> Callable:
+    """Class decorator registering a broker implementation under *name*."""
+
+    def register(cls):
+        if not name or not name.replace("-", "_").isidentifier():
+            raise ValidationError(f"invalid plugin name {name!r}")
+        if name in _REGISTRY:
+            raise ValidationError(f"broker plugin {name!r} already registered")
+        _REGISTRY[name] = cls
+        cls.plugin_name = name
+        return cls
+
+    return register
+
+
+def create_broker(plugin: str = "kafka", **kwargs):
+    """Instantiate a broker by plugin name.
+
+    The default ``"kafka"`` plugin is the full partitioned broker; the
+    ``"mqtt"`` plugin is the lightweight topic pub/sub variant.
+    """
+    try:
+        cls = _REGISTRY[plugin]
+    except KeyError:
+        raise ValidationError(
+            f"unknown broker plugin {plugin!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_plugins() -> list[str]:
+    """Names of all registered broker plugins."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    # Imported here to avoid circular imports at package-load time.
+    from repro.broker.broker import Broker
+    from repro.broker.mqtt import MqttStyleBroker
+
+    if "kafka" not in _REGISTRY:
+        _REGISTRY["kafka"] = Broker
+        Broker.plugin_name = "kafka"
+    if "mqtt" not in _REGISTRY:
+        _REGISTRY["mqtt"] = MqttStyleBroker
+        MqttStyleBroker.plugin_name = "mqtt"
+
+
+_register_builtins()

@@ -1,0 +1,375 @@
+"""TCP transport for the broker: cross-process producers/consumers.
+
+Everything else in this package runs in-process; this module puts the
+broker behind a socket so pilots in *separate processes* (or separate
+machines, in a real deployment) can share one broker — the shape of the
+paper's actual Kafka deployment.
+
+Protocol: length-prefixed JSON frames (4-byte big-endian length, then a
+UTF-8 JSON object). Binary payloads travel base64-encoded inside the
+JSON — simple and debuggable; throughput benchmarking of the wire itself
+is out of scope (the paper's broker numbers come from the in-process
+substrate, see ``benchmarks/test_broker_micro.py``).
+
+Server side: :class:`BrokerServer` wraps any in-process
+:class:`~repro.broker.broker.Broker`, one thread per connection.
+
+Client side: :class:`RemoteBroker` implements the same data-path surface
+(`append`, `fetch`, offsets, commits, coordinator operations), so the
+existing :class:`~repro.broker.producer.Producer` and
+:class:`~repro.broker.consumer.Consumer` work against it unchanged.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+import threading
+
+from repro.broker.broker import Broker
+from repro.broker.errors import BrokerError
+from repro.broker.message import Record, RecordMetadata
+from repro.util.validation import ValidationError
+
+_LEN = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class RemoteBrokerError(BrokerError):
+    """A server-side error propagated over the wire."""
+
+
+def _send_frame(sock: socket.socket, payload: dict) -> None:
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME:
+        raise ValidationError(f"frame too large: {len(data)} bytes")
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n > 0:
+        chunk = sock.recv(min(n, 65536))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> dict:
+    (length,) = _LEN.unpack(_recv_exact(sock, 4))
+    if length > MAX_FRAME:
+        raise ConnectionError(f"oversized frame: {length}")
+    return json.loads(_recv_exact(sock, length).decode("utf-8"))
+
+
+def _b64(data: bytes | None) -> str | None:
+    return None if data is None else base64.b64encode(data).decode("ascii")
+
+
+def _unb64(data: str | None) -> bytes | None:
+    return None if data is None else base64.b64decode(data)
+
+
+def _record_to_wire(record: Record) -> dict:
+    return {
+        "topic": record.topic,
+        "partition": record.partition,
+        "offset": record.offset,
+        "value": _b64(record.value),
+        "key": _b64(record.key),
+        "headers": record.headers,
+        "produce_ts": record.produce_ts,
+        "append_ts": record.append_ts,
+    }
+
+
+def _record_from_wire(obj: dict) -> Record:
+    return Record(
+        topic=obj["topic"],
+        partition=obj["partition"],
+        offset=obj["offset"],
+        value=_unb64(obj["value"]) or b"",
+        key=_unb64(obj.get("key")),
+        headers=obj.get("headers") or {},
+        produce_ts=obj.get("produce_ts", 0.0),
+        append_ts=obj.get("append_ts", 0.0),
+    )
+
+
+class BrokerServer:
+    """Serves an in-process broker over TCP (one thread per client)."""
+
+    def __init__(self, broker: Broker | None = None, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.broker = broker if broker is not None else Broker()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        # A blocked accept() is not reliably woken by close() from
+        # another thread; poll with a short timeout instead.
+        self._listener.settimeout(0.1)
+        self.host, self.port = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self.connections_served = 0
+        self.requests_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "BrokerServer":
+        if self._accept_thread is not None:
+            raise RuntimeError("server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"broker-server:{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple:
+        return (self.host, self.port)
+
+    # -- serving --------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            conn.settimeout(None)
+            self.connections_served += 1
+            threading.Thread(
+                target=self._serve_client, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    request = _recv_frame(conn)
+                except (ConnectionError, OSError, json.JSONDecodeError):
+                    return
+                try:
+                    response = {"ok": True, "result": self._dispatch(request)}
+                except Exception as exc:  # noqa: BLE001 — all errors go to the client
+                    response = {
+                        "ok": False,
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                    }
+                self.requests_served += 1
+                try:
+                    _send_frame(conn, response)
+                except OSError:
+                    return
+
+    def _dispatch(self, request: dict):
+        op = request.get("op")
+        broker = self.broker
+        if op == "create_topic":
+            topic = broker.create_topic(
+                request["topic"],
+                num_partitions=request.get("num_partitions", 1),
+                exist_ok=request.get("exist_ok", False),
+            )
+            return {"partitions": topic.num_partitions}
+        if op == "num_partitions":
+            return broker.topic(request["topic"]).num_partitions
+        if op == "list_topics":
+            return broker.list_topics()
+        if op == "append":
+            md = broker.append(
+                request["topic"],
+                request["partition"],
+                _unb64(request["value"]) or b"",
+                key=_unb64(request.get("key")),
+                headers=request.get("headers"),
+                produce_ts=request.get("produce_ts"),
+            )
+            return {"offset": md.offset}
+        if op == "fetch":
+            records = broker.fetch(
+                request["topic"],
+                request["partition"],
+                request["offset"],
+                max_records=request.get("max_records", 64),
+                timeout=request.get("timeout", 0.0),
+            )
+            return [_record_to_wire(r) for r in records]
+        if op == "earliest_offset":
+            return broker.earliest_offset(request["topic"], request["partition"])
+        if op == "latest_offset":
+            return broker.latest_offset(request["topic"], request["partition"])
+        if op == "commit_offset":
+            broker.commit_offset(
+                request["group"], request["topic"], request["partition"], request["offset"]
+            )
+            return None
+        if op == "committed_offset":
+            return broker.committed_offset(
+                request["group"], request["topic"], request["partition"]
+            )
+        if op == "group_join":
+            return broker.coordinator.join(
+                request["group"], request["member"], request["topics"]
+            )
+        if op == "group_leave":
+            broker.coordinator.leave(request["group"], request["member"])
+            return None
+        if op == "group_assignment":
+            generation, assignment = broker.coordinator.assignment(
+                request["group"], request["member"]
+            )
+            return {"generation": generation, "assignment": assignment}
+        if op == "group_generation":
+            return broker.coordinator.generation(request["group"])
+        if op == "stats":
+            return broker.stats()
+        raise ValidationError(f"unknown op {op!r}")
+
+
+class _RemoteCoordinator:
+    """Client-side face of the group coordinator."""
+
+    def __init__(self, remote: "RemoteBroker") -> None:
+        self._remote = remote
+
+    def join(self, group_id, member_id, topics, strategy=None):
+        if strategy is not None:
+            raise ValidationError("remote coordinator uses the server's strategy")
+        return self._remote._call("group_join", group=group_id, member=member_id, topics=list(topics))
+
+    def leave(self, group_id, member_id):
+        self._remote._call("group_leave", group=group_id, member=member_id)
+
+    def assignment(self, group_id, member_id):
+        out = self._remote._call("group_assignment", group=group_id, member=member_id)
+        return out["generation"], [tuple(tp) for tp in out["assignment"]]
+
+    def generation(self, group_id):
+        return self._remote._call("group_generation", group=group_id)
+
+
+class _RemoteTopic:
+    def __init__(self, name: str, num_partitions: int) -> None:
+        self.name = name
+        self.num_partitions = num_partitions
+
+    @property
+    def partitions(self) -> tuple:
+        return tuple(range(self.num_partitions))
+
+
+class RemoteBroker:
+    """Client handle exposing the broker data-path API over TCP.
+
+    Thread safety: one socket guarded by a lock (requests serialize).
+    For concurrent producers/consumers in one process, give each its own
+    RemoteBroker connection.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)  # blocking fetches may wait server-side
+        self._lock = threading.Lock()
+        self.name = f"remote://{host}:{port}"
+        self.coordinator = _RemoteCoordinator(self)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteBroker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, op: str, **kwargs):
+        with self._lock:
+            _send_frame(self._sock, {"op": op, **kwargs})
+            response = _recv_frame(self._sock)
+        if response.get("ok"):
+            return response.get("result")
+        raise RemoteBrokerError(
+            f"{response.get('error', 'Error')}: {response.get('message', '')}"
+        )
+
+    # -- broker surface used by Producer/Consumer -----------------------------
+
+    def create_topic(self, name: str, num_partitions: int = 1, exist_ok: bool = False):
+        out = self._call(
+            "create_topic", topic=name, num_partitions=num_partitions, exist_ok=exist_ok
+        )
+        return _RemoteTopic(name, out["partitions"])
+
+    def topic(self, name: str) -> _RemoteTopic:
+        return _RemoteTopic(name, self._call("num_partitions", topic=name))
+
+    def list_topics(self) -> list:
+        return self._call("list_topics")
+
+    def append(self, topic, partition, value, key=None, headers=None, produce_ts=None):
+        out = self._call(
+            "append",
+            topic=topic,
+            partition=partition,
+            value=_b64(value),
+            key=_b64(key),
+            headers=headers or {},
+            produce_ts=produce_ts,
+        )
+        return RecordMetadata(topic=topic, partition=partition, offset=out["offset"])
+
+    def fetch(self, topic, partition, offset, max_records=64, timeout=0.0):
+        records = self._call(
+            "fetch",
+            topic=topic,
+            partition=partition,
+            offset=offset,
+            max_records=max_records,
+            timeout=timeout,
+        )
+        return [_record_from_wire(r) for r in records]
+
+    def earliest_offset(self, topic, partition):
+        return self._call("earliest_offset", topic=topic, partition=partition)
+
+    def latest_offset(self, topic, partition):
+        return self._call("latest_offset", topic=topic, partition=partition)
+
+    def commit_offset(self, group, topic, partition, offset):
+        self._call(
+            "commit_offset", group=group, topic=topic, partition=partition, offset=offset
+        )
+
+    def committed_offset(self, group, topic, partition):
+        return self._call("committed_offset", group=group, topic=topic, partition=partition)
+
+    def stats(self) -> dict:
+        return self._call("stats")

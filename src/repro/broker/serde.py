@@ -1,0 +1,83 @@
+"""Pluggable value serializers for producers and consumers.
+
+``BlockSerde`` is the workhorse for the paper's workloads: it frames
+NumPy data blocks with the wire format from :mod:`repro.data.serde`
+(8 bytes per value + 16-byte header), so the benchmark message sizes
+match the paper's 7 KB – 2.6 MB range exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any
+
+import numpy as np
+
+from repro.data.serde import decode_block, encode_block
+
+
+class Serde:
+    """Serializer/deserializer interface."""
+
+    def serialize(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def deserialize(self, payload: bytes) -> Any:
+        raise NotImplementedError
+
+
+class BytesSerde(Serde):
+    """Pass-through for values that are already bytes."""
+
+    def serialize(self, value: Any) -> bytes:
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, (bytearray, memoryview)):
+            return bytes(value)
+        raise TypeError(f"BytesSerde expects bytes, got {type(value).__name__}")
+
+    def deserialize(self, payload: bytes) -> bytes:
+        return payload
+
+
+class JsonSerde(Serde):
+    """UTF-8 JSON; for small control/metadata messages."""
+
+    def serialize(self, value: Any) -> bytes:
+        return json.dumps(value, separators=(",", ":")).encode("utf-8")
+
+    def deserialize(self, payload: bytes) -> Any:
+        return json.loads(payload.decode("utf-8"))
+
+
+class BlockSerde(Serde):
+    """NumPy data blocks in the framework wire format (float64, framed).
+
+    ``compress=True`` deflates payloads on the wire (decoding always
+    auto-detects, so mixed producers are fine).
+    """
+
+    def __init__(self, compress: bool = False, level: int = 1) -> None:
+        self.compress = bool(compress)
+        self.level = int(level)
+
+    def serialize(self, value: Any) -> bytes:
+        return encode_block(np.asarray(value), compress=self.compress, level=self.level)
+
+    def deserialize(self, payload: bytes) -> np.ndarray:
+        return decode_block(payload)
+
+
+class PickleSerde(Serde):
+    """Arbitrary Python objects.
+
+    Only for trusted, in-process pipelines (pickle is not safe across
+    trust boundaries); used by tests and the parameter-server transport.
+    """
+
+    def serialize(self, value: Any) -> bytes:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def deserialize(self, payload: bytes) -> Any:
+        return pickle.loads(payload)

@@ -1,0 +1,227 @@
+"""Command-line interface for Pilot-Edge experiments.
+
+Usage (also available as ``python -m repro.cli``)::
+
+    # baseline pipeline run (Fig. 2 point)
+    python -m repro.cli baseline --points 1000 --devices 4 --messages 32
+
+    # model workload (Fig. 3 point)
+    python -m repro.cli model --model kmeans --points 10000 --messages 16
+
+    # simulated geographic run (Fig. 3 geo point)
+    python -m repro.cli geo --model kmeans --points 10000 --link transatlantic
+
+    # inspect the registered plugins / resource classes
+    python -m repro.cli info
+
+Every experiment subcommand prints the monitoring report as a flat
+key=value list (machine-greppable) plus the bottleneck attribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.util.log import configure as configure_logging
+
+MODELS = ("baseline", "kmeans", "iforest", "autoencoder")
+LINKS = ("loopback", "lan", "regional-wan", "transatlantic", "cellular-edge")
+
+
+def _link_profile(name: str):
+    from repro import netem
+
+    return {
+        "loopback": netem.LOOPBACK,
+        "lan": netem.LAN,
+        "regional-wan": netem.REGIONAL_WAN,
+        "transatlantic": netem.TRANSATLANTIC,
+        "cellular-edge": netem.CELLULAR_EDGE,
+    }[name]
+
+
+def _model_processor(name: str):
+    from repro.core import make_model_processor, passthrough_processor
+    from repro.ml import AutoEncoder, IsolationForest, StreamingKMeans
+
+    if name == "baseline":
+        return passthrough_processor
+    factory = {
+        "kmeans": lambda: StreamingKMeans(n_clusters=25),
+        "iforest": lambda: IsolationForest(n_estimators=100),
+        "autoencoder": lambda: AutoEncoder(epochs=10),
+    }[name]
+    return make_model_processor(factory)
+
+
+def _print_report(result, as_json: bool) -> None:
+    payload = {
+        "completed": result.completed,
+        **result.report.row(),
+        "bottleneck": result.bottleneck.get("bottleneck"),
+        "bottleneck_reason": result.bottleneck.get("reason"),
+        "errors": len(result.errors),
+    }
+    if as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}={value}")
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    return cmd_model(args)
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro import (
+        EdgeToCloudPipeline,
+        PilotComputeService,
+        PilotDescription,
+        PipelineConfig,
+        ResourceSpec,
+        make_block_producer,
+    )
+    from repro.pilot.plugins.ssh_edge import SshEdgePlugin
+
+    model = getattr(args, "model", "baseline")
+    service = PilotComputeService(time_scale=0.0)
+    service.register_plugin("ssh", SshEdgePlugin(devices=max(args.devices, 8)))
+    try:
+        edge = service.submit_pilot(
+            PilotDescription(resource="ssh", site="edge", nodes=args.devices,
+                             node_spec=ResourceSpec(cores=1, memory_gb=4))
+        )
+        cloud = service.submit_pilot(
+            PilotDescription(resource="cloud", site="cloud",
+                             instance_type="lrz.large")
+        )
+        if not service.wait_all(timeout=60):
+            print("error: pilot acquisition failed", file=sys.stderr)
+            return 1
+        pipeline = EdgeToCloudPipeline(
+            pilot_edge=edge,
+            pilot_cloud_processing=cloud,
+            produce_function_handler=make_block_producer(
+                points=args.points, features=args.features, clusters=25
+            ),
+            process_cloud_function_handler=_model_processor(model),
+            config=PipelineConfig(
+                num_devices=args.devices,
+                messages_per_device=args.messages,
+                max_duration=args.max_duration,
+            ),
+        )
+        result = pipeline.run()
+        _print_report(result, args.json)
+        return 0 if result.completed else 1
+    finally:
+        service.close()
+
+
+def cmd_geo(args: argparse.Namespace) -> int:
+    from repro.sim import (
+        SimConfig,
+        SimulatedPipeline,
+        calibrate_model_cost,
+        calibrate_produce_cost,
+    )
+
+    produce = calibrate_produce_cost(points=args.points, reps=3)
+    process = calibrate_model_cost(_model_processor(args.model), points=args.points, reps=3)
+    cfg = SimConfig(
+        num_devices=args.devices,
+        messages_per_device=args.messages,
+        points=args.points,
+        features=args.features,
+        uplink=_link_profile(args.link),
+        num_consumers=args.consumers,
+        produce_cost=produce,
+        process_cost=process,
+        seed=args.seed,
+    )
+    result = SimulatedPipeline(cfg).run()
+    payload = {
+        **result.report.row(),
+        "virtual_duration_s": round(result.virtual_duration_s, 3),
+        "bottleneck": result.bottleneck.get("bottleneck"),
+        "energy_joules": round(result.energy_joules["total_joules"], 1),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}={value}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.broker.plugins import available_plugins
+    from repro.pilot.plugins.cloud_vm import DEFAULT_CATALOG
+    from repro.pilot.registry import available_resource_plugins
+
+    info = {
+        "version": __import__("repro").__version__,
+        "resource_plugins": available_resource_plugins(),
+        "broker_plugins": available_plugins(),
+        "instance_catalog": {
+            name: {"cores": spec.cores, "memory_gb": spec.memory_gb}
+            for name, spec in DEFAULT_CATALOG.items()
+        },
+        "link_profiles": list(LINKS),
+        "models": list(MODELS),
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pilot-Edge reproduction experiments"
+    )
+    parser.add_argument("--verbose", action="store_true", help="enable framework logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_model: bool) -> None:
+        p.add_argument("--points", type=int, default=1000, help="points per message")
+        p.add_argument("--features", type=int, default=32)
+        p.add_argument("--devices", type=int, default=2, help="edge devices (= partitions)")
+        p.add_argument("--messages", type=int, default=16, help="messages per device")
+        p.add_argument("--json", action="store_true", help="JSON output")
+        if with_model:
+            p.add_argument("--model", choices=MODELS, default="kmeans")
+
+    p_base = sub.add_parser("baseline", help="pass-through pipeline run (Fig. 2 point)")
+    common(p_base, with_model=False)
+    p_base.add_argument("--max-duration", type=float, default=600.0)
+    p_base.set_defaults(func=cmd_baseline)
+
+    p_model = sub.add_parser("model", help="ML workload run (Fig. 3 point)")
+    common(p_model, with_model=True)
+    p_model.add_argument("--max-duration", type=float, default=600.0)
+    p_model.set_defaults(func=cmd_model)
+
+    p_geo = sub.add_parser("geo", help="simulated geographic run (Fig. 3 geo point)")
+    common(p_geo, with_model=True)
+    p_geo.add_argument("--link", choices=LINKS, default="transatlantic")
+    p_geo.add_argument("--consumers", type=int, default=0, help="0 = one per device")
+    p_geo.add_argument("--seed", type=int, default=0)
+    p_geo.set_defaults(func=cmd_geo)
+
+    p_info = sub.add_parser("info", help="list plugins, catalogues and profiles")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""User-facing compute client (Dask-``Client``-like API).
+
+Thin convenience layer over a cluster: ``submit`` / ``map`` / ``gather``
+plus DAG submission. The Pilot-Edge pipeline uses it to run the packaged
+FaaS tasks on whichever pilot the placement policy selected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.compute.cluster import ComputeCluster
+from repro.compute.future import Future
+from repro.compute.graph import TaskGraph
+from repro.compute.task import ResourceSpec, Task
+
+
+class Client:
+    """Submit work to a :class:`ComputeCluster`."""
+
+    def __init__(self, cluster: ComputeCluster) -> None:
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> ComputeCluster:
+        return self._cluster
+
+    def submit(
+        self,
+        fn: Callable,
+        *args,
+        resources: ResourceSpec | None = None,
+        priority: int = 0,
+        max_retries: int = 0,
+        run_id: str | None = None,
+        **kwargs,
+    ) -> Future:
+        """Run ``fn(*args, **kwargs)`` on the cluster; returns a future."""
+        task = Task(
+            fn=fn,
+            args=args,
+            kwargs=kwargs,
+            resources=resources or ResourceSpec(),
+            priority=priority,
+            max_retries=max_retries,
+            run_id=run_id,
+        )
+        return self._cluster.submit_task(task)
+
+    def map(
+        self,
+        fn: Callable,
+        items: Iterable,
+        resources: ResourceSpec | None = None,
+        priority: int = 0,
+        max_retries: int = 0,
+    ) -> list[Future]:
+        """Submit ``fn(item)`` for every item; returns futures in order."""
+        return [
+            self.submit(
+                fn,
+                item,
+                resources=resources,
+                priority=priority,
+                max_retries=max_retries,
+            )
+            for item in items
+        ]
+
+    def submit_graph(self, graph: TaskGraph) -> dict[str, Future]:
+        return self._cluster.scheduler.submit_graph(graph)
+
+    @staticmethod
+    def gather(futures: Sequence[Future], timeout: float | None = None) -> list[Any]:
+        """Block until all futures resolve; returns results in order.
+
+        Raises the first task error encountered (matching Dask's default
+        ``gather`` semantics).
+        """
+        return [f.result(timeout=timeout) for f in futures]
+
+    def __repr__(self) -> str:
+        return f"Client({self._cluster.name!r})"

@@ -1,0 +1,134 @@
+"""Managed worker cluster — the per-pilot "managed Dask cluster".
+
+A :class:`ComputeCluster` owns a scheduler plus a homogeneous set of
+workers of one resource class (the resource class comes from the pilot
+that created the cluster). It supports the runtime elasticity the paper's
+dynamism discussion requires: :meth:`scale` adds or gracefully removes
+workers while tasks are in flight.
+"""
+
+from __future__ import annotations
+
+from repro.compute.scheduler import Scheduler
+from repro.compute.task import ResourceSpec, Task
+from repro.compute.worker import Worker
+from repro.util.ids import new_id
+from repro.util.validation import check_non_negative, check_positive
+
+
+class ComputeCluster:
+    """A scheduler with a managed, scalable worker pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Initial worker count.
+    worker_resources:
+        Resource class of every worker (e.g. ``EDGE_DEVICE`` = 1 core /
+        4 GB, matching the paper's simulated Raspberry Pi edge devices).
+    name:
+        Cluster name for monitoring output.
+    auto_restart:
+        Nanny behaviour: when a worker is killed (abrupt failure), a
+        replacement of the same resource class is started immediately,
+        keeping the pool at its target size. Graceful scale-downs are
+        not restarted.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        worker_resources: ResourceSpec | None = None,
+        name: str | None = None,
+        auto_restart: bool = False,
+    ) -> None:
+        check_non_negative("n_workers", n_workers)
+        self.name = name or new_id("cluster")
+        self.worker_resources = worker_resources or ResourceSpec()
+        self.auto_restart = bool(auto_restart)
+        self.workers_restarted = 0
+        self.scheduler = Scheduler()
+        self._worker_seq = 0
+        self._closed = False
+        for _ in range(int(n_workers)):
+            self._add_worker()
+
+    def _add_worker(self) -> Worker:
+        self._worker_seq += 1
+        worker = Worker(
+            capacity=self.worker_resources,
+            name=f"{self.name}-w{self._worker_seq}",
+        )
+        self.scheduler.add_worker(worker)
+        return worker
+
+    # -- elasticity ----------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.scheduler.workers)
+
+    def scale(self, n_workers: int) -> None:
+        """Grow or shrink the pool to *n_workers* (graceful removal)."""
+        check_non_negative("n_workers", n_workers)
+        self._check_open()
+        target = int(n_workers)
+        while self.n_workers < target:
+            self._add_worker()
+        while self.n_workers > target:
+            victim = self.scheduler.workers[-1]
+            self.scheduler.remove_worker(victim.worker_id, graceful=True)
+
+    def kill_worker(self, worker_id: str | None = None) -> str:
+        """Abruptly fail one worker (failure-injection hook for tests)."""
+        self._check_open()
+        workers = self.scheduler.workers
+        if not workers:
+            raise RuntimeError("no workers to kill")
+        victim = workers[-1]
+        if worker_id is not None:
+            matches = [w for w in workers if w.worker_id == worker_id]
+            if not matches:
+                raise ValueError(f"unknown worker {worker_id!r}")
+            victim = matches[0]
+        self.scheduler.remove_worker(victim.worker_id, graceful=False)
+        if self.auto_restart and not self._closed:
+            self._add_worker()
+            self.workers_restarted += 1
+        return victim.worker_id
+
+    # -- submission facade ------------------------------------------------------
+
+    def submit_task(self, task: Task):
+        self._check_open()
+        return self.scheduler.submit(task)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for worker in self.scheduler.workers:
+            self.scheduler.remove_worker(worker.worker_id, graceful=True)
+        self._closed = True
+
+    def __enter__(self) -> "ComputeCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"cluster {self.name} is closed")
+
+    def stats(self) -> dict:
+        return {
+            "cluster": self.name,
+            "workers": [w.stats() for w in self.scheduler.workers],
+            "scheduler": self.scheduler.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ComputeCluster({self.name!r}, workers={self.n_workers}, "
+            f"per_worker={self.worker_resources})"
+        )

@@ -1,0 +1,82 @@
+"""Task dependency graphs.
+
+The pipeline stages are independent tasks, but applications built on the
+Client API can submit DAGs (e.g. pre-process -> train -> evaluate). The
+graph validates acyclicity and exposes topological scheduling order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.compute.task import Task
+
+
+class GraphError(ValueError):
+    """Invalid graph structure (unknown node, cycle, duplicate)."""
+
+
+class TaskGraph:
+    """A DAG of tasks keyed by task id."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+        self._deps: dict[str, set] = {}       # task -> prerequisites
+        self._dependents: dict[str, set] = {}  # task -> tasks waiting on it
+
+    def add_task(self, task: Task, depends_on: list[str] | None = None) -> str:
+        if task.task_id in self._tasks:
+            raise GraphError(f"duplicate task id {task.task_id}")
+        depends_on = list(depends_on or [])
+        for dep in depends_on:
+            if dep not in self._tasks:
+                raise GraphError(f"unknown dependency {dep!r}")
+        self._tasks[task.task_id] = task
+        self._deps[task.task_id] = set(depends_on)
+        self._dependents[task.task_id] = set()
+        for dep in depends_on:
+            self._dependents[dep].add(task.task_id)
+        return task.task_id
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise GraphError(f"unknown task {task_id!r}") from None
+
+    def dependencies(self, task_id: str) -> set:
+        return set(self._deps[self.task(task_id).task_id])
+
+    def dependents(self, task_id: str) -> set:
+        return set(self._dependents[self.task(task_id).task_id])
+
+    def roots(self) -> list[str]:
+        """Tasks with no prerequisites."""
+        return [t for t, deps in self._deps.items() if not deps]
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; raises :class:`GraphError` on cycles."""
+        in_degree = {t: len(deps) for t, deps in self._deps.items()}
+        ready = deque(sorted(t for t, d in in_degree.items() if d == 0))
+        order: list[str] = []
+        while ready:
+            t = ready.popleft()
+            order.append(t)
+            for dep in sorted(self._dependents[t]):
+                in_degree[dep] -= 1
+                if in_degree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self._tasks):
+            stuck = sorted(t for t, d in in_degree.items() if d > 0)
+            raise GraphError(f"cycle detected involving {stuck}")
+        return order
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` if the graph is not a DAG."""
+        self.topological_order()

@@ -1,0 +1,80 @@
+"""Pilot-Edge core: the FaaS abstraction and edge-to-cloud pipeline.
+
+This is the paper's primary contribution. Applications implement up to
+three plain Python functions (Listing 1 of the paper)::
+
+    def produce_edge(context)                 # sensing / data generation
+    def process_edge(context, data)           # edge-side processing
+    def process_cloud(context, data)          # cloud-side processing
+
+and hand them — together with the pilots acquired through
+:mod:`repro.pilot` — to :class:`EdgeToCloudPipeline` (Listing 2). The
+framework packages the functions into tasks, places them on the pilots'
+compute clusters, wires the dataflow through the pilot-managed broker,
+shares model state via the parameter service, and links metrics across
+every component.
+
+Supporting pieces:
+
+- :class:`FunctionContext` — the context object passed to every function
+  (resource topology, parameter client, per-device identity),
+- placement policies (:mod:`repro.core.placement`) — cloud-centric,
+  edge-centric, hybrid, and a cost-model-driven policy,
+- :class:`EventBus` + :class:`AutoScaler` — runtime dynamism: load
+  peaks, failures, function replacement, resource scaling.
+"""
+
+from repro.core.context import FunctionContext
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import EdgeToCloudPipeline, PipelineResult
+from repro.core.placement import (
+    PlacementPolicy,
+    CloudCentricPlacement,
+    EdgeCentricPlacement,
+    HybridPlacement,
+    CostBasedPlacement,
+    PlacementDecision,
+)
+from repro.core.events import EventBus, Event
+from repro.core.scaling import AutoScaler, ScalingPolicy
+from repro.core.workloads import (
+    make_block_producer,
+    make_model_processor,
+    passthrough_processor,
+    make_compression_edge_processor,
+)
+from repro.core.triggers import DataTrigger
+from repro.core.windows import (
+    TumblingWindow,
+    make_aggregating_edge_processor,
+    make_threshold_filter,
+    make_windowed_edge_processor,
+    compose_edge_processors,
+)
+
+__all__ = [
+    "FunctionContext",
+    "PipelineConfig",
+    "EdgeToCloudPipeline",
+    "PipelineResult",
+    "PlacementPolicy",
+    "CloudCentricPlacement",
+    "EdgeCentricPlacement",
+    "HybridPlacement",
+    "CostBasedPlacement",
+    "PlacementDecision",
+    "EventBus",
+    "Event",
+    "AutoScaler",
+    "ScalingPolicy",
+    "make_block_producer",
+    "make_model_processor",
+    "passthrough_processor",
+    "make_compression_edge_processor",
+    "DataTrigger",
+    "TumblingWindow",
+    "make_aggregating_edge_processor",
+    "make_threshold_filter",
+    "make_windowed_edge_processor",
+    "compose_edge_processors",
+]

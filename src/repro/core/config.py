@@ -1,0 +1,75 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunable knobs of an edge-to-cloud pipeline run.
+
+    Defaults mirror the paper's baseline experiment: one partition per
+    edge device, 512 messages per run, consumers matched 1:1 with
+    partitions ("we keep the ratio of partitions constant between Kafka
+    and Dask").
+    """
+
+    #: Number of simulated edge devices; each gets a dedicated partition.
+    num_devices: int = 1
+    #: Messages each device produces in one run (paper: 512 per run total
+    #: for single-device runs).
+    messages_per_device: int = 512
+    #: Consumer tasks on the processing tier; defaults to one per
+    #: partition when 0.
+    num_consumers: int = 0
+    #: Broker topic name.
+    topic: str = "pilot-edge-data"
+    #: Max records per consumer poll.
+    poll_batch: int = 8
+    #: Blocking-poll timeout per consumer iteration (seconds).
+    poll_timeout: float = 0.2
+    #: Hard cap on run duration (seconds); the run fails if exceeded.
+    max_duration: float = 600.0
+    #: Keep the last N processing results for inspection.
+    keep_results: int = 1024
+    #: Seconds between produced messages per device (0 = as fast as possible).
+    produce_interval: float = 0.0
+    #: Commit consumer offsets every N processed records.
+    commit_interval: int = 32
+    #: Backpressure: producers pause while more than this many messages
+    #: are in flight (produced but not yet processed). 0 = unbounded —
+    #: the paper's configuration, where the broker absorbs the backlog.
+    max_inflight: int = 0
+    #: Lossless wire compression (zlib) of blocks before the uplink —
+    #: the "data compression step before the data transfer" the paper
+    #: recommends for bandwidth-bound geographic deployments.
+    compress_wire: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("num_devices", self.num_devices)
+        check_positive("messages_per_device", self.messages_per_device)
+        check_non_negative("num_consumers", self.num_consumers)
+        check_positive("poll_batch", self.poll_batch)
+        check_positive("poll_timeout", self.poll_timeout)
+        check_positive("max_duration", self.max_duration)
+        check_positive("keep_results", self.keep_results)
+        check_non_negative("produce_interval", self.produce_interval)
+        check_positive("commit_interval", self.commit_interval)
+        check_non_negative("max_inflight", self.max_inflight)
+        if not self.topic:
+            raise ValidationError("topic must be non-empty")
+
+    @property
+    def total_messages(self) -> int:
+        return self.num_devices * self.messages_per_device
+
+    @property
+    def effective_consumers(self) -> int:
+        return self.num_consumers if self.num_consumers > 0 else self.num_devices

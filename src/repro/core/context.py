@@ -1,0 +1,90 @@
+"""The context object handed to every FaaS function.
+
+Per the paper (section II-B): "Further information on the resource
+topology and shared state are via a context object." The context behaves
+like a dict (the paper's functions declare ``context: dict``) while also
+exposing typed accessors for the framework services.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.params.client import ParameterClient
+
+
+class FunctionContext(dict):
+    """Dict-compatible context with framework service accessors.
+
+    Framework-reserved keys are namespaced under ``pilot_edge.*`` so user
+    entries never collide with them.
+    """
+
+    RUN_ID = "pilot_edge.run_id"
+    DEVICE_ID = "pilot_edge.device_id"
+    PARTITION = "pilot_edge.partition"
+    SITE = "pilot_edge.site"
+    PARAMS = "pilot_edge.params"
+    TOPOLOGY = "pilot_edge.topology"
+
+    @classmethod
+    def build(
+        cls,
+        run_id: str,
+        user_context: dict | None = None,
+        params: ParameterClient | None = None,
+        topology=None,
+        site: str = "",
+        device_id: str = "",
+        partition: int = -1,
+    ) -> "FunctionContext":
+        ctx = cls(user_context or {})
+        ctx[cls.RUN_ID] = run_id
+        ctx[cls.SITE] = site
+        ctx[cls.DEVICE_ID] = device_id
+        ctx[cls.PARTITION] = partition
+        if params is not None:
+            ctx[cls.PARAMS] = params
+        if topology is not None:
+            ctx[cls.TOPOLOGY] = topology
+        return ctx
+
+    # -- typed accessors ----------------------------------------------------
+
+    @property
+    def run_id(self) -> str:
+        return self.get(self.RUN_ID, "")
+
+    @property
+    def device_id(self) -> str:
+        return self.get(self.DEVICE_ID, "")
+
+    @property
+    def partition(self) -> int:
+        return self.get(self.PARTITION, -1)
+
+    @property
+    def site(self) -> str:
+        return self.get(self.SITE, "")
+
+    @property
+    def params(self) -> ParameterClient | None:
+        """The parameter-service client (model sharing)."""
+        return self.get(self.PARAMS)
+
+    @property
+    def topology(self):
+        """The resource topology, when network emulation is configured."""
+        return self.get(self.TOPOLOGY)
+
+    def for_device(self, device_id: str, partition: int, site: str) -> "FunctionContext":
+        """Per-device copy handed to one producer instance."""
+        ctx = FunctionContext(self)
+        ctx[self.DEVICE_ID] = device_id
+        ctx[self.PARTITION] = partition
+        ctx[self.SITE] = site
+        return ctx
+
+    def user_items(self) -> dict:
+        """Only the application's own entries."""
+        return {k: v for k, v in self.items() if not str(k).startswith("pilot_edge.")}

@@ -1,0 +1,160 @@
+"""Task-placement policies.
+
+Pilot-Edge "automatically handles task placements, i.e., the binding of a
+task to a pilot" (step 2.1, Fig. 1), honouring application preferences.
+The deployment patterns the paper evaluates map onto three static
+policies — cloud-centric (the evaluation's primary pattern), edge-centric
+and hybrid — plus a cost-model policy that picks the placement minimising
+estimated per-message makespan from the topology's link costs and
+measured compute costs. The cost policy implements the paper's
+discussion of when "an edge or hybrid deployment would be an option"
+(e.g. adding a compression step before an intercontinental transfer).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.netem.topology import ContinuumTopology
+from repro.util.validation import ValidationError, check_non_negative
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Which tier runs the (heavy) processing stage, and why."""
+
+    processing_tier: str        # "edge" | "cloud"
+    edge_preprocess: bool       # run process_edge before the transfer?
+    estimated_cost_s: float = 0.0
+    rationale: str = ""
+
+
+class PlacementPolicy(abc.ABC):
+    """Strategy interface for stage placement."""
+
+    name = "base"
+    #: Whether the policy needs a message-size estimate. When True, the
+    #: pipeline probes the producer once before starting (the probe uses
+    #: device id "device-probe", so device-keyed producers are
+    #: undisturbed; stateful producers see one extra call).
+    requires_probe = False
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        message_bytes: int,
+        edge_site: str,
+        cloud_site: str,
+        topology: ContinuumTopology | None = None,
+        edge_compute_s: float = 0.0,
+        cloud_compute_s: float = 0.0,
+        compression_ratio: float = 1.0,
+    ) -> PlacementDecision:
+        """Choose a placement for the processing stage.
+
+        ``edge_compute_s``/``cloud_compute_s`` are per-message compute
+        estimates on each tier; ``compression_ratio`` is output/input size
+        of the edge pre-processing function (1.0 = no reduction).
+        """
+
+
+class CloudCentricPlacement(PlacementPolicy):
+    """Raw data to the cloud; all processing there (paper's Fig. 3 mode)."""
+
+    name = "cloud-centric"
+
+    def decide(self, message_bytes, edge_site, cloud_site, topology=None,
+               edge_compute_s=0.0, cloud_compute_s=0.0, compression_ratio=1.0):
+        return PlacementDecision(
+            processing_tier="cloud",
+            edge_preprocess=False,
+            rationale="static cloud-centric pattern",
+        )
+
+
+class EdgeCentricPlacement(PlacementPolicy):
+    """Everything at the edge; only results leave the device."""
+
+    name = "edge-centric"
+
+    def decide(self, message_bytes, edge_site, cloud_site, topology=None,
+               edge_compute_s=0.0, cloud_compute_s=0.0, compression_ratio=1.0):
+        return PlacementDecision(
+            processing_tier="edge",
+            edge_preprocess=True,
+            rationale="static edge-centric pattern",
+        )
+
+
+class HybridPlacement(PlacementPolicy):
+    """Pre-process (e.g. compress) at the edge, heavy processing in the
+    cloud — the deployment the paper recommends for transatlantic runs."""
+
+    name = "hybrid"
+
+    def decide(self, message_bytes, edge_site, cloud_site, topology=None,
+               edge_compute_s=0.0, cloud_compute_s=0.0, compression_ratio=1.0):
+        return PlacementDecision(
+            processing_tier="cloud",
+            edge_preprocess=True,
+            rationale="static hybrid pattern (edge pre-processing enabled)",
+        )
+
+
+class CostBasedPlacement(PlacementPolicy):
+    """Minimise estimated per-message makespan.
+
+    Candidate placements:
+
+    1. cloud-centric: ``transfer(raw) + cloud_compute``
+    2. hybrid: ``edge_preprocess + transfer(raw * ratio) + cloud_compute``
+    3. edge-centric: ``edge_compute`` (results assumed negligible in size)
+
+    Compute estimates come from calibration (see
+    :mod:`repro.sim.costmodel`); transfer estimates from the topology.
+    """
+
+    name = "cost-based"
+    requires_probe = True
+
+    def __init__(self, edge_preprocess_s: float = 0.0) -> None:
+        check_non_negative("edge_preprocess_s", edge_preprocess_s)
+        #: Per-message cost of the edge pre-processing function.
+        self.edge_preprocess_s = float(edge_preprocess_s)
+
+    def decide(self, message_bytes, edge_site, cloud_site, topology=None,
+               edge_compute_s=0.0, cloud_compute_s=0.0, compression_ratio=1.0):
+        if topology is None:
+            raise ValidationError("CostBasedPlacement requires a topology")
+        transfer_raw = topology.transfer_time_estimate(edge_site, cloud_site, message_bytes)
+        transfer_small = topology.transfer_time_estimate(
+            edge_site, cloud_site, int(message_bytes * compression_ratio)
+        )
+        candidates = {
+            ("cloud", False): transfer_raw + cloud_compute_s,
+            ("cloud", True): self.edge_preprocess_s + transfer_small + cloud_compute_s,
+            ("edge", True): edge_compute_s,
+        }
+        (tier, preprocess), cost = min(candidates.items(), key=lambda kv: kv[1])
+        pretty = {
+            ("cloud", False): "cloud-centric",
+            ("cloud", True): "hybrid",
+            ("edge", True): "edge-centric",
+        }[(tier, preprocess)]
+        return PlacementDecision(
+            processing_tier=tier,
+            edge_preprocess=preprocess,
+            estimated_cost_s=cost,
+            rationale=(
+                f"{pretty} wins: "
+                + ", ".join(
+                    f"{pretty_k}={v*1e3:.1f}ms"
+                    for pretty_k, v in [
+                        ("cloud-centric", candidates[("cloud", False)]),
+                        ("hybrid", candidates[("cloud", True)]),
+                        ("edge-centric", candidates[("edge", True)]),
+                    ]
+                )
+            ),
+        )

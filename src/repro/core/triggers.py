@@ -1,0 +1,151 @@
+"""Event-driven task execution (Pilot-Streaming heritage).
+
+"Pilot-Streaming also allows the event-driven execution of tasks
+on-demand, e.g., responding to data arrival events." A
+:class:`DataTrigger` subscribes to a broker topic and submits one task to
+a compute cluster per arriving record batch — FaaS semantics where the
+*data*, not a driver loop, causes execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.broker.broker import Broker
+from repro.broker.consumer import Consumer
+from repro.compute.cluster import ComputeCluster
+from repro.compute.task import ResourceSpec, Task
+from repro.util.ids import new_id
+from repro.util.validation import ValidationError, check_positive
+
+
+class DataTrigger:
+    """Fires a task on the cluster for every arriving record batch.
+
+    Parameters
+    ----------
+    broker, topic:
+        Where to listen. The trigger joins its own consumer group so
+        several triggers can observe the same topic independently.
+    cluster:
+        Where the handler tasks run.
+    handler:
+        ``handler(records) -> Any``; invoked inside a cluster task.
+    batch_size, poll_timeout:
+        Batching knobs: fire with up to *batch_size* records, polling in
+        *poll_timeout*-second waits.
+    resources:
+        Per-invocation resource request.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        topic: str,
+        cluster: ComputeCluster,
+        handler: Callable,
+        batch_size: int = 8,
+        poll_timeout: float = 0.1,
+        resources: ResourceSpec | None = None,
+    ) -> None:
+        if not callable(handler):
+            raise ValidationError("handler must be callable")
+        check_positive("batch_size", batch_size)
+        check_positive("poll_timeout", poll_timeout)
+        self.trigger_id = new_id("trigger")
+        self._broker = broker
+        self._topic = topic
+        self._cluster = cluster
+        self._handler = handler
+        self._batch_size = int(batch_size)
+        self._poll_timeout = float(poll_timeout)
+        self._resources = resources or ResourceSpec()
+        self._consumer: Consumer | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._futures: list = []
+        self._futures_lock = threading.Lock()
+        self.invocations = 0
+        self.records_dispatched = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "DataTrigger":
+        if self._thread is not None:
+            raise RuntimeError("trigger already started")
+        self._broker.topic(self._topic)  # validate the topic exists
+        self._consumer = Consumer(self._broker, group_id=f"{self.trigger_id}-group")
+        self._consumer.subscribe(self._topic)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._listen, name=self.trigger_id, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _listen(self) -> None:
+        while not self._stop.is_set():
+            records = self._consumer.poll(
+                max_records=self._batch_size, timeout=self._poll_timeout
+            )
+            if not records:
+                continue
+            future = self._cluster.submit_task(
+                Task(
+                    fn=self._handler,
+                    args=(records,),
+                    resources=self._resources,
+                )
+            )
+            with self._futures_lock:
+                self._futures.append(future)
+            self.invocations += 1
+            self.records_dispatched += len(records)
+
+    def stop(self, wait: bool = True, timeout: float = 10.0) -> None:
+        """Stop listening; optionally wait for in-flight handler tasks."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        if self._consumer is not None:
+            self._consumer.close()
+            self._consumer = None
+        if wait:
+            for future in self.pending_futures():
+                try:
+                    future.result(timeout=timeout)
+                except Exception:
+                    pass  # handler errors are observable via the futures
+
+    def __enter__(self) -> "DataTrigger":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- observation -----------------------------------------------------------
+
+    def pending_futures(self) -> list:
+        with self._futures_lock:
+            return list(self._futures)
+
+    def wait_for_invocations(self, count: int, timeout: float = 10.0) -> bool:
+        """Block until at least *count* handler tasks were dispatched."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.invocations >= count:
+                return True
+            time.sleep(0.005)
+        return self.invocations >= count
+
+    def stats(self) -> dict:
+        return {
+            "trigger": self.trigger_id,
+            "topic": self._topic,
+            "invocations": self.invocations,
+            "records_dispatched": self.records_dispatched,
+        }

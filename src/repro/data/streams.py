@@ -1,0 +1,140 @@
+"""Stream sources layered on the block generator.
+
+``BlockStream`` is the production-rate-controlled source used by the
+``produce_edge`` stage; ``ReplayStream`` replays a recorded sequence of
+blocks (for exactly-reproducible integration tests); ``PoissonArrivals``
+models bursty sensor arrivals for the dynamism experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.generator import DataBlockGenerator, GeneratorConfig
+from repro.util.validation import check_non_negative, check_positive
+
+
+class BlockStream:
+    """Finite stream of generated blocks with an optional pacing hint.
+
+    ``interval`` is a *hint* consumed by the pipeline driver (it decides
+    whether to sleep in live mode or advance virtual time in simulation
+    mode); the stream itself never sleeps.
+    """
+
+    def __init__(
+        self,
+        generator: DataBlockGenerator | None = None,
+        count: int = 512,
+        interval: float = 0.0,
+        **generator_overrides,
+    ) -> None:
+        check_positive("count", count)
+        check_non_negative("interval", interval)
+        if generator is None:
+            generator = DataBlockGenerator(GeneratorConfig(**generator_overrides))
+        self._generator = generator
+        self._count = int(count)
+        self._interval = float(interval)
+        self._emitted = 0
+
+    @property
+    def generator(self) -> DataBlockGenerator:
+        return self._generator
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+    @property
+    def exhausted(self) -> bool:
+        return self._emitted >= self._count
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        while not self.exhausted:
+            yield self.next()
+
+    def next(self) -> np.ndarray:
+        if self.exhausted:
+            raise StopIteration("stream exhausted")
+        self._emitted += 1
+        return self._generator.next_block()
+
+
+class ReplayStream:
+    """Replays a fixed sequence of pre-generated blocks."""
+
+    def __init__(self, blocks: Sequence[np.ndarray], interval: float = 0.0) -> None:
+        if not blocks:
+            raise ValueError("ReplayStream needs at least one block")
+        check_non_negative("interval", interval)
+        self._blocks = [np.asarray(b) for b in blocks]
+        self._interval = float(interval)
+        self._emitted = 0
+
+    @property
+    def count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+    @property
+    def exhausted(self) -> bool:
+        return self._emitted >= len(self._blocks)
+
+    def next(self) -> np.ndarray:
+        if self.exhausted:
+            raise StopIteration("stream exhausted")
+        block = self._blocks[self._emitted]
+        self._emitted += 1
+        return block
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        while not self.exhausted:
+            yield self.next()
+
+
+class PoissonArrivals:
+    """Generates exponential inter-arrival times for bursty sources.
+
+    Used by the dynamism experiments: a seasonal load peak is modelled by
+    raising ``rate`` mid-run (see ``examples/dynamic_scaling.py``).
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        check_positive("rate", rate)
+        self._rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        check_positive("rate", value)
+        self._rate = float(value)
+
+    def next_interval(self) -> float:
+        """Seconds until the next arrival."""
+        return float(self._rng.exponential(1.0 / self._rate))
+
+    def intervals(self, count: int) -> np.ndarray:
+        check_positive("count", count)
+        return self._rng.exponential(1.0 / self._rate, size=int(count))

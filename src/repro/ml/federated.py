@@ -1,0 +1,184 @@
+"""Federated learning across the continuum (paper future work).
+
+The paper's future work names federated learning as a target
+edge-to-cloud scenario. This module implements the coordination layer on
+top of the existing substrates: each edge site trains a local model on
+its own stream (data never leaves the site), publishes weight updates to
+the parameter service, and an aggregator merges them into a global model
+that is pushed back for the next round.
+
+Two aggregation strategies:
+
+- :class:`FedAvgAggregator` — weighted averaging of parameters
+  (McMahan et al., 2017), applicable to the auto-encoder's dense weights
+  and to k-means centres,
+- :class:`KMeansCoresetAggregator` — merges per-site centres by
+  clustering the union of centres weighted by their support counts,
+  which is the natural federation of mini-batch k-means.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.kmeans import StreamingKMeans, kmeans_plus_plus
+from repro.params.client import ParameterClient
+from repro.util.validation import ValidationError, check_positive
+
+
+class FedAvgAggregator:
+    """Support-weighted parameter averaging.
+
+    Each client update is ``(weight_arrays, n_samples)``; the aggregate
+    is the per-array weighted mean. All clients must share one
+    architecture.
+    """
+
+    def aggregate(self, updates: Sequence[tuple]) -> list[np.ndarray]:
+        if not updates:
+            raise ValidationError("no client updates to aggregate")
+        shapes = [tuple(a.shape for a in arrays) for arrays, _ in updates]
+        if len(set(shapes)) != 1:
+            raise ValidationError("client updates have mismatched architectures")
+        total = float(sum(n for _, n in updates))
+        if total <= 0:
+            raise ValidationError("client updates carry no samples")
+        n_arrays = len(updates[0][0])
+        out = []
+        for i in range(n_arrays):
+            acc = np.zeros_like(np.asarray(updates[0][0][i], dtype=np.float64))
+            for arrays, n in updates:
+                acc += np.asarray(arrays[i], dtype=np.float64) * (n / total)
+            out.append(acc)
+        return out
+
+
+class KMeansCoresetAggregator:
+    """Federates k-means by clustering the weighted union of centres.
+
+    Every site contributes its centres with their per-centre support
+    counts; the union is re-clustered into ``n_clusters`` global centres
+    with support-weighted Lloyd iterations.
+    """
+
+    def __init__(self, n_clusters: int = 25, iterations: int = 10, seed: int = 0) -> None:
+        check_positive("n_clusters", n_clusters)
+        check_positive("iterations", iterations)
+        self.n_clusters = int(n_clusters)
+        self.iterations = int(iterations)
+        self._rng = np.random.default_rng(seed)
+
+    def aggregate(self, updates: Sequence[dict]) -> dict:
+        """Merge k-means weight dicts (as from ``get_weights``)."""
+        if not updates:
+            raise ValidationError("no client updates to aggregate")
+        centers = np.vstack([np.asarray(u["cluster_centers"], dtype=np.float64) for u in updates])
+        weights = np.concatenate([np.asarray(u["counts"], dtype=np.float64) for u in updates])
+        # Centres that never absorbed data carry no information.
+        mask = weights > 0
+        if not mask.any():
+            raise ValidationError("all client centres are empty")
+        centers, weights = centers[mask], weights[mask]
+
+        k = min(self.n_clusters, centers.shape[0])
+        global_centers = kmeans_plus_plus(centers, k, self._rng)
+        for _ in range(self.iterations):
+            d2 = ((centers[:, None, :] - global_centers[None, :, :]) ** 2).sum(axis=2)
+            assign = d2.argmin(axis=1)
+            for j in range(k):
+                members = assign == j
+                if members.any():
+                    w = weights[members]
+                    global_centers[j] = (centers[members] * w[:, None]).sum(axis=0) / w.sum()
+        if k < self.n_clusters:
+            extra = global_centers[self._rng.integers(k, size=self.n_clusters - k)]
+            global_centers = np.vstack([global_centers, extra])
+
+        counts = np.zeros(self.n_clusters, dtype=np.int64)
+        d2 = ((centers[:, None, :] - global_centers[None, :, :]) ** 2).sum(axis=2)
+        assign = d2.argmin(axis=1)
+        np.add.at(counts, assign, weights.astype(np.int64))
+        return {"cluster_centers": global_centers, "counts": counts}
+
+
+class FederatedCoordinator:
+    """Runs federation rounds through the parameter service.
+
+    Key layout (within the client's namespace)::
+
+        fl/round              current round number (int)
+        fl/global             aggregated global weights
+        fl/update/<site>      per-site updates for the current round
+    """
+
+    def __init__(
+        self,
+        params: ParameterClient,
+        aggregator,
+        expected_sites: Sequence[str],
+    ) -> None:
+        if not expected_sites:
+            raise ValidationError("expected_sites must be non-empty")
+        self._params = params
+        self._aggregator = aggregator
+        self._sites = list(expected_sites)
+        self._round = 0
+        self._params.set("fl/round", 0)
+
+    @property
+    def round_number(self) -> int:
+        return self._round
+
+    def submit_update(self, site: str, update, n_samples: int | None = None) -> None:
+        """Called by a site after local training for the current round."""
+        if site not in self._sites:
+            raise ValidationError(f"unknown site {site!r}")
+        payload = {"update": update, "n_samples": n_samples, "round": self._round}
+        self._params.set(f"fl/update/{site}", payload)
+
+    def pending_sites(self) -> list[str]:
+        """Sites that have not yet reported for the current round."""
+        missing = []
+        for site in self._sites:
+            entry = self._params.get_value(f"fl/update/{site}")
+            if entry is None or entry.get("round") != self._round:
+                missing.append(site)
+        return missing
+
+    def aggregate_round(self):
+        """Aggregate all site updates, publish the global model,
+        advance the round. Returns the global weights."""
+        missing = self.pending_sites()
+        if missing:
+            raise ValidationError(f"sites have not reported: {missing}")
+        raw = [self._params.get_value(f"fl/update/{site}") for site in self._sites]
+        if isinstance(self._aggregator, FedAvgAggregator):
+            updates = [(r["update"], r["n_samples"] or 1) for r in raw]
+        else:
+            updates = [r["update"] for r in raw]
+        global_weights = self._aggregator.aggregate(updates)
+        self._round += 1
+        self._params.set("fl/global", {"round": self._round, "weights": global_weights})
+        self._params.set("fl/round", self._round)
+        return global_weights
+
+    def fetch_global(self, after_round: int = 0, timeout: float | None = None):
+        """Blocking fetch of a global model newer than *after_round*."""
+        entry = self._params.watch("fl/global", after_version=after_round, timeout=timeout)
+        return None if entry is None else entry.value
+
+
+def local_kmeans_round(
+    model: StreamingKMeans,
+    blocks: Sequence[np.ndarray],
+    global_weights: dict | None = None,
+) -> dict:
+    """One site-local training round: adopt global weights, train on the
+    site's blocks, return the updated weights."""
+    if global_weights is not None:
+        model.set_weights(global_weights)
+    for block in blocks:
+        model.partial_fit(np.asarray(block))
+    return model.get_weights()

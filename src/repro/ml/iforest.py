@@ -1,0 +1,245 @@
+"""Isolation forest (Liu, Ting & Zhou, ICDM 2008).
+
+The paper's mid-complexity model: an ensemble of 100 random isolation
+trees (the PyOD default the authors used). Each tree recursively splits a
+subsample on a random feature at a random threshold; outliers are points
+isolated in few splits. The anomaly score follows the original paper:
+
+    s(x, n) = 2 ^ ( -E[h(x)] / c(n) )
+
+where ``h(x)`` is the path length and ``c(n)`` the average path length of
+an unsuccessful BST search, used both for normalisation and to credit
+unresolved leaf nodes.
+
+Trees are stored as flat arrays (feature, threshold, left, right,
+node-size) and scored with a vectorised level-by-level descent, so scoring
+a 10,000-point block through 100 trees stays NumPy-bound rather than
+Python-bound.
+
+Streaming behaviour: ``partial_fit`` refreshes a rotating subset of trees
+from the newest batch, so the ensemble tracks drift while older trees
+retain history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseOutlierDetector
+from repro.util.validation import check_in_range, check_positive
+
+_EULER_GAMMA = 0.5772156649015329
+
+
+def average_path_length(n) -> np.ndarray:
+    """c(n): average unsuccessful-search path length in a BST of size n."""
+    n = np.asarray(n, dtype=np.float64)
+    out = np.zeros_like(n)
+    mask2 = n == 2
+    out[mask2] = 1.0
+    mask = n > 2
+    nm = n[mask]
+    out[mask] = 2.0 * (np.log(nm - 1.0) + _EULER_GAMMA) - 2.0 * (nm - 1.0) / nm
+    return out
+
+
+class _IsolationTree:
+    """One isolation tree in flat-array form.
+
+    Arrays are preallocated for the worst case (2 * subsample - 1 nodes).
+    ``feature < 0`` marks a leaf; leaves carry the node size so the scorer
+    can add the c(size) path-length credit.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "size", "n_nodes", "max_depth")
+
+    def __init__(self, X: np.ndarray, rng: np.random.Generator, max_depth: int) -> None:
+        cap = 2 * X.shape[0] - 1 if X.shape[0] > 0 else 1
+        self.feature = np.full(cap, -1, dtype=np.int32)
+        self.threshold = np.zeros(cap, dtype=np.float64)
+        self.left = np.full(cap, -1, dtype=np.int32)
+        self.right = np.full(cap, -1, dtype=np.int32)
+        self.size = np.zeros(cap, dtype=np.int32)
+        self.n_nodes = 0
+        self.max_depth = max_depth
+        self._build(X, np.arange(X.shape[0]), 0, rng)
+
+    def _new_node(self) -> int:
+        idx = self.n_nodes
+        self.n_nodes += 1
+        return idx
+
+    def _build(self, X: np.ndarray, idx: np.ndarray, depth: int, rng) -> int:
+        node = self._new_node()
+        self.size[node] = len(idx)
+        if len(idx) <= 1 or depth >= self.max_depth:
+            return node
+        sub = X[idx]
+        lo = sub.min(axis=0)
+        hi = sub.max(axis=0)
+        varying = np.flatnonzero(hi > lo)
+        if varying.size == 0:  # all duplicate points — cannot split
+            return node
+        f = int(rng.choice(varying))
+        t = float(rng.uniform(lo[f], hi[f]))
+        go_left = sub[:, f] < t
+        left_idx = idx[go_left]
+        right_idx = idx[~go_left]
+        if len(left_idx) == 0 or len(right_idx) == 0:
+            return node  # degenerate split (t at boundary)
+        self.feature[node] = f
+        self.threshold[node] = t
+        self.left[node] = self._build(X, left_idx, depth + 1, rng)
+        self.right[node] = self._build(X, right_idx, depth + 1, rng)
+        return node
+
+    def path_lengths(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised path length h(x) for every row of X.
+
+        All rows descend in lock-step for ``max_depth`` levels; rows that
+        reach a leaf early self-loop there (leaf children point back to
+        the leaf, depth stops incrementing). This avoids per-level
+        active-set bookkeeping, which profiling showed dominated the
+        original implementation.
+        """
+        n = X.shape[0]
+        node = np.zeros(n, dtype=np.int32)
+        depth = np.zeros(n, dtype=np.float64)
+        rows = np.arange(n)
+        for _ in range(self.max_depth + 1):
+            feat = self.feature[node]
+            internal = feat >= 0
+            if not internal.any():
+                break
+            vals = X[rows, np.where(internal, feat, 0)]
+            goes_left = vals < self.threshold[node]
+            children = np.where(goes_left, self.left[node], self.right[node])
+            node = np.where(internal, children, node)
+            depth += internal
+        # Leaf credit: c(size) for points unresolved at their leaf.
+        depth += average_path_length(self.size[node])
+        return depth
+
+
+class IsolationForest(BaseOutlierDetector):
+    """Isolation-forest outlier detector with streaming tree refresh.
+
+    Parameters
+    ----------
+    n_estimators:
+        Ensemble size; the paper uses the PyOD default of 100.
+    max_samples:
+        Subsample size per tree (256, per the original algorithm).
+    refresh_fraction:
+        Fraction of trees rebuilt from each ``partial_fit`` batch.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_samples: int = 256,
+        contamination: float = 0.01,
+        refresh_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(contamination=contamination)
+        check_positive("n_estimators", n_estimators)
+        check_positive("max_samples", max_samples)
+        check_in_range("refresh_fraction", refresh_fraction, 0.0, 1.0)
+        self.n_estimators = int(n_estimators)
+        self.max_samples = int(max_samples)
+        self.refresh_fraction = float(refresh_fraction)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._trees: list[_IsolationTree] = []
+        self._refresh_cursor = 0
+        self._fit_sample_size = self.max_samples
+
+    @property
+    def n_trees(self) -> int:
+        return len(self._trees)
+
+    def _reset(self) -> None:
+        super()._reset()
+        self._trees = []
+        self._refresh_cursor = 0
+        self._stacked = None
+        self._rng = np.random.default_rng(self._seed)
+
+    def _sample_size(self, n: int) -> int:
+        return min(self.max_samples, n)
+
+    def _build_tree(self, X: np.ndarray) -> _IsolationTree:
+        m = self._sample_size(X.shape[0])
+        self._fit_sample_size = m
+        idx = self._rng.choice(X.shape[0], size=m, replace=False)
+        max_depth = int(np.ceil(np.log2(max(m, 2))))
+        return _IsolationTree(X[idx], self._rng, max_depth)
+
+    def _fit_batch(self, X: np.ndarray) -> None:
+        if not self._trees:
+            self._trees = [self._build_tree(X) for _ in range(self.n_estimators)]
+        else:
+            # Streaming: rebuild a rotating ensemble slice on new data.
+            n_refresh = max(1, int(self.n_estimators * self.refresh_fraction))
+            for _ in range(n_refresh):
+                self._trees[self._refresh_cursor] = self._build_tree(X)
+                self._refresh_cursor = (self._refresh_cursor + 1) % self.n_estimators
+        self._stacked = None  # invalidate the scoring cache
+
+    # -- stacked scoring ----------------------------------------------------
+    #
+    # Scoring tree-by-tree costs ~T x levels small numpy calls; stacking
+    # the ensemble into (T, max_nodes) arrays lets all samples descend
+    # all trees in lock-step, one (n, T) gather per level. Profiling on
+    # the paper's 10,000-point blocks showed this is the difference
+    # between scoring dominating the pipeline and scoring being
+    # comparable to the tree refresh.
+
+    _stacked: tuple | None = None
+
+    def _stack(self) -> tuple:
+        if self._stacked is None:
+            t_count = len(self._trees)
+            max_nodes = max(t.n_nodes for t in self._trees)
+            feature = np.full((t_count, max_nodes), -1, dtype=np.int32)
+            threshold = np.zeros((t_count, max_nodes), dtype=np.float64)
+            left = np.zeros((t_count, max_nodes), dtype=np.int32)
+            right = np.zeros((t_count, max_nodes), dtype=np.int32)
+            size = np.ones((t_count, max_nodes), dtype=np.int32)
+            for i, tree in enumerate(self._trees):
+                n = tree.n_nodes
+                feature[i, :n] = tree.feature[:n]
+                threshold[i, :n] = tree.threshold[:n]
+                # Leaves self-loop so finished rows stay put.
+                left[i, :n] = np.where(tree.left[:n] >= 0, tree.left[:n], np.arange(n))
+                right[i, :n] = np.where(tree.right[:n] >= 0, tree.right[:n], np.arange(n))
+                size[i, :n] = tree.size[:n]
+            max_depth = max(t.max_depth for t in self._trees)
+            self._stacked = (feature, threshold, left, right, size, max_depth)
+        return self._stacked
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        feature, threshold, left, right, size, max_depth = self._stack()
+        n = X.shape[0]
+        t_count = feature.shape[0]
+        rows = np.arange(n)[:, None]
+        tree_ix = np.arange(t_count)[None, :]
+        node = np.zeros((n, t_count), dtype=np.int32)
+        depth = np.zeros((n, t_count), dtype=np.int16)
+        for _ in range(max_depth + 1):
+            feat = feature[tree_ix, node]            # (n, T)
+            internal = feat >= 0
+            if not internal.any():
+                break
+            vals = X[rows, np.maximum(feat, 0)]
+            goes_left = vals < threshold[tree_ix, node]
+            children = np.where(goes_left, left[tree_ix, node], right[tree_ix, node])
+            node = np.where(internal, children, node)
+            depth += internal
+        total = depth.sum(axis=1, dtype=np.float64)
+        total += average_path_length(size[tree_ix, node]).sum(axis=1)
+        mean_depth = total / t_count
+        c = average_path_length(np.array([self._fit_sample_size]))[0]
+        c = max(c, 1e-12)
+        return np.power(2.0, -mean_depth / c)

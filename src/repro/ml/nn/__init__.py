@@ -1,0 +1,31 @@
+"""A minimal dense neural-network stack (NumPy only).
+
+Provides exactly what the paper's auto-encoder workload needs: dense
+layers, the standard activations, MSE loss, SGD/Adam optimizers and a
+``Sequential`` container with mini-batch training. The implementation is
+deliberately small but complete — forward, reverse-mode backward, weight
+serialization (for the parameter server) and gradient checking used by the
+test suite.
+"""
+
+from repro.ml.nn.layers import Dense, Layer
+from repro.ml.nn.activations import ReLU, Sigmoid, Tanh, Identity, activation_by_name
+from repro.ml.nn.losses import MSELoss, Loss
+from repro.ml.nn.optimizers import SGD, Adam, Optimizer
+from repro.ml.nn.network import Sequential
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "activation_by_name",
+    "Loss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+]

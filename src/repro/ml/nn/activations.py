@@ -1,0 +1,95 @@
+"""Activation functions with forward and gradient evaluation.
+
+Each activation is stateless: ``forward`` maps pre-activations to
+activations and ``backward`` maps upstream gradients through the local
+Jacobian (diagonal for all elementwise activations here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Activation:
+    """Base class; subclasses implement forward/backward on ndarray."""
+
+    name = "base"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. z, given the gradient w.r.t. forward(z)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    """Pass-through activation (used on output layers)."""
+
+    name = "identity"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return z
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class ReLU(Activation):
+    """Rectified linear unit: max(z, 0)."""
+
+    name = "relu"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0)
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (z > 0.0)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid with numerically stable evaluation."""
+
+    name = "sigmoid"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise form avoids overflow warnings.
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        s = self.forward(z)
+        return grad_out * s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+
+    name = "tanh"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.tanh(z)
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        t = np.tanh(z)
+        return grad_out * (1.0 - t * t)
+
+
+_REGISTRY = {cls.name: cls for cls in (Identity, ReLU, Sigmoid, Tanh)}
+
+
+def activation_by_name(name: str) -> Activation:
+    """Instantiate an activation from its string name."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

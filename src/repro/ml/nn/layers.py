@@ -1,0 +1,97 @@
+"""Trainable layers.
+
+Only dense (fully-connected) layers are needed for the paper's
+auto-encoder; the ``Layer`` interface keeps the container generic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.activations import Activation, Identity, activation_by_name
+from repro.util.validation import check_positive
+
+
+class Layer:
+    """Interface every layer implements."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop *grad_out* and stash parameter gradients."""
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def n_params(self) -> int:
+        return sum(p.size for p in self.params)
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = act(x @ W + b)``.
+
+    Weights use Glorot-uniform initialisation (the Keras default the
+    paper's PyOD auto-encoder inherits), so training dynamics are
+    comparable.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Activation | str | None = None,
+        seed: int | None = None,
+    ) -> None:
+        check_positive("in_features", in_features)
+        check_positive("out_features", out_features)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if activation is None:
+            activation = Identity()
+        elif isinstance(activation, str):
+            activation = activation_by_name(activation)
+        self.activation = activation
+
+        rng = np.random.default_rng(seed)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.W = rng.uniform(-limit, limit, size=(in_features, out_features))
+        self.b = np.zeros(out_features, dtype=np.float64)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+        self._z: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._z = x @ self.W + self.b
+        return self.activation.forward(self._z)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None or self._z is None:
+            raise RuntimeError("backward() called before forward()")
+        grad_z = self.activation.backward(self._z, grad_out)
+        self.dW[...] = self._x.T @ grad_z
+        self.db[...] = grad_z.sum(axis=0)
+        return grad_z @ self.W.T
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dense({self.in_features} -> {self.out_features}, "
+            f"activation={self.activation.name})"
+        )

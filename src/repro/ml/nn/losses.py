@@ -1,0 +1,31 @@
+"""Loss functions (value + gradient)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Loss interface: scalar value and gradient w.r.t. predictions."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error averaged over all elements.
+
+    The gradient is ``2 (pred - target) / N`` with N the total element
+    count, matching the averaging in :meth:`value` so gradient checking is
+    exact.
+    """
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = pred - target
+        return float(np.mean(diff * diff))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        return 2.0 * (pred - target) / pred.size

@@ -1,0 +1,125 @@
+"""Sequential network container with mini-batch training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.layers import Layer
+from repro.ml.nn.losses import Loss, MSELoss
+from repro.ml.nn.optimizers import Adam, Optimizer
+from repro.util.validation import check_positive
+
+
+class Sequential:
+    """A stack of layers trained with backprop.
+
+    >>> from repro.ml.nn import Dense
+    >>> net = Sequential([Dense(4, 2, "relu", seed=0), Dense(2, 4, seed=0)])
+    >>> net.n_params  # (4*2+2) + (2*4+4)
+    22
+    """
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        loss: Loss | None = None,
+        optimizer: Optimizer | None = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+        self.loss = loss if loss is not None else MSELoss()
+        self.optimizer = optimizer if optimizer is not None else Adam()
+        self._attach_optimizer()
+
+    def _attach_optimizer(self) -> None:
+        params: list[np.ndarray] = []
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.params)
+            grads.extend(layer.grads)
+        self.optimizer.attach(params, grads)
+
+    @property
+    def n_params(self) -> int:
+        """Total trainable parameter count."""
+        return sum(layer.n_params for layer in self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    # Keras-style alias used by callers that just want inference.
+    predict = forward
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def train_batch(self, x: np.ndarray, target: np.ndarray) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        pred = self.forward(x)
+        loss_value = self.loss.value(pred, target)
+        grad = self.loss.gradient(pred, target)
+        self.backward(grad)
+        self.optimizer.step()
+        return loss_value
+
+    def fit(
+        self,
+        x: np.ndarray,
+        target: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int | None = None,
+    ) -> list[float]:
+        """Mini-batch training; returns per-epoch mean losses."""
+        check_positive("epochs", epochs)
+        check_positive("batch_size", batch_size)
+        x = np.asarray(x, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if x.shape[0] != target.shape[0]:
+            raise ValueError("x and target must have the same number of rows")
+        rng = np.random.default_rng(seed)
+        n = x.shape[0]
+        history: list[float] = []
+        for _ in range(int(epochs)):
+            order = rng.permutation(n) if shuffle else np.arange(n)
+            losses = []
+            for start in range(0, n, int(batch_size)):
+                idx = order[start : start + int(batch_size)]
+                losses.append(self.train_batch(x[idx], target[idx]))
+            history.append(float(np.mean(losses)))
+        return history
+
+    # -- weight (de)serialization for the parameter server ---------------
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of all parameter arrays, in layer order."""
+        out: list[np.ndarray] = []
+        for layer in self.layers:
+            out.extend(p.copy() for p in layer.params)
+        return out
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`get_weights`."""
+        flat: list[np.ndarray] = []
+        for layer in self.layers:
+            flat.extend(layer.params)
+        if len(weights) != len(flat):
+            raise ValueError(
+                f"expected {len(flat)} weight arrays, got {len(weights)}"
+            )
+        for p, w in zip(flat, weights):
+            w = np.asarray(w, dtype=np.float64)
+            if w.shape != p.shape:
+                raise ValueError(f"shape mismatch: {w.shape} vs {p.shape}")
+            p[...] = w
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}], n_params={self.n_params})"

@@ -1,0 +1,100 @@
+"""First-order optimizers.
+
+The optimizer owns no parameters; it is bound to a parameter/gradient
+list at :meth:`attach` time and updates them in place on :meth:`step` —
+the usual structure that lets a network hot-swap optimizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_positive
+
+
+class Optimizer:
+    """Base optimizer: bind to parameter/gradient lists, then step()."""
+
+    def __init__(self) -> None:
+        self._params: list[np.ndarray] = []
+        self._grads: list[np.ndarray] = []
+
+    def attach(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        self._params = params
+        self._grads = grads
+        self._on_attach()
+
+    def _on_attach(self) -> None:
+        """Hook for per-parameter state allocation."""
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__()
+        check_positive("lr", lr)
+        check_in_range("momentum", momentum, 0.0, 1.0)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity: list[np.ndarray] = []
+
+    def _on_attach(self) -> None:
+        self._velocity = [np.zeros_like(p) for p in self._params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self._params, self._grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    Defaults match Keras (lr=1e-3, beta1=0.9, beta2=0.999), since the
+    paper's auto-encoder was trained with Keras defaults via PyOD.
+    """
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__()
+        check_positive("lr", lr)
+        check_in_range("beta1", beta1, 0.0, 1.0)
+        check_in_range("beta2", beta2, 0.0, 1.0)
+        check_positive("eps", eps)
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: list[np.ndarray] = []
+        self._v: list[np.ndarray] = []
+        self._t = 0
+
+    def _on_attach(self) -> None:
+        self._m = [np.zeros_like(p) for p in self._params]
+        self._v = [np.zeros_like(p) for p in self._params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self._params, self._grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

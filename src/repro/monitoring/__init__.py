@@ -1,0 +1,31 @@
+"""Linked cross-component metrics.
+
+The paper emphasises that "the framework captures and links comprehensive
+metrics across all involved components, particularly the edge data
+generator, broker, and cloud processing services", enabling bottleneck
+identification (e.g. Fig. 2's observation that at four partitions the
+consumers, not the broker, limit throughput).
+
+This package provides:
+
+- :class:`MessageTrace` — one message's timestamps across every stage,
+  linked by ``(run_id, message_id)``,
+- :class:`MetricsCollector` — thread-safe trace accumulation plus named
+  counters,
+- :class:`ThroughputReport` / :func:`analyze_bottleneck` — the aggregate
+  throughput/latency statistics and stage-rate comparison that the
+  benchmark harness prints for each figure.
+"""
+
+from repro.monitoring.metrics import MessageTrace, StageTiming
+from repro.monitoring.collector import MetricsCollector
+from repro.monitoring.report import ThroughputReport, analyze_bottleneck, percentile
+
+__all__ = [
+    "MessageTrace",
+    "StageTiming",
+    "MetricsCollector",
+    "ThroughputReport",
+    "analyze_bottleneck",
+    "percentile",
+]

@@ -1,0 +1,91 @@
+"""Terminal-friendly run visualisations.
+
+No plotting stack is available offline, so the monitoring subsystem
+renders its own: per-stage latency bars and a throughput sparkline over
+the run — enough to eyeball a run's shape from a terminal, the way the
+paper's figures are read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitoring.collector import MetricsCollector
+from repro.monitoring.report import ThroughputReport
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Compress a series into a unicode sparkline of ~width chars."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Bucket-average down to the target width.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([
+            arr[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])
+        ])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * arr.size
+    idx = ((arr - lo) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """A horizontal bar scaled against *maximum*."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(min(value / maximum, 1.0) * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def render_stage_breakdown(report: ThroughputReport, width: int = 40) -> str:
+    """Bars of per-stage mean latency — where a message's time goes."""
+    stages = report.stage_means_s
+    if not stages:
+        return "(no stage data)"
+    maximum = max(stages.values())
+    lines = []
+    for name, seconds in stages.items():
+        lines.append(
+            f"{name:<28} {bar(seconds, maximum, width)} {seconds * 1e3:8.2f} ms"
+        )
+    return "\n".join(lines)
+
+
+def render_throughput_timeline(
+    collector: MetricsCollector, buckets: int = 60
+) -> str:
+    """Sparkline of completion rate over the run's duration."""
+    traces = collector.traces(complete_only=True)
+    if not traces:
+        return "(no complete traces)"
+    ends = np.array(sorted(t.at("process_end") for t in traces))
+    start, stop = ends[0], ends[-1]
+    if stop <= start:
+        return _BLOCKS[-1]
+    counts, _ = np.histogram(ends, bins=buckets, range=(start, stop))
+    return sparkline(counts, width=buckets)
+
+
+def render_run(collector: MetricsCollector, title: str = "") -> str:
+    """Full text panel: headline numbers, stage bars, timeline."""
+    report = ThroughputReport.from_collector(collector)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(
+        f"{report.messages} msgs  {report.throughput_mb_s:.2f} MB/s  "
+        f"{report.throughput_msgs_s:.1f} msgs/s  "
+        f"latency p50 {report.latency_p50_s * 1e3:.1f} ms / "
+        f"p95 {report.latency_p95_s * 1e3:.1f} ms"
+    )
+    lines.append("")
+    lines.append(render_stage_breakdown(report))
+    lines.append("")
+    lines.append(f"completions over time: {render_throughput_timeline(collector)}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Thread-safe metric collection."""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+from repro.monitoring.metrics import MessageTrace
+
+
+class MetricsCollector:
+    """Accumulates message traces and named counters for one run.
+
+    All pipeline components share one collector per run; traces are linked
+    by ``(run_id, message_id)`` so a message's path can be reconstructed
+    regardless of which thread/site stamped each stage.
+    """
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self._traces: dict[str, MessageTrace] = {}
+        self._counters: dict[str, float] = defaultdict(float)
+        self._lock = threading.Lock()
+
+    # -- traces ----------------------------------------------------------
+
+    def stamp(
+        self,
+        message_id: str,
+        stage: str,
+        timestamp: float,
+        nbytes: int = 0,
+        site: str = "",
+        partition: int = -1,
+    ) -> None:
+        """Record one stage hit for *message_id*."""
+        with self._lock:
+            trace = self._traces.get(message_id)
+            if trace is None:
+                trace = MessageTrace(self.run_id, message_id)
+                self._traces[message_id] = trace
+            if partition >= 0:
+                trace.partition = partition
+            trace.stamp(stage, timestamp, nbytes=nbytes, site=site)
+
+    def trace(self, message_id: str) -> MessageTrace | None:
+        with self._lock:
+            return self._traces.get(message_id)
+
+    def traces(self, complete_only: bool = False) -> list[MessageTrace]:
+        with self._lock:
+            out = list(self._traces.values())
+        if complete_only:
+            out = [t for t in out if t.complete]
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    # -- counters ---------------------------------------------------------
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] += value
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def counters(self) -> dict:
+        with self._lock:
+            return dict(self._counters)

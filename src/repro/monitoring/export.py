@@ -1,0 +1,108 @@
+"""Report and trace exporters.
+
+Experiments want machine-readable artefacts next to the printed tables:
+CSV rows (one per run) for spreadsheet-style sweeps, and JSON trace dumps
+for offline latency analysis. Both formats are plain stdlib so exports
+work in constrained environments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.monitoring.collector import MetricsCollector
+from repro.monitoring.metrics import STAGES
+from repro.monitoring.report import ThroughputReport
+
+
+def report_rows(reports: Iterable[ThroughputReport], labels: Iterable[str] | None = None) -> list[dict]:
+    """Flatten reports (optionally labelled) into CSV-ready dicts."""
+    reports = list(reports)
+    labels = list(labels) if labels is not None else [r.run_id for r in reports]
+    if len(labels) != len(reports):
+        raise ValueError(f"{len(labels)} labels for {len(reports)} reports")
+    rows = []
+    for label, report in zip(labels, reports):
+        row = {"label": label, **report.row()}
+        for stage, seconds in report.stage_means_s.items():
+            row[f"stage:{stage}_ms"] = round(seconds * 1e3, 4)
+        rows.append(row)
+    return rows
+
+
+def write_reports_csv(
+    path: str | Path,
+    reports: Iterable[ThroughputReport],
+    labels: Iterable[str] | None = None,
+) -> Path:
+    """Write one CSV row per report; returns the path written."""
+    rows = report_rows(reports, labels)
+    if not rows:
+        raise ValueError("no reports to write")
+    # Union of keys across rows keeps sweeps with differing stages aligned.
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def reports_csv_string(
+    reports: Iterable[ThroughputReport], labels: Iterable[str] | None = None
+) -> str:
+    """CSV text in memory (for logging/embedding)."""
+    rows = report_rows(reports, labels)
+    if not rows:
+        raise ValueError("no reports to render")
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def traces_to_json(collector: MetricsCollector, complete_only: bool = True) -> str:
+    """Serialize message traces for offline analysis."""
+    out = []
+    for trace in collector.traces(complete_only=complete_only):
+        timings = {
+            stage: {
+                "t": timing.timestamp,
+                "nbytes": timing.nbytes,
+                "site": timing.site,
+            }
+            for stage, timing in sorted(trace.timings.items())
+        }
+        out.append(
+            {
+                "run_id": trace.run_id,
+                "message_id": trace.message_id,
+                "partition": trace.partition,
+                "end_to_end_latency_s": trace.end_to_end_latency,
+                "timings": timings,
+            }
+        )
+    return json.dumps({"stages": list(STAGES), "traces": out}, indent=2)
+
+
+def write_traces_json(
+    path: str | Path, collector: MetricsCollector, complete_only: bool = True
+) -> Path:
+    path = Path(path)
+    path.write_text(traces_to_json(collector, complete_only=complete_only))
+    return path

@@ -1,0 +1,78 @@
+"""Trace records for individual messages.
+
+Stage names follow the pipeline's dataflow::
+
+    produce -> broker_in -> dequeue -> consume -> process
+
+``produce`` is stamped by the edge data generator, ``broker_in`` by the
+partition log append, ``dequeue`` when a consumer takes the record off
+the broker (queue exit, before the downlink transfer), ``consume`` when
+the processing task has fully received it, and
+``process_start``/``process_end`` around the model execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical stage ordering for latency decomposition.
+STAGES = ("produce", "broker_in", "dequeue", "consume", "process_start", "process_end")
+
+
+@dataclass
+class StageTiming:
+    """One stage hit: monotonic timestamp plus payload size."""
+
+    stage: str
+    timestamp: float
+    nbytes: int = 0
+    site: str = ""
+
+
+@dataclass
+class MessageTrace:
+    """All stage timings for one message within one run."""
+
+    run_id: str
+    message_id: str
+    partition: int = -1
+    timings: dict = field(default_factory=dict)
+
+    def stamp(self, stage: str, timestamp: float, nbytes: int = 0, site: str = "") -> None:
+        self.timings[stage] = StageTiming(stage, timestamp, nbytes, site)
+
+    def has(self, stage: str) -> bool:
+        return stage in self.timings
+
+    def at(self, stage: str) -> float | None:
+        t = self.timings.get(stage)
+        return t.timestamp if t else None
+
+    @property
+    def complete(self) -> bool:
+        """True when the trace covers the full produce->process_end path."""
+        return all(s in self.timings for s in ("produce", "process_end"))
+
+    @property
+    def end_to_end_latency(self) -> float | None:
+        """Seconds from production to processing completion."""
+        start = self.at("produce")
+        end = self.at("process_end")
+        if start is None or end is None:
+            return None
+        return end - start
+
+    def stage_latency(self, from_stage: str, to_stage: str) -> float | None:
+        a, b = self.at(from_stage), self.at(to_stage)
+        if a is None or b is None:
+            return None
+        return b - a
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size (taken from the produce stamp when present)."""
+        for stage in STAGES:
+            t = self.timings.get(stage)
+            if t and t.nbytes:
+                return t.nbytes
+        return 0

@@ -1,0 +1,160 @@
+"""Aggregate reports and bottleneck analysis.
+
+The report reproduces the two metrics the paper's figures plot —
+**throughput** (MB/s of processed payload over the run's busy window)
+and **latency** (end-to-end per message, with percentiles) — plus the
+per-stage decomposition used for bottleneck attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.monitoring.collector import MetricsCollector
+
+
+def percentile(values, q: float) -> float:
+    """Percentile of a sequence (q in [0, 100]); NaN-safe for empties."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+@dataclass
+class ThroughputReport:
+    """Summary statistics for one pipeline run."""
+
+    run_id: str
+    messages: int
+    total_bytes: int
+    duration_s: float
+    throughput_msgs_s: float
+    throughput_mb_s: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    stage_means_s: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_collector(
+        cls, collector: MetricsCollector, duration_s: float | None = None
+    ) -> "ThroughputReport":
+        traces = collector.traces(complete_only=True)
+        if not traces:
+            return cls(
+                run_id=collector.run_id,
+                messages=0,
+                total_bytes=0,
+                duration_s=0.0,
+                throughput_msgs_s=0.0,
+                throughput_mb_s=0.0,
+                latency_mean_s=float("nan"),
+                latency_p50_s=float("nan"),
+                latency_p95_s=float("nan"),
+                latency_p99_s=float("nan"),
+            )
+        latencies = np.array([t.end_to_end_latency for t in traces])
+        total_bytes = int(sum(t.nbytes for t in traces))
+        if duration_s is None:
+            start = min(t.at("produce") for t in traces)
+            end = max(t.at("process_end") for t in traces)
+            duration_s = max(end - start, 1e-9)
+        stage_pairs = (
+            ("produce", "broker_in"),
+            ("broker_in", "consume"),
+            ("consume", "process_start"),
+            ("process_start", "process_end"),
+        )
+        stage_means = {}
+        for a, b in stage_pairs:
+            vals = [t.stage_latency(a, b) for t in traces]
+            vals = [v for v in vals if v is not None]
+            if vals:
+                stage_means[f"{a}->{b}"] = float(np.mean(vals))
+        return cls(
+            run_id=collector.run_id,
+            messages=len(traces),
+            total_bytes=total_bytes,
+            duration_s=float(duration_s),
+            throughput_msgs_s=len(traces) / duration_s,
+            throughput_mb_s=total_bytes / duration_s / 1e6,
+            latency_mean_s=float(latencies.mean()),
+            latency_p50_s=percentile(latencies, 50),
+            latency_p95_s=percentile(latencies, 95),
+            latency_p99_s=percentile(latencies, 99),
+            stage_means_s=stage_means,
+        )
+
+    def row(self) -> dict:
+        """Flat dict for tabular printing in the benchmark harness."""
+        return {
+            "messages": self.messages,
+            "MB": round(self.total_bytes / 1e6, 3),
+            "duration_s": round(self.duration_s, 3),
+            "msgs/s": round(self.throughput_msgs_s, 2),
+            "MB/s": round(self.throughput_mb_s, 3),
+            "lat_mean_ms": round(self.latency_mean_s * 1e3, 2),
+            "lat_p50_ms": round(self.latency_p50_s * 1e3, 2),
+            "lat_p95_ms": round(self.latency_p95_s * 1e3, 2),
+        }
+
+
+def analyze_bottleneck(collector: MetricsCollector) -> dict:
+    """Attribute the pipeline bottleneck to a stage.
+
+    Compares the mean per-message *service* times of the transfer path
+    (produce->broker_in, i.e. the uplink, plus the consume->process
+    hand-off) against the processing stage (process_start->end).
+    Queue wait inside the broker (broker_in->consume) is reported
+    separately but deliberately excluded from the transfer side: a
+    backlog in the broker is the *symptom* of slow consumers, which is
+    exactly the paper's Fig. 2 four-partition observation ("the broker
+    can process more data than the consuming processing tasks").
+    """
+    traces = collector.traces(complete_only=True)
+    if not traces:
+        return {"bottleneck": "unknown", "reason": "no complete traces"}
+
+    def stage_mean(a: str, b: str) -> float:
+        vals = [t.stage_latency(a, b) for t in traces]
+        vals = [v for v in vals if v is not None]
+        return float(np.mean(vals)) if vals else 0.0
+
+    # Transfer service: uplink (uplink_start->broker_in, i.e. link
+    # serialization + propagation, excluding queue wait at the link) plus
+    # downlink (dequeue->consume). Queue waits — produce->uplink_start,
+    # broker_in->dequeue, consume->process_start — are symptoms of
+    # whichever service is saturated, so they are excluded from the
+    # comparison itself and reported separately.
+    has_uplink = any(t.has("uplink_start") for t in traces)
+    uplink = (
+        stage_mean("uplink_start", "broker_in")
+        if has_uplink
+        else stage_mean("produce", "broker_in")
+    )
+    mean_transfer = uplink + stage_mean("dequeue", "consume")
+    mean_processing = stage_mean("process_start", "process_end")
+    mean_queueing = stage_mean("broker_in", "dequeue")
+    if mean_processing >= mean_transfer:
+        bottleneck = "processing"
+        reason = (
+            f"mean processing {mean_processing*1e3:.1f} ms >= "
+            f"mean transfer {mean_transfer*1e3:.1f} ms"
+        )
+    else:
+        bottleneck = "transfer"
+        reason = (
+            f"mean transfer {mean_transfer*1e3:.1f} ms > "
+            f"mean processing {mean_processing*1e3:.1f} ms"
+        )
+    return {
+        "bottleneck": bottleneck,
+        "reason": reason,
+        "mean_transfer_s": mean_transfer,
+        "mean_processing_s": mean_processing,
+        "mean_broker_queue_s": mean_queueing,
+    }

@@ -1,0 +1,90 @@
+"""Token-bucket rate limiter.
+
+Shared by flows crossing a common bottleneck link: tokens are bytes, the
+refill rate is the link bandwidth, and a transfer larger than the current
+fill level must wait. The bucket exposes both a *blocking* acquire (live
+mode) and a *virtual-time* acquire used by the simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.util.validation import check_positive
+
+
+class TokenBucket:
+    """Byte-denominated token bucket.
+
+    Parameters
+    ----------
+    rate_bytes_per_s:
+        Steady-state refill rate.
+    capacity_bytes:
+        Burst size; defaults to one second of tokens.
+    """
+
+    def __init__(self, rate_bytes_per_s: float, capacity_bytes: float | None = None) -> None:
+        check_positive("rate_bytes_per_s", rate_bytes_per_s)
+        self.rate = float(rate_bytes_per_s)
+        self.capacity = float(capacity_bytes) if capacity_bytes else self.rate
+        check_positive("capacity_bytes", self.capacity)
+        self._tokens = self.capacity
+        self._last_refill = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    def try_acquire(self, nbytes: float) -> bool:
+        """Non-blocking: take *nbytes* tokens if available."""
+        with self._lock:
+            self._refill(time.monotonic())
+            if nbytes <= self._tokens:
+                self._tokens -= nbytes
+                return True
+            return False
+
+    def acquire(self, nbytes: float, timeout: float | None = None) -> bool:
+        """Block until *nbytes* tokens are available (or timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                now = time.monotonic()
+                self._refill(now)
+                if nbytes <= self._tokens:
+                    self._tokens -= nbytes
+                    return True
+                deficit = nbytes - self._tokens
+                wait = deficit / self.rate
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                wait = min(wait, remaining)
+            time.sleep(min(wait, 0.05))
+
+    def delay_for(self, nbytes: float) -> float:
+        """Virtual-time acquire: seconds a transfer must wait *now*.
+
+        Consumes the tokens immediately (going negative models queued
+        demand), returning the implied queueing delay — this is what the
+        discrete-event simulator uses to serialise concurrent flows over
+        one link.
+        """
+        with self._lock:
+            self._refill(time.monotonic())
+            self._tokens -= nbytes
+            if self._tokens >= 0:
+                return 0.0
+            return -self._tokens / self.rate
+
+    @property
+    def available(self) -> float:
+        with self._lock:
+            self._refill(time.monotonic())
+            return self._tokens

@@ -1,0 +1,178 @@
+"""Continuum topology: sites connected by emulated links.
+
+A :class:`ContinuumTopology` names the tiers of a deployment (edge sites,
+cloud regions, HPC centres) and the link profile between each pair. The
+placement policies query it for transfer-cost estimates; the simulator
+and the live pipeline use the concrete :class:`~repro.netem.link.Link`
+objects it manages.
+
+The paper's future-work section calls out generalising beyond two layers;
+the topology here is already N-tier (sites form an arbitrary graph with
+shortest-path routing), which we exercise in the hierarchical example.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.netem.link import LOOPBACK, Link, LinkProfile
+from repro.util.validation import ValidationError, check_one_of
+
+#: Recognised site tiers, ordered outermost-in.
+TIERS = ("device", "edge", "cloud", "hpc")
+
+
+@dataclass(frozen=True)
+class Site:
+    """A named location in the continuum."""
+
+    name: str
+    tier: str = "cloud"
+    region: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("site name must be non-empty")
+        check_one_of("tier", self.tier, TIERS)
+
+
+class RouteError(ValueError):
+    """No route exists between the requested sites."""
+
+
+class ContinuumTopology:
+    """Sites + links with shortest-path (lowest mean-RTT) routing."""
+
+    def __init__(self, time_scale: float = 1.0, seed: int = 0) -> None:
+        self._sites: dict[str, Site] = {}
+        self._links: dict[tuple, Link] = {}
+        self._time_scale = float(time_scale)
+        self._seed = seed
+        self._link_seq = 0
+        self._loopback_link: Link | None = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_site(self, name: str, tier: str = "cloud", region: str = "") -> Site:
+        if name in self._sites:
+            raise ValidationError(f"site {name!r} already exists")
+        site = Site(name, tier, region)
+        self._sites[name] = site
+        return site
+
+    def connect(self, a: str, b: str, profile: LinkProfile) -> Link:
+        """Create a bidirectional link between sites *a* and *b*."""
+        for site in (a, b):
+            if site not in self._sites:
+                raise ValidationError(f"unknown site {site!r}")
+        if a == b:
+            raise ValidationError("cannot connect a site to itself")
+        key = (min(a, b), max(a, b))
+        if key in self._links:
+            raise ValidationError(f"sites {a!r} and {b!r} are already connected")
+        self._link_seq += 1
+        link = Link(profile, seed=self._seed + self._link_seq, time_scale=self._time_scale)
+        self._links[key] = link
+        return link
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def sites(self) -> list[Site]:
+        return sorted(self._sites.values(), key=lambda s: s.name)
+
+    def site(self, name: str) -> Site:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise ValidationError(f"unknown site {name!r}") from None
+
+    def sites_by_tier(self, tier: str) -> list[Site]:
+        check_one_of("tier", tier, TIERS)
+        return [s for s in self.sites if s.tier == tier]
+
+    def direct_link(self, a: str, b: str) -> Link | None:
+        if a == b:
+            return None
+        return self._links.get((min(a, b), max(a, b)))
+
+    def link(self, a: str, b: str) -> Link:
+        """The single link used between *a* and *b*.
+
+        For co-located sites a loopback link is returned; for multi-hop
+        routes the bottleneck (lowest-bandwidth) link on the shortest
+        path is returned, which is the first-order cost of the path.
+        """
+        if a == b:
+            return self._loopback()
+        direct = self.direct_link(a, b)
+        if direct is not None:
+            return direct
+        path = self.route(a, b)
+        hops = [self.direct_link(u, v) for u, v in zip(path, path[1:])]
+        return min(hops, key=lambda l: l.profile.mean_bandwidth_mbps)
+
+    def _loopback(self) -> Link:
+        if self._loopback_link is None:
+            self._loopback_link = Link(LOOPBACK, seed=self._seed, time_scale=self._time_scale)
+        return self._loopback_link
+
+    def route(self, a: str, b: str) -> list[str]:
+        """Dijkstra over mean RTT; returns the site sequence a..b."""
+        self.site(a), self.site(b)
+        if a == b:
+            return [a]
+        dist = {a: 0.0}
+        prev: dict[str, str] = {}
+        heap = [(0.0, a)]
+        visited: set = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            if u == b:
+                break
+            for (x, y), link in self._links.items():
+                if u not in (x, y):
+                    continue
+                v = y if u == x else x
+                nd = d + link.profile.mean_rtt_ms
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if b not in dist:
+            raise RouteError(f"no route from {a!r} to {b!r}")
+        path = [b]
+        while path[-1] != a:
+            path.append(prev[path[-1]])
+        return list(reversed(path))
+
+    def path_rtt_ms(self, a: str, b: str) -> float:
+        """Mean end-to-end RTT along the routed path."""
+        path = self.route(a, b)
+        return sum(
+            self.direct_link(u, v).profile.mean_rtt_ms for u, v in zip(path, path[1:])
+        )
+
+    def transfer_time_estimate(self, a: str, b: str, payload_bytes: int) -> float:
+        """Mean-cost estimate used by placement policies (no sampling)."""
+        if a == b:
+            return 0.0
+        path = self.route(a, b)
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            p = self.direct_link(u, v).profile
+            total += p.mean_rtt_ms / 2000.0
+            total += payload_bytes * 8.0 / (p.mean_bandwidth_mbps * 1e6)
+        return total
+
+    def stats(self) -> dict:
+        return {
+            "sites": [s.name for s in self.sites],
+            "links": {
+                f"{a}<->{b}": link.stats() for (a, b), link in sorted(self._links.items())
+            },
+        }

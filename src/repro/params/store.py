@@ -1,0 +1,132 @@
+"""Versioned key/value store.
+
+Each key carries a monotonically increasing version so that concurrent
+model updates across the continuum can be ordered and conflicting writes
+detected (compare-and-set). A TTL supports ephemeral coordination keys
+(heartbeats, leases).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.validation import check_positive
+
+
+class KeyNotFound(KeyError):
+    """The requested key does not exist (or has expired)."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:
+        return f"key {self.key!r} not found"
+
+
+class CasConflict(RuntimeError):
+    """compare-and-set failed: the key moved past the expected version."""
+
+    def __init__(self, key: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"CAS conflict on {key!r}: expected version {expected}, found {actual}"
+        )
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A value snapshot with its version and write timestamp."""
+
+    key: str
+    value: Any
+    version: int
+    written_at: float
+    expires_at: float | None = None
+
+    @property
+    def expired(self) -> bool:
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+
+class VersionedStore:
+    """Single-threaded versioned map; thread safety lives in the server."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Entry] = {}
+        self.total_sets = 0
+        self.total_gets = 0
+
+    def _live_entry(self, key: str) -> Entry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.expired:
+            del self._entries[key]
+            return None
+        return entry
+
+    def get(self, key: str) -> Entry:
+        self.total_gets += 1
+        entry = self._live_entry(key)
+        if entry is None:
+            raise KeyNotFound(key)
+        return entry
+
+    def contains(self, key: str) -> bool:
+        return self._live_entry(key) is not None
+
+    def set(self, key: str, value: Any, ttl: float | None = None) -> Entry:
+        """Unconditional write; bumps the version."""
+        if ttl is not None:
+            check_positive("ttl", ttl)
+        old = self._live_entry(key)
+        version = (old.version + 1) if old else 1
+        entry = Entry(
+            key=key,
+            value=value,
+            version=version,
+            written_at=time.monotonic(),
+            expires_at=(time.monotonic() + ttl) if ttl is not None else None,
+        )
+        self._entries[key] = entry
+        self.total_sets += 1
+        return entry
+
+    def compare_and_set(
+        self, key: str, value: Any, expected_version: int, ttl: float | None = None
+    ) -> Entry:
+        """Write only if the key is still at *expected_version*.
+
+        ``expected_version=0`` means "create only if absent".
+        """
+        old = self._live_entry(key)
+        actual = old.version if old else 0
+        if actual != expected_version:
+            raise CasConflict(key, expected_version, actual)
+        return self.set(key, value, ttl=ttl)
+
+    def delete(self, key: str) -> bool:
+        if self._live_entry(key) is None:
+            return False
+        del self._entries[key]
+        return True
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return sorted(
+            k for k in list(self._entries) if k.startswith(prefix) and self._live_entry(k)
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def purge_expired(self) -> int:
+        """Drop expired entries; returns the count removed."""
+        dead = [k for k, e in list(self._entries.items()) if e.expired]
+        for k in dead:
+            del self._entries[k]
+        return len(dead)

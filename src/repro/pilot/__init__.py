@@ -1,0 +1,45 @@
+"""The pilot abstraction: decoupled resource acquisition.
+
+Implements the P* pilot model (Luckow et al., e-Science 2012) that
+Pilot-Edge builds on: an application submits a *pilot description* to the
+:class:`PilotComputeService`, which provisions a resource container
+through a backend plugin and hands back a :class:`PilotCompute` handle.
+Once the pilot is ``RUNNING`` it exposes a managed compute cluster
+(:mod:`repro.compute`) onto which the application — or the Pilot-Edge
+pipeline — schedules tasks.
+
+Backend plugins emulate the acquisition behaviour of each resource class
+the paper uses (the real backends need networked infrastructure that is
+out of scope here; the state machines and timing behaviour are faithful):
+
+- ``localhost`` — immediate in-process allocation,
+- ``ssh`` — edge devices attached over SSH (connect handshake delay,
+  device registry, one pilot per device),
+- ``cloud`` — OpenStack/EC2-style VMs (boot delay, instance-type quota),
+- ``hpc`` — batch queue (FIFO wait while the partition is busy),
+- ``serverless`` — function slots with cold-start delay and concurrency
+  limits.
+"""
+
+from repro.pilot.states import PilotState, InvalidTransition
+from repro.pilot.description import PilotDescription
+from repro.pilot.compute import PilotCompute
+from repro.pilot.service import PilotComputeService
+from repro.pilot.registry import resource_plugin, available_resource_plugins, get_resource_plugin
+from repro.pilot.plugins.base import ResourcePlugin, ProvisionError
+from repro.pilot.frameworks import ManagedBroker, ManagedParameterServer
+
+__all__ = [
+    "ManagedBroker",
+    "ManagedParameterServer",
+    "PilotState",
+    "InvalidTransition",
+    "PilotDescription",
+    "PilotCompute",
+    "PilotComputeService",
+    "resource_plugin",
+    "available_resource_plugins",
+    "get_resource_plugin",
+    "ResourcePlugin",
+    "ProvisionError",
+]

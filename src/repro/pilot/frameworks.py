@@ -1,0 +1,120 @@
+"""Pilot-managed frameworks.
+
+Section II-B: "the pilot abstraction can manage brokering and data
+processing frameworks, e.g., Kafka and Dask". A *managed framework* is a
+service whose lifetime is bound to a pilot: it starts when deployed onto
+a RUNNING pilot, inherits the pilot's site (for network emulation) and
+resources, and is torn down automatically when the pilot ends.
+
+Two managed frameworks cover the paper's needs:
+
+- :class:`ManagedBroker` — a broker instance bound to a (broker) pilot,
+- :class:`ManagedParameterServer` — the coordination/parameter service.
+
+(The compute side needs no wrapper: a pilot's cluster *is* the managed
+Dask-equivalent, created by the resource plugin.)
+"""
+
+from __future__ import annotations
+
+from repro.broker.plugins import create_broker
+from repro.params.server import ParameterServer
+from repro.pilot.compute import PilotCompute
+from repro.pilot.states import PilotState
+from repro.util.validation import ValidationError
+
+
+class ManagedFramework:
+    """Base: lifetime-couples a service to a pilot."""
+
+    framework_name = "framework"
+
+    def __init__(self, pilot: PilotCompute) -> None:
+        if not isinstance(pilot, PilotCompute):
+            raise ValidationError(
+                f"expected a PilotCompute, got {type(pilot).__name__}"
+            )
+        if pilot.state is not PilotState.RUNNING:
+            raise ValidationError(
+                f"cannot deploy {self.framework_name} on pilot "
+                f"{pilot.pilot_id} in state {pilot.state.value}"
+            )
+        self.pilot = pilot
+        self._stopped = False
+        pilot.on_state_change(self._on_pilot_state)
+
+    def _on_pilot_state(self, pilot: PilotCompute, state: PilotState) -> None:
+        if state.is_final and not self._stopped:
+            self.stop()
+
+    @property
+    def site(self) -> str:
+        return self.pilot.site
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped and self.pilot.state is PilotState.RUNNING
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _check_running(self) -> None:
+        if not self.running:
+            raise RuntimeError(
+                f"{self.framework_name} on pilot {self.pilot.pilot_id} is not running"
+            )
+
+
+class ManagedBroker(ManagedFramework):
+    """A broker whose lifetime is bound to its hosting pilot.
+
+    >>> # broker = ManagedBroker(pilot, plugin="kafka")
+    >>> # broker.service.create_topic(...)
+    """
+
+    framework_name = "broker"
+
+    def __init__(self, pilot: PilotCompute, plugin: str = "kafka", **broker_kwargs) -> None:
+        super().__init__(pilot)
+        self._broker = create_broker(
+            plugin, name=f"{pilot.pilot_id}-broker", **broker_kwargs
+        )
+
+    @property
+    def service(self):
+        """The broker instance (raises once the pilot has ended)."""
+        self._check_running()
+        return self._broker
+
+    def stats(self) -> dict:
+        return {
+            "framework": self.framework_name,
+            "pilot": self.pilot.pilot_id,
+            "site": self.site,
+            "running": self.running,
+            **(self._broker.stats() if hasattr(self._broker, "stats") else {}),
+        }
+
+
+class ManagedParameterServer(ManagedFramework):
+    """A parameter service bound to its hosting pilot."""
+
+    framework_name = "parameter-server"
+
+    def __init__(self, pilot: PilotCompute) -> None:
+        super().__init__(pilot)
+        self._server = ParameterServer(name=f"{pilot.pilot_id}-params")
+
+    @property
+    def service(self) -> ParameterServer:
+        self._check_running()
+        return self._server
+
+    def stats(self) -> dict:
+        return {
+            "framework": self.framework_name,
+            "pilot": self.pilot.pilot_id,
+            "site": self.site,
+            "running": self.running,
+            **self._server.stats(),
+        }

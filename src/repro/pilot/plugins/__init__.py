@@ -1,0 +1,5 @@
+"""Emulated resource backends for the pilot service."""
+
+from repro.pilot.plugins.base import ResourcePlugin, ProvisionError
+
+__all__ = ["ResourcePlugin", "ProvisionError"]

@@ -1,0 +1,47 @@
+"""Resource-plugin interface.
+
+A plugin's job is narrow: given a :class:`PilotDescription`, decide
+(a) whether the request is admissible, (b) how long acquisition takes
+(queue wait, VM boot, SSH handshake — emulated as a delay), and
+(c) build the compute cluster once acquired. Release is the inverse.
+
+Plugins never sleep themselves; they *report* delays and the pilot
+service applies them (scaled by its ``time_scale``), so tests can run the
+full acquisition state machine in milliseconds.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.compute.cluster import ComputeCluster
+from repro.pilot.description import PilotDescription
+
+
+class ProvisionError(RuntimeError):
+    """The backend rejected or failed the acquisition."""
+
+
+class ResourcePlugin(abc.ABC):
+    """Backend behaviour behind the pilot abstraction."""
+
+    plugin_name = "base"
+
+    @abc.abstractmethod
+    def acquisition_delay(self, description: PilotDescription) -> float:
+        """Seconds (unscaled) between submission and RUNNING.
+
+        Called under the service's admission lock; plugins track their
+        own occupancy here (e.g. the HPC queue head-of-line wait).
+        Raises :class:`ProvisionError` for inadmissible requests.
+        """
+
+    @abc.abstractmethod
+    def build_cluster(self, description: PilotDescription, pilot_id: str) -> ComputeCluster:
+        """Materialise the resource as a compute cluster."""
+
+    def release(self, description: PilotDescription, pilot_id: str) -> None:
+        """Return capacity to the backend (default: nothing to do)."""
+
+    def stats(self) -> dict:
+        return {"plugin": self.plugin_name}

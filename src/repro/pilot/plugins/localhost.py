@@ -1,0 +1,26 @@
+"""Localhost backend: immediate in-process allocation.
+
+The zero-cost baseline plugin used by unit tests and quick examples.
+"""
+
+from __future__ import annotations
+
+from repro.compute.cluster import ComputeCluster
+from repro.pilot.description import PilotDescription
+from repro.pilot.plugins.base import ResourcePlugin
+from repro.pilot.registry import resource_plugin
+
+
+@resource_plugin("localhost")
+class LocalhostPlugin(ResourcePlugin):
+    """Allocates workers directly in the current process."""
+
+    def acquisition_delay(self, description: PilotDescription) -> float:
+        return 0.0
+
+    def build_cluster(self, description: PilotDescription, pilot_id: str) -> ComputeCluster:
+        return ComputeCluster(
+            n_workers=description.nodes,
+            worker_resources=description.node_spec,
+            name=f"{pilot_id}-local",
+        )

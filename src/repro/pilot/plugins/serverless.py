@@ -1,0 +1,75 @@
+"""Serverless/FaaS backend (emulated Lambda-style runtime).
+
+A pilot here is a reserved pool of function slots (the paper cites Lambda
+functions as one pilot embodiment [11]). Slots have a cold-start delay on
+first acquisition and a bounded per-account concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.compute.cluster import ComputeCluster
+from repro.compute.task import ResourceSpec
+from repro.pilot.description import PilotDescription
+from repro.pilot.plugins.base import ProvisionError, ResourcePlugin
+from repro.pilot.registry import resource_plugin
+from repro.util.validation import check_non_negative, check_positive
+
+
+@resource_plugin("serverless")
+class ServerlessPlugin(ResourcePlugin):
+    """Reserves function slots under an account concurrency limit."""
+
+    #: Lambda-style slot: 1 vCPU-equivalent, limited memory.
+    SLOT_SPEC = ResourceSpec(cores=1, memory_gb=3)
+
+    def __init__(
+        self,
+        max_concurrency: int = 100,
+        cold_start_delay: float = 0.8,
+    ) -> None:
+        check_positive("max_concurrency", max_concurrency)
+        check_non_negative("cold_start_delay", cold_start_delay)
+        self.max_concurrency = int(max_concurrency)
+        self.cold_start_delay = float(cold_start_delay)
+        self._reserved = 0
+        self._held: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def acquisition_delay(self, description: PilotDescription) -> float:
+        spec = description.node_spec
+        if spec.cores > self.SLOT_SPEC.cores or spec.memory_gb > self.SLOT_SPEC.memory_gb:
+            raise ProvisionError(
+                f"serverless slots offer {self.SLOT_SPEC}, requested {spec}"
+            )
+        with self._lock:
+            if self._reserved + description.nodes > self.max_concurrency:
+                raise ProvisionError(
+                    f"concurrency limit {self.max_concurrency} exceeded"
+                )
+        return self.cold_start_delay
+
+    def build_cluster(self, description: PilotDescription, pilot_id: str) -> ComputeCluster:
+        with self._lock:
+            if self._reserved + description.nodes > self.max_concurrency:
+                raise ProvisionError("concurrency was consumed concurrently")
+            self._reserved += description.nodes
+            self._held[pilot_id] = description.nodes
+        return ComputeCluster(
+            n_workers=description.nodes,
+            worker_resources=description.node_spec,
+            name=f"{pilot_id}-faas",
+        )
+
+    def release(self, description: PilotDescription, pilot_id: str) -> None:
+        with self._lock:
+            self._reserved -= self._held.pop(pilot_id, 0)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "plugin": self.plugin_name,
+                "reserved": self._reserved,
+                "max_concurrency": self.max_concurrency,
+            }

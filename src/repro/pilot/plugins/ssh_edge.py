@@ -1,0 +1,90 @@
+"""SSH edge-device backend (emulated).
+
+Models the paper's smaller IoT devices "via SSH": a registry of named
+devices (each Raspberry-Pi-class by default), an SSH connect/bootstrap
+handshake delay per device, and exclusive ownership — a device can host
+only one pilot at a time, matching how Pilot-Streaming agents occupy an
+edge node.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.compute.cluster import ComputeCluster
+from repro.compute.task import ResourceSpec
+from repro.pilot.description import PilotDescription
+from repro.pilot.plugins.base import ProvisionError, ResourcePlugin
+from repro.pilot.registry import resource_plugin
+from repro.util.validation import check_non_negative, check_positive
+
+#: Default device class: 1 core / 4 GB, "comparable to a current
+#: Raspberry Pi" (paper, section III-1).
+RASPBERRY_PI = ResourceSpec(cores=1, memory_gb=4)
+
+
+@resource_plugin("ssh")
+class SshEdgePlugin(ResourcePlugin):
+    """Pool of SSH-reachable edge devices.
+
+    Parameters
+    ----------
+    devices:
+        Number of devices in the pool (or pass explicit ``device_specs``).
+    connect_delay:
+        Emulated SSH handshake + agent bootstrap seconds per device.
+    """
+
+    def __init__(
+        self,
+        devices: int = 8,
+        device_spec: ResourceSpec = RASPBERRY_PI,
+        connect_delay: float = 1.5,
+    ) -> None:
+        check_positive("devices", devices)
+        check_non_negative("connect_delay", connect_delay)
+        self.device_spec = device_spec
+        self.connect_delay = float(connect_delay)
+        self._free: list[str] = [f"edge-device-{i}" for i in range(int(devices))]
+        self._held: dict[str, list[str]] = {}  # pilot_id -> devices
+        self._lock = threading.Lock()
+
+    def acquisition_delay(self, description: PilotDescription) -> float:
+        spec = description.node_spec
+        if spec.cores > self.device_spec.cores or spec.memory_gb > self.device_spec.memory_gb:
+            raise ProvisionError(
+                f"edge devices offer {self.device_spec}, requested {spec}"
+            )
+        with self._lock:
+            if description.nodes > len(self._free):
+                raise ProvisionError(
+                    f"requested {description.nodes} edge devices, only "
+                    f"{len(self._free)} available"
+                )
+        # Devices are bootstrapped sequentially over SSH.
+        return self.connect_delay * description.nodes
+
+    def build_cluster(self, description: PilotDescription, pilot_id: str) -> ComputeCluster:
+        with self._lock:
+            if description.nodes > len(self._free):
+                raise ProvisionError("edge devices were claimed concurrently")
+            claimed = [self._free.pop(0) for _ in range(description.nodes)]
+            self._held[pilot_id] = claimed
+        return ComputeCluster(
+            n_workers=description.nodes,
+            worker_resources=description.node_spec,
+            name=f"{pilot_id}-edge",
+        )
+
+    def release(self, description: PilotDescription, pilot_id: str) -> None:
+        with self._lock:
+            for device in self._held.pop(pilot_id, []):
+                self._free.append(device)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "plugin": self.plugin_name,
+                "devices_free": len(self._free),
+                "devices_held": sum(len(v) for v in self._held.values()),
+            }

@@ -1,0 +1,47 @@
+"""Resource-plugin registry (mirrors the broker plugin mechanism)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.validation import ValidationError
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def resource_plugin(name: str) -> Callable:
+    """Class decorator registering a resource backend under *name*."""
+
+    def register(cls):
+        if not name or not name.replace("-", "_").isidentifier():
+            raise ValidationError(f"invalid plugin name {name!r}")
+        if name in _REGISTRY:
+            raise ValidationError(f"resource plugin {name!r} already registered")
+        _REGISTRY[name] = cls
+        cls.plugin_name = name
+        return cls
+
+    return register
+
+
+def get_resource_plugin(name: str):
+    """Look up a registered resource-plugin class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown resource plugin {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_resource_plugins() -> list[str]:
+    """Names of all registered resource plugins."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    # Import for the side effect of their @resource_plugin decorators.
+    from repro.pilot.plugins import cloud_vm, hpc_batch, localhost, serverless, ssh_edge  # noqa: F401
+
+
+_register_builtins()

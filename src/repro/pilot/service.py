@@ -1,0 +1,187 @@
+"""PilotComputeService: the application's entry point to resources.
+
+Submitting a :class:`PilotDescription` returns a :class:`PilotCompute`
+immediately in state ``NEW``; a background thread drives it through
+``PENDING`` (the plugin's emulated acquisition delay, scaled by
+``time_scale``) into ``RUNNING`` with an attached compute cluster, or
+into ``FAILED`` with the backend's error.
+
+This is step 1 of the paper's application flow (Fig. 1): "Applications
+acquire edge-to-cloud resources using the pilot framework."
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.pilot.compute import PilotCompute
+from repro.pilot.description import PilotDescription
+from repro.pilot.plugins.base import ProvisionError, ResourcePlugin
+from repro.pilot.registry import get_resource_plugin
+from repro.pilot.states import PilotState
+from repro.util.ids import new_id
+from repro.util.validation import check_non_negative
+
+
+class PilotComputeService:
+    """Manages pilot lifecycles across backend plugins.
+
+    Parameters
+    ----------
+    time_scale:
+        Factor applied to emulated acquisition delays; 0 makes
+        acquisition instantaneous (unit tests), 1.0 is real time.
+    plugins:
+        Pre-configured plugin instances keyed by name; unlisted plugins
+        are instantiated on demand with their defaults.
+    """
+
+    def __init__(
+        self,
+        time_scale: float = 0.0,
+        plugins: dict[str, ResourcePlugin] | None = None,
+    ) -> None:
+        check_non_negative("time_scale", time_scale)
+        self.service_id = new_id("pcs")
+        self.time_scale = float(time_scale)
+        self._plugins: dict[str, ResourcePlugin] = dict(plugins or {})
+        self._pilots: dict[str, PilotCompute] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- plugin management ----------------------------------------------------
+
+    def plugin(self, name: str) -> ResourcePlugin:
+        with self._lock:
+            if name not in self._plugins:
+                self._plugins[name] = get_resource_plugin(name)()
+            return self._plugins[name]
+
+    def register_plugin(self, name: str, plugin: ResourcePlugin) -> None:
+        with self._lock:
+            self._plugins[name] = plugin
+
+    # -- pilot lifecycle ----------------------------------------------------------
+
+    def submit_pilot(self, description: PilotDescription) -> PilotCompute:
+        """Begin acquiring a resource; returns the handle immediately."""
+        if not isinstance(description, PilotDescription):
+            raise TypeError(
+                f"expected a PilotDescription, got {type(description).__name__}"
+            )
+        if self._closed:
+            raise RuntimeError("service is closed")
+        pilot = PilotCompute(description)
+        with self._lock:
+            self._pilots[pilot.pilot_id] = pilot
+        thread = threading.Thread(
+            target=self._drive, args=(pilot,), name=f"pilot-{pilot.pilot_id}", daemon=True
+        )
+        thread.start()
+        return pilot
+
+    def _drive(self, pilot: PilotCompute) -> None:
+        plugin = self.plugin(pilot.description.resource)
+        try:
+            delay = plugin.acquisition_delay(pilot.description)
+        except ProvisionError as exc:
+            pilot._transition(PilotState.FAILED, error=str(exc))
+            return
+        if pilot.state.is_final:  # cancelled while NEW
+            return
+        try:
+            pilot._transition(PilotState.PENDING)
+        except Exception:
+            return  # racing cancel
+        if delay > 0 and self.time_scale > 0:
+            time.sleep(delay * self.time_scale)
+        if pilot.state.is_final:  # cancelled while PENDING
+            return
+        try:
+            cluster = plugin.build_cluster(pilot.description, pilot.pilot_id)
+        except ProvisionError as exc:
+            if not pilot.state.is_final:
+                pilot._transition(PilotState.FAILED, error=str(exc))
+            return
+        pilot._attach_cluster(cluster)
+        try:
+            pilot._transition(PilotState.RUNNING)
+        except Exception:
+            # Cancelled between build and transition; release everything.
+            cluster.close()
+            plugin.release(pilot.description, pilot.pilot_id)
+            return
+        # Release backend capacity when the pilot ends.
+        pilot.on_state_change(
+            lambda p, s: self._on_pilot_final(plugin, p, s) if s.is_final else None
+        )
+
+    def _on_pilot_final(self, plugin: ResourcePlugin, pilot: PilotCompute, state) -> None:
+        try:
+            if pilot._cluster is not None:
+                pilot._cluster.close()
+        finally:
+            plugin.release(pilot.description, pilot.pilot_id)
+
+    def stop_pilot(self, pilot_id: str) -> None:
+        """Finish a running pilot normally (DONE)."""
+        pilot = self.pilot(pilot_id)
+        if pilot.state is PilotState.RUNNING:
+            pilot._transition(PilotState.DONE)
+
+    # -- queries --------------------------------------------------------------------
+
+    def pilot(self, pilot_id: str) -> PilotCompute:
+        with self._lock:
+            try:
+                return self._pilots[pilot_id]
+            except KeyError:
+                raise KeyError(f"unknown pilot {pilot_id!r}") from None
+
+    def list_pilots(self, state: PilotState | None = None) -> list[PilotCompute]:
+        with self._lock:
+            pilots = list(self._pilots.values())
+        if state is not None:
+            pilots = [p for p in pilots if p.state is state]
+        return pilots
+
+    def wait_all(self, timeout: float | None = None) -> bool:
+        """Wait for every pilot to leave NEW/PENDING; True if none failed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        ok = True
+        for pilot in self.list_pilots():
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            pilot.wait(PilotState.RUNNING, timeout=remaining)
+            if pilot.state is PilotState.FAILED:
+                ok = False
+        return ok
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel every non-final pilot and shut the service."""
+        if self._closed:
+            return
+        self._closed = True
+        for pilot in self.list_pilots():
+            if not pilot.state.is_final:
+                pilot.cancel()
+
+    def __enter__(self) -> "PilotComputeService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for p in self._pilots.values():
+                by_state[p.state.value] = by_state.get(p.state.value, 0) + 1
+            return {
+                "service": self.service_id,
+                "pilots": len(self._pilots),
+                "by_state": by_state,
+                "plugins": {n: p.stats() for n, p in self._plugins.items()},
+            }

@@ -1,0 +1,53 @@
+"""Pilot lifecycle states and legal transitions.
+
+Follows the canonical pilot state model::
+
+    NEW -> PENDING -> RUNNING -> DONE
+             |           |----> FAILED
+             |----> FAILED
+    any non-final state -> CANCELED
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PilotState(enum.Enum):
+    """Lifecycle states of a pilot (see module docstring for the graph)."""
+
+    NEW = "new"
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELED = "canceled"
+
+    @property
+    def is_final(self) -> bool:
+        return self in (PilotState.DONE, PilotState.FAILED, PilotState.CANCELED)
+
+
+_LEGAL: dict[PilotState, tuple] = {
+    PilotState.NEW: (PilotState.PENDING, PilotState.FAILED, PilotState.CANCELED),
+    PilotState.PENDING: (PilotState.RUNNING, PilotState.FAILED, PilotState.CANCELED),
+    PilotState.RUNNING: (PilotState.DONE, PilotState.FAILED, PilotState.CANCELED),
+    PilotState.DONE: (),
+    PilotState.FAILED: (),
+    PilotState.CANCELED: (),
+}
+
+
+class InvalidTransition(RuntimeError):
+    """A state change outside the legal lifecycle graph."""
+
+    def __init__(self, current: PilotState, requested: PilotState) -> None:
+        super().__init__(f"illegal pilot transition {current.value} -> {requested.value}")
+        self.current = current
+        self.requested = requested
+
+
+def check_transition(current: PilotState, requested: PilotState) -> None:
+    """Raise :class:`InvalidTransition` if the move is not legal."""
+    if requested not in _LEGAL[current]:
+        raise InvalidTransition(current, requested)

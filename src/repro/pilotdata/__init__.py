@@ -1,0 +1,30 @@
+"""Pilot-Data: distributed data management along the continuum.
+
+The pilot abstraction the paper builds on has a data-side counterpart —
+Pilot-Data (Luckow et al., JPDC 2014) — that the Pilot-Edge architecture
+relies on for "handling placement and data movements transparently".
+This package implements it for the continuum:
+
+- :class:`DataUnit` — a named, immutable collection of data blocks with
+  size accounting and replica tracking,
+- :class:`StorageSite` — per-site storage capacity (edge boxes are small,
+  clouds are big),
+- :class:`PilotDataService` — put/get, replication across sites (paying
+  the topology's link costs), affinity queries ("closest replica to this
+  compute site"), and eviction bookkeeping.
+
+Compute/data affinity is what the placement policies consume: moving the
+task to the data or the data to the task becomes an explicit, costed
+choice.
+"""
+
+from repro.pilotdata.dataunit import DataUnit, DataUnitState
+from repro.pilotdata.service import PilotDataService, StorageSite, StorageError
+
+__all__ = [
+    "DataUnit",
+    "DataUnitState",
+    "PilotDataService",
+    "StorageSite",
+    "StorageError",
+]

@@ -1,0 +1,77 @@
+"""Data units: the unit of distributed data management."""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.ids import new_id
+from repro.util.validation import ValidationError
+
+
+class DataUnitState(enum.Enum):
+    """Lifecycle of a data unit."""
+
+    NEW = "new"
+    TRANSFERRING = "transferring"
+    AVAILABLE = "available"
+    DELETED = "deleted"
+
+
+@dataclass
+class DataUnit:
+    """A named, immutable collection of data blocks.
+
+    The unit is the granularity of placement and replication; blocks are
+    float64 arrays (the same blocks the streaming pipeline moves, here
+    managed at rest). ``replicas`` tracks which sites hold a copy.
+    """
+
+    name: str
+    blocks: tuple = ()
+    unit_id: str = field(default_factory=lambda: new_id("du"))
+    state: DataUnitState = DataUnitState.NEW
+    created_at: float = field(default_factory=time.monotonic)
+    #: Site names currently holding a full replica.
+    replicas: set = field(default_factory=set)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("data unit name must be non-empty")
+        blocks = tuple(np.asarray(b, dtype=np.float64) for b in self.blocks)
+        for b in blocks:
+            if b.ndim != 2:
+                raise ValidationError(f"blocks must be 2-D, got shape {b.shape}")
+            b.flags.writeable = False  # immutability by construction
+        object.__setattr__(self, "blocks", blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_rows(self) -> int:
+        return sum(b.shape[0] for b in self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(b.nbytes for b in self.blocks)
+
+    def concatenated(self) -> np.ndarray:
+        """All blocks stacked into one array (they must share widths)."""
+        if not self.blocks:
+            raise ValidationError(f"data unit {self.name!r} is empty")
+        widths = {b.shape[1] for b in self.blocks}
+        if len(widths) != 1:
+            raise ValidationError(f"blocks have mixed widths {sorted(widths)}")
+        return np.vstack(self.blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataUnit({self.name!r}, blocks={self.n_blocks}, "
+            f"{self.size_bytes / 1e6:.2f} MB, replicas={sorted(self.replicas)})"
+        )

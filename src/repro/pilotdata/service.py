@@ -1,0 +1,222 @@
+"""The Pilot-Data service: placement, replication, affinity."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.netem.topology import ContinuumTopology
+from repro.pilotdata.dataunit import DataUnit, DataUnitState
+from repro.util.validation import ValidationError, check_positive
+
+
+class StorageError(RuntimeError):
+    """Capacity exhausted or invalid storage operation."""
+
+
+class StorageSite:
+    """Bookkeeping for one site's storage pool."""
+
+    def __init__(self, name: str, capacity_bytes: float) -> None:
+        if not name:
+            raise ValidationError("site name must be non-empty")
+        check_positive("capacity_bytes", capacity_bytes)
+        self.name = name
+        self.capacity_bytes = float(capacity_bytes)
+        self.used_bytes = 0.0
+        self._units: set = set()
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def holds(self, unit_id: str) -> bool:
+        return unit_id in self._units
+
+    def _admit(self, unit: DataUnit) -> None:
+        if unit.size_bytes > self.free_bytes:
+            raise StorageError(
+                f"site {self.name!r} has {self.free_bytes / 1e6:.1f} MB free, "
+                f"unit {unit.name!r} needs {unit.size_bytes / 1e6:.1f} MB"
+            )
+        self.used_bytes += unit.size_bytes
+        self._units.add(unit.unit_id)
+
+    def _evict(self, unit: DataUnit) -> None:
+        if unit.unit_id in self._units:
+            self._units.discard(unit.unit_id)
+            self.used_bytes -= unit.size_bytes
+
+    def stats(self) -> dict:
+        return {
+            "site": self.name,
+            "capacity_mb": round(self.capacity_bytes / 1e6, 1),
+            "used_mb": round(self.used_bytes / 1e6, 1),
+            "units": len(self._units),
+        }
+
+
+class PilotDataService:
+    """Manages data units across continuum storage sites.
+
+    Parameters
+    ----------
+    topology:
+        Optional :class:`ContinuumTopology`; replication then pays the
+        corresponding link costs and affinity queries use routed RTTs.
+        Without a topology, transfers are free and affinity falls back to
+        "any replica".
+    """
+
+    def __init__(self, topology: ContinuumTopology | None = None) -> None:
+        self._topology = topology
+        self._sites: dict[str, StorageSite] = {}
+        self._units: dict[str, DataUnit] = {}
+        self._by_name: dict[str, str] = {}
+        self._lock = threading.RLock()
+        self.bytes_transferred = 0
+        self.transfer_seconds = 0.0
+
+    # -- site management ------------------------------------------------------
+
+    def register_site(self, name: str, capacity_bytes: float) -> StorageSite:
+        with self._lock:
+            if name in self._sites:
+                raise ValidationError(f"storage site {name!r} already registered")
+            if self._topology is not None:
+                self._topology.site(name)  # must exist in the topology
+            site = StorageSite(name, capacity_bytes)
+            self._sites[name] = site
+            return site
+
+    def site(self, name: str) -> StorageSite:
+        with self._lock:
+            try:
+                return self._sites[name]
+            except KeyError:
+                raise ValidationError(f"unknown storage site {name!r}") from None
+
+    # -- unit lifecycle -----------------------------------------------------------
+
+    def put(self, name: str, blocks, site: str, metadata: dict | None = None) -> DataUnit:
+        """Create a data unit with its first replica at *site*."""
+        with self._lock:
+            if name in self._by_name:
+                raise ValidationError(f"data unit {name!r} already exists")
+            storage = self.site(site)
+            unit = DataUnit(name=name, blocks=tuple(blocks), metadata=dict(metadata or {}))
+            storage._admit(unit)
+            unit.replicas.add(site)
+            unit.state = DataUnitState.AVAILABLE
+            self._units[unit.unit_id] = unit
+            self._by_name[name] = unit.unit_id
+            return unit
+
+    def get(self, name: str) -> DataUnit:
+        with self._lock:
+            unit_id = self._by_name.get(name)
+            if unit_id is None:
+                raise ValidationError(f"unknown data unit {name!r}")
+            return self._units[unit_id]
+
+    def list_units(self, site: str | None = None) -> list[DataUnit]:
+        with self._lock:
+            units = [u for u in self._units.values() if u.state is DataUnitState.AVAILABLE]
+        if site is not None:
+            units = [u for u in units if site in u.replicas]
+        return sorted(units, key=lambda u: u.name)
+
+    def delete(self, name: str) -> None:
+        """Remove the unit from every replica site."""
+        with self._lock:
+            unit = self.get(name)
+            for site_name in list(unit.replicas):
+                self._sites[site_name]._evict(unit)
+            unit.replicas.clear()
+            unit.state = DataUnitState.DELETED
+            del self._by_name[name]
+            del self._units[unit.unit_id]
+
+    # -- replication -----------------------------------------------------------------
+
+    def replicate(self, name: str, to_site: str) -> float:
+        """Copy the unit to *to_site*; returns modelled transfer seconds.
+
+        The source replica is the one with the cheapest estimated
+        transfer to the destination.
+        """
+        with self._lock:
+            unit = self.get(name)
+            dest = self.site(to_site)
+            if to_site in unit.replicas:
+                return 0.0
+            if not unit.replicas:
+                raise StorageError(f"unit {name!r} has no live replica")
+            source = self._closest_replica(unit, to_site)
+            dest._admit(unit)
+            unit.state = DataUnitState.TRANSFERRING
+        try:
+            seconds = 0.0
+            if self._topology is not None:
+                link = self._topology.link(source, to_site)
+                seconds = link.transfer(unit.size_bytes)
+        except ConnectionError:
+            with self._lock:
+                dest._evict(unit)
+                unit.state = DataUnitState.AVAILABLE
+            raise
+        with self._lock:
+            unit.replicas.add(to_site)
+            unit.state = DataUnitState.AVAILABLE
+            self.bytes_transferred += unit.size_bytes
+            self.transfer_seconds += seconds
+        return seconds
+
+    def drop_replica(self, name: str, site: str) -> None:
+        """Remove one replica (the last replica cannot be dropped)."""
+        with self._lock:
+            unit = self.get(name)
+            if site not in unit.replicas:
+                raise ValidationError(f"unit {name!r} has no replica at {site!r}")
+            if len(unit.replicas) == 1:
+                raise StorageError(
+                    f"refusing to drop the last replica of {name!r}; use delete()"
+                )
+            unit.replicas.discard(site)
+            self._sites[site]._evict(unit)
+
+    # -- affinity ----------------------------------------------------------------------
+
+    def _closest_replica(self, unit: DataUnit, to_site: str) -> str:
+        replicas = sorted(unit.replicas)
+        if self._topology is None or to_site in unit.replicas:
+            return to_site if to_site in unit.replicas else replicas[0]
+        return min(
+            replicas,
+            key=lambda r: self._topology.transfer_time_estimate(r, to_site, unit.size_bytes),
+        )
+
+    def closest_replica(self, name: str, compute_site: str) -> tuple:
+        """``(site, estimated_fetch_seconds)`` for reading the unit from
+        *compute_site* — the affinity signal for placement decisions."""
+        with self._lock:
+            unit = self.get(name)
+            if not unit.replicas:
+                raise StorageError(f"unit {name!r} has no live replica")
+            if compute_site in unit.replicas:
+                return compute_site, 0.0
+            if self._topology is None:
+                return sorted(unit.replicas)[0], 0.0
+            best = self._closest_replica(unit, compute_site)
+            cost = self._topology.transfer_time_estimate(
+                best, compute_site, unit.size_bytes
+            )
+            return best, cost
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "sites": {n: s.stats() for n, s in self._sites.items()},
+                "units": len(self._units),
+                "bytes_transferred": self.bytes_transferred,
+                "transfer_seconds": round(self.transfer_seconds, 6),
+            }

@@ -1,0 +1,40 @@
+"""Objective-driven resource planning (paper future work).
+
+The paper's conclusion envisions Pilot-Edge as "the basis for a
+distributed workload management system that can select, acquire and
+dynamically scale resources across the continuum at runtime based on the
+application's objectives". This package implements that planner:
+
+- :class:`WorkloadProfile` — the application's demand (message size and
+  rate, calibrated per-message compute cost),
+- :class:`ApplicationObjective` — what to optimise (throughput floor,
+  latency ceiling, cost ceiling; preference ordering),
+- :class:`ResourcePlanner` — sizes the consumer tier, picks the VM class
+  from a priced catalogue, decides the placement (with the netem
+  topology's link model), and emits ready-to-submit
+  :class:`~repro.pilot.description.PilotDescription` objects plus a cost
+  estimate,
+- :func:`validate_plan` — replays the plan through the discrete-event
+  simulator and checks the objective is actually met.
+"""
+
+from repro.planner.objectives import ApplicationObjective, WorkloadProfile
+from repro.planner.planner import (
+    InfeasibleObjective,
+    Plan,
+    PricedInstance,
+    ResourcePlanner,
+    DEFAULT_PRICED_CATALOG,
+    validate_plan,
+)
+
+__all__ = [
+    "ApplicationObjective",
+    "WorkloadProfile",
+    "ResourcePlanner",
+    "Plan",
+    "PricedInstance",
+    "InfeasibleObjective",
+    "DEFAULT_PRICED_CATALOG",
+    "validate_plan",
+]

@@ -1,0 +1,78 @@
+"""Workload demand and application objectives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.serde import encoded_size
+from repro.util.validation import (
+    ValidationError,
+    check_non_negative,
+    check_one_of,
+    check_positive,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the application demands of the continuum.
+
+    ``process_cost_s`` is the calibrated per-message compute cost on a
+    reference cloud core (see :func:`repro.sim.calibrate_model_cost`);
+    ``edge_slowdown`` scales it for device-class hardware.
+    """
+
+    points: int = 1000
+    features: int = 32
+    #: Aggregate arrival rate across all devices (messages/second).
+    rate_msgs_s: float = 10.0
+    #: Number of edge data sources (each needs a partition + device).
+    num_devices: int = 4
+    process_cost_s: float = 0.02
+    edge_slowdown: float = 8.0
+    #: Output/input ratio of the available edge pre-processing step.
+    compression_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("points", self.points)
+        check_positive("features", self.features)
+        check_positive("rate_msgs_s", self.rate_msgs_s)
+        check_positive("num_devices", self.num_devices)
+        check_positive("process_cost_s", self.process_cost_s)
+        check_positive("edge_slowdown", self.edge_slowdown)
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValidationError("compression_ratio must be in (0, 1]")
+
+    @property
+    def message_bytes(self) -> int:
+        return encoded_size(self.points, self.features)
+
+    @property
+    def demand_mb_s(self) -> float:
+        """Raw data rate the sources generate."""
+        return self.rate_msgs_s * self.message_bytes / 1e6
+
+    @property
+    def required_cloud_cores(self) -> float:
+        """Processing cores needed to keep up at the cloud tier."""
+        return self.rate_msgs_s * self.process_cost_s
+
+
+@dataclass(frozen=True)
+class ApplicationObjective:
+    """What the application wants, in order of hardness.
+
+    Floors/ceilings of 0 mean "unconstrained". ``prefer`` breaks ties
+    between feasible plans.
+    """
+
+    min_throughput_msgs_s: float = 0.0
+    max_latency_s: float = 0.0
+    max_cost_per_hour: float = 0.0
+    prefer: str = "cost"  # "cost" | "latency" | "energy"
+
+    def __post_init__(self) -> None:
+        check_non_negative("min_throughput_msgs_s", self.min_throughput_msgs_s)
+        check_non_negative("max_latency_s", self.max_latency_s)
+        check_non_negative("max_cost_per_hour", self.max_cost_per_hour)
+        check_one_of("prefer", self.prefer, ("cost", "latency", "energy"))

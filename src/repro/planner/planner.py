@@ -1,0 +1,302 @@
+"""The resource planner.
+
+Planning is deliberately analytic (no search): the continuum pipeline is
+a chain of three service stages (devices -> link -> consumers), so
+feasibility and sizing follow from service-rate arithmetic:
+
+- **consumer sizing** — cores needed = arrival rate x per-message cost,
+- **link feasibility** — demanded MB/s must fit inside the bottleneck
+  link's mean bandwidth; if not, the planner tries the edge
+  pre-processing (compression) step, then edge placement,
+- **instance selection** — the cheapest catalogue VM (or set of VMs)
+  covering the needed cores, under the cost ceiling,
+- **latency estimate** — mean one-way link latency + transfer
+  serialization + processing service time (steady, uncongested
+  approximation, which is what objectives are stated against).
+
+:func:`validate_plan` closes the loop: it replays the planned
+configuration in the discrete-event simulator and checks the plan's
+promised throughput is actually achieved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compute.task import ResourceSpec
+from repro.netem.topology import ContinuumTopology
+from repro.pilot.description import PilotDescription
+from repro.planner.objectives import ApplicationObjective, WorkloadProfile
+from repro.util.validation import ValidationError
+
+
+class InfeasibleObjective(RuntimeError):
+    """No plan can satisfy the objective with the given resources."""
+
+
+@dataclass(frozen=True)
+class PricedInstance:
+    """A catalogue VM class with an hourly price."""
+
+    name: str
+    spec: ResourceSpec
+    price_per_hour: float
+
+
+#: Paper's VM classes with plausible on-demand prices (USD/h).
+DEFAULT_PRICED_CATALOG: tuple = (
+    PricedInstance("lrz.medium", ResourceSpec(cores=4, memory_gb=18), 0.20),
+    PricedInstance("lrz.large", ResourceSpec(cores=10, memory_gb=44), 0.48),
+    PricedInstance("jetstream.medium", ResourceSpec(cores=6, memory_gb=16), 0.28),
+)
+
+#: Hourly cost of keeping one RasPi-class device on (power + amortisation).
+EDGE_DEVICE_COST_PER_HOUR = 0.01
+
+
+@dataclass
+class Plan:
+    """A concrete, submittable resource layout."""
+
+    placement: str                      # "cloud" | "hybrid" | "edge"
+    edge_pilot: PilotDescription
+    cloud_pilot: PilotDescription | None
+    consumers: int
+    instance: PricedInstance | None
+    est_throughput_msgs_s: float
+    est_latency_s: float
+    est_cost_per_hour: float
+    rationale: str = ""
+    notes: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        cloud = (
+            f"{self.cloud_pilot.nodes} x {self.instance.name}" if self.cloud_pilot else "none"
+        )
+        return (
+            f"Plan[{self.placement}] edge={self.edge_pilot.nodes} devices, "
+            f"cloud={cloud}, consumers={self.consumers}, "
+            f"~{self.est_throughput_msgs_s:.1f} msgs/s, "
+            f"~{self.est_latency_s * 1e3:.0f} ms, ${self.est_cost_per_hour:.2f}/h"
+        )
+
+
+class ResourcePlanner:
+    """Sizes and prices a continuum deployment for a workload."""
+
+    def __init__(
+        self,
+        topology: ContinuumTopology,
+        edge_site: str,
+        cloud_site: str,
+        catalog: tuple = DEFAULT_PRICED_CATALOG,
+        edge_device_cost_per_hour: float = EDGE_DEVICE_COST_PER_HOUR,
+    ) -> None:
+        if not catalog:
+            raise ValidationError("catalog must be non-empty")
+        topology.site(edge_site)
+        topology.site(cloud_site)
+        self.topology = topology
+        self.edge_site = edge_site
+        self.cloud_site = cloud_site
+        self.catalog = tuple(catalog)
+        self.edge_device_cost_per_hour = float(edge_device_cost_per_hour)
+
+    # -- analytic pieces -----------------------------------------------------
+
+    def _link_profile(self):
+        return self.topology.link(self.edge_site, self.cloud_site).profile
+
+    def link_capacity_mb_s(self) -> float:
+        return self._link_profile().mean_bandwidth_mbps / 8.0
+
+    def _cheapest_covering(self, cores_needed: float) -> tuple:
+        """(instance, nodes) minimising price while covering the cores."""
+        best = None
+        for instance in self.catalog:
+            nodes = max(1, math.ceil(cores_needed / instance.spec.cores))
+            price = nodes * instance.price_per_hour
+            if best is None or price < best[2] or (
+                price == best[2] and nodes < best[1]
+            ):
+                best = (instance, nodes, price)
+        return best[0], best[1]
+
+    def _latency(self, message_bytes: int, service_s: float) -> float:
+        profile = self._link_profile()
+        transfer = profile.mean_rtt_ms / 2000.0 + message_bytes * 8.0 / (
+            profile.mean_bandwidth_mbps * 1e6
+        )
+        return transfer + service_s
+
+    # -- planning -------------------------------------------------------------------
+
+    def plan(self, workload: WorkloadProfile, objective: ApplicationObjective) -> Plan:
+        """Produce the preferred feasible plan; raises
+        :class:`InfeasibleObjective` when none exists."""
+        candidates = []
+        for builder in (self._plan_cloud, self._plan_hybrid, self._plan_edge):
+            try:
+                candidate = builder(workload)
+            except InfeasibleObjective:
+                continue
+            if self._meets(candidate, workload, objective):
+                candidates.append(candidate)
+        if not candidates:
+            raise InfeasibleObjective(
+                f"no placement satisfies {objective} for {workload.demand_mb_s:.1f} MB/s "
+                f"over a {self.link_capacity_mb_s():.1f} MB/s link"
+            )
+        key = {
+            "cost": lambda p: (p.est_cost_per_hour, p.est_latency_s),
+            "latency": lambda p: (p.est_latency_s, p.est_cost_per_hour),
+            "energy": lambda p: (p.placement != "edge", p.est_cost_per_hour),
+        }[objective.prefer]
+        return min(candidates, key=key)
+
+    def _meets(self, plan: Plan, workload: WorkloadProfile, objective: ApplicationObjective) -> bool:
+        if plan.est_throughput_msgs_s < workload.rate_msgs_s:
+            return False  # must at least keep up with the sources
+        if objective.min_throughput_msgs_s and plan.est_throughput_msgs_s < objective.min_throughput_msgs_s:
+            return False
+        if objective.max_latency_s and plan.est_latency_s > objective.max_latency_s:
+            return False
+        if objective.max_cost_per_hour and plan.est_cost_per_hour > objective.max_cost_per_hour:
+            return False
+        return True
+
+    def _edge_pilot(self, workload: WorkloadProfile) -> PilotDescription:
+        return PilotDescription(
+            resource="ssh",
+            site=self.edge_site,
+            nodes=workload.num_devices,
+            node_spec=ResourceSpec(cores=1, memory_gb=4),
+        )
+
+    def _plan_cloud(self, workload: WorkloadProfile) -> Plan:
+        return self._plan_transfer(workload, compressed=False)
+
+    def _plan_hybrid(self, workload: WorkloadProfile) -> Plan:
+        if workload.compression_ratio >= 1.0:
+            raise InfeasibleObjective("no compression step available")
+        return self._plan_transfer(workload, compressed=True)
+
+    def _plan_transfer(self, workload: WorkloadProfile, compressed: bool) -> Plan:
+        wire_bytes = int(
+            workload.message_bytes
+            * (workload.compression_ratio if compressed else 1.0)
+        )
+        demand = workload.rate_msgs_s * wire_bytes / 1e6
+        capacity = self.link_capacity_mb_s()
+        if demand > capacity:
+            raise InfeasibleObjective(
+                f"link carries {capacity:.1f} MB/s, workload demands {demand:.1f} MB/s"
+            )
+        cores = workload.required_cloud_cores
+        instance, nodes = self._cheapest_covering(cores)
+        consumers = max(1, math.ceil(cores))
+        cost = (
+            nodes * instance.price_per_hour
+            + workload.num_devices * self.edge_device_cost_per_hour
+        )
+        throughput = min(
+            consumers / workload.process_cost_s if workload.process_cost_s else float("inf"),
+            capacity * 1e6 / max(wire_bytes, 1),
+        )
+        placement = "hybrid" if compressed else "cloud"
+        return Plan(
+            placement=placement,
+            edge_pilot=self._edge_pilot(workload),
+            cloud_pilot=PilotDescription(
+                resource="cloud",
+                site=self.cloud_site,
+                nodes=nodes,
+                instance_type=instance.name,
+            ),
+            consumers=consumers,
+            instance=instance,
+            est_throughput_msgs_s=throughput,
+            est_latency_s=self._latency(wire_bytes, workload.process_cost_s),
+            est_cost_per_hour=cost,
+            rationale=(
+                f"{placement}: {demand:.1f} of {capacity:.1f} MB/s link used, "
+                f"{cores:.1f} cores -> {nodes} x {instance.name}"
+            ),
+        )
+
+    def _plan_edge(self, workload: WorkloadProfile) -> Plan:
+        per_message = workload.process_cost_s * workload.edge_slowdown
+        device_rate = workload.rate_msgs_s / workload.num_devices
+        if device_rate * per_message > 1.0:
+            raise InfeasibleObjective(
+                f"devices cannot keep up: need {device_rate * per_message:.2f} "
+                "cores per single-core device"
+            )
+        throughput = workload.num_devices / per_message
+        cost = workload.num_devices * self.edge_device_cost_per_hour
+        return Plan(
+            placement="edge",
+            edge_pilot=self._edge_pilot(workload),
+            cloud_pilot=None,
+            consumers=workload.num_devices,
+            instance=None,
+            est_throughput_msgs_s=throughput,
+            est_latency_s=per_message,
+            est_cost_per_hour=cost,
+            rationale=(
+                f"edge: {per_message * 1e3:.0f} ms/msg on-device, no transfer"
+            ),
+        )
+
+
+def validate_plan(
+    plan: Plan,
+    workload: WorkloadProfile,
+    link_profile=None,
+    messages_per_device: int = 64,
+    seed: int = 0,
+):
+    """Replay the plan in the simulator; returns (ok, sim_result).
+
+    ``link_profile`` is the edge->cloud link for cloud/hybrid plans
+    (default loopback); edge plans never cross a link. Sources produce
+    at the workload's aggregate rate. ``ok`` is True when the simulated
+    steady-state throughput reaches at least 70% of the offered rate —
+    the analytic model ignores queueing transients, so exact equality is
+    not expected.
+    """
+    from repro.netem.link import LOOPBACK
+    from repro.sim import SimConfig, SimulatedPipeline, StageCostModel
+
+    if plan.placement == "edge":
+        process = StageCostModel(
+            "edge-process", workload.process_cost_s * workload.edge_slowdown
+        )
+        uplink = LOOPBACK
+        consumers = workload.num_devices
+        points = workload.points
+    else:
+        process = StageCostModel("cloud-process", workload.process_cost_s)
+        uplink = link_profile if link_profile is not None else LOOPBACK
+        consumers = plan.consumers
+        points = int(
+            workload.points
+            * (workload.compression_ratio if plan.placement == "hybrid" else 1.0)
+        )
+    # Per-device production interval matching the aggregate offered rate.
+    per_device_interval = workload.num_devices / workload.rate_msgs_s
+    cfg = SimConfig(
+        num_devices=workload.num_devices,
+        messages_per_device=messages_per_device,
+        points=max(1, points),
+        features=workload.features,
+        num_consumers=consumers,
+        process_cost=process,
+        produce_cost=StageCostModel("produce", per_device_interval, jitter=0.05),
+        uplink=uplink,
+        seed=seed,
+    )
+    result = SimulatedPipeline(cfg).run()
+    ok = result.report.throughput_msgs_s >= 0.7 * workload.rate_msgs_s
+    return ok, result

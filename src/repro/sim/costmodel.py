@@ -1,0 +1,105 @@
+"""Calibrated per-stage cost models.
+
+The simulator's compute costs are *measured from the real
+implementations* rather than assumed: :func:`calibrate_model_cost` times
+the actual ``process_cloud`` function (score + partial_fit of the real
+NumPy model) on real generated blocks, and :func:`calibrate_produce_cost`
+times block generation + wire encoding. A :class:`StageCostModel` holds
+the measured mean with multiplicative jitter so simulated service times
+vary realistically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.generator import DataBlockGenerator, GeneratorConfig
+from repro.data.serde import encode_block
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class StageCostModel:
+    """Service-time distribution for one pipeline stage.
+
+    Service times are ``mean_s`` with uniform multiplicative jitter in
+    ``[1 - jitter, 1 + jitter]``.
+    """
+
+    name: str
+    mean_s: float
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("mean_s", self.mean_s) if self.mean_s > 0 else None
+        check_in_range("jitter", self.jitter, 0.0, 1.0)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.mean_s <= 0:
+            return 0.0
+        lo, hi = 1.0 - self.jitter, 1.0 + self.jitter
+        return float(self.mean_s * rng.uniform(lo, hi))
+
+
+def _time_reps(fn: Callable, reps: int) -> float:
+    """Median-of-reps timing (median is robust to GC pauses)."""
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def calibrate_produce_cost(
+    points: int, features: int = 32, reps: int = 3, seed: int = 7
+) -> StageCostModel:
+    """Measure generation + encoding cost of one block."""
+    check_positive("points", points)
+    check_positive("reps", reps)
+    gen = DataBlockGenerator(
+        GeneratorConfig(points=points, features=features, seed=seed)
+    )
+
+    def one() -> None:
+        encode_block(gen.next_block())
+
+    mean = _time_reps(one, reps)
+    return StageCostModel(name=f"produce[{points}x{features}]", mean_s=max(mean, 1e-7))
+
+
+def calibrate_model_cost(
+    process_fn: Callable,
+    points: int,
+    features: int = 32,
+    reps: int = 3,
+    warmup: int = 2,
+    seed: int = 7,
+) -> StageCostModel:
+    """Measure the steady-state per-block cost of a processing function.
+
+    ``process_fn(context, data)`` is the actual FaaS function deployed in
+    live mode (e.g. from
+    :func:`repro.core.workloads.make_model_processor`). Warm-up blocks
+    let the model initialise (first-fit costs are excluded, matching
+    steady-state streaming throughput).
+    """
+    check_positive("points", points)
+    check_positive("reps", reps)
+    gen = DataBlockGenerator(
+        GeneratorConfig(points=points, features=features, seed=seed)
+    )
+    context: dict = {}
+    for _ in range(max(0, int(warmup))):
+        process_fn(context, gen.next_block())
+
+    def one() -> None:
+        process_fn(context, gen.next_block())
+
+    mean = _time_reps(one, reps)
+    name = getattr(process_fn, "__name__", "process")
+    return StageCostModel(name=f"{name}[{points}x{features}]", mean_s=max(mean, 1e-7))

@@ -1,0 +1,155 @@
+"""A small discrete-event simulation engine.
+
+Classic event-heap design: callbacks are scheduled at absolute virtual
+times and executed in time order (FIFO within equal times). On top of the
+raw engine, :class:`FifoServer` models a station with ``capacity``
+parallel servers and a FIFO queue — the building block for links
+(capacity 1, service time = serialization delay) and consumer pools
+(capacity n, service time = compute cost).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+class SimProcessError(RuntimeError):
+    """An event callback raised; simulation state is undefined beyond it."""
+
+
+class Simulator:
+    """Event-heap simulator with virtual time."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` *delay* virtual seconds from now."""
+        check_non_negative("delay", delay)
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback, args))
+
+    def schedule_at(self, when: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` at absolute virtual time *when*."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        heapq.heappush(self._heap, (when, next(self._seq), callback, args))
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Execute events until the heap drains (or *until*/*max_events*).
+
+        Returns the final virtual time.
+        """
+        check_positive("max_events", max_events)
+        executed = 0
+        while self._heap:
+            when, _, callback, args = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            try:
+                callback(*args)
+            except Exception as exc:
+                raise SimProcessError(f"event callback failed at t={when}: {exc!r}") from exc
+            executed += 1
+            self.events_executed += 1
+            if executed >= max_events:
+                raise SimProcessError(
+                    f"exceeded {max_events} events; likely a scheduling loop"
+                )
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class FifoServer:
+    """A station with *capacity* parallel servers and an unbounded queue.
+
+    Jobs are (service_time, done_callback) pairs; completion order within
+    the station is FIFO by arrival. Tracks utilisation (busy seconds per
+    server) and, optionally, energy (busy seconds x ``power_watts``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 1,
+        name: str = "server",
+        power_watts: float = 0.0,
+    ) -> None:
+        check_positive("capacity", capacity)
+        check_non_negative("power_watts", power_watts)
+        self._sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self.power_watts = float(power_watts)
+        self._queue: list = []
+        self._busy = 0
+        self.jobs_served = 0
+        self.busy_seconds = 0.0
+        self.total_wait_seconds = 0.0
+
+    def submit(self, service_time: float, done: Callable | None = None) -> None:
+        """Enqueue a job needing *service_time* seconds of one server."""
+        check_non_negative("service_time", service_time)
+        self._queue.append((self._sim.now, service_time, done))
+        self._try_start()
+
+    def _try_start(self) -> None:
+        while self._busy < self.capacity and self._queue:
+            arrived, service_time, done = self._queue.pop(0)
+            self._busy += 1
+            self.total_wait_seconds += self._sim.now - arrived
+            self._sim.schedule(service_time, self._finish, service_time, done)
+
+    def _finish(self, service_time: float, done: Callable | None) -> None:
+        self._busy -= 1
+        self.jobs_served += 1
+        self.busy_seconds += service_time
+        if done is not None:
+            done()
+        self._try_start()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def energy_joules(self) -> float:
+        """Busy-time energy (idle draw is not modelled)."""
+        return self.busy_seconds * self.power_watts
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean fraction of servers busy over *elapsed* virtual seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed * self.capacity))
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "jobs_served": self.jobs_served,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "mean_wait_s": round(
+                self.total_wait_seconds / self.jobs_served, 6
+            )
+            if self.jobs_served
+            else 0.0,
+            "queue_length": self.queue_length,
+            "energy_joules": round(self.energy_joules, 3),
+        }

@@ -1,0 +1,197 @@
+"""Multi-tier pipeline simulation (paper future work).
+
+The paper's implementation "is limited to two layers: edge and cloud";
+its future work proposes arbitrary resource topologies. This module
+generalises :class:`~repro.sim.pipeline.SimulatedPipeline` to an
+arbitrary chain of tiers::
+
+    devices -> [tier_1] -> [tier_2] -> ... -> [tier_n]
+
+Each :class:`Tier` has a link from its predecessor, a processing stage
+(optional — pure relay tiers just forward), and a data-reduction factor
+(modelling the pre-aggregation/compression the paper recommends for
+bandwidth-bound hops). Message traces carry per-tier stamps so the same
+reporting machinery applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.monitoring.collector import MetricsCollector
+from repro.monitoring.report import ThroughputReport
+from repro.netem.link import LOOPBACK, LinkProfile
+from repro.sim.costmodel import StageCostModel
+from repro.sim.engine import FifoServer, Simulator
+from repro.util.ids import new_run_id
+from repro.util.validation import ValidationError, check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One stage of the chain.
+
+    Parameters
+    ----------
+    name:
+        Tier label (shows up in traces and station stats).
+    link:
+        Link profile from the previous tier (or from the devices for the
+        first tier).
+    servers:
+        Parallel processing slots at this tier.
+    process_cost:
+        Per-message compute cost (None = pure relay).
+    reduction:
+        Output/input size ratio of this tier's processing (1.0 = none);
+        downstream links carry the reduced size.
+    power_watts:
+        Busy-power rating for energy accounting.
+    """
+
+    name: str
+    link: LinkProfile = LOOPBACK
+    servers: int = 1
+    process_cost: StageCostModel | None = None
+    reduction: float = 1.0
+    power_watts: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("tier name must be non-empty")
+        check_positive("servers", self.servers)
+        check_in_range("reduction", self.reduction, 0.0, 1.0)
+
+
+@dataclass
+class MultiTierResult:
+    run_id: str
+    report: ThroughputReport
+    virtual_duration_s: float
+    tier_stats: dict = field(default_factory=dict)
+    energy_joules: dict = field(default_factory=dict)
+
+    @property
+    def total_energy_joules(self) -> float:
+        return sum(self.energy_joules.values())
+
+
+class MultiTierSimulation:
+    """Simulates a device fleet streaming through a chain of tiers."""
+
+    def __init__(
+        self,
+        tiers: list[Tier],
+        num_devices: int = 4,
+        messages_per_device: int = 64,
+        message_bytes: int = 256_000,
+        produce_cost: StageCostModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not tiers:
+            raise ValidationError("at least one tier is required")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate tier names: {names}")
+        check_positive("num_devices", num_devices)
+        check_positive("messages_per_device", messages_per_device)
+        check_positive("message_bytes", message_bytes)
+        self.tiers = list(tiers)
+        self.num_devices = int(num_devices)
+        self.messages_per_device = int(messages_per_device)
+        self.message_bytes = int(message_bytes)
+        self.produce_cost = produce_cost or StageCostModel("produce", 1e-4)
+        self.run_id = new_run_id()
+        self._rng = np.random.default_rng(seed)
+        self._sim = Simulator()
+        self._collector = MetricsCollector(self.run_id)
+        self._producers = FifoServer(
+            self._sim, capacity=self.num_devices, name="devices", power_watts=4.0
+        )
+        self._links = [
+            FifoServer(self._sim, capacity=1, name=f"link->{t.name}") for t in self.tiers
+        ]
+        self._stations = [
+            FifoServer(self._sim, capacity=t.servers, name=t.name, power_watts=t.power_watts)
+            for t in self.tiers
+        ]
+
+    # -- message lifecycle ----------------------------------------------------
+
+    def _emit(self, device: int, seq: int) -> None:
+        if seq >= self.messages_per_device:
+            return
+        cost = self.produce_cost.sample(self._rng)
+        self._producers.submit(cost, lambda: self._produced(device, seq))
+
+    def _produced(self, device: int, seq: int) -> None:
+        message_id = f"{self.run_id}/d{device}/m{seq}"
+        self._collector.stamp(
+            message_id, "produce", self._sim.now, nbytes=self.message_bytes,
+            partition=device, site="devices",
+        )
+        self._send_to_tier(message_id, 0, self.message_bytes)
+        self._emit(device, seq + 1)
+
+    def _link_time(self, profile: LinkProfile, nbytes: int) -> tuple:
+        bw = self._rng.uniform(profile.bandwidth_mbps_min, profile.bandwidth_mbps_max)
+        rtt = self._rng.uniform(profile.rtt_ms_min, profile.rtt_ms_max)
+        return (nbytes * 8.0) / (bw * 1e6), rtt / 2000.0
+
+    def _send_to_tier(self, message_id: str, index: int, nbytes: int) -> None:
+        tier = self.tiers[index]
+        ser, lat = self._link_time(tier.link, nbytes)
+        self._links[index].submit(
+            ser,
+            lambda: self._sim.schedule(lat, self._arrive, message_id, index, nbytes),
+        )
+
+    def _arrive(self, message_id: str, index: int, nbytes: int) -> None:
+        tier = self.tiers[index]
+        now = self._sim.now
+        self._collector.stamp(message_id, f"arrive:{tier.name}", now, site=tier.name)
+        if index == 0:
+            self._collector.stamp(message_id, "broker_in", now, site=tier.name)
+        cost = 0.0 if tier.process_cost is None else tier.process_cost.sample(self._rng)
+
+        def done() -> None:
+            end = self._sim.now
+            out_bytes = max(1, int(nbytes * tier.reduction))
+            self._collector.stamp(
+                message_id, f"processed:{tier.name}", end, site=tier.name
+            )
+            if index + 1 < len(self.tiers):
+                self._send_to_tier(message_id, index + 1, out_bytes)
+            else:
+                # Final tier: close the canonical trace stages so the
+                # standard report applies.
+                self._collector.stamp(message_id, "dequeue", end, site=tier.name)
+                self._collector.stamp(
+                    message_id, "consume", end, nbytes=self.message_bytes, site=tier.name
+                )
+                self._collector.stamp(message_id, "process_start", end - cost, site=tier.name)
+                self._collector.stamp(
+                    message_id, "process_end", end, nbytes=self.message_bytes, site=tier.name
+                )
+
+        self._stations[index].submit(cost, done)
+
+    # -- run -----------------------------------------------------------------------
+
+    def run(self) -> MultiTierResult:
+        for device in range(self.num_devices):
+            self._sim.schedule(0.0, self._emit, device, 0)
+        duration = self._sim.run()
+        return MultiTierResult(
+            run_id=self.run_id,
+            report=ThroughputReport.from_collector(self._collector),
+            virtual_duration_s=duration,
+            tier_stats={
+                s.name: s.stats() for s in [self._producers, *self._links, *self._stations]
+            },
+            energy_joules={
+                s.name: s.energy_joules for s in [self._producers, *self._stations]
+            },
+        )

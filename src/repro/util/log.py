@@ -1,0 +1,35 @@
+"""Logging setup shared by all subsystems.
+
+Every module obtains its logger through :func:`get_logger` so the whole
+framework shares one configuration point. Logging stays silent by default
+(library best practice); call :func:`configure` from an application or
+example script to see output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the framework root logger."""
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the framework root logger.
+
+    Idempotent: calling it twice does not duplicate handlers.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)

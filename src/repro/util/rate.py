@@ -1,0 +1,80 @@
+"""Online rate and smoothing estimators.
+
+These feed the autoscaling policy (section II-D of the paper: respond to
+"increased data rates" at runtime) and the monitoring reports.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.ringbuffer import RingBuffer
+from repro.util.validation import check_in_range, check_positive
+
+
+class EWMA:
+    """Exponentially-weighted moving average.
+
+    ``alpha`` is the weight of the newest sample; an ``alpha`` of 1.0
+    tracks the raw signal, small values smooth aggressively.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        check_in_range("alpha", alpha, 0.0, 1.0)
+        self._alpha = float(alpha)
+        self._value: float | None = None
+
+    def update(self, sample: float) -> float:
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self._alpha * (float(sample) - self._value)
+        return self._value
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+
+class RateEstimator:
+    """Sliding-window event-rate estimator (events per second).
+
+    Events are recorded with :meth:`record`; :meth:`rate` reports the rate
+    over the last ``window`` seconds. A custom ``clock`` can be supplied
+    for use inside the discrete-event simulator.
+    """
+
+    def __init__(self, window: float = 10.0, capacity: int = 4096, clock=None) -> None:
+        check_positive("window", window)
+        self._window = float(window)
+        self._events = RingBuffer(capacity)
+        self._clock = clock if clock is not None else time.monotonic
+        self._total = 0
+
+    def record(self, count: float = 1.0, at: float | None = None) -> None:
+        """Record *count* events at time *at* (defaults to now)."""
+        t = self._clock() if at is None else at
+        self._events.append((t, float(count)))
+        self._total += count
+
+    @property
+    def total(self) -> float:
+        """Total events recorded over the estimator's lifetime."""
+        return self._total
+
+    def rate(self, now: float | None = None) -> float:
+        """Events per second over the trailing window."""
+        now = self._clock() if now is None else now
+        cutoff = now - self._window
+        in_window = [(t, c) for t, c in self._events if t >= cutoff]
+        if not in_window:
+            return 0.0
+        count = sum(c for _, c in in_window)
+        earliest = min(t for t, _ in in_window)
+        # Normalise by the observed span (bounded by the window) so early
+        # estimates are not biased low before a full window has elapsed.
+        span = min(self._window, max(now - earliest, 1e-3))
+        return count / span

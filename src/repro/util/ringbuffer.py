@@ -1,0 +1,77 @@
+"""A fixed-capacity ring buffer.
+
+Used by the monitoring subsystem to keep bounded sliding windows of
+samples without unbounded memory growth during long streaming runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.util.validation import check_positive
+
+
+class RingBuffer:
+    """Bounded FIFO that overwrites its oldest element when full.
+
+    >>> rb = RingBuffer(3)
+    >>> for i in range(5):
+    ...     rb.append(i)
+    >>> list(rb)
+    [2, 3, 4]
+    """
+
+    __slots__ = ("_capacity", "_data", "_start", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self._capacity = int(capacity)
+        self._data: list = [None] * self._capacity
+        self._start = 0
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self._capacity
+
+    def append(self, item: Any) -> None:
+        """Add *item*, evicting the oldest element when at capacity."""
+        end = (self._start + self._size) % self._capacity
+        self._data[end] = item
+        if self._size == self._capacity:
+            self._start = (self._start + 1) % self._capacity
+        else:
+            self._size += 1
+
+    def extend(self, items: Sequence) -> None:
+        for item in items:
+            self.append(item)
+
+    def clear(self) -> None:
+        self._data = [None] * self._capacity
+        self._start = 0
+        self._size = 0
+
+    def __getitem__(self, index: int) -> Any:
+        if not -self._size <= index < self._size:
+            raise IndexError(f"index {index} out of range for size {self._size}")
+        if index < 0:
+            index += self._size
+        return self._data[(self._start + index) % self._capacity]
+
+    def __iter__(self) -> Iterator:
+        for i in range(self._size):
+            yield self._data[(self._start + i) % self._capacity]
+
+    def to_list(self) -> list:
+        return list(self)
+
+    def __repr__(self) -> str:
+        return f"RingBuffer(capacity={self._capacity}, size={self._size})"

@@ -1,0 +1,109 @@
+"""Monotonic timing helpers.
+
+All latency measurements in the framework use :func:`time.monotonic` —
+wall-clock time is only ever used for human-readable log timestamps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def monotonic_ms() -> float:
+    """Current monotonic time in milliseconds."""
+    return time.monotonic() * 1000.0
+
+
+class Stopwatch:
+    """Measure elapsed time, usable as a context manager.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._stop: float | None = None
+
+    def start(self) -> "Stopwatch":
+        self._start = time.monotonic()
+        self._stop = None
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch was never started")
+        self._stop = time.monotonic()
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None and self._stop is None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds; live-updating while the stopwatch runs."""
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.monotonic()
+        return end - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed * 1000.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class Timer:
+    """Accumulating timer: aggregates many timed sections.
+
+    Useful for building per-stage cost models in the simulator: call
+    :meth:`time` around each repetition, then read :attr:`mean`.
+    """
+
+    total: float = 0.0
+    count: int = 0
+    min: float = float("inf")
+    max: float = 0.0
+    _laps: list = field(default_factory=list, repr=False)
+
+    def add(self, seconds: float) -> None:
+        self.total += seconds
+        self.count += 1
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+        self._laps.append(seconds)
+
+    def time(self):
+        """Context manager recording one timed section."""
+        return _TimerSection(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def laps(self) -> tuple:
+        return tuple(self._laps)
+
+
+class _TimerSection:
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerSection":
+        self._t0 = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(time.monotonic() - self._t0)

@@ -1,0 +1,63 @@
+"""Argument validation helpers with consistent error messages.
+
+The public API surfaces of every subsystem validate their inputs eagerly
+so misconfiguration fails at construction time, not deep inside a worker
+thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class ValidationError(ValueError):
+    """Raised when a configuration or API argument is invalid."""
+
+
+def check_positive(name: str, value: float) -> float:
+    """Ensure ``value > 0``; return it for chaining."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Ensure ``value >= 0``; return it for chaining."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Ensure ``lo <= value <= hi``; return it for chaining."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if not (lo <= value <= hi):
+        raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, expected: type | tuple) -> Any:
+    """Ensure *value* is an instance of *expected*; return it for chaining."""
+    if not isinstance(value, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise ValidationError(
+            f"{name} must be {names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_one_of(name: str, value: Any, allowed: Iterable) -> Any:
+    """Ensure *value* is one of *allowed*; return it for chaining."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValidationError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

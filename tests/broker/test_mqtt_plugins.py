@@ -1,0 +1,106 @@
+"""Tests for the MQTT-style broker and the plugin registry."""
+
+import pytest
+
+from repro.broker import Broker, MqttStyleBroker, available_plugins, create_broker
+from repro.util.validation import ValidationError
+
+
+class TestPluginRegistry:
+    def test_builtins_registered(self):
+        assert set(available_plugins()) >= {"kafka", "mqtt"}
+
+    def test_create_kafka(self):
+        assert isinstance(create_broker("kafka"), Broker)
+
+    def test_create_mqtt(self):
+        assert isinstance(create_broker("mqtt"), MqttStyleBroker)
+
+    def test_unknown_plugin(self):
+        with pytest.raises(ValidationError, match="unknown broker plugin"):
+            create_broker("rabbitmq")
+
+    def test_kwargs_forwarded(self):
+        b = create_broker("mqtt", queue_size=8)
+        assert b._queue_size == 8
+
+
+class TestMqttMatching:
+    @pytest.mark.parametrize("filt,topic,expected", [
+        ("a/b", "a/b", True),
+        ("a/b", "a/c", False),
+        ("a/+", "a/b", True),
+        ("a/+", "a/b/c", False),
+        ("a/#", "a/b/c", True),
+        ("#", "anything/at/all", True),
+        ("+/temp", "kitchen/temp", True),
+        ("+/temp", "kitchen/hum", False),
+        ("a/+/c", "a/b/c", True),
+        ("a/b", "a", False),
+    ])
+    def test_wildcards(self, filt, topic, expected):
+        assert MqttStyleBroker._matches(filt, topic) is expected
+
+
+class TestMqttBroker:
+    def test_publish_subscribe(self):
+        broker = MqttStyleBroker()
+        sub = broker.subscribe("sensors/+/temp")
+        assert broker.publish("sensors/a/temp", 21.5) == 1
+        assert sub.get() == 21.5
+
+    def test_non_matching_not_delivered(self):
+        broker = MqttStyleBroker()
+        sub = broker.subscribe("sensors/a/temp")
+        broker.publish("sensors/b/temp", 1)
+        assert sub.get() is None
+
+    def test_multiple_subscribers(self):
+        broker = MqttStyleBroker()
+        s1 = broker.subscribe("x")
+        s2 = broker.subscribe("#")
+        assert broker.publish("x", "v") == 2
+        assert s1.get() == "v" and s2.get() == "v"
+
+    def test_qos0_drops_when_full(self):
+        broker = MqttStyleBroker(queue_size=2)
+        sub = broker.subscribe("x")
+        for i in range(5):
+            broker.publish("x", i)
+        assert sub.pending() == 2
+        assert sub.dropped == 3
+        assert broker.messages_dropped == 3
+
+    def test_unsubscribe(self):
+        broker = MqttStyleBroker()
+        sub = broker.subscribe("x")
+        broker.unsubscribe(sub)
+        assert broker.publish("x", 1) == 0
+
+    def test_publish_with_wildcard_rejected(self):
+        broker = MqttStyleBroker()
+        with pytest.raises(ValidationError):
+            broker.publish("a/+", 1)
+        with pytest.raises(ValidationError):
+            broker.publish("a/#", 1)
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(ValidationError):
+            MqttStyleBroker().subscribe("")
+
+    def test_stats(self):
+        broker = MqttStyleBroker()
+        broker.subscribe("x")
+        broker.publish("x", 1)
+        stats = broker.stats()
+        assert stats["messages_published"] == 1
+        assert stats["subscriptions"] == 1
+
+    def test_get_with_timeout(self):
+        import time
+
+        broker = MqttStyleBroker()
+        sub = broker.subscribe("x")
+        t0 = time.monotonic()
+        assert sub.get(timeout=0.05) is None
+        assert time.monotonic() - t0 >= 0.04

@@ -1,0 +1,135 @@
+"""Tests for the partition log."""
+
+import threading
+import time
+
+import pytest
+
+from repro.broker import OffsetOutOfRangeError, PartitionLog
+
+
+@pytest.fixture
+def log():
+    return PartitionLog("t", 0)
+
+
+class TestAppend:
+    def test_offsets_are_sequential(self, log):
+        records = [log.append(b"x") for _ in range(5)]
+        assert [r.offset for r in records] == [0, 1, 2, 3, 4]
+
+    def test_record_carries_identity(self, log):
+        r = log.append(b"payload", key=b"k", headers={"h": 1})
+        assert r.topic == "t"
+        assert r.partition == 0
+        assert r.value == b"payload"
+        assert r.key == b"k"
+        assert r.headers == {"h": 1}
+
+    def test_timestamps_stamped(self, log):
+        r = log.append(b"x")
+        assert r.append_ts > 0
+        assert r.produce_ts > 0
+        assert r.append_ts >= r.produce_ts or abs(r.append_ts - r.produce_ts) < 0.01
+
+    def test_explicit_produce_ts_preserved(self, log):
+        r = log.append(b"x", produce_ts=123.0)
+        assert r.produce_ts == 123.0
+
+    def test_counters(self, log):
+        log.append(b"abc")
+        log.append(b"de")
+        assert log.total_appended == 2
+        assert log.total_bytes_in == 5
+
+
+class TestFetch:
+    def test_fetch_from_start(self, log):
+        for i in range(3):
+            log.append(bytes([i]))
+        records = log.fetch(0, max_records=10)
+        assert [r.value for r in records] == [b"\x00", b"\x01", b"\x02"]
+
+    def test_fetch_respects_max_records(self, log):
+        for i in range(10):
+            log.append(b"x")
+        assert len(log.fetch(0, max_records=4)) == 4
+
+    def test_fetch_from_middle(self, log):
+        for i in range(5):
+            log.append(bytes([i]))
+        records = log.fetch(3)
+        assert [r.offset for r in records] == [3, 4]
+
+    def test_fetch_at_head_returns_empty(self, log):
+        log.append(b"x")
+        assert log.fetch(1) == []
+
+    def test_fetch_beyond_head_raises(self, log):
+        log.append(b"x")
+        with pytest.raises(OffsetOutOfRangeError):
+            log.fetch(5)
+
+    def test_blocking_fetch_wakes_on_append(self, log):
+        result = []
+
+        def consume():
+            result.extend(log.fetch(0, timeout=5.0))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.05)
+        log.append(b"wake")
+        t.join(timeout=5.0)
+        assert len(result) == 1
+        assert result[0].value == b"wake"
+
+    def test_blocking_fetch_times_out(self, log):
+        t0 = time.monotonic()
+        assert log.fetch(0, timeout=0.05) == []
+        assert time.monotonic() - t0 >= 0.04
+
+
+class TestRetention:
+    def test_unlimited_by_default(self, log):
+        for _ in range(100):
+            log.append(b"x" * 100)
+        assert len(log) == 100
+        assert log.earliest_offset == 0
+
+    def test_size_based_eviction(self):
+        log = PartitionLog("t", 0, retention_bytes=250)
+        for i in range(10):
+            log.append(b"x" * 100)
+        assert log.size_bytes <= 250
+        assert log.earliest_offset > 0
+        # Head offset is unaffected by retention.
+        assert log.latest_offset == 10
+
+    def test_fetch_below_retention_floor_raises(self):
+        log = PartitionLog("t", 0, retention_bytes=150)
+        for _ in range(5):
+            log.append(b"x" * 100)
+        with pytest.raises(OffsetOutOfRangeError):
+            log.fetch(0)
+
+    def test_keeps_at_least_one_record(self):
+        log = PartitionLog("t", 0, retention_bytes=10)
+        log.append(b"x" * 100)
+        assert len(log) == 1
+
+
+class TestConcurrency:
+    def test_concurrent_appends_assign_unique_offsets(self, log):
+        def produce():
+            for _ in range(200):
+                log.append(b"x")
+
+        threads = [threading.Thread(target=produce) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.latest_offset == 800
+        offsets = [r.offset for r in log.fetch(0, max_records=800)]
+        assert offsets == sorted(set(offsets))

@@ -1,0 +1,150 @@
+"""Tests for the TCP broker transport."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.broker import BlockSerde, Broker, Consumer, Producer
+from repro.broker.remote import BrokerServer, RemoteBroker, RemoteBrokerError
+
+
+@pytest.fixture
+def server():
+    with BrokerServer() as srv:
+        yield srv
+
+
+@pytest.fixture
+def remote(server):
+    with RemoteBroker(server.host, server.port) as rb:
+        yield rb
+
+
+class TestTransport:
+    def test_create_and_list_topics(self, remote):
+        remote.create_topic("t", 3)
+        assert remote.list_topics() == ["t"]
+        assert remote.topic("t").num_partitions == 3
+
+    def test_append_fetch_roundtrip(self, remote):
+        remote.create_topic("t", 1)
+        md = remote.append("t", 0, b"payload", key=b"k", headers={"h": 1})
+        assert md.offset == 0
+        [record] = remote.fetch("t", 0, 0)
+        assert record.value == b"payload"
+        assert record.key == b"k"
+        assert record.headers == {"h": 1}
+
+    def test_binary_safety(self, remote):
+        remote.create_topic("t", 1)
+        payload = bytes(range(256)) * 4
+        remote.append("t", 0, payload)
+        [record] = remote.fetch("t", 0, 0)
+        assert record.value == payload
+
+    def test_offsets(self, remote):
+        remote.create_topic("t", 1)
+        remote.append("t", 0, b"x")
+        assert remote.earliest_offset("t", 0) == 0
+        assert remote.latest_offset("t", 0) == 1
+
+    def test_commits(self, remote):
+        remote.create_topic("t", 1)
+        remote.commit_offset("g", "t", 0, 7)
+        assert remote.committed_offset("g", "t", 0) == 7
+        assert remote.committed_offset("other", "t", 0) is None
+
+    def test_server_errors_propagate(self, remote):
+        with pytest.raises(RemoteBrokerError, match="UnknownTopicError"):
+            remote.fetch("missing", 0, 0)
+
+    def test_blocking_fetch_over_the_wire(self, remote, server):
+        remote.create_topic("t", 1)
+        results = []
+
+        def consume():
+            with RemoteBroker(server.host, server.port) as rb:
+                results.extend(rb.fetch("t", 0, 0, timeout=5.0))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        remote.append("t", 0, b"wake")
+        t.join(timeout=10)
+        assert len(results) == 1
+
+    def test_stats_roundtrip(self, remote):
+        remote.create_topic("t", 1)
+        remote.append("t", 0, b"abc")
+        stats = remote.stats()
+        assert stats["topics"]["t"]["records_in"] == 1
+
+
+class TestClientsOverRemote:
+    def test_producer_works_unchanged(self, remote):
+        remote.create_topic("t", 2)
+        producer = Producer(remote)
+        md = producer.send("t", b"v", partition=1)
+        assert md.partition == 1
+        assert producer.records_sent == 1
+
+    def test_block_serde_over_the_wire(self, remote):
+        remote.create_topic("t", 1)
+        block = np.arange(20.0).reshape(4, 5)
+        Producer(remote, serde=BlockSerde()).send("t", block, partition=0)
+        consumer = Consumer(remote, serde=BlockSerde())
+        consumer.assign([("t", 0)])
+        [decoded] = consumer.poll_values()
+        np.testing.assert_array_equal(decoded, block)
+
+    def test_consumer_group_over_remote(self, server):
+        # Two separate connections (as two processes would have).
+        with RemoteBroker(server.host, server.port) as admin:
+            admin.create_topic("t", 4)
+            producer = Producer(admin)
+            for i in range(8):
+                producer.send("t", bytes([i]), partition=i % 4)
+        with RemoteBroker(server.host, server.port) as conn1, RemoteBroker(
+            server.host, server.port
+        ) as conn2:
+            c1 = Consumer(conn1, group_id="g")
+            c1.subscribe("t")
+            c2 = Consumer(conn2, group_id="g")
+            c2.subscribe("t")
+            seen = []
+            for _ in range(8):
+                seen.extend(r.value for r in c1.poll(max_records=16))
+                seen.extend(r.value for r in c2.poll(max_records=16))
+            assert sorted(seen) == [bytes([i]) for i in range(8)]
+            # Rebalanced split: two partitions each.
+            assert len(c1.assignment) == 2
+            assert len(c2.assignment) == 2
+
+    def test_commit_resume_over_remote(self, server):
+        with RemoteBroker(server.host, server.port) as conn:
+            conn.create_topic("t", 1)
+            producer = Producer(conn)
+            for i in range(6):
+                producer.send("t", bytes([i]), partition=0)
+            c1 = Consumer(conn, group_id="g")
+            c1.subscribe("t")
+            c1.poll(max_records=3)
+            c1.commit()
+            c1.close()
+        with RemoteBroker(server.host, server.port) as conn:
+            c2 = Consumer(conn, group_id="g")
+            c2.subscribe("t")
+            records = c2.poll(max_records=10)
+            assert [r.offset for r in records] == [3, 4, 5]
+
+    def test_shared_server_backed_by_real_broker(self):
+        backing = Broker(name="shared")
+        with BrokerServer(broker=backing) as server:
+            with RemoteBroker(server.host, server.port) as remote:
+                remote.create_topic("t", 1)
+                remote.append("t", 0, b"x")
+            # The in-process view sees the remote writes.
+            assert backing.topic("t").total_appended == 1

@@ -1,0 +1,81 @@
+"""Tests for the task graph."""
+
+import pytest
+
+from repro.compute import GraphError, Task, TaskGraph
+
+
+def make_task():
+    return Task(fn=lambda: None)
+
+
+class TestTaskGraph:
+    def test_add_and_contains(self):
+        g = TaskGraph()
+        tid = g.add_task(make_task())
+        assert tid in g
+        assert len(g) == 1
+
+    def test_duplicate_id_rejected(self):
+        g = TaskGraph()
+        task = make_task()
+        g.add_task(task)
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_task(task)
+
+    def test_unknown_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError, match="unknown dependency"):
+            g.add_task(make_task(), depends_on=["ghost"])
+
+    def test_roots(self):
+        g = TaskGraph()
+        a = g.add_task(make_task())
+        b = g.add_task(make_task(), depends_on=[a])
+        assert g.roots() == [a]
+
+    def test_dependencies_and_dependents(self):
+        g = TaskGraph()
+        a = g.add_task(make_task())
+        b = g.add_task(make_task(), depends_on=[a])
+        assert g.dependencies(b) == {a}
+        assert g.dependents(a) == {b}
+
+    def test_topological_order(self):
+        g = TaskGraph()
+        a = g.add_task(make_task())
+        b = g.add_task(make_task(), depends_on=[a])
+        c = g.add_task(make_task(), depends_on=[a])
+        d = g.add_task(make_task(), depends_on=[b, c])
+        order = g.topological_order()
+        assert order.index(a) < order.index(b) < order.index(d)
+        assert order.index(a) < order.index(c) < order.index(d)
+
+    def test_diamond_has_all_nodes_once(self):
+        g = TaskGraph()
+        ids = [g.add_task(make_task()) for _ in range(3)]
+        g.add_task(make_task(), depends_on=ids)
+        order = g.topological_order()
+        assert len(order) == 4
+        assert len(set(order)) == 4
+
+    def test_unknown_task_lookup(self):
+        with pytest.raises(GraphError):
+            TaskGraph().task("ghost")
+
+    def test_validate_passes_for_dag(self):
+        g = TaskGraph()
+        a = g.add_task(make_task())
+        g.add_task(make_task(), depends_on=[a])
+        g.validate()  # no exception
+
+    def test_cycle_detected(self):
+        # Cycles cannot be constructed via the public API (dependencies
+        # must pre-exist), so inject one directly to test Kahn's check.
+        g = TaskGraph()
+        a = g.add_task(make_task())
+        b = g.add_task(make_task(), depends_on=[a])
+        g._deps[a].add(b)
+        g._dependents[b].add(a)
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()

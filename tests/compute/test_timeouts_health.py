@@ -1,0 +1,130 @@
+"""Tests for soft task timeouts and worker health checks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.compute import (
+    ResourceSpec,
+    Scheduler,
+    Task,
+    TaskError,
+    Worker,
+)
+
+
+@pytest.fixture
+def sched():
+    s = Scheduler()
+    s.add_worker(Worker(capacity=ResourceSpec(cores=2, memory_gb=2)))
+    yield s
+    s.stop_watchdog()
+    for w in s.workers:
+        s.remove_worker(w.worker_id)
+
+
+class TestSoftTimeouts:
+    def test_timeout_rejects_future(self, sched):
+        release = threading.Event()
+        f = sched.submit(Task(fn=lambda: release.wait(5), timeout=0.05))
+        with pytest.raises(TaskError) as exc_info:
+            f.result(timeout=5)
+        assert isinstance(exc_info.value.cause, TimeoutError)
+        release.set()
+        assert sched.tasks_timed_out == 1
+
+    def test_fast_task_unaffected(self, sched):
+        f = sched.submit(Task(fn=lambda: "quick", timeout=5.0))
+        assert f.result(timeout=5) == "quick"
+        assert sched.tasks_timed_out == 0
+
+    def test_late_result_discarded(self, sched):
+        release = threading.Event()
+
+        def slow():
+            release.wait(5)
+            return "late"
+
+        f = sched.submit(Task(fn=slow, timeout=0.05))
+        with pytest.raises(TaskError):
+            f.result(timeout=5)
+        release.set()
+        time.sleep(0.05)  # let the body finish
+        # The future stays rejected; the late result does not overwrite it.
+        with pytest.raises(TaskError):
+            f.result(timeout=1)
+
+    def test_worker_usable_after_timeout(self, sched):
+        release = threading.Event()
+        f1 = sched.submit(
+            Task(fn=lambda: release.wait(5), timeout=0.05,
+                 resources=ResourceSpec(cores=1, memory_gb=1))
+        )
+        with pytest.raises(TaskError):
+            f1.result(timeout=5)
+        # The second core still serves tasks while the first is wedged.
+        f2 = sched.submit(
+            Task(fn=lambda: "alive", resources=ResourceSpec(cores=1, memory_gb=1))
+        )
+        assert f2.result(timeout=5) == "alive"
+        release.set()
+
+    def test_zero_timeout_means_none(self, sched):
+        f = sched.submit(Task(fn=lambda: time.sleep(0.05) or "done", timeout=0.0))
+        assert f.result(timeout=5) == "done"
+
+    def test_negative_timeout_rejected(self):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            Task(fn=lambda: None, timeout=-1.0)
+
+
+class TestWorkerHealth:
+    def test_idle_worker_is_healthy(self, sched):
+        assert len(sched.healthy_workers()) == 1
+
+    def test_running_tasks_tracked(self, sched):
+        release = threading.Event()
+        started = threading.Event()
+
+        def body():
+            started.set()
+            release.wait(5)
+
+        sched.submit(Task(fn=body, resources=ResourceSpec(cores=1, memory_gb=1)))
+        assert started.wait(timeout=5)
+        worker = sched.workers[0]
+        assert len(worker.running_tasks()) == 1
+        release.set()
+        deadline = time.monotonic() + 5
+        while worker.running_tasks() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert worker.running_tasks() == []
+
+    def test_wedged_worker_flagged(self, sched):
+        release = threading.Event()
+        started = threading.Event()
+
+        def wedge():
+            started.set()
+            release.wait(5)
+
+        sched.submit(Task(fn=wedge, resources=ResourceSpec(cores=2, memory_gb=1)))
+        assert started.wait(timeout=5)
+        time.sleep(0.03)
+        # With a tiny heartbeat age, the busy worker shows as unhealthy.
+        assert sched.healthy_workers(max_heartbeat_age=0.01) == []
+        release.set()
+
+    def test_dead_worker_not_healthy(self, sched):
+        sched.workers[0].kill()
+        assert sched.healthy_workers() == []
+
+    def test_heartbeat_advances_with_activity(self, sched):
+        worker = sched.workers[0]
+        before = worker.last_heartbeat
+        sched.submit(Task(fn=lambda: None)).result(timeout=5)
+        time.sleep(0.02)
+        assert worker.last_heartbeat > before

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One registered profile for the whole suite: generous deadlines so
+# property tests that touch threads or numpy warm-up never flake.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.broker import Broker
+from repro.compute import ComputeCluster, ResourceSpec
+from repro.data import DataBlockGenerator, GeneratorConfig
+from repro.params import ParameterServer
+from repro.pilot import PilotComputeService
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_block(rng):
+    """A 100x8 data block."""
+    return rng.normal(size=(100, 8))
+
+
+@pytest.fixture
+def labeled_block():
+    """A realistic (block, labels) pair with 5% outliers."""
+    gen = DataBlockGenerator(
+        GeneratorConfig(points=500, features=16, outlier_fraction=0.05, seed=9)
+    )
+    return gen.next_block(with_labels=True)
+
+
+@pytest.fixture
+def broker():
+    return Broker(name="test-broker")
+
+
+@pytest.fixture
+def param_server():
+    return ParameterServer(name="test-params")
+
+
+@pytest.fixture
+def small_cluster():
+    cluster = ComputeCluster(
+        n_workers=2, worker_resources=ResourceSpec(cores=2, memory_gb=4), name="test-cluster"
+    )
+    yield cluster
+    cluster.close()
+
+
+@pytest.fixture
+def pilot_service():
+    service = PilotComputeService(time_scale=0.0)
+    yield service
+    service.close()
+
+
+@pytest.fixture
+def running_pilots(pilot_service):
+    """A (edge, cloud) pilot pair, both RUNNING."""
+    from repro.pilot import PilotDescription
+
+    edge = pilot_service.submit_pilot(
+        PilotDescription(
+            resource="ssh", site="edge-site", nodes=2, node_spec=ResourceSpec(cores=1, memory_gb=4)
+        )
+    )
+    cloud = pilot_service.submit_pilot(
+        PilotDescription(resource="cloud", site="cloud-site", instance_type="lrz.large")
+    )
+    assert pilot_service.wait_all(timeout=10)
+    return edge, cloud

@@ -1,0 +1,160 @@
+"""Edge-case behaviour of the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeToCloudPipeline,
+    PipelineConfig,
+    make_block_producer,
+    passthrough_processor,
+)
+
+
+def build(running_pilots, produce=None, process=None, **cfg):
+    edge, cloud = running_pilots
+    defaults = dict(num_devices=1, messages_per_device=6, max_duration=30.0)
+    defaults.update(cfg)
+    return EdgeToCloudPipeline(
+        pilot_edge=edge,
+        pilot_cloud_processing=cloud,
+        produce_function_handler=produce
+        or make_block_producer(points=20, features=4, clusters=2),
+        process_cloud_function_handler=process or passthrough_processor,
+        config=PipelineConfig(**defaults),
+    )
+
+
+class TestProducerBehaviour:
+    def test_producer_returning_none_stops_device_early(self, running_pilots):
+        state = {"count": 0}
+
+        def finite_producer(context):
+            state["count"] += 1
+            if state["count"] > 3:
+                return None  # sensor went quiet
+            return np.ones((5, 2))
+
+        pipeline = build(
+            running_pilots, produce=finite_producer, messages_per_device=100,
+            max_duration=5.0,
+        )
+        result = pipeline.run()
+        # The run cannot complete (fewer messages than expected) but must
+        # terminate at the deadline with the 3 real messages processed.
+        assert result.report.messages == 3
+
+    def test_producer_exception_recorded(self, running_pilots):
+        def exploding_producer(context):
+            raise RuntimeError("sensor failure")
+
+        pipeline = build(
+            running_pilots, produce=exploding_producer, max_duration=3.0
+        )
+        result = pipeline.run()
+        assert not result.completed
+        assert any("producer" in e for e in result.errors)
+
+    def test_static_policies_never_probe(self, running_pilots):
+        # With the default (static) placement, the producer is called
+        # exactly once per message — no hidden probe call.
+        state = {"calls": 0}
+
+        def counting_producer(context):
+            state["calls"] += 1
+            return np.ones((5, 2))
+
+        pipeline = build(running_pilots, produce=counting_producer, messages_per_device=4)
+        result = pipeline.run()
+        assert result.completed
+        assert state["calls"] == 4
+
+    def test_cost_policy_probe_failure_tolerated(self, running_pilots):
+        # Cost-based placement probes the producer once; a cold-start
+        # failure in the probe must not break pipeline startup.
+        from repro.core import CostBasedPlacement
+        from repro.netem import LAN, ContinuumTopology
+
+        topo = ContinuumTopology(time_scale=0.0)
+        topo.add_site("edge-site", tier="edge")
+        topo.add_site("cloud-site", tier="cloud")
+        topo.connect("edge-site", "cloud-site", LAN)
+        state = {"calls": 0}
+
+        def moody_producer(context):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise RuntimeError("cold start")
+            return np.ones((5, 2))
+
+        edge, cloud = running_pilots
+        pipeline = EdgeToCloudPipeline(
+            pilot_edge=edge,
+            pilot_cloud_processing=cloud,
+            produce_function_handler=moody_producer,
+            process_cloud_function_handler=passthrough_processor,
+            config=PipelineConfig(num_devices=1, messages_per_device=4, max_duration=30.0),
+            placement=CostBasedPlacement(),
+            topology=topo,
+        )
+        result = pipeline.run()
+        assert result.completed
+
+
+class TestConsumerRatios:
+    def test_more_consumers_than_partitions(self, running_pilots):
+        # Extra consumers idle (no partition assigned) but must not hang
+        # the run or steal messages.
+        pipeline = build(
+            running_pilots, num_devices=1, num_consumers=3, messages_per_device=6
+        )
+        result = pipeline.run()
+        assert result.completed
+        assert result.report.messages == 6
+
+    def test_single_consumer_many_partitions(self, running_pilots):
+        pipeline = build(
+            running_pilots, num_devices=2, num_consumers=1, messages_per_device=5
+        )
+        result = pipeline.run()
+        assert result.completed
+        assert result.report.messages == 10
+        partitions = {t.partition for t in pipeline.collector.traces(complete_only=True)}
+        assert partitions == {0, 1}
+
+
+class TestResultBuffer:
+    def test_keep_results_bounds_memory(self, running_pilots):
+        pipeline = build(
+            running_pilots, messages_per_device=12, keep_results=4
+        )
+        result = pipeline.run()
+        assert result.completed
+        assert len(result.results) == 4  # only the last 4 retained
+
+    def test_custom_topic_name(self, running_pilots):
+        pipeline = build(running_pilots, topic="my-sensors")
+        result = pipeline.run()
+        assert result.completed
+        assert "my-sensors" in result.broker_stats["topics"]
+
+
+class TestRunIdPropagation:
+    def test_message_ids_carry_run_id(self, running_pilots):
+        pipeline = build(running_pilots)
+        pipeline.run()
+        for trace in pipeline.collector.traces():
+            assert trace.message_id.startswith(pipeline.run_id)
+
+    def test_explicit_run_id(self, running_pilots):
+        edge, cloud = running_pilots
+        pipeline = EdgeToCloudPipeline(
+            pilot_edge=edge,
+            pilot_cloud_processing=cloud,
+            produce_function_handler=make_block_producer(points=10, features=2, clusters=2),
+            process_cloud_function_handler=passthrough_processor,
+            config=PipelineConfig(num_devices=1, messages_per_device=2),
+            run_id="run-custom-001",
+        )
+        result = pipeline.run()
+        assert result.run_id == "run-custom-001"

@@ -1,0 +1,105 @@
+"""Tests for placement policies."""
+
+import pytest
+
+from repro.core import (
+    CloudCentricPlacement,
+    CostBasedPlacement,
+    EdgeCentricPlacement,
+    HybridPlacement,
+)
+from repro.netem import LAN, TRANSATLANTIC, ContinuumTopology
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def topo():
+    t = ContinuumTopology(time_scale=0.0)
+    t.add_site("edge", tier="edge")
+    t.add_site("cloud", tier="cloud")
+    t.connect("edge", "cloud", TRANSATLANTIC)
+    return t
+
+
+@pytest.fixture
+def lan_topo():
+    t = ContinuumTopology(time_scale=0.0)
+    t.add_site("edge", tier="edge")
+    t.add_site("cloud", tier="cloud")
+    t.connect("edge", "cloud", LAN)
+    return t
+
+
+class TestStaticPolicies:
+    def test_cloud_centric(self):
+        d = CloudCentricPlacement().decide(1000, "edge", "cloud")
+        assert d.processing_tier == "cloud"
+        assert not d.edge_preprocess
+
+    def test_edge_centric(self):
+        d = EdgeCentricPlacement().decide(1000, "edge", "cloud")
+        assert d.processing_tier == "edge"
+        assert d.edge_preprocess
+
+    def test_hybrid(self):
+        d = HybridPlacement().decide(1000, "edge", "cloud")
+        assert d.processing_tier == "cloud"
+        assert d.edge_preprocess
+
+
+class TestCostBasedPlacement:
+    def test_requires_topology(self):
+        with pytest.raises(ValidationError):
+            CostBasedPlacement().decide(1000, "edge", "cloud", topology=None)
+
+    def test_cloud_wins_on_fast_link_slow_edge(self, lan_topo):
+        d = CostBasedPlacement().decide(
+            2_560_000,
+            "edge",
+            "cloud",
+            topology=lan_topo,
+            edge_compute_s=1.0,       # weak edge device
+            cloud_compute_s=0.01,
+        )
+        assert d.processing_tier == "cloud"
+        assert not d.edge_preprocess
+
+    def test_edge_wins_on_slow_link_cheap_compute(self, topo):
+        d = CostBasedPlacement().decide(
+            2_560_000,                 # 2.6 MB over 80 Mbit/s = ~260 ms
+            "edge",
+            "cloud",
+            topology=topo,
+            edge_compute_s=0.02,       # k-means is cheap enough for the edge
+            cloud_compute_s=0.02,
+        )
+        assert d.processing_tier == "edge"
+
+    def test_hybrid_wins_with_good_compression(self, topo):
+        policy = CostBasedPlacement(edge_preprocess_s=0.005)
+        d = policy.decide(
+            2_560_000,
+            "edge",
+            "cloud",
+            topology=topo,
+            edge_compute_s=5.0,         # heavy model can't run on device
+            cloud_compute_s=0.05,
+            compression_ratio=0.1,      # compression shrinks transfer 10x
+        )
+        assert d.processing_tier == "cloud"
+        assert d.edge_preprocess
+
+    def test_rationale_mentions_candidates(self, topo):
+        d = CostBasedPlacement().decide(
+            1000, "edge", "cloud", topology=topo, edge_compute_s=0.001
+        )
+        assert "cloud-centric" in d.rationale
+        assert "hybrid" in d.rationale
+        assert "edge-centric" in d.rationale
+
+    def test_estimated_cost_positive(self, topo):
+        d = CostBasedPlacement().decide(
+            1_000_000, "edge", "cloud", topology=topo,
+            edge_compute_s=10.0, cloud_compute_s=0.1,
+        )
+        assert d.estimated_cost_s > 0

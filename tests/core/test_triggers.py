@@ -1,0 +1,142 @@
+"""Tests for event-driven task triggers."""
+
+import threading
+import time
+
+import pytest
+
+from repro.broker import Broker, Producer
+from repro.compute import ResourceSpec
+from repro.core.triggers import DataTrigger
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def topic_broker():
+    broker = Broker()
+    broker.create_topic("events", 2)
+    return broker
+
+
+class TestDataTrigger:
+    def test_fires_on_arrival(self, topic_broker, small_cluster):
+        seen = []
+        lock = threading.Lock()
+
+        def handler(records):
+            with lock:
+                seen.extend(r.value for r in records)
+
+        with DataTrigger(topic_broker, "events", small_cluster, handler,
+                         poll_timeout=0.02) as trigger:
+            producer = Producer(topic_broker)
+            for i in range(5):
+                producer.send("events", bytes([i]), partition=i % 2)
+            assert trigger.wait_for_invocations(1, timeout=10)
+            deadline = time.monotonic() + 10
+            while len(seen) < 5 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert sorted(seen) == [bytes([i]) for i in range(5)]
+        assert trigger.records_dispatched == 5
+
+    def test_no_arrivals_no_invocations(self, topic_broker, small_cluster):
+        with DataTrigger(topic_broker, "events", small_cluster,
+                         lambda r: None, poll_timeout=0.02) as trigger:
+            time.sleep(0.08)
+        assert trigger.invocations == 0
+
+    def test_handler_runs_on_cluster(self, topic_broker, small_cluster):
+        thread_names = []
+
+        def handler(records):
+            thread_names.append(threading.current_thread().name)
+
+        with DataTrigger(topic_broker, "events", small_cluster, handler,
+                         poll_timeout=0.02) as trigger:
+            Producer(topic_broker).send("events", b"x", partition=0)
+            trigger.wait_for_invocations(1, timeout=10)
+            for f in trigger.pending_futures():
+                f.result(timeout=10)
+        assert thread_names
+        assert all("test-cluster" in name for name in thread_names)
+
+    def test_batching_respected(self, topic_broker, small_cluster):
+        batch_sizes = []
+        lock = threading.Lock()
+
+        def handler(records):
+            with lock:
+                batch_sizes.append(len(records))
+
+        producer = Producer(topic_broker)
+        for i in range(10):
+            producer.send("events", b"x", partition=0)
+        with DataTrigger(topic_broker, "events", small_cluster, handler,
+                         batch_size=4, poll_timeout=0.02) as trigger:
+            deadline = time.monotonic() + 10
+            while sum(batch_sizes) < 10 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert sum(batch_sizes) == 10
+        assert max(batch_sizes) <= 4
+
+    def test_handler_errors_surfaced_in_futures(self, topic_broker, small_cluster):
+        def bad_handler(records):
+            raise RuntimeError("handler exploded")
+
+        with DataTrigger(topic_broker, "events", small_cluster, bad_handler,
+                         poll_timeout=0.02) as trigger:
+            Producer(topic_broker).send("events", b"x", partition=0)
+            trigger.wait_for_invocations(1, timeout=10)
+        futures = trigger.pending_futures()
+        assert futures
+        from repro.compute import TaskError
+
+        with pytest.raises(TaskError):
+            futures[0].result(timeout=10)
+
+    def test_unknown_topic_rejected(self, topic_broker, small_cluster):
+        trigger = DataTrigger(topic_broker, "missing", small_cluster, lambda r: None)
+        from repro.broker import UnknownTopicError
+
+        with pytest.raises(UnknownTopicError):
+            trigger.start()
+
+    def test_double_start_rejected(self, topic_broker, small_cluster):
+        trigger = DataTrigger(topic_broker, "events", small_cluster, lambda r: None)
+        trigger.start()
+        try:
+            with pytest.raises(RuntimeError):
+                trigger.start()
+        finally:
+            trigger.stop()
+
+    def test_invalid_handler(self, topic_broker, small_cluster):
+        with pytest.raises(ValidationError):
+            DataTrigger(topic_broker, "events", small_cluster, handler=None)
+
+    def test_two_triggers_both_observe(self, topic_broker, small_cluster):
+        counts = {"a": 0, "b": 0}
+        lock = threading.Lock()
+
+        def make_handler(tag):
+            def handler(records):
+                with lock:
+                    counts[tag] += len(records)
+            return handler
+
+        t1 = DataTrigger(topic_broker, "events", small_cluster,
+                         make_handler("a"), poll_timeout=0.02).start()
+        t2 = DataTrigger(topic_broker, "events", small_cluster,
+                         make_handler("b"), poll_timeout=0.02).start()
+        try:
+            producer = Producer(topic_broker)
+            for i in range(4):
+                producer.send("events", b"x", partition=i % 2)
+            deadline = time.monotonic() + 10
+            while (counts["a"] < 4 or counts["b"] < 4) and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            t1.stop()
+            t2.stop()
+        # Independent consumer groups: each trigger saw every record.
+        assert counts == {"a": 4, "b": 4}

@@ -1,0 +1,166 @@
+"""Tests for windowed edge operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import (
+    TumblingWindow,
+    compose_edge_processors,
+    make_aggregating_edge_processor,
+    make_threshold_filter,
+    make_windowed_edge_processor,
+)
+from repro.util.validation import ValidationError
+
+
+class TestTumblingWindow:
+    def test_emits_every_size_blocks(self):
+        w = TumblingWindow(3)
+        assert w.add(np.ones((2, 2))) is None
+        assert w.add(np.ones((2, 2))) is None
+        out = w.add(np.ones((2, 2)))
+        assert out.shape == (6, 2)
+        assert w.windows_emitted == 1
+
+    def test_window_resets_after_emit(self):
+        w = TumblingWindow(2)
+        w.add(np.ones((1, 2)))
+        w.add(np.ones((1, 2)))
+        assert w.pending == 0
+        assert w.add(np.ones((1, 2))) is None
+
+    def test_flush_partial(self):
+        w = TumblingWindow(5)
+        w.add(np.ones((2, 3)))
+        out = w.flush()
+        assert out.shape == (2, 3)
+        assert w.flush() is None
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            TumblingWindow(2).add(np.ones(3))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            TumblingWindow(0)
+
+
+class TestAggregatingProcessor:
+    def test_reduces_to_stat_rows(self, small_block):
+        agg = make_aggregating_edge_processor(("mean", "min", "max"))
+        out = agg({}, small_block)
+        assert out.shape == (3, small_block.shape[1])
+        np.testing.assert_allclose(out[0], small_block.mean(axis=0))
+        np.testing.assert_allclose(out[1], small_block.min(axis=0))
+        np.testing.assert_allclose(out[2], small_block.max(axis=0))
+
+    def test_unknown_stat_rejected(self):
+        with pytest.raises(ValidationError, match="unknown statistic"):
+            make_aggregating_edge_processor(("mode",))
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(ValidationError):
+            make_aggregating_edge_processor(())
+
+    def test_median(self):
+        agg = make_aggregating_edge_processor(("median",))
+        block = np.array([[1.0], [2.0], [9.0]])
+        np.testing.assert_array_equal(agg({}, block), [[2.0]])
+
+
+class TestThresholdFilter:
+    def test_keeps_rows_above(self):
+        filt = make_threshold_filter(feature=0, threshold=0.5)
+        block = np.array([[0.1, 1], [0.9, 2], [0.6, 3]])
+        out = filt({}, block)
+        np.testing.assert_array_equal(out[:, 1], [2, 3])
+
+    def test_keep_below(self):
+        filt = make_threshold_filter(feature=0, threshold=0.5, keep_above=False)
+        block = np.array([[0.1, 1], [0.9, 2]])
+        out = filt({}, block)
+        np.testing.assert_array_equal(out[:, 1], [1])
+
+    def test_none_when_nothing_qualifies(self):
+        filt = make_threshold_filter(feature=0, threshold=100.0)
+        assert filt({}, np.zeros((5, 2))) is None
+
+    def test_feature_out_of_range(self):
+        filt = make_threshold_filter(feature=9, threshold=0.0)
+        with pytest.raises(ValidationError, match="out of range"):
+            filt({}, np.zeros((2, 2)))
+
+    def test_negative_feature_rejected(self):
+        with pytest.raises(ValidationError):
+            make_threshold_filter(feature=-1, threshold=0.0)
+
+
+class TestWindowedProcessor:
+    def test_absorbs_until_window_full(self):
+        proc = make_windowed_edge_processor(window_size=2)
+        assert proc({}, np.ones((3, 2))) is None
+        out = proc({}, np.ones((3, 2)))
+        assert out.shape == (6, 2)
+
+    def test_inner_applied_on_window(self):
+        agg = make_aggregating_edge_processor(("mean",))
+        proc = make_windowed_edge_processor(window_size=2, inner=agg)
+        proc({}, np.full((2, 2), 1.0))
+        out = proc({}, np.full((2, 2), 3.0))
+        np.testing.assert_allclose(out, [[2.0, 2.0]])
+
+
+class TestComposition:
+    def test_chain_applies_in_order(self):
+        filt = make_threshold_filter(feature=0, threshold=0.0)
+        agg = make_aggregating_edge_processor(("mean",))
+        chain = compose_edge_processors(filt, agg)
+        block = np.array([[-1.0, 0.0], [2.0, 4.0], [4.0, 8.0]])
+        out = chain({}, block)
+        np.testing.assert_allclose(out, [[3.0, 6.0]])
+
+    def test_none_short_circuits(self):
+        filt = make_threshold_filter(feature=0, threshold=100.0)
+        exploded = {"called": False}
+
+        def boom(context, data):
+            exploded["called"] = True
+            return data
+
+        chain = compose_edge_processors(filt, boom)
+        assert chain({}, np.zeros((2, 2))) is None
+        assert not exploded["called"]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_edge_processors()
+
+
+class TestPipelineIntegration:
+    def test_windowed_edge_function_in_pipeline(self, running_pilots):
+        from repro.core import (
+            EdgeToCloudPipeline,
+            HybridPlacement,
+            PipelineConfig,
+            make_block_producer,
+            passthrough_processor,
+        )
+
+        edge, cloud = running_pilots
+        pipeline = EdgeToCloudPipeline(
+            pilot_edge=edge,
+            pilot_cloud_processing=cloud,
+            produce_function_handler=make_block_producer(points=10, features=4, clusters=2),
+            process_edge_function_handler=make_windowed_edge_processor(window_size=4),
+            process_cloud_function_handler=passthrough_processor,
+            placement=HybridPlacement(),
+            config=PipelineConfig(num_devices=1, messages_per_device=8, max_duration=30.0),
+        )
+        result = pipeline.run()
+        assert result.completed
+        # 8 produced blocks -> 2 windows of 4 forwarded; 6 absorbed.
+        absorbed = pipeline.collector.counter("messages_absorbed_at_edge")
+        assert absorbed == 6
+        assert result.report.messages == 2
+        # The forwarded windows carry 4x the rows.
+        assert all(r["points"] == 40 for r in result.results)

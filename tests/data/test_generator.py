@@ -1,0 +1,90 @@
+"""Tests for the Mini-App data generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataBlockGenerator, GeneratorConfig
+from repro.util.validation import ValidationError
+
+
+class TestGeneratorConfig:
+    def test_defaults_match_paper(self):
+        cfg = GeneratorConfig()
+        assert cfg.features == 32
+        assert cfg.clusters == 25
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(ValidationError):
+            GeneratorConfig(points=0)
+
+    def test_rejects_excess_outlier_fraction(self):
+        with pytest.raises(ValidationError):
+            GeneratorConfig(outlier_fraction=0.6)
+
+    def test_rejects_more_clusters_than_points(self):
+        with pytest.raises(ValidationError):
+            GeneratorConfig(points=10, clusters=20)
+
+
+class TestDataBlockGenerator:
+    def test_block_shape(self):
+        gen = DataBlockGenerator(GeneratorConfig(points=100, features=8))
+        assert gen.next_block().shape == (100, 8)
+
+    def test_deterministic_given_seed(self):
+        a = DataBlockGenerator(GeneratorConfig(seed=5, points=50)).next_block()
+        b = DataBlockGenerator(GeneratorConfig(seed=5, points=50)).next_block()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = DataBlockGenerator(GeneratorConfig(seed=1, points=50)).next_block()
+        b = DataBlockGenerator(GeneratorConfig(seed=2, points=50)).next_block()
+        assert not np.array_equal(a, b)
+
+    def test_blocks_vary_within_stream(self):
+        gen = DataBlockGenerator(GeneratorConfig(points=50))
+        assert not np.array_equal(gen.next_block(), gen.next_block())
+
+    def test_labels_mark_outliers(self):
+        gen = DataBlockGenerator(
+            GeneratorConfig(points=1000, outlier_fraction=0.1, seed=3)
+        )
+        block, labels = gen.next_block(with_labels=True)
+        assert labels.sum() == 100
+        # Outliers lie on a far shell: their norms should dominate.
+        out_norms = np.linalg.norm(block[labels == 1], axis=1)
+        in_norms = np.linalg.norm(block[labels == 0], axis=1)
+        assert out_norms.min() > np.percentile(in_norms, 99)
+
+    def test_zero_outlier_fraction(self):
+        gen = DataBlockGenerator(GeneratorConfig(points=64, outlier_fraction=0.0))
+        block, labels = gen.next_block(with_labels=True)
+        assert labels.sum() == 0
+        assert block.shape[0] == 64
+
+    def test_centers_are_read_only(self):
+        gen = DataBlockGenerator(GeneratorConfig(points=50))
+        with pytest.raises(ValueError):
+            gen.centers[0, 0] = 99.0
+
+    def test_blocks_produced_counter(self):
+        gen = DataBlockGenerator(GeneratorConfig(points=30))
+        list(gen.blocks(3))
+        assert gen.blocks_produced == 3
+
+    def test_keyword_overrides(self):
+        gen = DataBlockGenerator(points=10, features=4, clusters=5)
+        assert gen.next_block().shape == (10, 4)
+
+    def test_config_and_overrides_conflict(self):
+        with pytest.raises(ValidationError):
+            DataBlockGenerator(GeneratorConfig(), points=10)
+
+    def test_message_size_matches_paper_framing(self):
+        # 10,000 points x 32 features x 8 B = 2.56 MB (+16 B header).
+        gen = DataBlockGenerator(GeneratorConfig(points=10_000, features=32))
+        assert gen.message_size_bytes() == 16 + 10_000 * 32 * 8
+
+    def test_blocks_are_c_contiguous(self):
+        gen = DataBlockGenerator(GeneratorConfig(points=40))
+        assert gen.next_block().flags["C_CONTIGUOUS"]

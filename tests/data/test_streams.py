@@ -1,0 +1,93 @@
+"""Tests for stream sources."""
+
+import numpy as np
+import pytest
+
+from repro.data import BlockStream, PoissonArrivals, ReplayStream
+from repro.data.generator import DataBlockGenerator, GeneratorConfig
+from repro.util.validation import ValidationError
+
+
+class TestBlockStream:
+    def test_emits_exactly_count_blocks(self):
+        stream = BlockStream(count=5, points=10, features=4, clusters=5)
+        blocks = list(stream)
+        assert len(blocks) == 5
+        assert stream.exhausted
+
+    def test_next_after_exhaustion_raises(self):
+        stream = BlockStream(count=1, points=10, features=4, clusters=5)
+        stream.next()
+        with pytest.raises(StopIteration):
+            stream.next()
+
+    def test_emitted_counter(self):
+        stream = BlockStream(count=3, points=10, features=4, clusters=5)
+        stream.next()
+        assert stream.emitted == 1
+
+    def test_explicit_generator(self):
+        gen = DataBlockGenerator(GeneratorConfig(points=20, features=2, clusters=5))
+        stream = BlockStream(generator=gen, count=2)
+        assert stream.next().shape == (20, 2)
+
+    def test_interval_is_stored_not_slept(self):
+        import time
+
+        stream = BlockStream(count=3, interval=10.0, points=5, features=2, clusters=3)
+        t0 = time.monotonic()
+        list(stream)
+        assert time.monotonic() - t0 < 1.0
+        assert stream.interval == 10.0
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            BlockStream(count=0)
+
+
+class TestReplayStream:
+    def test_replays_in_order(self):
+        blocks = [np.full((2, 2), i) for i in range(3)]
+        stream = ReplayStream(blocks)
+        out = list(stream)
+        for i, b in enumerate(out):
+            assert (b == i).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayStream([])
+
+    def test_exhaustion(self):
+        stream = ReplayStream([np.zeros((1, 1))])
+        stream.next()
+        assert stream.exhausted
+        with pytest.raises(StopIteration):
+            stream.next()
+
+
+class TestPoissonArrivals:
+    def test_mean_interval_matches_rate(self):
+        arrivals = PoissonArrivals(rate=10.0, seed=0)
+        intervals = arrivals.intervals(20_000)
+        assert intervals.mean() == pytest.approx(0.1, rel=0.05)
+
+    def test_rate_update(self):
+        arrivals = PoissonArrivals(rate=1.0)
+        arrivals.rate = 5.0
+        assert arrivals.rate == 5.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValidationError):
+            PoissonArrivals(rate=0.0)
+        arrivals = PoissonArrivals(rate=1.0)
+        with pytest.raises(ValidationError):
+            arrivals.rate = -1.0
+
+    def test_next_interval_positive(self):
+        arrivals = PoissonArrivals(rate=2.0, seed=1)
+        assert all(arrivals.next_interval() > 0 for _ in range(100))
+
+    def test_deterministic_with_seed(self):
+        a = PoissonArrivals(rate=3.0, seed=7).intervals(10)
+        b = PoissonArrivals(rate=3.0, seed=7).intervals(10)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,193 @@
+"""Tests for the federated-learning extension."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataBlockGenerator, GeneratorConfig
+from repro.ml import StreamingKMeans
+from repro.ml.federated import (
+    FedAvgAggregator,
+    FederatedCoordinator,
+    KMeansCoresetAggregator,
+    local_kmeans_round,
+)
+from repro.params import ParameterClient, ParameterServer
+from repro.util.validation import ValidationError
+
+
+class TestFedAvgAggregator:
+    def test_weighted_mean(self):
+        agg = FedAvgAggregator()
+        a = ([np.array([0.0, 0.0])], 1)
+        b = ([np.array([3.0, 3.0])], 2)
+        out = agg.aggregate([a, b])
+        np.testing.assert_allclose(out[0], [2.0, 2.0])
+
+    def test_equal_weights(self):
+        agg = FedAvgAggregator()
+        updates = [([np.full((2, 2), v)], 5) for v in (1.0, 3.0)]
+        np.testing.assert_allclose(agg.aggregate(updates)[0], np.full((2, 2), 2.0))
+
+    def test_multiple_arrays(self):
+        agg = FedAvgAggregator()
+        u1 = ([np.zeros(3), np.ones(2)], 1)
+        u2 = ([np.ones(3) * 2, np.ones(2) * 3], 1)
+        out = agg.aggregate([u1, u2])
+        np.testing.assert_allclose(out[0], np.ones(3))
+        np.testing.assert_allclose(out[1], np.full(2, 2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            FedAvgAggregator().aggregate([])
+
+    def test_mismatched_architectures_rejected(self):
+        u1 = ([np.zeros(3)], 1)
+        u2 = ([np.zeros(4)], 1)
+        with pytest.raises(ValidationError, match="mismatched"):
+            FedAvgAggregator().aggregate([u1, u2])
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            FedAvgAggregator().aggregate([([np.zeros(2)], 0)])
+
+
+class TestKMeansCoresetAggregator:
+    def _site_model(self, center, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(center, 0.1, size=(n, 2))
+        return StreamingKMeans(n_clusters=2, seed=seed).fit(X)
+
+    def test_merges_site_centres(self):
+        m1 = self._site_model((0.0, 0.0), seed=1)
+        m2 = self._site_model((10.0, 10.0), seed=2)
+        agg = KMeansCoresetAggregator(n_clusters=2, seed=0)
+        merged = agg.aggregate([m1.get_weights(), m2.get_weights()])
+        centers = merged["cluster_centers"]
+        # One global centre near each site's data.
+        d_origin = np.linalg.norm(centers, axis=1).min()
+        d_far = np.linalg.norm(centers - 10.0, axis=1).min()
+        assert d_origin < 1.0
+        assert d_far < 1.0
+
+    def test_counts_preserved(self):
+        m1 = self._site_model((0, 0), n=100, seed=1)
+        m2 = self._site_model((5, 5), n=300, seed=2)
+        merged = KMeansCoresetAggregator(n_clusters=2, seed=0).aggregate(
+            [m1.get_weights(), m2.get_weights()]
+        )
+        assert merged["counts"].sum() == 400
+
+    def test_result_loadable_into_model(self):
+        m1 = self._site_model((0, 0), seed=1)
+        m2 = self._site_model((8, 8), seed=2)
+        merged = KMeansCoresetAggregator(n_clusters=2, seed=0).aggregate(
+            [m1.get_weights(), m2.get_weights()]
+        )
+        global_model = StreamingKMeans(n_clusters=2)
+        global_model.set_weights(merged)
+        assert global_model.fitted
+
+    def test_pads_when_fewer_centres_than_k(self):
+        m = self._site_model((0, 0), seed=1)
+        merged = KMeansCoresetAggregator(n_clusters=10, seed=0).aggregate(
+            [m.get_weights()]
+        )
+        assert merged["cluster_centers"].shape == (10, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            KMeansCoresetAggregator().aggregate([])
+
+
+class TestFederatedCoordinator:
+    @pytest.fixture
+    def params(self):
+        return ParameterClient(ParameterServer(), namespace="fl-test")
+
+    def test_round_lifecycle(self, params):
+        coord = FederatedCoordinator(
+            params, KMeansCoresetAggregator(n_clusters=4, seed=0), ["us", "eu"]
+        )
+        assert coord.round_number == 0
+        assert coord.pending_sites() == ["us", "eu"]
+
+        rng = np.random.default_rng(0)
+        for site, center in (("us", 0.0), ("eu", 6.0)):
+            model = StreamingKMeans(n_clusters=4, seed=1)
+            blocks = [rng.normal(center, 0.2, size=(100, 3)) for _ in range(3)]
+            update = local_kmeans_round(model, blocks)
+            coord.submit_update(site, update)
+
+        assert coord.pending_sites() == []
+        global_weights = coord.aggregate_round()
+        assert coord.round_number == 1
+        assert global_weights["cluster_centers"].shape == (4, 3)
+
+    def test_aggregate_before_all_report_rejected(self, params):
+        coord = FederatedCoordinator(
+            params, KMeansCoresetAggregator(seed=0), ["a", "b"]
+        )
+        coord.submit_update("a", StreamingKMeans(n_clusters=25, seed=0).fit(
+            np.random.default_rng(0).normal(size=(50, 2))
+        ).get_weights())
+        with pytest.raises(ValidationError, match="not reported"):
+            coord.aggregate_round()
+
+    def test_unknown_site_rejected(self, params):
+        coord = FederatedCoordinator(params, FedAvgAggregator(), ["a"])
+        with pytest.raises(ValidationError):
+            coord.submit_update("ghost", None)
+
+    def test_stale_updates_do_not_count_for_new_round(self, params):
+        coord = FederatedCoordinator(
+            params, KMeansCoresetAggregator(n_clusters=2, seed=0), ["a"]
+        )
+        weights = StreamingKMeans(n_clusters=2, seed=0).fit(
+            np.random.default_rng(0).normal(size=(50, 2))
+        ).get_weights()
+        coord.submit_update("a", weights)
+        coord.aggregate_round()
+        # Round advanced; the old update is stale.
+        assert coord.pending_sites() == ["a"]
+
+    def test_fetch_global_blocks_until_available(self, params):
+        import threading
+
+        coord = FederatedCoordinator(
+            params, KMeansCoresetAggregator(n_clusters=2, seed=0), ["a"]
+        )
+        weights = StreamingKMeans(n_clusters=2, seed=0).fit(
+            np.random.default_rng(0).normal(size=(50, 2))
+        ).get_weights()
+
+        def trainer():
+            coord.submit_update("a", weights)
+            coord.aggregate_round()
+
+        threading.Timer(0.02, trainer).start()
+        result = coord.fetch_global(after_round=0, timeout=5.0)
+        assert result is not None
+        assert result["round"] == 1
+
+    def test_multi_round_convergence(self, params):
+        """Sites with disjoint data converge to shared global centres."""
+        coord = FederatedCoordinator(
+            params, KMeansCoresetAggregator(n_clusters=2, iterations=20, seed=0),
+            ["us", "eu"],
+        )
+        rng = np.random.default_rng(3)
+        models = {"us": StreamingKMeans(2, seed=1), "eu": StreamingKMeans(2, seed=2)}
+        centers_by_site = {"us": -4.0, "eu": 4.0}
+        global_weights = None
+        for _ in range(3):
+            for site, model in models.items():
+                blocks = [
+                    rng.normal(centers_by_site[site], 0.3, size=(80, 2))
+                    for _ in range(2)
+                ]
+                update = local_kmeans_round(model, blocks, global_weights)
+                coord.submit_update(site, update)
+            global_weights = coord.aggregate_round()
+        centers = np.sort(global_weights["cluster_centers"][:, 0])
+        assert centers[0] == pytest.approx(-4.0, abs=1.0)
+        assert centers[1] == pytest.approx(4.0, abs=1.0)

@@ -1,0 +1,109 @@
+"""Tests for the isolation forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import IsolationForest, roc_auc_score
+from repro.ml.iforest import average_path_length
+from repro.util.validation import ValidationError
+
+
+class TestAveragePathLength:
+    def test_small_values(self):
+        out = average_path_length(np.array([0, 1, 2]))
+        assert out[0] == 0.0
+        assert out[1] == 0.0
+        assert out[2] == 1.0
+
+    def test_grows_logarithmically(self):
+        c = average_path_length(np.array([16.0, 256.0, 4096.0]))
+        assert c[0] < c[1] < c[2]
+        # c(n) ~ 2 ln(n) + const: doubling input adds a bounded amount.
+        assert (c[2] - c[1]) == pytest.approx(c[1] - c[0], rel=0.3)
+
+    def test_known_value_n256(self):
+        # c(256) ≈ 10.24 (standard reference value for iforest).
+        assert average_path_length(np.array([256.0]))[0] == pytest.approx(10.24, abs=0.1)
+
+
+class TestIsolationForest:
+    def test_builds_requested_trees(self, small_block):
+        forest = IsolationForest(n_estimators=10, seed=0).fit(small_block)
+        assert forest.n_trees == 10
+
+    def test_detects_injected_outliers(self, labeled_block):
+        X, y = labeled_block
+        forest = IsolationForest(n_estimators=50, seed=0).fit(X)
+        assert roc_auc_score(y, forest.decision_function(X)) > 0.95
+
+    def test_scores_in_unit_interval(self, small_block):
+        forest = IsolationForest(n_estimators=20, seed=0).fit(small_block)
+        scores = forest.decision_function(small_block)
+        assert (scores > 0).all() and (scores < 1).all()
+
+    def test_isolated_point_scores_higher(self, rng):
+        X = rng.normal(size=(500, 2))
+        X_out = np.vstack([X, [[50.0, 50.0]]])
+        forest = IsolationForest(n_estimators=50, seed=0).fit(X_out)
+        scores = forest.decision_function(X_out)
+        assert scores[-1] > np.percentile(scores[:-1], 99)
+
+    def test_partial_fit_refreshes_some_trees(self, rng):
+        forest = IsolationForest(n_estimators=8, refresh_fraction=0.25, seed=0)
+        forest.fit(rng.normal(size=(300, 4)))
+        before = forest._trees[:]
+        forest.partial_fit(rng.normal(size=(300, 4)))
+        replaced = sum(1 for a, b in zip(before, forest._trees) if a is not b)
+        assert replaced == 2  # 25% of 8
+
+    def test_refresh_rotates_through_ensemble(self, rng):
+        forest = IsolationForest(n_estimators=4, refresh_fraction=0.5, seed=0)
+        forest.fit(rng.normal(size=(100, 3)))
+        original = forest._trees[:]
+        forest.partial_fit(rng.normal(size=(100, 3)))
+        forest.partial_fit(rng.normal(size=(100, 3)))
+        # After two refreshes of 2 trees each, all 4 are replaced.
+        assert all(a is not b for a, b in zip(original, forest._trees))
+
+    def test_streaming_adapts_to_drift(self, rng):
+        forest = IsolationForest(n_estimators=30, refresh_fraction=0.5, seed=0)
+        forest.fit(rng.normal(0, 1, size=(500, 2)))
+        shifted = rng.normal(20, 1, size=(500, 2))
+        score_before = forest.decision_function(shifted).mean()
+        for _ in range(4):
+            forest.partial_fit(shifted)
+        score_after = forest.decision_function(shifted).mean()
+        assert score_after < score_before  # shifted data became "normal"
+
+    def test_subsample_capped_by_data(self, rng):
+        forest = IsolationForest(n_estimators=5, max_samples=256, seed=0)
+        forest.fit(rng.normal(size=(50, 3)))  # fewer points than max_samples
+        scores = forest.decision_function(rng.normal(size=(10, 3)))
+        assert scores.shape == (10,)
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((100, 4))
+        forest = IsolationForest(n_estimators=5, seed=0).fit(X)
+        scores = forest.decision_function(X)
+        assert np.isfinite(scores).all()
+
+    def test_deterministic_given_seed(self, small_block):
+        s1 = IsolationForest(n_estimators=10, seed=5).fit(small_block).decision_function(small_block)
+        s2 = IsolationForest(n_estimators=10, seed=5).fit(small_block).decision_function(small_block)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_refit_resets_ensemble(self, small_block):
+        forest = IsolationForest(n_estimators=5, seed=0)
+        forest.fit(small_block)
+        forest.fit(small_block)
+        assert forest.n_trees == 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            IsolationForest(n_estimators=0)
+        with pytest.raises(ValidationError):
+            IsolationForest(refresh_fraction=1.5)
+
+    def test_default_matches_paper(self):
+        forest = IsolationForest()
+        assert forest.n_estimators == 100  # "a default of 100 ensemble tasks"

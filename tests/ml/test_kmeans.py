@@ -1,0 +1,130 @@
+"""Tests for streaming mini-batch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.ml import StreamingKMeans, roc_auc_score
+from repro.ml.kmeans import kmeans_plus_plus
+from repro.util.validation import ValidationError
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centers(self, rng):
+        X = rng.normal(size=(100, 4))
+        centers = kmeans_plus_plus(X, 5, rng)
+        assert centers.shape == (5, 4)
+
+    def test_centers_are_data_points(self, rng):
+        X = rng.normal(size=(50, 3))
+        centers = kmeans_plus_plus(X, 4, rng)
+        for c in centers:
+            assert any(np.allclose(c, x) for x in X)
+
+    def test_k_larger_than_n_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            kmeans_plus_plus(rng.normal(size=(3, 2)), 5, rng)
+
+    def test_degenerate_identical_points(self, rng):
+        X = np.ones((20, 3))
+        centers = kmeans_plus_plus(X, 4, rng)
+        assert centers.shape == (4, 3)
+
+    def test_spreads_over_separated_clusters(self, rng):
+        # Two tight, far-apart clusters: k=2 seeding must hit both.
+        a = rng.normal(0, 0.01, size=(50, 2))
+        b = rng.normal(100, 0.01, size=(50, 2))
+        X = np.vstack([a, b])
+        centers = kmeans_plus_plus(X, 2, rng)
+        assert abs(centers[0, 0] - centers[1, 0]) > 50
+
+
+class TestStreamingKMeans:
+    def test_fit_creates_centers(self, small_block):
+        km = StreamingKMeans(n_clusters=5).fit(small_block)
+        assert km.cluster_centers_.shape == (5, 8)
+
+    def test_detects_injected_outliers(self):
+        # Streaming usage (the paper's pattern): the model sees several
+        # blocks before scoring, which washes out outlier-seeded centres.
+        from repro.data import DataBlockGenerator, GeneratorConfig
+
+        gen = DataBlockGenerator(
+            GeneratorConfig(points=500, features=16, outlier_fraction=0.05, seed=9)
+        )
+        km = StreamingKMeans(n_clusters=25, seed=2)
+        for _ in range(6):
+            km.partial_fit(gen.next_block())
+        X, y = gen.next_block(with_labels=True)
+        auc = roc_auc_score(y, km.decision_function(X))
+        assert auc > 0.95
+
+    def test_streaming_updates_track_drift(self, rng):
+        km = StreamingKMeans(n_clusters=1, seed=0)
+        km.partial_fit(rng.normal(0.0, 0.1, size=(200, 2)))
+        first = km.cluster_centers_[0].copy()
+        for _ in range(30):
+            km.partial_fit(rng.normal(5.0, 0.1, size=(200, 2)))
+        moved = km.cluster_centers_[0]
+        assert np.linalg.norm(moved - first) > 1.0
+
+    def test_batch_update_is_running_mean(self):
+        # One cluster: after fitting all data, the centre is the mean.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        km = StreamingKMeans(n_clusters=1, seed=0)
+        km.partial_fit(X)
+        np.testing.assert_allclose(km.cluster_centers_[0], X.mean(axis=0), atol=1e-8)
+
+    def test_fewer_points_than_clusters_first_batch(self, rng):
+        km = StreamingKMeans(n_clusters=10, seed=0)
+        km.partial_fit(rng.normal(size=(4, 3)))
+        assert km.cluster_centers_.shape == (10, 3)
+        km.partial_fit(rng.normal(size=(50, 3)))  # later batches fill in
+
+    def test_labels_assign_nearest(self, rng):
+        a = rng.normal(0, 0.1, size=(50, 2))
+        b = rng.normal(10, 0.1, size=(50, 2))
+        km = StreamingKMeans(n_clusters=2, seed=1).fit(np.vstack([a, b]))
+        labels = km.labels(np.vstack([a, b]))
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        X = rng.normal(size=(300, 4))
+        i2 = StreamingKMeans(n_clusters=2, seed=0).fit(X).inertia(X)
+        i20 = StreamingKMeans(n_clusters=20, seed=0).fit(X).inertia(X)
+        assert i20 < i2
+
+    def test_weights_roundtrip(self, small_block):
+        km = StreamingKMeans(n_clusters=4, seed=0).fit(small_block)
+        weights = km.get_weights()
+        km2 = StreamingKMeans(n_clusters=4)
+        km2.set_weights(weights)
+        np.testing.assert_array_equal(km2.cluster_centers_, km.cluster_centers_)
+        scores1 = km.decision_function(small_block)
+        scores2 = km2.decision_function(small_block)
+        np.testing.assert_allclose(scores1, scores2)
+
+    def test_set_weights_shape_validation(self):
+        km = StreamingKMeans(n_clusters=4)
+        with pytest.raises(ValidationError):
+            km.set_weights({"cluster_centers": np.zeros((3, 2)), "counts": np.zeros(3)})
+
+    def test_get_weights_before_fit_raises(self):
+        with pytest.raises(ValidationError):
+            StreamingKMeans().get_weights()
+
+    def test_deterministic_given_seed(self, small_block):
+        a = StreamingKMeans(n_clusters=5, seed=3).fit(small_block)
+        b = StreamingKMeans(n_clusters=5, seed=3).fit(small_block)
+        np.testing.assert_array_equal(a.cluster_centers_, b.cluster_centers_)
+
+    def test_scores_are_distances(self, small_block):
+        km = StreamingKMeans(n_clusters=3, seed=0).fit(small_block)
+        scores = km.decision_function(small_block)
+        assert (scores >= 0).all()
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValidationError):
+            StreamingKMeans(n_clusters=0)

@@ -1,0 +1,239 @@
+"""Tests for the neural-network stack, including gradient checking."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn import (
+    Adam,
+    Dense,
+    Identity,
+    MSELoss,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    activation_by_name,
+)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name,cls", [
+        ("relu", ReLU), ("sigmoid", Sigmoid), ("tanh", Tanh), ("identity", Identity),
+    ])
+    def test_registry(self, name, cls):
+        assert isinstance(activation_by_name(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            activation_by_name("swish")
+
+    def test_relu_forward(self):
+        z = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(ReLU().forward(z), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_stable_at_extremes(self):
+        z = np.array([-1000.0, 1000.0])
+        out = Sigmoid().forward(z)
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("act", [ReLU(), Sigmoid(), Tanh(), Identity()])
+    def test_gradient_matches_finite_difference(self, act):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(5, 3)) + 0.1  # avoid ReLU kink at 0
+        grad_out = rng.normal(size=(5, 3))
+        analytic = act.backward(z, grad_out)
+        eps = 1e-6
+        numeric = np.zeros_like(z)
+        for i in np.ndindex(z.shape):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            numeric[i] = ((act.forward(zp) - act.forward(zm)) / (2 * eps) * grad_out)[i]
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 7, seed=0)
+        assert layer.forward(np.zeros((3, 4))).shape == (3, 7)
+
+    def test_param_count(self):
+        assert Dense(4, 7).n_params == 4 * 7 + 7
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+    def test_glorot_initialisation_bounds(self):
+        layer = Dense(100, 100, seed=1)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.W).max() <= limit
+        assert (layer.b == 0).all()
+
+    def test_gradient_check_weights(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, activation="tanh", seed=0)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        loss = MSELoss()
+
+        pred = layer.forward(x)
+        layer.backward(loss.gradient(pred, target))
+        analytic_dW = layer.dW.copy()
+
+        eps = 1e-6
+        numeric_dW = np.zeros_like(layer.W)
+        for i in np.ndindex(layer.W.shape):
+            orig = layer.W[i]
+            layer.W[i] = orig + eps
+            lp = loss.value(layer.forward(x), target)
+            layer.W[i] = orig - eps
+            lm = loss.value(layer.forward(x), target)
+            layer.W[i] = orig
+            numeric_dW[i] = (lp - lm) / (2 * eps)
+        np.testing.assert_allclose(analytic_dW, numeric_dW, atol=1e-5)
+
+    def test_gradient_check_input(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(3, 3, activation="sigmoid", seed=1)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 3))
+        loss = MSELoss()
+
+        pred = layer.forward(x)
+        dx = layer.backward(loss.gradient(pred, target))
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in np.ndindex(x.shape):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            numeric[i] = (
+                loss.value(layer.forward(xp), target)
+                - loss.value(layer.forward(xm), target)
+            ) / (2 * eps)
+        np.testing.assert_allclose(dx, numeric, atol=1e-5)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MSELoss()
+        assert loss.value(np.array([1.0, 2.0]), np.array([1.0, 0.0])) == 2.0
+
+    def test_mse_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(4)
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        loss = MSELoss()
+        g = loss.gradient(pred, target)
+        eps = 1e-7
+        for i in np.ndindex(pred.shape):
+            pp, pm = pred.copy(), pred.copy()
+            pp[i] += eps
+            pm[i] -= eps
+            num = (loss.value(pp, target) - loss.value(pm, target)) / (2 * eps)
+            assert g[i] == pytest.approx(num, abs=1e-5)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer, steps=300):
+        """Minimise ||p||^2 starting from p=[5, -3]."""
+        p = np.array([5.0, -3.0])
+        g = np.zeros_like(p)
+        optimizer.attach([p], [g])
+        for _ in range(steps):
+            g[...] = 2 * p
+            optimizer.step()
+        return p
+
+    def test_sgd_converges(self):
+        p = self._quadratic_descent(SGD(lr=0.1))
+        assert np.abs(p).max() < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        p = self._quadratic_descent(SGD(lr=0.05, momentum=0.9))
+        assert np.abs(p).max() < 1e-2
+
+    def test_adam_converges(self):
+        p = self._quadratic_descent(Adam(lr=0.1), steps=500)
+        assert np.abs(p).max() < 1e-2
+
+    def test_attach_mismatch(self):
+        with pytest.raises(ValueError):
+            SGD().attach([np.zeros(2)], [])
+
+    def test_adam_bias_correction_first_step(self):
+        # After one step with gradient g, Adam moves by ~lr * sign(g).
+        p = np.array([1.0])
+        g = np.array([0.5])
+        opt = Adam(lr=0.01)
+        opt.attach([p], [g])
+        opt.step()
+        assert p[0] == pytest.approx(1.0 - 0.01, abs=1e-4)
+
+
+class TestSequential:
+    def test_param_count(self):
+        net = Sequential([Dense(4, 2, seed=0), Dense(2, 4, seed=0)])
+        assert net.n_params == (4 * 2 + 2) + (2 * 4 + 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_learns_identity_map(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(256, 4))
+        net = Sequential([Dense(4, 16, "relu", seed=0), Dense(16, 4, seed=1)])
+        history = net.fit(X, X, epochs=60, batch_size=32, seed=0)
+        assert history[-1] < history[0] * 0.2
+
+    def test_weights_roundtrip(self):
+        net1 = Sequential([Dense(3, 5, "relu", seed=0), Dense(5, 3, seed=1)])
+        net2 = Sequential([Dense(3, 5, "relu", seed=7), Dense(5, 3, seed=8)])
+        net2.set_weights(net1.get_weights())
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        np.testing.assert_allclose(net1.forward(x), net2.forward(x))
+
+    def test_set_weights_wrong_count(self):
+        net = Sequential([Dense(2, 2, seed=0)])
+        with pytest.raises(ValueError, match="expected"):
+            net.set_weights([np.zeros((2, 2))])
+
+    def test_set_weights_wrong_shape(self):
+        net = Sequential([Dense(2, 2, seed=0)])
+        with pytest.raises(ValueError, match="shape"):
+            net.set_weights([np.zeros((3, 2)), np.zeros(2)])
+
+    def test_fit_row_mismatch(self):
+        net = Sequential([Dense(2, 2, seed=0)])
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((4, 2)), np.zeros((3, 2)))
+
+    def test_full_network_gradient_check(self):
+        rng = np.random.default_rng(6)
+        net = Sequential([Dense(3, 4, "tanh", seed=0), Dense(4, 2, seed=1)])
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+        loss = MSELoss()
+
+        pred = net.forward(x)
+        net.backward(loss.gradient(pred, target))
+        layer0 = net.layers[0]
+        analytic = layer0.dW.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(layer0.W)
+        for i in np.ndindex(layer0.W.shape):
+            orig = layer0.W[i]
+            layer0.W[i] = orig + eps
+            lp = loss.value(net.forward(x), target)
+            layer0.W[i] = orig - eps
+            lm = loss.value(net.forward(x), target)
+            layer0.W[i] = orig
+            numeric[i] = (lp - lm) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)

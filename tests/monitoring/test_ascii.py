@@ -1,0 +1,89 @@
+"""Tests for the terminal visualisations."""
+
+import pytest
+
+from repro.monitoring import MetricsCollector, ThroughputReport
+from repro.monitoring.ascii import (
+    bar,
+    render_run,
+    render_stage_breakdown,
+    render_throughput_timeline,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_min_and_max_mapped_to_extremes(self):
+        line = sparkline([0, 10])
+        assert line[0] == " "
+        assert line[-1] == "█"
+
+    def test_long_series_compressed(self):
+        line = sparkline(range(1000), width=50)
+        assert len(line) <= 50
+
+    def test_monotone_series_is_nondecreasing(self):
+        blocks = " ▁▂▃▄▅▆▇█"
+        line = sparkline(range(20), width=20)
+        levels = [blocks.index(c) for c in line]
+        assert levels == sorted(levels)
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert bar(10, 10, width=4) == "████"
+
+    def test_half_bar(self):
+        assert bar(5, 10, width=4) == "██··"
+
+    def test_overflow_clamped(self):
+        assert bar(100, 10, width=4) == "████"
+
+    def test_zero_max(self):
+        assert bar(1, 0) == ""
+
+
+@pytest.fixture
+def collector():
+    c = MetricsCollector("run")
+    for i in range(20):
+        start = i * 0.05
+        c.stamp(f"m{i}", "produce", start, nbytes=1000)
+        c.stamp(f"m{i}", "broker_in", start + 0.01)
+        c.stamp(f"m{i}", "dequeue", start + 0.015)
+        c.stamp(f"m{i}", "consume", start + 0.02)
+        c.stamp(f"m{i}", "process_start", start + 0.02)
+        c.stamp(f"m{i}", "process_end", start + 0.06)
+    return c
+
+
+class TestRenderers:
+    def test_stage_breakdown_lines(self, collector):
+        report = ThroughputReport.from_collector(collector)
+        text = render_stage_breakdown(report)
+        assert "produce->broker_in" in text
+        assert "ms" in text
+
+    def test_stage_breakdown_empty(self):
+        report = ThroughputReport.from_collector(MetricsCollector("x"))
+        assert "no stage data" in render_stage_breakdown(report)
+
+    def test_timeline_nonempty(self, collector):
+        line = render_throughput_timeline(collector)
+        assert len(line) > 0
+
+    def test_timeline_empty_collector(self):
+        assert "no complete traces" in render_throughput_timeline(MetricsCollector("x"))
+
+    def test_render_run_panel(self, collector):
+        panel = render_run(collector, title="demo")
+        assert "== demo ==" in panel
+        assert "msgs/s" in panel
+        assert "completions over time" in panel

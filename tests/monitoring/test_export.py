@@ -1,0 +1,91 @@
+"""Tests for report/trace exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.monitoring import MetricsCollector, ThroughputReport
+from repro.monitoring.export import (
+    report_rows,
+    reports_csv_string,
+    traces_to_json,
+    write_reports_csv,
+    write_traces_json,
+)
+
+
+@pytest.fixture
+def collector():
+    c = MetricsCollector("run-x")
+    for i in range(4):
+        start = i * 0.1
+        c.stamp(f"m{i}", "produce", start, nbytes=100, partition=i % 2)
+        c.stamp(f"m{i}", "broker_in", start + 0.01)
+        c.stamp(f"m{i}", "dequeue", start + 0.02)
+        c.stamp(f"m{i}", "consume", start + 0.03)
+        c.stamp(f"m{i}", "process_start", start + 0.03)
+        c.stamp(f"m{i}", "process_end", start + 0.05, nbytes=100)
+    return c
+
+
+@pytest.fixture
+def report(collector):
+    return ThroughputReport.from_collector(collector)
+
+
+class TestReportRows:
+    def test_labelled_rows(self, report):
+        rows = report_rows([report], labels=["baseline"])
+        assert rows[0]["label"] == "baseline"
+        assert rows[0]["messages"] == 4
+
+    def test_default_label_is_run_id(self, report):
+        rows = report_rows([report])
+        assert rows[0]["label"] == "run-x"
+
+    def test_stage_columns(self, report):
+        rows = report_rows([report])
+        assert any(k.startswith("stage:") for k in rows[0])
+
+    def test_label_count_mismatch(self, report):
+        with pytest.raises(ValueError):
+            report_rows([report], labels=["a", "b"])
+
+
+class TestCsv:
+    def test_csv_string_parses(self, report):
+        text = reports_csv_string([report, report], labels=["a", "b"])
+        rows = list(csv.DictReader(text.splitlines()))
+        assert [r["label"] for r in rows] == ["a", "b"]
+
+    def test_write_csv_file(self, report, tmp_path):
+        path = write_reports_csv(tmp_path / "out.csv", [report])
+        rows = list(csv.DictReader(path.read_text().splitlines()))
+        assert len(rows) == 1
+        assert float(rows[0]["MB/s"]) > 0
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_reports_csv(tmp_path / "out.csv", [])
+
+
+class TestTraceJson:
+    def test_json_shape(self, collector):
+        payload = json.loads(traces_to_json(collector))
+        assert len(payload["traces"]) == 4
+        trace = payload["traces"][0]
+        assert trace["run_id"] == "run-x"
+        assert "produce" in trace["timings"]
+        assert trace["end_to_end_latency_s"] == pytest.approx(0.05)
+
+    def test_incomplete_traces_filtered(self, collector):
+        collector.stamp("dangling", "produce", 99.0)
+        payload = json.loads(traces_to_json(collector, complete_only=True))
+        assert len(payload["traces"]) == 4
+        payload_all = json.loads(traces_to_json(collector, complete_only=False))
+        assert len(payload_all["traces"]) == 5
+
+    def test_write_file(self, collector, tmp_path):
+        path = write_traces_json(tmp_path / "traces.json", collector)
+        assert json.loads(path.read_text())["traces"]

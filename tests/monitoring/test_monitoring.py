@@ -1,0 +1,195 @@
+"""Tests for traces, the collector and reports."""
+
+import math
+
+import pytest
+
+from repro.monitoring import (
+    MessageTrace,
+    MetricsCollector,
+    ThroughputReport,
+    analyze_bottleneck,
+    percentile,
+)
+
+
+class TestMessageTrace:
+    def test_stamp_and_read(self):
+        trace = MessageTrace("run", "m1")
+        trace.stamp("produce", 10.0, nbytes=100)
+        assert trace.at("produce") == 10.0
+        assert trace.has("produce")
+        assert not trace.has("consume")
+
+    def test_end_to_end_latency(self):
+        trace = MessageTrace("run", "m1")
+        trace.stamp("produce", 10.0)
+        trace.stamp("process_end", 10.5)
+        assert trace.end_to_end_latency == pytest.approx(0.5)
+
+    def test_latency_none_when_incomplete(self):
+        trace = MessageTrace("run", "m1")
+        trace.stamp("produce", 10.0)
+        assert trace.end_to_end_latency is None
+        assert not trace.complete
+
+    def test_stage_latency(self):
+        trace = MessageTrace("run", "m1")
+        trace.stamp("produce", 1.0)
+        trace.stamp("broker_in", 1.2)
+        assert trace.stage_latency("produce", "broker_in") == pytest.approx(0.2)
+        assert trace.stage_latency("produce", "consume") is None
+
+    def test_nbytes_taken_from_first_stamped(self):
+        trace = MessageTrace("run", "m1")
+        trace.stamp("produce", 1.0, nbytes=128)
+        trace.stamp("process_end", 2.0)
+        assert trace.nbytes == 128
+
+
+class TestMetricsCollector:
+    def test_stamps_link_across_stages(self):
+        c = MetricsCollector("run")
+        c.stamp("m1", "produce", 1.0, nbytes=10)
+        c.stamp("m1", "process_end", 2.0)
+        trace = c.trace("m1")
+        assert trace.complete
+        assert trace.end_to_end_latency == 1.0
+
+    def test_partition_recorded(self):
+        c = MetricsCollector("run")
+        c.stamp("m1", "produce", 1.0, partition=3)
+        assert c.trace("m1").partition == 3
+
+    def test_complete_only_filter(self):
+        c = MetricsCollector("run")
+        c.stamp("m1", "produce", 1.0)
+        c.stamp("m2", "produce", 1.0)
+        c.stamp("m2", "process_end", 2.0)
+        assert len(c.traces()) == 2
+        assert len(c.traces(complete_only=True)) == 1
+
+    def test_counters(self):
+        c = MetricsCollector("run")
+        c.incr("dropped")
+        c.incr("dropped", 2)
+        assert c.counter("dropped") == 3
+        assert c.counters() == {"dropped": 3}
+
+    def test_thread_safety(self):
+        import threading
+
+        c = MetricsCollector("run")
+
+        def stamp_many(offset):
+            for i in range(500):
+                c.stamp(f"m{offset}-{i}", "produce", float(i))
+
+        threads = [threading.Thread(target=stamp_many, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(c) == 2000
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+
+class TestThroughputReport:
+    def _collector_with_messages(self, n=10, latency=0.1, nbytes=1000, gap=0.01):
+        c = MetricsCollector("run")
+        for i in range(n):
+            start = i * gap
+            c.stamp(f"m{i}", "produce", start, nbytes=nbytes)
+            c.stamp(f"m{i}", "broker_in", start + latency * 0.2)
+            c.stamp(f"m{i}", "consume", start + latency * 0.5)
+            c.stamp(f"m{i}", "process_start", start + latency * 0.6)
+            c.stamp(f"m{i}", "process_end", start + latency)
+        return c
+
+    def test_counts_and_throughput(self):
+        c = self._collector_with_messages(n=10, latency=0.1, nbytes=1000, gap=0.01)
+        report = ThroughputReport.from_collector(c)
+        assert report.messages == 10
+        assert report.total_bytes == 10_000
+        # Duration: first produce (0) to last process_end (0.09 + 0.1).
+        assert report.duration_s == pytest.approx(0.19)
+        assert report.throughput_msgs_s == pytest.approx(10 / 0.19, rel=1e-6)
+
+    def test_latency_stats(self):
+        c = self._collector_with_messages(latency=0.2)
+        report = ThroughputReport.from_collector(c)
+        assert report.latency_mean_s == pytest.approx(0.2)
+        assert report.latency_p50_s == pytest.approx(0.2)
+
+    def test_stage_means(self):
+        c = self._collector_with_messages(latency=0.1)
+        report = ThroughputReport.from_collector(c)
+        assert report.stage_means_s["produce->broker_in"] == pytest.approx(0.02)
+        assert report.stage_means_s["process_start->process_end"] == pytest.approx(0.04)
+
+    def test_empty_collector(self):
+        report = ThroughputReport.from_collector(MetricsCollector("run"))
+        assert report.messages == 0
+        assert math.isnan(report.latency_mean_s)
+
+    def test_explicit_duration(self):
+        c = self._collector_with_messages(n=10)
+        report = ThroughputReport.from_collector(c, duration_s=2.0)
+        assert report.throughput_msgs_s == 5.0
+
+    def test_row_is_flat(self):
+        c = self._collector_with_messages()
+        row = ThroughputReport.from_collector(c).row()
+        assert set(row) >= {"messages", "MB/s", "lat_mean_ms"}
+
+
+class TestBottleneckAnalysis:
+    def test_processing_bound(self):
+        c = MetricsCollector("run")
+        for i in range(5):
+            c.stamp(f"m{i}", "produce", i * 1.0)
+            c.stamp(f"m{i}", "broker_in", i * 1.0 + 0.01)
+            c.stamp(f"m{i}", "dequeue", i * 1.0 + 0.015)
+            c.stamp(f"m{i}", "consume", i * 1.0 + 0.02)
+            c.stamp(f"m{i}", "process_start", i * 1.0 + 0.02)
+            c.stamp(f"m{i}", "process_end", i * 1.0 + 1.0)
+        result = analyze_bottleneck(c)
+        assert result["bottleneck"] == "processing"
+
+    def test_transfer_bound(self):
+        c = MetricsCollector("run")
+        for i in range(5):
+            c.stamp(f"m{i}", "produce", i * 1.0)
+            c.stamp(f"m{i}", "broker_in", i * 1.0 + 0.5)   # slow uplink
+            c.stamp(f"m{i}", "dequeue", i * 1.0 + 0.5)
+            c.stamp(f"m{i}", "consume", i * 1.0 + 0.9)     # slow downlink
+            c.stamp(f"m{i}", "process_start", i * 1.0 + 0.9)
+            c.stamp(f"m{i}", "process_end", i * 1.0 + 0.95)
+        result = analyze_bottleneck(c)
+        assert result["bottleneck"] == "transfer"
+        assert result["mean_transfer_s"] == pytest.approx(0.9)
+
+    def test_queue_wait_blamed_on_processing(self):
+        # Broker backlog (broker_in -> dequeue) caused by slow consumers
+        # must attribute to processing, not transfer (Fig. 2 reasoning).
+        c = MetricsCollector("run")
+        for i in range(5):
+            c.stamp(f"m{i}", "produce", i * 1.0)
+            c.stamp(f"m{i}", "broker_in", i * 1.0 + 0.01)
+            c.stamp(f"m{i}", "dequeue", i * 1.0 + 2.0)     # long queue wait
+            c.stamp(f"m{i}", "consume", i * 1.0 + 2.01)
+            c.stamp(f"m{i}", "process_start", i * 1.0 + 2.01)
+            c.stamp(f"m{i}", "process_end", i * 1.0 + 2.5)
+        result = analyze_bottleneck(c)
+        assert result["bottleneck"] == "processing"
+        assert result["mean_broker_queue_s"] == pytest.approx(1.99)
+
+    def test_no_traces(self):
+        assert analyze_bottleneck(MetricsCollector("run"))["bottleneck"] == "unknown"

@@ -1,0 +1,108 @@
+"""Tests for link emulation."""
+
+import pytest
+
+from repro.netem import (
+    CELLULAR_EDGE,
+    LAN,
+    LOOPBACK,
+    REGIONAL_WAN,
+    TRANSATLANTIC,
+    Link,
+    LinkProfile,
+)
+from repro.util.validation import ValidationError
+
+
+class TestLinkProfile:
+    def test_transatlantic_matches_paper(self):
+        """Paper: 140-160 ms RTT, 60-100 Mbit/s between Jetstream and LRZ."""
+        assert TRANSATLANTIC.rtt_ms_min == 140.0
+        assert TRANSATLANTIC.rtt_ms_max == 160.0
+        assert TRANSATLANTIC.bandwidth_mbps_min == 60.0
+        assert TRANSATLANTIC.bandwidth_mbps_max == 100.0
+
+    def test_means(self):
+        assert TRANSATLANTIC.mean_rtt_ms == 150.0
+        assert TRANSATLANTIC.mean_bandwidth_mbps == 80.0
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValidationError):
+            LinkProfile("bad", 10.0, 5.0, 1.0, 2.0)
+        with pytest.raises(ValidationError):
+            LinkProfile("bad", 1.0, 2.0, 10.0, 5.0)
+
+    def test_invalid_loss(self):
+        with pytest.raises(ValidationError):
+            LinkProfile("bad", 0, 0, 1, 1, loss_probability=2.0)
+
+    def test_profile_ordering(self):
+        # Profiles should be ordered by realism: loopback fastest.
+        assert LOOPBACK.mean_rtt_ms < LAN.mean_rtt_ms < REGIONAL_WAN.mean_rtt_ms < TRANSATLANTIC.mean_rtt_ms
+
+
+class TestLink:
+    def test_samples_within_profile_ranges(self):
+        link = Link(TRANSATLANTIC, seed=0)
+        for _ in range(100):
+            rtt = link.sample_rtt_s()
+            assert 0.140 <= rtt <= 0.160
+            bw = link.sample_bandwidth_bps()
+            assert 60e6 <= bw <= 100e6
+
+    def test_transfer_time_components(self):
+        # Deterministic profile: 100 ms RTT, 80 Mbit/s.
+        profile = LinkProfile("fixed", 100.0, 100.0, 80.0, 80.0)
+        link = Link(profile, seed=0)
+        t = link.transfer_time(1_000_000)  # 8 Mbit at 80 Mbit/s = 0.1 s
+        assert t == pytest.approx(0.05 + 0.1, rel=1e-6)
+
+    def test_transfer_time_scales_with_payload(self):
+        link = Link(LinkProfile("f", 0.0, 0.0, 100.0, 100.0), seed=0)
+        t1 = link.transfer_time(10_000)
+        t2 = link.transfer_time(20_000)
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    def test_transfer_sleeps_scaled(self):
+        import time
+
+        profile = LinkProfile("s", 100.0, 100.0, 1000.0, 1000.0)
+        link = Link(profile, time_scale=0.1, seed=0)
+        t0 = time.monotonic()
+        reported = link.transfer(1000)
+        elapsed = time.monotonic() - t0
+        assert reported == pytest.approx(0.05, abs=0.01)
+        assert elapsed < 0.05  # slept only 10% of the modelled time
+
+    def test_zero_time_scale_never_sleeps(self):
+        import time
+
+        link = Link(TRANSATLANTIC, time_scale=0.0, seed=0)
+        t0 = time.monotonic()
+        for _ in range(50):
+            link.transfer(1_000_000)
+        assert time.monotonic() - t0 < 0.5
+
+    def test_loss_raises_connection_error(self):
+        lossy = LinkProfile("lossy", 0.0, 0.0, 1000.0, 1000.0, loss_probability=1.0)
+        link = Link(lossy, time_scale=0.0)
+        with pytest.raises(ConnectionError):
+            link.transfer(100)
+        assert link.losses == 1
+
+    def test_stats_accumulate(self):
+        link = Link(LAN, time_scale=0.0, seed=0)
+        link.transfer(1000)
+        link.transfer(2000)
+        stats = link.stats()
+        assert stats["transfers"] == 2
+        assert stats["bytes_moved"] == 3000
+        assert stats["seconds_accumulated"] > 0
+
+    def test_deterministic_given_seed(self):
+        t1 = Link(TRANSATLANTIC, seed=3).transfer_time(10_000)
+        t2 = Link(TRANSATLANTIC, seed=3).transfer_time(10_000)
+        assert t1 == t2
+
+    def test_cellular_profile_has_loss(self):
+        assert CELLULAR_EDGE.loss_probability > 0

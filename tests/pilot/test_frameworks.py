@@ -1,0 +1,80 @@
+"""Tests for pilot-managed frameworks."""
+
+import pytest
+
+from repro.broker import Broker, MqttStyleBroker
+from repro.pilot import PilotDescription
+from repro.pilot.frameworks import ManagedBroker, ManagedParameterServer
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def running_pilot(pilot_service):
+    pilot = pilot_service.submit_pilot(PilotDescription())
+    assert pilot.wait(timeout=10)
+    return pilot
+
+
+class TestManagedBroker:
+    def test_deploys_on_running_pilot(self, running_pilot):
+        managed = ManagedBroker(running_pilot)
+        assert managed.running
+        assert isinstance(managed.service, Broker)
+        assert managed.site == running_pilot.site
+
+    def test_broker_named_after_pilot(self, running_pilot):
+        managed = ManagedBroker(running_pilot)
+        assert running_pilot.pilot_id in managed.service.name
+
+    def test_mqtt_plugin(self, running_pilot):
+        managed = ManagedBroker(running_pilot, plugin="mqtt")
+        assert isinstance(managed._broker, MqttStyleBroker)
+
+    def test_rejects_non_running_pilot(self, pilot_service):
+        pilot = pilot_service.submit_pilot(PilotDescription())
+        pilot.wait(timeout=10)
+        pilot.cancel()
+        with pytest.raises(ValidationError, match="state"):
+            ManagedBroker(pilot)
+
+    def test_rejects_non_pilot(self):
+        with pytest.raises(ValidationError):
+            ManagedBroker("not-a-pilot")
+
+    def test_stops_with_pilot(self, running_pilot):
+        managed = ManagedBroker(running_pilot)
+        managed.service.create_topic("t", 1)
+        running_pilot.cancel()
+        assert not managed.running
+        with pytest.raises(RuntimeError):
+            managed.service
+
+    def test_manual_stop(self, running_pilot):
+        managed = ManagedBroker(running_pilot)
+        managed.stop()
+        with pytest.raises(RuntimeError):
+            managed.service
+
+    def test_stats(self, running_pilot):
+        managed = ManagedBroker(running_pilot)
+        stats = managed.stats()
+        assert stats["framework"] == "broker"
+        assert stats["running"] is True
+
+
+class TestManagedParameterServer:
+    def test_deploy_and_use(self, running_pilot):
+        managed = ManagedParameterServer(running_pilot)
+        managed.service.set("k", 1)
+        assert managed.service.get("k").value == 1
+
+    def test_stops_with_pilot(self, running_pilot):
+        managed = ManagedParameterServer(running_pilot)
+        running_pilot.cancel()
+        with pytest.raises(RuntimeError):
+            managed.service
+
+    def test_stats(self, running_pilot):
+        managed = ManagedParameterServer(running_pilot)
+        managed.service.set("k", 1)
+        assert managed.stats()["keys"] == 1

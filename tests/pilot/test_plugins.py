@@ -1,0 +1,179 @@
+"""Tests for the emulated resource backends."""
+
+import pytest
+
+from repro.compute import ResourceSpec
+from repro.pilot import PilotDescription, ProvisionError
+from repro.pilot.plugins.cloud_vm import DEFAULT_CATALOG, CloudVmPlugin
+from repro.pilot.plugins.hpc_batch import HpcBatchPlugin
+from repro.pilot.plugins.localhost import LocalhostPlugin
+from repro.pilot.plugins.serverless import ServerlessPlugin
+from repro.pilot.plugins.ssh_edge import RASPBERRY_PI, SshEdgePlugin
+from repro.pilot.registry import available_resource_plugins, get_resource_plugin
+from repro.util.validation import ValidationError
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert set(available_resource_plugins()) >= {
+            "localhost", "ssh", "cloud", "hpc", "serverless",
+        }
+
+    def test_lookup(self):
+        assert get_resource_plugin("localhost") is LocalhostPlugin
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            get_resource_plugin("quantum")
+
+
+class TestLocalhost:
+    def test_zero_delay(self):
+        plugin = LocalhostPlugin()
+        assert plugin.acquisition_delay(PilotDescription()) == 0.0
+
+    def test_builds_cluster(self):
+        plugin = LocalhostPlugin()
+        d = PilotDescription(nodes=2)
+        cluster = plugin.build_cluster(d, "p1")
+        try:
+            assert cluster.n_workers == 2
+        finally:
+            cluster.close()
+
+
+class TestSshEdge:
+    def test_device_class_is_raspberry_pi(self):
+        assert (RASPBERRY_PI.cores, RASPBERRY_PI.memory_gb) == (1, 4)
+
+    def test_delay_scales_with_devices(self):
+        plugin = SshEdgePlugin(devices=4, connect_delay=2.0)
+        d = PilotDescription(resource="ssh", nodes=3, node_spec=RASPBERRY_PI)
+        assert plugin.acquisition_delay(d) == 6.0
+
+    def test_oversubscription_rejected(self):
+        plugin = SshEdgePlugin(devices=2)
+        with pytest.raises(ProvisionError, match="only 2 available"):
+            plugin.acquisition_delay(PilotDescription(resource="ssh", nodes=3, node_spec=RASPBERRY_PI))
+
+    def test_oversized_node_spec_rejected(self):
+        plugin = SshEdgePlugin(devices=2)
+        big = PilotDescription(resource="ssh", node_spec=ResourceSpec(cores=8, memory_gb=64))
+        with pytest.raises(ProvisionError, match="edge devices offer"):
+            plugin.acquisition_delay(big)
+
+    def test_devices_claimed_and_released(self):
+        plugin = SshEdgePlugin(devices=3)
+        d = PilotDescription(resource="ssh", nodes=2, node_spec=RASPBERRY_PI)
+        cluster = plugin.build_cluster(d, "p1")
+        try:
+            assert plugin.stats()["devices_free"] == 1
+        finally:
+            cluster.close()
+        plugin.release(d, "p1")
+        assert plugin.stats()["devices_free"] == 3
+
+
+class TestCloudVm:
+    def test_catalog_matches_paper(self):
+        assert DEFAULT_CATALOG["lrz.medium"] == ResourceSpec(cores=4, memory_gb=18)
+        assert DEFAULT_CATALOG["lrz.large"] == ResourceSpec(cores=10, memory_gb=44)
+        assert DEFAULT_CATALOG["jetstream.medium"] == ResourceSpec(cores=6, memory_gb=16)
+
+    def test_instance_type_resolution(self):
+        plugin = CloudVmPlugin(boot_delay=0.0)
+        d = PilotDescription(resource="cloud", instance_type="lrz.large")
+        cluster = plugin.build_cluster(d, "p1")
+        try:
+            assert cluster.worker_resources.cores == 10
+        finally:
+            cluster.close()
+        plugin.release(d, "p1")
+
+    def test_unknown_instance_type(self):
+        plugin = CloudVmPlugin()
+        with pytest.raises(ProvisionError, match="unknown instance type"):
+            plugin.acquisition_delay(
+                PilotDescription(resource="cloud", instance_type="m5.24xlarge")
+            )
+
+    def test_quota_enforced(self):
+        plugin = CloudVmPlugin(core_quota=8)
+        d = PilotDescription(resource="cloud", instance_type="lrz.large")  # 10 cores
+        with pytest.raises(ProvisionError, match="quota"):
+            plugin.acquisition_delay(d)
+
+    def test_quota_released(self):
+        plugin = CloudVmPlugin(core_quota=10, boot_delay=0.0)
+        d = PilotDescription(resource="cloud", instance_type="lrz.large")
+        cluster = plugin.build_cluster(d, "p1")
+        cluster.close()
+        plugin.release(d, "p1")
+        assert plugin.stats()["cores_in_use"] == 0
+        # Quota is free again.
+        plugin.acquisition_delay(d)
+
+    def test_boot_delay_constant(self):
+        plugin = CloudVmPlugin(boot_delay=30.0)
+        d = PilotDescription(resource="cloud", nodes=5, instance_type="lrz.medium")
+        assert plugin.acquisition_delay(d) == 30.0  # parallel boots
+
+
+class TestHpcBatch:
+    def test_empty_queue_only_launch_delay(self):
+        plugin = HpcBatchPlugin(total_nodes=8, launch_delay=5.0)
+        d = PilotDescription(resource="hpc", nodes=4)
+        assert plugin.acquisition_delay(d) == 5.0
+
+    def test_wait_when_partition_busy(self):
+        plugin = HpcBatchPlugin(total_nodes=8, launch_delay=0.0, occupancy_factor=0.1)
+        first = PilotDescription(resource="hpc", nodes=6, walltime_minutes=60)
+        plugin.build_cluster(first, "p1").close()
+        second = PilotDescription(resource="hpc", nodes=4)
+        # 6 nodes held; need 2 more -> wait for p1: 60 min * 0.1 = 360 s.
+        assert plugin.acquisition_delay(second) == 360.0
+
+    def test_oversized_request(self):
+        plugin = HpcBatchPlugin(total_nodes=8)
+        with pytest.raises(ProvisionError, match="partition"):
+            plugin.acquisition_delay(PilotDescription(resource="hpc", nodes=9))
+
+    def test_walltime_limit(self):
+        plugin = HpcBatchPlugin(max_walltime_minutes=60)
+        with pytest.raises(ProvisionError, match="walltime"):
+            plugin.acquisition_delay(
+                PilotDescription(resource="hpc", walltime_minutes=120)
+            )
+
+    def test_release_frees_nodes(self):
+        plugin = HpcBatchPlugin(total_nodes=4, launch_delay=0.0)
+        d = PilotDescription(resource="hpc", nodes=4)
+        plugin.build_cluster(d, "p1").close()
+        plugin.release(d, "p1")
+        assert plugin.stats()["nodes_in_use"] == 0
+
+
+class TestServerless:
+    def test_cold_start_delay(self):
+        plugin = ServerlessPlugin(cold_start_delay=0.8)
+        d = PilotDescription(resource="serverless", nodes=10, node_spec=ResourceSpec(cores=1, memory_gb=2))
+        assert plugin.acquisition_delay(d) == 0.8
+
+    def test_concurrency_limit(self):
+        plugin = ServerlessPlugin(max_concurrency=5)
+        d = PilotDescription(resource="serverless", nodes=10, node_spec=ResourceSpec(cores=1, memory_gb=2))
+        with pytest.raises(ProvisionError, match="concurrency"):
+            plugin.acquisition_delay(d)
+
+    def test_slot_spec_enforced(self):
+        plugin = ServerlessPlugin()
+        big = PilotDescription(resource="serverless", node_spec=ResourceSpec(cores=4, memory_gb=16))
+        with pytest.raises(ProvisionError, match="slots offer"):
+            plugin.acquisition_delay(big)
+
+    def test_release_restores_concurrency(self):
+        plugin = ServerlessPlugin(max_concurrency=10)
+        d = PilotDescription(resource="serverless", nodes=10, node_spec=ResourceSpec(cores=1, memory_gb=2))
+        plugin.build_cluster(d, "p1").close()
+        plugin.release(d, "p1")
+        assert plugin.stats()["reserved"] == 0

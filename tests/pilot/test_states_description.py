@@ -1,0 +1,72 @@
+"""Tests for pilot states and descriptions."""
+
+import pytest
+
+from repro.compute import ResourceSpec
+from repro.pilot import InvalidTransition, PilotDescription, PilotState
+from repro.pilot.states import check_transition
+from repro.util.validation import ValidationError
+
+
+class TestPilotState:
+    def test_final_states(self):
+        assert PilotState.DONE.is_final
+        assert PilotState.FAILED.is_final
+        assert PilotState.CANCELED.is_final
+        assert not PilotState.RUNNING.is_final
+        assert not PilotState.NEW.is_final
+
+    @pytest.mark.parametrize("src,dst", [
+        (PilotState.NEW, PilotState.PENDING),
+        (PilotState.PENDING, PilotState.RUNNING),
+        (PilotState.RUNNING, PilotState.DONE),
+        (PilotState.NEW, PilotState.CANCELED),
+        (PilotState.PENDING, PilotState.FAILED),
+        (PilotState.RUNNING, PilotState.FAILED),
+    ])
+    def test_legal_transitions(self, src, dst):
+        check_transition(src, dst)
+
+    @pytest.mark.parametrize("src,dst", [
+        (PilotState.NEW, PilotState.RUNNING),       # must pass PENDING
+        (PilotState.RUNNING, PilotState.PENDING),    # no going back
+        (PilotState.DONE, PilotState.RUNNING),       # final is final
+        (PilotState.FAILED, PilotState.PENDING),
+        (PilotState.CANCELED, PilotState.RUNNING),
+    ])
+    def test_illegal_transitions(self, src, dst):
+        with pytest.raises(InvalidTransition):
+            check_transition(src, dst)
+
+
+class TestPilotDescription:
+    def test_defaults(self):
+        d = PilotDescription()
+        assert d.resource == "localhost"
+        assert d.nodes == 1
+
+    def test_totals(self):
+        d = PilotDescription(nodes=3, node_spec=ResourceSpec(cores=4, memory_gb=8))
+        assert d.total_cores == 12
+        assert d.total_memory_gb == 24
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValidationError):
+            PilotDescription(nodes=0)
+
+    def test_invalid_walltime(self):
+        with pytest.raises(ValidationError):
+            PilotDescription(walltime_minutes=0)
+
+    def test_empty_resource_rejected(self):
+        with pytest.raises(ValidationError):
+            PilotDescription(resource="")
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValidationError):
+            PilotDescription(site="")
+
+    def test_frozen(self):
+        d = PilotDescription()
+        with pytest.raises(AttributeError):
+            d.nodes = 5

@@ -1,0 +1,194 @@
+"""Tests for the Pilot-Data abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.netem import LAN, TRANSATLANTIC, ContinuumTopology
+from repro.pilotdata import (
+    DataUnit,
+    DataUnitState,
+    PilotDataService,
+    StorageError,
+    StorageSite,
+)
+from repro.util.validation import ValidationError
+
+
+def blocks(n=2, rows=10, cols=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(rows, cols)) for _ in range(n)]
+
+
+class TestDataUnit:
+    def test_size_accounting(self):
+        unit = DataUnit("u", blocks=tuple(blocks(3, rows=10, cols=4)))
+        assert unit.n_blocks == 3
+        assert unit.n_rows == 30
+        assert unit.size_bytes == 3 * 10 * 4 * 8
+
+    def test_blocks_are_immutable(self):
+        unit = DataUnit("u", blocks=tuple(blocks(1)))
+        with pytest.raises(ValueError):
+            unit.blocks[0][0, 0] = 1.0
+
+    def test_concatenated(self):
+        unit = DataUnit("u", blocks=tuple(blocks(2, rows=5, cols=3)))
+        assert unit.concatenated().shape == (10, 3)
+
+    def test_concatenated_mixed_widths_rejected(self):
+        unit = DataUnit("u", blocks=(np.zeros((2, 3)), np.zeros((2, 4))))
+        with pytest.raises(ValidationError, match="mixed widths"):
+            unit.concatenated()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            DataUnit("")
+
+    def test_non_2d_block_rejected(self):
+        with pytest.raises(ValidationError):
+            DataUnit("u", blocks=(np.zeros(5),))
+
+
+class TestStorageSite:
+    def test_capacity_enforced(self):
+        site = StorageSite("s", capacity_bytes=1000)
+        small = DataUnit("small", blocks=(np.zeros((10, 10)),))  # 800 B
+        site._admit(small)
+        big = DataUnit("big", blocks=(np.zeros((10, 10)),))
+        with pytest.raises(StorageError, match="free"):
+            site._admit(big)
+
+    def test_evict_frees_space(self):
+        site = StorageSite("s", capacity_bytes=1000)
+        unit = DataUnit("u", blocks=(np.zeros((10, 10)),))
+        site._admit(unit)
+        site._evict(unit)
+        assert site.free_bytes == 1000
+
+
+class TestPilotDataService:
+    @pytest.fixture
+    def topo(self):
+        t = ContinuumTopology(time_scale=0.0, seed=0)
+        t.add_site("edge", tier="edge")
+        t.add_site("us", tier="cloud")
+        t.add_site("eu", tier="cloud")
+        t.connect("edge", "us", LAN)
+        t.connect("us", "eu", TRANSATLANTIC)
+        return t
+
+    @pytest.fixture
+    def service(self, topo):
+        s = PilotDataService(topology=topo)
+        s.register_site("edge", capacity_bytes=1e6)     # small edge box
+        s.register_site("us", capacity_bytes=1e9)
+        s.register_site("eu", capacity_bytes=1e9)
+        return s
+
+    def test_put_and_get(self, service):
+        unit = service.put("sensor-archive", blocks(), site="edge")
+        assert unit.state is DataUnitState.AVAILABLE
+        assert service.get("sensor-archive") is unit
+        assert unit.replicas == {"edge"}
+
+    def test_duplicate_name_rejected(self, service):
+        service.put("u", blocks(), site="us")
+        with pytest.raises(ValidationError):
+            service.put("u", blocks(), site="eu")
+
+    def test_site_must_be_in_topology(self, service):
+        with pytest.raises(ValidationError):
+            service.register_site("mars", capacity_bytes=1e6)
+
+    def test_replicate_adds_replica_and_pays_link(self, service, topo):
+        service.put("u", blocks(4, rows=100, cols=32), site="us")
+        seconds = service.replicate("u", "eu")
+        unit = service.get("u")
+        assert unit.replicas == {"us", "eu"}
+        assert seconds > 0  # transatlantic cost was modelled
+        link = topo.direct_link("us", "eu")
+        assert link.bytes_moved == unit.size_bytes
+
+    def test_replicate_idempotent(self, service):
+        service.put("u", blocks(), site="us")
+        service.replicate("u", "eu")
+        assert service.replicate("u", "eu") == 0.0
+
+    def test_replication_respects_capacity(self, service):
+        big = blocks(20, rows=1000, cols=32)  # ~5 MB > edge capacity 1 MB
+        service.put("big", big, site="us")
+        with pytest.raises(StorageError):
+            service.replicate("big", "edge")
+
+    def test_failed_replication_rolls_back(self, topo):
+        from repro.netem import LinkProfile
+
+        lossy = LinkProfile("lossy", 0, 0, 1000, 1000, loss_probability=1.0)
+        t = ContinuumTopology(time_scale=0.0, seed=0)
+        t.add_site("a")
+        t.add_site("b")
+        t.connect("a", "b", lossy)
+        s = PilotDataService(topology=t)
+        s.register_site("a", 1e9)
+        s.register_site("b", 1e9)
+        s.put("u", blocks(), site="a")
+        with pytest.raises(ConnectionError):
+            s.replicate("u", "b")
+        unit = s.get("u")
+        assert unit.replicas == {"a"}
+        assert unit.state is DataUnitState.AVAILABLE
+        assert s.site("b").used_bytes == 0
+
+    def test_drop_replica(self, service):
+        service.put("u", blocks(), site="us")
+        service.replicate("u", "eu")
+        service.drop_replica("u", "us")
+        assert service.get("u").replicas == {"eu"}
+
+    def test_last_replica_protected(self, service):
+        service.put("u", blocks(), site="us")
+        with pytest.raises(StorageError, match="last replica"):
+            service.drop_replica("u", "us")
+
+    def test_delete_frees_all_sites(self, service):
+        service.put("u", blocks(), site="us")
+        service.replicate("u", "eu")
+        service.delete("u")
+        assert service.site("us").used_bytes == 0
+        assert service.site("eu").used_bytes == 0
+        with pytest.raises(ValidationError):
+            service.get("u")
+
+    def test_affinity_local_replica_is_free(self, service):
+        service.put("u", blocks(), site="eu")
+        site, cost = service.closest_replica("u", "eu")
+        assert (site, cost) == ("eu", 0.0)
+
+    def test_affinity_prefers_cheap_link(self, service):
+        service.put("u", blocks(4, rows=100, cols=32), site="us")
+        service.replicate("u", "eu")
+        # From the edge, the US replica is one LAN hop; EU is transatlantic.
+        site, cost = service.closest_replica("u", "edge")
+        assert site == "us"
+        assert cost > 0
+
+    def test_list_units_by_site(self, service):
+        service.put("a", blocks(seed=1), site="us")
+        service.put("b", blocks(seed=2), site="eu")
+        assert [u.name for u in service.list_units("us")] == ["a"]
+        assert [u.name for u in service.list_units()] == ["a", "b"]
+
+    def test_stats(self, service):
+        service.put("u", blocks(), site="us")
+        service.replicate("u", "eu")
+        stats = service.stats()
+        assert stats["units"] == 1
+        assert stats["bytes_transferred"] > 0
+
+    def test_without_topology_transfers_free(self):
+        s = PilotDataService()
+        s.register_site("x", 1e9)
+        s.register_site("y", 1e9)
+        s.put("u", blocks(), site="x")
+        assert s.replicate("u", "y") == 0.0
+        assert s.closest_replica("u", "z")[1] == 0.0

@@ -1,0 +1,171 @@
+"""Tests for the objective-driven resource planner."""
+
+import pytest
+
+from repro.netem import LAN, TRANSATLANTIC, ContinuumTopology
+from repro.planner import (
+    ApplicationObjective,
+    InfeasibleObjective,
+    ResourcePlanner,
+    WorkloadProfile,
+    validate_plan,
+)
+from repro.util.validation import ValidationError
+
+
+def make_topology(profile):
+    topo = ContinuumTopology(time_scale=0.0, seed=0)
+    topo.add_site("edge", tier="edge")
+    topo.add_site("cloud", tier="cloud")
+    topo.connect("edge", "cloud", profile)
+    return topo
+
+
+@pytest.fixture
+def lan_planner():
+    return ResourcePlanner(make_topology(LAN), "edge", "cloud")
+
+
+@pytest.fixture
+def geo_planner():
+    return ResourcePlanner(make_topology(TRANSATLANTIC), "edge", "cloud")
+
+
+def light_workload(**kw):
+    defaults = dict(points=1000, rate_msgs_s=20.0, num_devices=4,
+                    process_cost_s=0.02, compression_ratio=0.25)
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+class TestWorkloadProfile:
+    def test_demand_arithmetic(self):
+        w = light_workload()
+        assert w.message_bytes == 16 + 1000 * 32 * 8
+        assert w.demand_mb_s == pytest.approx(20 * w.message_bytes / 1e6)
+        assert w.required_cloud_cores == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadProfile(rate_msgs_s=0)
+        with pytest.raises(ValidationError):
+            WorkloadProfile(compression_ratio=0.0)
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ApplicationObjective(prefer="vibes")
+        with pytest.raises(ValidationError):
+            ApplicationObjective(max_latency_s=-1)
+
+
+class TestPlanning:
+    def test_cost_prefers_edge_when_devices_keep_up(self, lan_planner):
+        # The devices are already paid for ($0.01/h each); if they can
+        # absorb the load, the cost-optimal plan skips the cloud.
+        plan = lan_planner.plan(light_workload(), ApplicationObjective(prefer="cost"))
+        assert plan.placement == "edge"
+        assert plan.cloud_pilot is None
+        assert plan.est_cost_per_hour == pytest.approx(0.04)
+
+    def test_cost_falls_back_to_cloud_when_devices_saturate(self, lan_planner):
+        # 0.05 s/msg x 8 slowdown = 0.4 s on-device; 5 msgs/s/device
+        # needs 2 cores per 1-core device -> edge infeasible -> cloud.
+        w = light_workload(process_cost_s=0.05)
+        plan = lan_planner.plan(w, ApplicationObjective(prefer="cost"))
+        assert plan.placement in ("cloud", "hybrid")
+        assert plan.cloud_pilot is not None
+
+    def test_cheapest_instance_chosen(self, lan_planner):
+        # 1 core needed: one lrz.medium (4 cores, $0.20) suffices and
+        # beats one lrz.large ($0.48).
+        w = light_workload(process_cost_s=0.05)
+        plan = lan_planner.plan(w, ApplicationObjective(prefer="cost"))
+        assert plan.instance.name == "lrz.medium"
+        assert plan.cloud_pilot.nodes == 1
+
+    def test_heavy_compute_needs_more_nodes(self, lan_planner):
+        heavy = light_workload(process_cost_s=0.5, rate_msgs_s=40.0)  # 20 cores
+        plan = lan_planner.plan(heavy, ApplicationObjective(prefer="cost"))
+        total_cores = plan.cloud_pilot.nodes * plan.instance.spec.cores
+        assert total_cores >= 20
+
+    def test_transatlantic_raw_infeasible_hybrid_chosen(self, geo_planner):
+        # 20 msgs/s x 256 KB = 5.1 MB/s raw < 10 MB/s link: feasible raw.
+        # Crank the rate so raw exceeds the link but compressed fits.
+        w = light_workload(rate_msgs_s=60.0)  # 15.4 MB/s raw, 3.8 compressed
+        plan = geo_planner.plan(w, ApplicationObjective(prefer="cost"))
+        assert plan.placement in ("hybrid", "edge")
+
+    def test_latency_preference_picks_edge_over_wan(self, geo_planner):
+        w = light_workload(rate_msgs_s=4.0, process_cost_s=0.01, edge_slowdown=4.0)
+        plan = geo_planner.plan(w, ApplicationObjective(prefer="latency"))
+        # On-device processing (40 ms) beats a 75 ms one-way hop.
+        assert plan.placement == "edge"
+
+    def test_energy_preference_picks_edge_when_feasible(self, geo_planner):
+        w = light_workload(rate_msgs_s=4.0, process_cost_s=0.01)
+        plan = geo_planner.plan(w, ApplicationObjective(prefer="energy"))
+        assert plan.placement == "edge"
+
+    def test_cost_ceiling_filters_plans(self, lan_planner):
+        w = light_workload(process_cost_s=0.5, rate_msgs_s=40.0)  # 20 cores
+        with pytest.raises(InfeasibleObjective):
+            lan_planner.plan(
+                w,
+                ApplicationObjective(max_cost_per_hour=0.05, prefer="cost",
+                                     max_latency_s=0.5),
+            )
+
+    def test_latency_ceiling(self, geo_planner):
+        # A 1 ms ceiling is impossible over a 150 ms RTT link AND on a
+        # slow device.
+        w = light_workload(process_cost_s=0.05)
+        with pytest.raises(InfeasibleObjective):
+            geo_planner.plan(w, ApplicationObjective(max_latency_s=0.001))
+
+    def test_overwhelming_rate_infeasible(self, geo_planner):
+        w = light_workload(rate_msgs_s=5000.0, process_cost_s=0.1, edge_slowdown=100.0,
+                           compression_ratio=0.99)
+        with pytest.raises(InfeasibleObjective):
+            geo_planner.plan(w, ApplicationObjective())
+
+    def test_plan_descriptions_are_submittable(self, lan_planner, pilot_service):
+        # Force a cloud plan so both pilot descriptions exist.
+        w = light_workload(process_cost_s=0.05)
+        plan = lan_planner.plan(w, ApplicationObjective(prefer="cost"))
+        assert plan.cloud_pilot is not None
+        edge = pilot_service.submit_pilot(plan.edge_pilot)
+        cloud = pilot_service.submit_pilot(plan.cloud_pilot)
+        assert pilot_service.wait_all(timeout=10)
+        assert edge.cluster.n_workers == 4
+        assert cloud.cluster.worker_resources.cores == plan.instance.spec.cores
+
+    def test_describe_human_readable(self, lan_planner):
+        plan = lan_planner.plan(light_workload(), ApplicationObjective())
+        text = plan.describe()
+        assert "msgs/s" in text and "$" in text
+
+
+class TestValidatePlan:
+    def test_cloud_plan_validates_in_sim(self, lan_planner):
+        w = light_workload()
+        plan = lan_planner.plan(w, ApplicationObjective(prefer="cost"))
+        ok, result = validate_plan(plan, w, link_profile=LAN, messages_per_device=32)
+        assert ok, result.report.row()
+
+    def test_edge_plan_validates_in_sim(self, geo_planner):
+        w = light_workload(rate_msgs_s=4.0, process_cost_s=0.01)
+        plan = geo_planner.plan(w, ApplicationObjective(prefer="energy"))
+        assert plan.placement == "edge"
+        ok, result = validate_plan(plan, w, messages_per_device=32)
+        assert ok, result.report.row()
+
+    def test_undersized_plan_fails_validation(self, lan_planner):
+        w = light_workload(rate_msgs_s=200.0, process_cost_s=0.1)  # 20 cores
+        plan = lan_planner.plan(w, ApplicationObjective(prefer="cost"))
+        # Sabotage: strip the plan to one consumer.
+        plan.consumers = 1
+        ok, result = validate_plan(plan, w, link_profile=LAN, messages_per_device=32)
+        assert not ok

@@ -1,0 +1,180 @@
+"""Additional property-based tests: compaction, state machines, windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker import PartitionLog
+from repro.core.windows import TumblingWindow
+from repro.ml import StreamingKMeans
+from repro.pilot import InvalidTransition, PilotState
+from repro.pilot.states import check_transition
+from repro.sim import MultiTierSimulation, StageCostModel, Tier
+
+
+class TestCompactionProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from([b"k1", b"k2", b"k3", None]), st.binary(max_size=8)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_compaction_preserves_latest_per_key(self, ops):
+        log = PartitionLog("t", 0)
+        latest: dict = {}
+        keyless = []
+        for key, value in ops:
+            record = log.append(value, key=key)
+            if key is None:
+                keyless.append(record.offset)
+            else:
+                latest[key] = record.offset
+        log.compact()
+        survivors = log.fetch(0, max_records=1000)
+        offsets = {r.offset for r in survivors}
+        # Every keyless record and every latest-per-key record survives;
+        # nothing else does.
+        assert offsets == set(keyless) | set(latest.values())
+        # Offsets remain strictly increasing.
+        ordered = [r.offset for r in survivors]
+        assert ordered == sorted(ordered)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from([b"a", b"b"]), st.binary(max_size=4)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30)
+    def test_compaction_idempotent(self, ops):
+        log = PartitionLog("t", 0)
+        for key, value in ops:
+            log.append(value, key=key)
+        log.compact()
+        assert log.compact() == 0  # second pass removes nothing
+
+
+class TestPilotStateMachineProperties:
+    @given(
+        path=st.lists(st.sampled_from(list(PilotState)), min_size=1, max_size=8)
+    )
+    @settings(max_examples=100)
+    def test_no_path_escapes_final_states(self, path):
+        """Once a final state is reached, no further transition is legal."""
+        state = PilotState.NEW
+        for nxt in path:
+            try:
+                check_transition(state, nxt)
+            except InvalidTransition:
+                continue
+            if state.is_final:
+                pytest.fail(f"escaped final state {state} -> {nxt}")
+            state = nxt
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_every_legal_walk_ends_new_pending_running_or_final(self, data):
+        state = PilotState.NEW
+        for _ in range(6):
+            candidates = [
+                s for s in PilotState
+                if _legal(state, s)
+            ]
+            if not candidates:
+                break
+            state = data.draw(st.sampled_from(candidates))
+        assert state in PilotState
+
+
+def _legal(a, b):
+    try:
+        check_transition(a, b)
+        return True
+    except InvalidTransition:
+        return False
+
+
+class TestTumblingWindowProperties:
+    @given(
+        size=st.integers(min_value=1, max_value=10),
+        n_blocks=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=50)
+    def test_row_conservation(self, size, n_blocks):
+        """Rows in == rows out (emitted + flushed)."""
+        window = TumblingWindow(size)
+        rows_in = 0
+        rows_out = 0
+        rng = np.random.default_rng(0)
+        for _ in range(n_blocks):
+            rows = int(rng.integers(1, 5))
+            rows_in += rows
+            out = window.add(np.zeros((rows, 2)))
+            if out is not None:
+                rows_out += out.shape[0]
+        tail = window.flush()
+        if tail is not None:
+            rows_out += tail.shape[0]
+        assert rows_in == rows_out
+        assert window.windows_emitted == (n_blocks // size) + (
+            1 if n_blocks % size else 0
+        )
+
+
+class TestKMeansProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_single_cluster_center_is_global_mean(self, seed):
+        rng = np.random.default_rng(seed)
+        km = StreamingKMeans(n_clusters=1, seed=0)
+        chunks = [rng.normal(size=(int(rng.integers(5, 40)), 3)) for _ in range(4)]
+        for chunk in chunks:
+            km.partial_fit(chunk)
+        everything = np.vstack(chunks)
+        np.testing.assert_allclose(
+            km.cluster_centers_[0], everything.mean(axis=0), atol=1e-8
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=20)
+    def test_counts_conserve_samples(self, seed, k):
+        rng = np.random.default_rng(seed)
+        km = StreamingKMeans(n_clusters=k, seed=0)
+        total = 0
+        for _ in range(3):
+            n = int(rng.integers(k, 50))
+            km.partial_fit(rng.normal(size=(n, 2)))
+            total += n
+        assert km._counts.sum() == total
+
+
+class TestMultiTierProperties:
+    @given(
+        n_tiers=st.integers(min_value=1, max_value=4),
+        devices=st.integers(min_value=1, max_value=4),
+        messages=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_message_conservation_through_chain(self, n_tiers, devices, messages):
+        tiers = [
+            Tier(f"t{i}", process_cost=StageCostModel("p", 1e-4, jitter=0.0))
+            for i in range(n_tiers)
+        ]
+        result = MultiTierSimulation(
+            tiers,
+            num_devices=devices,
+            messages_per_device=messages,
+            message_bytes=1000,
+            seed=0,
+        ).run()
+        expected = devices * messages
+        assert result.report.messages == expected
+        for i in range(n_tiers):
+            assert result.tier_stats[f"t{i}"]["jobs_served"] == expected

@@ -1,0 +1,114 @@
+"""Property-based tests for network emulation and routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netem import ContinuumTopology, Link, LinkProfile, LAN, REGIONAL_WAN, TRANSATLANTIC
+
+
+def profile_strategy():
+    return st.builds(
+        lambda rtt_lo, rtt_span, bw_lo, bw_span: LinkProfile(
+            "gen", rtt_lo, rtt_lo + rtt_span, bw_lo, bw_lo + bw_span
+        ),
+        rtt_lo=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        rtt_span=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        bw_lo=st.floats(min_value=0.1, max_value=10_000.0, allow_nan=False),
+        bw_span=st.floats(min_value=0.0, max_value=1_000.0, allow_nan=False),
+    )
+
+
+class TestLinkProperties:
+    @given(profile=profile_strategy(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_samples_always_within_profile(self, profile, seed):
+        link = Link(profile, seed=seed)
+        for _ in range(20):
+            rtt = link.sample_rtt_s() * 1000.0
+            assert profile.rtt_ms_min - 1e-9 <= rtt <= profile.rtt_ms_max + 1e-9
+            bw = link.sample_bandwidth_bps() / 1e6
+            assert profile.bandwidth_mbps_min - 1e-9 <= bw <= profile.bandwidth_mbps_max + 1e-9
+
+    @given(
+        profile=profile_strategy(),
+        seed=st.integers(0, 2**31 - 1),
+        a=st.integers(min_value=0, max_value=10_000_000),
+        b=st.integers(min_value=0, max_value=10_000_000),
+    )
+    @settings(max_examples=50)
+    def test_transfer_time_lower_bounds(self, profile, seed, a, b):
+        """Transfer time is at least the minimum latency plus the
+        serialization at the maximum bandwidth."""
+        link = Link(profile, seed=seed)
+        for nbytes in (a, b):
+            t = link.transfer_time(nbytes)
+            floor = profile.rtt_ms_min / 2000.0 + nbytes * 8.0 / (
+                profile.bandwidth_mbps_max * 1e6
+            )
+            assert t >= floor - 1e-9
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20)
+    def test_stats_conserve_bytes(self, seed):
+        link = Link(LAN, seed=seed, time_scale=0.0)
+        sizes = np.random.default_rng(seed).integers(1, 100_000, size=10)
+        for s in sizes:
+            link.transfer(int(s))
+        assert link.bytes_moved == int(sizes.sum())
+        assert link.transfers == 10
+
+
+class TestRoutingProperties:
+    @st.composite
+    def random_topology(draw):
+        n = draw(st.integers(min_value=2, max_value=6))
+        names = [f"s{i}" for i in range(n)]
+        topo = ContinuumTopology(time_scale=0.0, seed=0)
+        for name in names:
+            topo.add_site(name)
+        # A random spanning tree guarantees connectivity; extra edges
+        # are added on top.
+        profiles = [LAN, REGIONAL_WAN, TRANSATLANTIC]
+        for i in range(1, n):
+            j = draw(st.integers(min_value=0, max_value=i - 1))
+            topo.connect(names[i], names[j], draw(st.sampled_from(profiles)))
+        extra = draw(st.integers(min_value=0, max_value=2))
+        for _ in range(extra):
+            a = draw(st.sampled_from(names))
+            b = draw(st.sampled_from(names))
+            if a != b and topo.direct_link(a, b) is None:
+                topo.connect(a, b, draw(st.sampled_from(profiles)))
+        return topo, names
+
+    @given(data=random_topology())
+    @settings(max_examples=40)
+    def test_routes_exist_and_are_simple_paths(self, data):
+        topo, names = data
+        for a in names:
+            for b in names:
+                path = topo.route(a, b)
+                assert path[0] == a and path[-1] == b
+                assert len(set(path)) == len(path)  # no repeated sites
+                for u, v in zip(path, path[1:]):
+                    assert topo.direct_link(u, v) is not None
+
+    @given(data=random_topology())
+    @settings(max_examples=40)
+    def test_route_rtt_is_symmetric(self, data):
+        topo, names = data
+        for a in names:
+            for b in names:
+                assert topo.path_rtt_ms(a, b) == pytest.approx(topo.path_rtt_ms(b, a))
+
+    @given(data=random_topology())
+    @settings(max_examples=40)
+    def test_direct_route_never_beaten_by_itself(self, data):
+        """The routed RTT never exceeds any direct link's RTT."""
+        topo, names = data
+        for a in names:
+            for b in names:
+                direct = topo.direct_link(a, b)
+                if direct is not None:
+                    assert topo.path_rtt_ms(a, b) <= direct.profile.mean_rtt_ms + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for cost calibration and the simulated pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_model_processor, passthrough_processor
+from repro.ml import StreamingKMeans
+from repro.netem import LAN, LOOPBACK, TRANSATLANTIC, LinkProfile
+from repro.sim import (
+    SimConfig,
+    SimulatedPipeline,
+    StageCostModel,
+    calibrate_model_cost,
+    calibrate_produce_cost,
+)
+
+
+class TestStageCostModel:
+    def test_sample_within_jitter(self):
+        model = StageCostModel("s", mean_s=1.0, jitter=0.1)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            s = model.sample(rng)
+            assert 0.9 <= s <= 1.1
+
+    def test_zero_mean_samples_zero(self):
+        model = StageCostModel("s", mean_s=0.0)
+        assert model.sample(np.random.default_rng(0)) == 0.0
+
+
+class TestCalibration:
+    def test_produce_cost_positive_and_size_dependent(self):
+        small = calibrate_produce_cost(points=100, reps=2)
+        large = calibrate_produce_cost(points=10_000, reps=2)
+        assert 0 < small.mean_s < large.mean_s
+
+    def test_model_cost_measures_real_function(self):
+        cost = calibrate_model_cost(
+            make_model_processor(StreamingKMeans), points=1000, reps=2
+        )
+        assert cost.mean_s > 1e-5
+        assert "process_StreamingKMeans" in cost.name
+
+    def test_passthrough_cheaper_than_model(self):
+        base = calibrate_model_cost(passthrough_processor, points=1000, reps=2)
+        model = calibrate_model_cost(
+            make_model_processor(StreamingKMeans), points=1000, reps=2
+        )
+        assert base.mean_s < model.mean_s
+
+
+class TestSimulatedPipeline:
+    def _run(self, **kw):
+        defaults = dict(
+            num_devices=2,
+            messages_per_device=64,
+            points=1000,
+            produce_cost=StageCostModel("produce", 1e-4, jitter=0.0),
+            process_cost=StageCostModel("process", 1e-3, jitter=0.0),
+            seed=1,
+        )
+        defaults.update(kw)
+        return SimulatedPipeline(SimConfig(**defaults)).run()
+
+    def test_all_messages_complete(self):
+        result = self._run()
+        assert result.report.messages == 128
+
+    def test_deterministic_given_seed(self):
+        r1 = self._run()
+        r2 = self._run()
+        assert r1.report.throughput_mb_s == pytest.approx(r2.report.throughput_mb_s)
+
+    def test_throughput_capped_by_link_bandwidth(self):
+        result = self._run(
+            points=10_000,
+            uplink=TRANSATLANTIC,
+            messages_per_device=32,
+        )
+        # 60-100 Mbit/s = 7.5-12.5 MB/s: throughput must sit in/below band.
+        assert result.report.throughput_mb_s < 13.0
+        assert result.report.throughput_mb_s > 5.0
+
+    def test_compute_bound_when_processing_slow(self):
+        result = self._run(
+            process_cost=StageCostModel("slow", 0.5, jitter=0.0),
+            messages_per_device=16,
+        )
+        assert result.bottleneck["bottleneck"] == "processing"
+
+    def test_more_consumers_help_compute_bound_workload(self):
+        slow = StageCostModel("slow", 0.05, jitter=0.0)
+        one = self._run(num_consumers=1, process_cost=slow, messages_per_device=32)
+        four = self._run(num_consumers=4, process_cost=slow, messages_per_device=32)
+        assert four.report.throughput_mb_s > one.report.throughput_mb_s * 2
+
+    def test_latency_grows_with_message_size_on_slow_link(self):
+        small = self._run(points=25, uplink=TRANSATLANTIC, messages_per_device=16)
+        large = self._run(points=10_000, uplink=TRANSATLANTIC, messages_per_device=16)
+        assert large.report.latency_mean_s > small.report.latency_mean_s
+
+    def test_energy_accumulates(self):
+        result = self._run()
+        assert result.energy_joules["total_joules"] > 0
+        assert result.energy_joules["cloud_joules"] > result.energy_joules["edge_joules"]
+
+    def test_station_stats_present(self):
+        result = self._run()
+        assert set(result.station_stats) == {"producers", "uplink", "downlink", "consumers"}
+        assert result.station_stats["consumers"]["jobs_served"] == 128
+
+    def test_virtual_time_decoupled_from_wall_clock(self):
+        import time
+
+        t0 = time.monotonic()
+        result = self._run(
+            points=10_000,
+            uplink=TRANSATLANTIC,
+            downlink=TRANSATLANTIC,
+            messages_per_device=64,
+        )
+        wall = time.monotonic() - t0
+        assert result.virtual_duration_s > 10.0   # minutes of virtual traffic
+        assert wall < 5.0                          # simulated in seconds
+
+    def test_loopback_default_is_fast(self):
+        result = self._run(uplink=LOOPBACK, downlink=LOOPBACK)
+        assert result.report.throughput_mb_s > 10.0

@@ -1,0 +1,147 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import FifoServer, SimProcessError, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_equal_times(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(4.0, lambda: times.append(sim.now))
+        final = sim.run()
+        assert times == [1.5, 4.0]
+        assert final == 4.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+
+        def recur(n):
+            hits.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, recur, n - 1)
+
+        sim.schedule(0.0, recur, 3)
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_until(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.run(until=2.0)
+        assert hits == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_callback_error_wrapped(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: 1 / 0)
+        with pytest.raises(SimProcessError):
+            sim.run()
+
+    def test_runaway_loop_detected(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimProcessError, match="events"):
+            sim.run(max_events=1000)
+
+
+class TestFifoServer:
+    def test_sequential_service(self):
+        sim = Simulator()
+        server = FifoServer(sim, capacity=1)
+        done_times = []
+        for _ in range(3):
+            server.submit(2.0, lambda: done_times.append(sim.now))
+        sim.run()
+        assert done_times == [2.0, 4.0, 6.0]
+
+    def test_parallel_capacity(self):
+        sim = Simulator()
+        server = FifoServer(sim, capacity=3)
+        done_times = []
+        for _ in range(3):
+            server.submit(2.0, lambda: done_times.append(sim.now))
+        sim.run()
+        assert done_times == [2.0, 2.0, 2.0]
+
+    def test_queueing_behind_capacity(self):
+        sim = Simulator()
+        server = FifoServer(sim, capacity=2)
+        done_times = []
+        for _ in range(4):
+            server.submit(1.0, lambda: done_times.append(sim.now))
+        sim.run()
+        assert done_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_stats(self):
+        sim = Simulator()
+        server = FifoServer(sim, capacity=1, name="s")
+        server.submit(1.0)
+        server.submit(1.0)  # waits 1 s
+        sim.run()
+        stats = server.stats()
+        assert stats["jobs_served"] == 2
+        assert stats["busy_seconds"] == pytest.approx(2.0)
+        assert stats["mean_wait_s"] == pytest.approx(0.5)
+
+    def test_utilization(self):
+        sim = Simulator()
+        server = FifoServer(sim, capacity=1)
+        server.submit(3.0)
+        sim.run()
+        assert server.utilization(6.0) == pytest.approx(0.5)
+
+    def test_energy_accounting(self):
+        sim = Simulator()
+        server = FifoServer(sim, capacity=1, power_watts=10.0)
+        server.submit(5.0)
+        sim.run()
+        assert server.energy_joules == pytest.approx(50.0)
+
+    def test_zero_service_time(self):
+        sim = Simulator()
+        server = FifoServer(sim, capacity=1)
+        hits = []
+        server.submit(0.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [0.0]

@@ -1,0 +1,107 @@
+"""Tests for the multi-tier simulation."""
+
+import pytest
+
+from repro.netem import LAN, REGIONAL_WAN, TRANSATLANTIC
+from repro.sim import MultiTierSimulation, StageCostModel, Tier
+from repro.util.validation import ValidationError
+
+
+def three_tier(reduction_at_gateway=1.0, **kw):
+    tiers = [
+        Tier("gateway", link=LAN, servers=2,
+             process_cost=StageCostModel("pre", 1e-3, jitter=0.0),
+             reduction=reduction_at_gateway, power_watts=10.0),
+        Tier("regional", link=REGIONAL_WAN, servers=4,
+             process_cost=StageCostModel("infer", 5e-3, jitter=0.0), power_watts=95.0),
+        Tier("central", link=TRANSATLANTIC, servers=8,
+             process_cost=StageCostModel("train", 2e-2, jitter=0.0), power_watts=95.0),
+    ]
+    defaults = dict(num_devices=4, messages_per_device=32,
+                    message_bytes=256_000, seed=1)
+    defaults.update(kw)
+    return MultiTierSimulation(tiers, **defaults)
+
+
+class TestConstruction:
+    def test_requires_tiers(self):
+        with pytest.raises(ValidationError):
+            MultiTierSimulation([])
+
+    def test_duplicate_tier_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            MultiTierSimulation([Tier("a"), Tier("a")])
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValidationError):
+            Tier("t", reduction=1.5)
+
+    def test_empty_tier_name(self):
+        with pytest.raises(ValidationError):
+            Tier("")
+
+
+class TestExecution:
+    def test_all_messages_traverse_all_tiers(self):
+        sim = three_tier()
+        result = sim.run()
+        assert result.report.messages == 128
+        # Every station served every message.
+        for tier in ("gateway", "regional", "central"):
+            assert result.tier_stats[tier]["jobs_served"] == 128
+
+    def test_deterministic(self):
+        r1 = three_tier().run()
+        r2 = three_tier().run()
+        assert r1.report.throughput_mb_s == pytest.approx(r2.report.throughput_mb_s)
+
+    def test_reduction_shrinks_downstream_traffic(self):
+        raw = three_tier(reduction_at_gateway=1.0).run()
+        reduced = three_tier(reduction_at_gateway=0.1).run()
+        # The transatlantic hop dominates; shrinking its payload 10x
+        # must raise end-to-end throughput substantially.
+        assert (
+            reduced.report.throughput_msgs_s
+            > raw.report.throughput_msgs_s * 2
+        )
+
+    def test_single_tier_matches_flat_pipeline_shape(self):
+        sim = MultiTierSimulation(
+            [Tier("cloud", link=TRANSATLANTIC, servers=4,
+                  process_cost=StageCostModel("p", 1e-3, jitter=0.0))],
+            num_devices=4,
+            messages_per_device=32,
+            message_bytes=2_560_000,
+            seed=2,
+        )
+        result = sim.run()
+        # Network-bound at the transatlantic bandwidth (60-100 Mbit/s).
+        assert 5.0 < result.report.throughput_mb_s < 13.0
+
+    def test_relay_tier(self):
+        sim = MultiTierSimulation(
+            [Tier("relay", link=LAN), Tier("sink", link=LAN,
+                  process_cost=StageCostModel("p", 1e-3, jitter=0.0))],
+            num_devices=2,
+            messages_per_device=16,
+            seed=0,
+        )
+        result = sim.run()
+        assert result.report.messages == 32
+        assert result.tier_stats["relay"]["jobs_served"] == 32
+
+    def test_energy_per_tier(self):
+        result = three_tier().run()
+        assert result.energy_joules["gateway"] > 0
+        assert result.energy_joules["central"] > result.energy_joules["gateway"]
+        assert result.total_energy_joules == pytest.approx(
+            sum(result.energy_joules.values())
+        )
+
+    def test_latency_accumulates_across_tiers(self):
+        one = MultiTierSimulation(
+            [Tier("only", link=LAN, process_cost=StageCostModel("p", 1e-3, jitter=0.0))],
+            num_devices=1, messages_per_device=8, seed=3,
+        ).run()
+        three = three_tier(num_devices=1, messages_per_device=8).run()
+        assert three.report.latency_mean_s > one.report.latency_mean_s

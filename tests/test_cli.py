@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_baseline_defaults(self):
+        args = build_parser().parse_args(["baseline"])
+        assert args.points == 1000
+        assert args.devices == 2
+
+    def test_model_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model", "--model", "svm"])
+
+    def test_geo_link_choices(self):
+        args = build_parser().parse_args(["geo", "--link", "lan"])
+        assert args.link == "lan"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["geo", "--link", "warp"])
+
+
+class TestInfo:
+    def test_info_lists_plugins(self, capsys):
+        assert main(["info"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert "ssh" in out["resource_plugins"]
+        assert "kafka" in out["broker_plugins"]
+        assert out["instance_catalog"]["lrz.large"]["cores"] == 10
+
+
+class TestRuns:
+    def test_baseline_run(self, capsys):
+        rc = main(
+            ["baseline", "--points", "50", "--devices", "1", "--messages", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed=True" in out
+        assert "MB/s=" in out
+
+    def test_model_run_json(self, capsys):
+        rc = main(
+            ["model", "--model", "kmeans", "--points", "50",
+             "--devices", "1", "--messages", "3", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] is True
+        assert payload["messages"] == 3
+
+    def test_geo_run(self, capsys):
+        rc = main(
+            ["geo", "--model", "baseline", "--points", "100",
+             "--devices", "2", "--messages", "8", "--link", "lan", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["messages"] == 16
+        assert "virtual_duration_s" in payload
+        assert payload["bottleneck"] in ("processing", "transfer")

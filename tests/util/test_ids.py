@@ -1,0 +1,50 @@
+"""Tests for identifier generation."""
+
+import pytest
+
+from repro.util import new_id, new_run_id
+from repro.util.ids import ID_ALPHABET
+
+
+class TestNewId:
+    def test_prefix_is_applied(self):
+        assert new_id("task").startswith("task-")
+
+    def test_ids_are_unique(self):
+        ids = {new_id("x") for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_ids_sort_in_creation_order(self):
+        a = new_id("seq")
+        b = new_id("seq")
+        assert a < b
+
+    def test_suffix_uses_safe_alphabet(self):
+        suffix = new_id("p").rsplit("-", 1)[1]
+        assert all(c in ID_ALPHABET for c in suffix)
+
+    def test_rejects_empty_prefix(self):
+        with pytest.raises(ValueError):
+            new_id("")
+
+    def test_rejects_non_identifier_prefix(self):
+        with pytest.raises(ValueError):
+            new_id("has space")
+
+    def test_run_id_prefix(self):
+        assert new_run_id().startswith("run-")
+
+    def test_thread_safety(self):
+        import threading
+
+        results: list = []
+
+        def make_many():
+            results.extend(new_id("t") for _ in range(500))
+
+        threads = [threading.Thread(target=make_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 2000

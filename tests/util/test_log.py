@@ -1,0 +1,49 @@
+"""Tests for logging setup."""
+
+import logging
+
+from repro.util.log import ROOT_LOGGER_NAME, configure, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_root(self):
+        logger = get_logger("broker")
+        assert logger.name == f"{ROOT_LOGGER_NAME}.broker"
+
+    def test_already_namespaced_passthrough(self):
+        logger = get_logger(f"{ROOT_LOGGER_NAME}.compute")
+        assert logger.name == f"{ROOT_LOGGER_NAME}.compute"
+
+    def test_same_name_same_logger(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestConfigure:
+    def teardown_method(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+
+    def test_attaches_stream_handler(self):
+        configure()
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(isinstance(h, logging.StreamHandler) for h in root.handlers)
+
+    def test_idempotent(self):
+        configure()
+        configure()
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        stream_handlers = [
+            h for h in root.handlers if isinstance(h, logging.StreamHandler)
+        ]
+        assert len(stream_handlers) == 1
+
+    def test_level_applied(self):
+        configure(level=logging.DEBUG)
+        assert logging.getLogger(ROOT_LOGGER_NAME).level == logging.DEBUG
+
+    def test_library_silent_by_default(self, capsys):
+        # Without configure(), loggers propagate to the root logger but
+        # the framework never calls basicConfig — so nothing prints.
+        get_logger("quiet-test").info("should not appear")
+        assert "should not appear" not in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Tests for rate estimation and smoothing."""
+
+import pytest
+
+from repro.util import EWMA, RateEstimator
+from repro.util.validation import ValidationError
+
+
+class TestEWMA:
+    def test_first_sample_sets_value(self):
+        e = EWMA(alpha=0.5)
+        assert e.update(10.0) == 10.0
+
+    def test_smoothing_moves_toward_samples(self):
+        e = EWMA(alpha=0.5)
+        e.update(0.0)
+        assert e.update(10.0) == 5.0
+
+    def test_alpha_one_tracks_raw(self):
+        e = EWMA(alpha=1.0)
+        e.update(1.0)
+        assert e.update(42.0) == 42.0
+
+    def test_reset(self):
+        e = EWMA()
+        e.update(5.0)
+        e.reset()
+        assert e.value is None
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValidationError):
+            EWMA(alpha=1.5)
+
+
+class TestRateEstimator:
+    def make(self):
+        # Manual clock for determinism.
+        state = {"t": 0.0}
+        est = RateEstimator(window=10.0, clock=lambda: state["t"])
+        return est, state
+
+    def test_empty_rate_is_zero(self):
+        est, _ = self.make()
+        assert est.rate() == 0.0
+
+    def test_steady_rate(self):
+        est, state = self.make()
+        for i in range(10):
+            state["t"] = float(i)
+            est.record()
+        state["t"] = 10.0
+        # 10 events over 10 seconds (window-limited span).
+        assert est.rate() == pytest.approx(1.0, rel=0.2)
+
+    def test_events_outside_window_ignored(self):
+        est, state = self.make()
+        est.record(at=0.0)
+        state["t"] = 100.0
+        assert est.rate() == 0.0
+
+    def test_total_counts_everything(self):
+        est, state = self.make()
+        est.record(count=3.0)
+        est.record(count=2.0)
+        assert est.total == 5.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValidationError):
+            RateEstimator(window=0)

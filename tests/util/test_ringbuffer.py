@@ -1,0 +1,71 @@
+"""Tests for the bounded ring buffer."""
+
+import pytest
+
+from repro.util import RingBuffer, ValidationError
+
+
+class TestRingBuffer:
+    def test_append_and_iterate(self):
+        rb = RingBuffer(5)
+        rb.extend([1, 2, 3])
+        assert list(rb) == [1, 2, 3]
+
+    def test_overwrites_oldest_when_full(self):
+        rb = RingBuffer(3)
+        rb.extend(range(5))
+        assert list(rb) == [2, 3, 4]
+
+    def test_len_tracks_size(self):
+        rb = RingBuffer(3)
+        assert len(rb) == 0
+        rb.append(1)
+        assert len(rb) == 1
+        rb.extend([2, 3, 4])
+        assert len(rb) == 3
+
+    def test_full_flag(self):
+        rb = RingBuffer(2)
+        assert not rb.full
+        rb.extend([1, 2])
+        assert rb.full
+
+    def test_indexing(self):
+        rb = RingBuffer(3)
+        rb.extend([10, 20, 30, 40])
+        assert rb[0] == 20
+        assert rb[-1] == 40
+
+    def test_index_out_of_range(self):
+        rb = RingBuffer(3)
+        rb.append(1)
+        with pytest.raises(IndexError):
+            rb[1]
+        with pytest.raises(IndexError):
+            rb[-2]
+
+    def test_clear(self):
+        rb = RingBuffer(3)
+        rb.extend([1, 2, 3])
+        rb.clear()
+        assert len(rb) == 0
+        assert list(rb) == []
+
+    def test_to_list(self):
+        rb = RingBuffer(4)
+        rb.extend("abc")
+        assert rb.to_list() == ["a", "b", "c"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            RingBuffer(0)
+
+    def test_capacity_one(self):
+        rb = RingBuffer(1)
+        rb.extend([1, 2, 3])
+        assert list(rb) == [3]
+
+    def test_wraparound_ordering_preserved(self):
+        rb = RingBuffer(4)
+        rb.extend(range(10))
+        assert list(rb) == [6, 7, 8, 9]

@@ -1,0 +1,73 @@
+"""Tests for timing helpers."""
+
+import time
+
+import pytest
+
+from repro.util import Stopwatch, Timer, monotonic_ms
+
+
+class TestStopwatch:
+    def test_context_manager_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert 0.005 < sw.elapsed < 1.0
+
+    def test_elapsed_ms_matches_elapsed(self):
+        with Stopwatch() as sw:
+            pass
+        assert sw.elapsed_ms == pytest.approx(sw.elapsed * 1000.0)
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_unstarted_elapsed_is_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_live_elapsed_while_running(self):
+        sw = Stopwatch().start()
+        first = sw.elapsed
+        time.sleep(0.002)
+        assert sw.elapsed > first
+
+
+class TestTimer:
+    def test_accumulates_sections(self):
+        t = Timer()
+        with t.time():
+            pass
+        with t.time():
+            pass
+        assert t.count == 2
+        assert t.total >= 0.0
+
+    def test_mean_of_added_values(self):
+        t = Timer()
+        t.add(1.0)
+        t.add(3.0)
+        assert t.mean == 2.0
+        assert t.min == 1.0
+        assert t.max == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert Timer().mean == 0.0
+
+    def test_laps_recorded(self):
+        t = Timer()
+        t.add(0.5)
+        assert t.laps == (0.5,)
+
+
+def test_monotonic_ms_increases():
+    a = monotonic_ms()
+    b = monotonic_ms()
+    assert b >= a

@@ -1,0 +1,74 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.util import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_one_of,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError, match="x must be positive"):
+            check_positive("x", bad)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", True)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError, match="must be a number"):
+            check_positive("x", "3")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError, match=r"\[0.0, 1.0\]"):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", "s", (int, str)) == "s"
+
+    def test_error_names_expected_types(self):
+        with pytest.raises(ValidationError, match="int | str"):
+            check_type("x", 1.5, (int, str))
+
+
+class TestCheckOneOf:
+    def test_accepts_member(self):
+        assert check_one_of("mode", "a", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError, match="must be one of"):
+            check_one_of("mode", "c", ("a", "b"))
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
