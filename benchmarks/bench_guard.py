@@ -1,0 +1,132 @@
+"""Fast perf-regression guard for the broker batching fast path.
+
+A reduced-size version of ``test_broker_micro.py`` that finishes in a
+couple of seconds, so it can run on every change (CI smoke job or
+``python benchmarks/bench_guard.py`` locally) without the full
+pytest-benchmark machinery. It measures single-record vs batched
+produce plus the consumer drain rate, writes the numbers to
+``benchmarks/artifacts/BENCH_broker.json``, and fails (exit 1 / test
+failure) if the batched path drops below ``MIN_SPEEDUP``x the
+per-record path — the guard that keeps ``append_many`` an actual fast
+path rather than a synonym.
+
+The pytest entry point is marked ``bench`` and benchmarks/ is outside
+``testpaths``, so tier-1 runs never pay for it; select it explicitly
+with ``pytest -m bench benchmarks/bench_guard.py``.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.broker import Broker, Consumer, Producer
+from repro.data import encode_block
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_broker.json"
+
+#: Reduced size: enough work to dominate timer noise, small enough for
+#: a per-change smoke run.
+MESSAGES = 128
+POINTS = 1000
+BATCH = 32
+ROUNDS = 3
+#: The full micro-bench holds the batched path to 3x at 256 KB; the
+#: guard runs smaller and colder, so it alerts a little below that.
+MIN_SPEEDUP = 2.0
+
+
+def _payload() -> bytes:
+    return encode_block(np.random.default_rng(0).normal(size=(POINTS, 32)))
+
+
+def _single_rate(payload: bytes) -> float:
+    broker = Broker()
+    broker.create_topic("guard", 1)
+    producer = Producer(broker)
+    t0 = time.perf_counter()
+    for _ in range(MESSAGES):
+        producer.send("guard", payload, partition=0)
+    return MESSAGES * len(payload) / (time.perf_counter() - t0) / 1e6
+
+
+def _batched_rate(payload: bytes) -> float:
+    broker = Broker()
+    broker.create_topic("guard", 1)
+    producer = Producer(broker)
+    chunks = [
+        [payload] * min(BATCH, MESSAGES - start)
+        for start in range(0, MESSAGES, BATCH)
+    ]
+    t0 = time.perf_counter()
+    for chunk in chunks:
+        producer.send_many("guard", chunk, partition=0)
+    return MESSAGES * len(payload) / (time.perf_counter() - t0) / 1e6
+
+
+def _fetch_rate(payload: bytes) -> float:
+    broker = Broker()
+    broker.create_topic("guard", 1)
+    Producer(broker).send_many("guard", [payload] * MESSAGES, partition=0)
+    consumer = Consumer(broker)
+    consumer.assign([("guard", 0)])
+    t0 = time.perf_counter()
+    got = 0
+    while got < MESSAGES:
+        got += len(consumer.poll(max_records=BATCH))
+    return MESSAGES * len(payload) / (time.perf_counter() - t0) / 1e6
+
+
+def run_guard() -> dict:
+    """Measure, persist the artifact, and return the results."""
+    payload = _payload()
+    best = lambda fn: max(fn(payload) for _ in range(ROUNDS))
+    single = best(_single_rate)
+    batched = best(_batched_rate)
+    fetch = best(_fetch_rate)
+    results = {
+        "messages": MESSAGES,
+        "message_bytes": len(payload),
+        "batch_records": BATCH,
+        "produce_single_mb_s": round(single, 1),
+        "produce_batched_mb_s": round(batched, 1),
+        "fetch_mb_s": round(fetch, 1),
+        "batched_speedup": round(batched / single, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+@pytest.mark.bench
+def test_batched_fast_path_guard():
+    results = run_guard()
+    assert results["batched_speedup"] >= MIN_SPEEDUP, (
+        f"batched produce regressed to {results['batched_speedup']}x the "
+        f"single-record path ({results['produce_batched_mb_s']} vs "
+        f"{results['produce_single_mb_s']} MB/s); see {ARTIFACT}"
+    )
+
+
+def main() -> int:
+    results = run_guard()
+    for key, value in results.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {ARTIFACT}]")
+    if results["batched_speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: batched speedup {results['batched_speedup']}x "
+            f"< required {MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: batched speedup {results['batched_speedup']}x >= {MIN_SPEEDUP}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

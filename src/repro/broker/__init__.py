@@ -25,11 +25,11 @@ from repro.broker.errors import (
     OffsetOutOfRangeError,
     RebalanceInProgressError,
 )
-from repro.broker.message import Record, RecordMetadata
+from repro.broker.message import BatchMetadata, Record, RecordMetadata
 from repro.broker.partition import PartitionLog
 from repro.broker.topic import Topic
 from repro.broker.broker import Broker
-from repro.broker.producer import Producer, Partitioner, KeyHashPartitioner, RoundRobinPartitioner, StickyPartitioner
+from repro.broker.producer import BatchAccumulator, Producer, Partitioner, KeyHashPartitioner, RoundRobinPartitioner, StickyPartitioner
 from repro.broker.consumer import Consumer
 from repro.broker.group import GroupCoordinator, AssignmentStrategy, RangeAssignor, RoundRobinAssignor
 from repro.broker.serde import Serde, BytesSerde, JsonSerde, BlockSerde, PickleSerde
@@ -48,6 +48,8 @@ __all__ = [
     "RebalanceInProgressError",
     "Record",
     "RecordMetadata",
+    "BatchMetadata",
+    "BatchAccumulator",
     "PartitionLog",
     "Topic",
     "Broker",

@@ -13,7 +13,8 @@ import threading
 
 from repro.broker.errors import TopicExistsError, UnknownTopicError
 from repro.broker.group import GroupCoordinator
-from repro.broker.message import Record, RecordMetadata
+from repro.broker.message import BatchMetadata, Record, RecordMetadata
+from repro.broker.partition import PartitionLog
 from repro.broker.topic import Topic
 from repro.util.ids import new_id
 from repro.util.validation import check_non_negative, check_positive
@@ -99,6 +100,44 @@ class Broker:
         log = self.topic(topic).partition(partition)
         record = log.append(value, key=key, headers=headers, produce_ts=produce_ts)
         return RecordMetadata(topic=topic, partition=partition, offset=record.offset)
+
+    def append_many(
+        self,
+        topic: str,
+        partition: int,
+        values,
+        keys=None,
+        headers=None,
+        produce_ts=None,
+    ) -> BatchMetadata:
+        """Append a batch to one partition under a single log lock.
+
+        See :meth:`PartitionLog.append_many` for the parameter shapes.
+        Returns one :class:`BatchMetadata` for the whole batch (offsets
+        within a batch are contiguous).
+        """
+        log = self.topic(topic).partition(partition)
+        records = log.append_many(
+            values, keys=keys, headers=headers, produce_ts=produce_ts
+        )
+        if not records:
+            return BatchMetadata(
+                topic=topic, partition=partition, base_offset=log.latest_offset, count=0
+            )
+        return BatchMetadata(
+            topic=topic,
+            partition=partition,
+            base_offset=records[0].offset,
+            count=len(records),
+        )
+
+    def partition_log(self, topic: str, partition: int) -> PartitionLog:
+        """Direct handle to one partition's log (in-process brokers only).
+
+        Consumers use it to register cross-partition wakeup events;
+        remote broker proxies do not expose it.
+        """
+        return self.topic(topic).partition(partition)
 
     def fetch(
         self,

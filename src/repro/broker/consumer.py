@@ -9,6 +9,8 @@ processing tier, manual assignment for monitoring taps).
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any
 
 from repro.broker.broker import Broker
@@ -153,9 +155,33 @@ class Consumer:
         if not self._assignment:
             return []
 
+        out = self._fetch_ready(int(max_records))
+        if out or timeout <= 0:
+            return self._account(out)
+        # Blocking pass. A single assigned partition can block directly
+        # inside that partition's fetch (works locally and over the
+        # wire); with several partitions we must wake on data arriving on
+        # *any* of them — waiting on only the first would leave records
+        # landing on the others stuck for the full timeout.
+        if len(self._assignment) == 1:
+            tp = self._assignment[0]
+            batch = self._broker.fetch(
+                *tp, self._positions[tp], max_records=int(max_records), timeout=timeout
+            )
+            if batch:
+                self._positions[tp] = batch[-1].offset + 1
+            return self._account(batch)
+        logs = self._partition_logs()
+        if logs is not None:
+            return self._account(
+                self._poll_blocking_local(logs, int(max_records), timeout)
+            )
+        return self._account(self._poll_blocking_sliced(int(max_records), timeout))
+
+    def _fetch_ready(self, max_records: int) -> list[Record]:
+        """One non-blocking round-robin pass over assigned partitions."""
         out: list[Record] = []
-        budget = int(max_records)
-        # First pass: non-blocking round-robin over assigned partitions.
+        budget = max_records
         for tp in self._assignment:
             if budget <= 0:
                 break
@@ -164,25 +190,70 @@ class Consumer:
                 self._positions[tp] = batch[-1].offset + 1
                 out.extend(batch)
                 budget -= len(batch)
-        if out or timeout <= 0:
-            for r in out:
-                self.records_consumed += 1
-                self.bytes_consumed += r.size
-            return out
-        # Blocking pass: wait on the first assigned partition (timeout
-        # split is not needed since appends notify per-partition and the
-        # pipeline assigns exactly one partition per processing consumer
-        # in the latency-sensitive configurations).
-        tp = self._assignment[0]
-        batch = self._broker.fetch(
-            *tp, self._positions[tp], max_records=int(max_records), timeout=timeout
-        )
-        if batch:
-            self._positions[tp] = batch[-1].offset + 1
-            for r in batch:
-                self.records_consumed += 1
-                self.bytes_consumed += r.size
-        return batch
+        return out
+
+    def _account(self, records: list[Record]) -> list[Record]:
+        for r in records:
+            self.records_consumed += 1
+            self.bytes_consumed += r.size
+        return records
+
+    def _partition_logs(self):
+        """Partition-log handles when the broker is in-process, else None."""
+        getter = getattr(self._broker, "partition_log", None)
+        if getter is None:
+            return None
+        try:
+            return [getter(*tp) for tp in self._assignment]
+        except Exception:
+            return None
+
+    def _poll_blocking_local(self, logs, max_records: int, timeout: float) -> list[Record]:
+        """Block across all assigned partitions via append-wakeup events."""
+        deadline = time.monotonic() + timeout
+        event = threading.Event()
+        for log in logs:
+            log.register_waiter(event)
+        try:
+            while True:
+                # Re-check readiness after registering so appends racing
+                # the registration are not missed.
+                out = self._fetch_ready(max_records)
+                if out:
+                    return out
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                event.wait(remaining)
+                event.clear()
+        finally:
+            for log in logs:
+                log.unregister_waiter(event)
+
+    def _poll_blocking_sliced(self, max_records: int, timeout: float) -> list[Record]:
+        """Remote multi-partition fallback: rotate short blocking fetches.
+
+        A remote broker cannot hand out partition-log waiters, so
+        fairness comes from time-slicing the timeout across partitions —
+        data on any partition is picked up within one slice instead of
+        waiting out the full timeout behind partition 0.
+        """
+        deadline = time.monotonic() + timeout
+        slice_s = max(0.01, timeout / (4 * len(self._assignment)))
+        while True:
+            for tp in self._assignment:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                batch = self._broker.fetch(
+                    *tp,
+                    self._positions[tp],
+                    max_records=max_records,
+                    timeout=min(slice_s, remaining),
+                )
+                if batch:
+                    self._positions[tp] = batch[-1].offset + 1
+                    return batch
 
     def poll_values(self, max_records: int = 64, timeout: float = 0.0) -> list:
         """Like :meth:`poll`, but returns deserialized values."""

@@ -6,6 +6,18 @@ partition per edge device so device streams can be consumed concurrently.
 Thread safety: appends and reads are guarded by one lock per partition; a
 condition variable lets consumers block on new data with a timeout, which
 is what gives the pipeline its push-like latency without busy polling.
+Consumers that need to wait across *several* partitions register a shared
+:class:`threading.Event` with each log (:meth:`register_waiter`) — the
+log sets it on every append, so one consumer thread can sleep on many
+partitions at once.
+
+Performance notes: records live in a :class:`collections.deque`, making
+head eviction (retention) O(1) instead of the O(n) shift of
+``list.pop(0)``. :meth:`append_many` stamps a whole batch under a single
+lock acquisition and a single notification — the produce fast path.
+Fetches on *dense* logs (no compaction gaps: exactly one record per
+offset in ``[base, next)``) translate offsets to positions with direct
+index arithmetic; only compacted logs fall back to binary search.
 """
 
 from __future__ import annotations
@@ -13,10 +25,12 @@ from __future__ import annotations
 import bisect
 import threading
 import time
+from collections import deque
+from itertools import islice
 
 from repro.broker.errors import OffsetOutOfRangeError
 from repro.broker.message import Record
-from repro.util.validation import check_non_negative, check_positive
+from repro.util.validation import ValidationError, check_non_negative, check_positive
 
 
 class PartitionLog:
@@ -49,12 +63,15 @@ class PartitionLog:
         self.partition = int(partition)
         self.retention_bytes = int(retention_bytes)
         self.retention_seconds = float(retention_seconds)
-        self._records: list[Record] = []
+        self._records: deque[Record] = deque()
         self._base_offset = 0  # offset of _records[0]
         self._next_offset = 0
         self._bytes = 0
         self._lock = threading.Lock()
         self._data_available = threading.Condition(self._lock)
+        # Events registered by consumers blocking across multiple
+        # partitions; set (never cleared here) on every append.
+        self._waiters: list[threading.Event] = []
         # Cumulative counters for broker-side metrics.
         self.total_appended = 0
         self.total_bytes_in = 0
@@ -70,26 +87,19 @@ class PartitionLog:
     ) -> Record:
         """Append one record; returns it (with offset and append_ts set)."""
         now = time.monotonic()
-        record = Record(
-            topic=self.topic,
-            partition=self.partition,
-            offset=0,  # replaced below under the lock
-            value=value,
-            key=key,
-            headers=dict(headers or {}),
-            produce_ts=now if produce_ts is None else produce_ts,
-            append_ts=now,
-        )
+        headers = dict(headers or {})
+        if produce_ts is None:
+            produce_ts = now
         with self._lock:
             record = Record(
-                topic=record.topic,
-                partition=record.partition,
-                offset=self._next_offset,
-                value=record.value,
-                key=record.key,
-                headers=record.headers,
-                produce_ts=record.produce_ts,
-                append_ts=record.append_ts,
+                self.topic,
+                self.partition,
+                self._next_offset,
+                value,
+                key,
+                headers,
+                produce_ts,
+                now,
             )
             self._records.append(record)
             self._next_offset += 1
@@ -97,8 +107,100 @@ class PartitionLog:
             self.total_appended += 1
             self.total_bytes_in += record.size
             self._enforce_retention()
-            self._data_available.notify_all()
+            self._notify()
         return record
+
+    def append_many(
+        self,
+        values,
+        keys=None,
+        headers=None,
+        produce_ts=None,
+    ) -> list[Record]:
+        """Append a batch of records under one lock acquisition.
+
+        This is the produce fast path: one lock round-trip, one retention
+        sweep and one consumer notification for the whole batch, versus
+        one of each per record on the single-append path. Offsets within
+        the batch are contiguous.
+
+        Parameters
+        ----------
+        values:
+            Iterable of payloads.
+        keys:
+            Optional list of per-record keys (same length as *values*).
+        headers:
+            Either one dict applied to every record (each record gets its
+            own copy) or a list of per-record dicts.
+        produce_ts:
+            Either one timestamp for the whole batch or a list of
+            per-record timestamps; defaults to the append time.
+
+        Returns the appended records in offset order.
+        """
+        values = values if isinstance(values, (list, tuple)) else list(values)
+        n = len(values)
+        if n == 0:
+            return []
+        if keys is not None and len(keys) != n:
+            raise ValidationError(f"keys length {len(keys)} != values length {n}")
+        now = time.monotonic()
+        if headers is None:
+            headers_list = None
+        elif isinstance(headers, dict):
+            headers_list = [dict(headers) for _ in range(n)]
+        else:
+            if len(headers) != n:
+                raise ValidationError(
+                    f"headers length {len(headers)} != values length {n}"
+                )
+            headers_list = [dict(h or {}) for h in headers]
+        if produce_ts is None or isinstance(produce_ts, (int, float)):
+            ts_scalar = now if produce_ts is None else float(produce_ts)
+            ts_list = None
+        else:
+            if len(produce_ts) != n:
+                raise ValidationError(
+                    f"produce_ts length {len(produce_ts)} != values length {n}"
+                )
+            ts_scalar = 0.0
+            ts_list = produce_ts
+        records: list[Record] = []
+        add = records.append
+        with self._lock:
+            offset = self._next_offset
+            bytes_added = 0
+            for i in range(n):
+                value = values[i]
+                key = keys[i] if keys is not None else None
+                record = Record(
+                    self.topic,
+                    self.partition,
+                    offset + i,
+                    value,
+                    key,
+                    {} if headers_list is None else headers_list[i],
+                    ts_list[i] if ts_list is not None else ts_scalar,
+                    now,
+                )
+                add(record)
+                bytes_added += len(value) + (len(key) if key else 0)
+            self._records.extend(records)
+            self._next_offset = offset + n
+            self._bytes += bytes_added
+            self.total_appended += n
+            self.total_bytes_in += bytes_added
+            self._enforce_retention()
+            self._notify()
+        return records
+
+    def _notify(self) -> None:
+        # Caller holds the lock.
+        self._data_available.notify_all()
+        if self._waiters:
+            for event in self._waiters:
+                event.set()
 
     def _enforce_retention(self) -> None:
         if self.retention_bytes > 0:
@@ -110,9 +212,13 @@ class PartitionLog:
                 self._evict_head()
 
     def _evict_head(self) -> None:
-        evicted = self._records.pop(0)
+        evicted = self._records.popleft()
         self._bytes -= evicted.size
-        self._base_offset += 1
+        # The retention floor is the offset of the surviving head; after
+        # compaction the head can jump across an offset gap.
+        self._base_offset = (
+            self._records[0].offset if self._records else self._next_offset
+        )
 
     def enforce_retention(self) -> None:
         """Apply retention policies now (normally piggybacked on append)."""
@@ -139,11 +245,45 @@ class PartitionLog:
             ]
             removed = len(self._records) - len(kept)
             if removed:
-                self._records = kept
+                self._records = deque(kept)
                 self._bytes = sum(r.size for r in kept)
             return removed
 
+    # -- consumer wakeup across partitions ----------------------------------
+
+    def register_waiter(self, event: threading.Event) -> None:
+        """Register an event set on every append (multi-partition polls)."""
+        with self._lock:
+            self._waiters.append(event)
+
+    def unregister_waiter(self, event: threading.Event) -> None:
+        with self._lock:
+            try:
+                self._waiters.remove(event)
+            except ValueError:
+                pass
+
     # -- read path ------------------------------------------------------------
+
+    def _is_dense(self) -> bool:
+        # Dense = exactly one record per offset in [base, next): positions
+        # map to offsets by plain arithmetic. Compaction breaks density
+        # until eviction catches the head back up.
+        return len(self._records) == self._next_offset - self._base_offset
+
+    def _slice(self, start: int, count: int) -> list[Record]:
+        """Positional slice of the deque (caller holds the lock)."""
+        n = len(self._records)
+        stop = min(start + count, n)
+        if start >= stop:
+            return []
+        if start <= n - stop:
+            # Near the left end: a forward islice walks `start` items.
+            return list(islice(self._records, start, stop))
+        # Near the right end (consumer keeping up with the head): direct
+        # indexing costs O(n - i) per item from the closer end.
+        records = self._records
+        return [records[i] for i in range(start, stop)]
 
     def fetch(
         self,
@@ -166,12 +306,17 @@ class PartitionLog:
                     raise OffsetOutOfRangeError(
                         self.topic, self.partition, offset, self._base_offset, self._next_offset
                     )
-                # Binary search: compaction leaves offset gaps, so the
-                # record list cannot be indexed positionally.
-                start = bisect.bisect_left(self._records, offset, key=lambda r: r.offset)
-                batch = self._records[start : start + int(max_records)]
+                if self._is_dense():
+                    start = offset - self._base_offset
+                else:
+                    # Compaction gaps: positions no longer track offsets,
+                    # fall back to binary search.
+                    start = bisect.bisect_left(
+                        self._records, offset, key=lambda r: r.offset
+                    )
+                batch = self._slice(start, int(max_records))
                 if batch or timeout <= 0:
-                    return list(batch)
+                    return batch
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return []

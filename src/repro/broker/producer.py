@@ -14,10 +14,10 @@ import zlib
 from typing import Any
 
 from repro.broker.broker import Broker
-from repro.broker.message import RecordMetadata
+from repro.broker.message import BatchMetadata, RecordMetadata
 from repro.broker.serde import BytesSerde, Serde
 from repro.util.ids import new_id
-from repro.util.validation import check_non_negative
+from repro.util.validation import ValidationError, check_non_negative, check_positive
 
 
 class Partitioner:
@@ -131,9 +131,116 @@ class Producer:
         self.bytes_sent += len(payload)
         return md
 
+    def send_many(
+        self,
+        topic: str,
+        values,
+        keys=None,
+        partition: int | None = None,
+        headers=None,
+    ) -> BatchMetadata:
+        """Serialize and append a batch of records in one broker call.
+
+        The whole batch lands on **one** partition: either the explicit
+        ``partition`` or one chosen once by the partitioner (per-record
+        key routing would split the batch — use :class:`BatchAccumulator`
+        for that). ``keys`` are stored with the records (compaction) but
+        do not route. Against a :class:`~repro.broker.remote.RemoteBroker`
+        this is a single socket round-trip.
+        """
+        payloads = [self._serde.serialize(v) for v in values]
+        if not payloads:
+            raise ValidationError("send_many requires at least one value")
+        if partition is None:
+            num = self._broker.topic(topic).num_partitions
+            partition = self._partitioner.select(None, num)
+        md = self._broker.append_many(
+            topic,
+            partition,
+            payloads,
+            keys=keys,
+            headers=headers,
+            produce_ts=time.monotonic(),
+        )
+        self.records_sent += md.count
+        self.bytes_sent += sum(len(p) for p in payloads)
+        return md
+
     def stats(self) -> dict:
         return {
             "client_id": self.client_id,
             "records_sent": self.records_sent,
             "bytes_sent": self.bytes_sent,
         }
+
+
+class BatchAccumulator:
+    """Linger-style client-side batching on top of :class:`Producer`.
+
+    Records are buffered per ``(topic, partition)`` — keyed records are
+    routed by the producer's partitioner at :meth:`add` time — and
+    flushed as one :meth:`Producer.send_many` batch whenever a buffer
+    reaches ``batch_records``. Call :meth:`flush` (or leave the context
+    manager) to push out partial batches. This is the shape of Kafka's
+    record accumulator, minus the background linger thread: flushing is
+    caller-driven, so producers embedded in task loops control exactly
+    when they pay the broker round-trip.
+    """
+
+    def __init__(self, producer: Producer, batch_records: int = 64) -> None:
+        check_positive("batch_records", batch_records)
+        self._producer = producer
+        self._batch_records = int(batch_records)
+        #: (topic, partition) -> [(value, key, headers), ...]
+        self._buffers: dict[tuple, list] = {}
+        self.batches_flushed = 0
+
+    def add(
+        self,
+        topic: str,
+        value,
+        key: bytes | None = None,
+        partition: int | None = None,
+        headers: dict | None = None,
+    ) -> BatchMetadata | None:
+        """Buffer one record; returns batch metadata if a flush triggered."""
+        if partition is None:
+            num = self._producer._broker.topic(topic).num_partitions
+            partition = self._producer._partitioner.select(key, num)
+        buffer = self._buffers.setdefault((topic, partition), [])
+        buffer.append((value, key, headers))
+        if len(buffer) >= self._batch_records:
+            return self._flush_one(topic, partition)
+        return None
+
+    @property
+    def pending_records(self) -> int:
+        return sum(len(b) for b in self._buffers.values())
+
+    def _flush_one(self, topic: str, partition: int) -> BatchMetadata | None:
+        buffer = self._buffers.pop((topic, partition), None)
+        if not buffer:
+            return None
+        values = [v for v, _, _ in buffer]
+        keys = [k for _, k, _ in buffer]
+        headers = [h for _, _, h in buffer]
+        md = self._producer.send_many(
+            topic, values, keys=keys, partition=partition, headers=headers
+        )
+        self.batches_flushed += 1
+        return md
+
+    def flush(self) -> list[BatchMetadata]:
+        """Flush every partial buffer; returns one metadata per batch."""
+        out = []
+        for topic, partition in list(self._buffers):
+            md = self._flush_one(topic, partition)
+            if md is not None:
+                out.append(md)
+        return out
+
+    def __enter__(self) -> "BatchAccumulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()

@@ -55,18 +55,21 @@ class BlockSerde(Serde):
     """NumPy data blocks in the framework wire format (float64, framed).
 
     ``compress=True`` deflates payloads on the wire (decoding always
-    auto-detects, so mixed producers are fine).
+    auto-detects, so mixed producers are fine). Decoding is zero-copy by
+    default — consumers get a read-only view over the record payload;
+    pass ``copy=True`` when downstream code mutates blocks in place.
     """
 
-    def __init__(self, compress: bool = False, level: int = 1) -> None:
+    def __init__(self, compress: bool = False, level: int = 1, copy: bool = False) -> None:
         self.compress = bool(compress)
         self.level = int(level)
+        self.copy = bool(copy)
 
     def serialize(self, value: Any) -> bytes:
         return encode_block(np.asarray(value), compress=self.compress, level=self.level)
 
     def deserialize(self, payload: bytes) -> np.ndarray:
-        return decode_block(payload)
+        return decode_block(payload, copy=self.copy)
 
 
 class PickleSerde(Serde):

@@ -33,6 +33,11 @@ class PipelineConfig:
     topic: str = "pilot-edge-data"
     #: Max records per consumer poll.
     poll_batch: int = 8
+    #: Producer-side batching: each device accumulates this many encoded
+    #: messages and publishes them through one batched broker append
+    #: (one lock round-trip in-process, one socket round-trip remotely).
+    #: 1 = send every message individually (the paper's per-message shape).
+    produce_batch: int = 1
     #: Blocking-poll timeout per consumer iteration (seconds).
     poll_timeout: float = 0.2
     #: Hard cap on run duration (seconds); the run fails if exceeded.
@@ -57,6 +62,7 @@ class PipelineConfig:
         check_positive("messages_per_device", self.messages_per_device)
         check_non_negative("num_consumers", self.num_consumers)
         check_positive("poll_batch", self.poll_batch)
+        check_positive("produce_batch", self.produce_batch)
         check_positive("poll_timeout", self.poll_timeout)
         check_positive("max_duration", self.max_duration)
         check_positive("keep_results", self.keep_results)

@@ -19,6 +19,12 @@ Compressed frames implement the paper's "data compression step before
 the data transfer" losslessly; :func:`decode_block` dispatches on the
 magic, so producers can switch compression on without touching
 consumers.
+
+Copy discipline: :func:`encode_block` writes the array straight into one
+preallocated frame buffer (no ``header + payload`` concatenation copy),
+and :func:`decode_block` is zero-copy by default — it returns a
+read-only :func:`np.frombuffer` view over the frame's payload bytes.
+Pass ``copy=True`` when the caller needs to mutate the result.
 """
 
 from __future__ import annotations
@@ -51,27 +57,40 @@ def encode_block(block: np.ndarray, compress: bool = False, level: int = 1) -> b
     With ``compress=True`` the payload is zlib-deflated (``level`` 1-9;
     level 1 is the streaming-friendly default: most of the win at a
     fraction of the CPU).
+
+    The frame is assembled in one preallocated buffer: the array is
+    copied exactly once, directly into place after the header.
     """
     arr = np.ascontiguousarray(block, dtype=np.float64)
     if arr.ndim != 2:
         raise SerdeError(f"block must be 2-D, got shape {arr.shape}")
-    raw = arr.tobytes(order="C")
-    crc = zlib.crc32(raw)
     if compress:
+        raw = arr.tobytes(order="C")
+        crc = zlib.crc32(raw)
         payload = zlib.compress(raw, level)
-        header = _HEADER.pack(MAGIC_COMPRESSED, arr.shape[0], arr.shape[1], crc)
-    else:
-        payload = raw
-        header = _HEADER.pack(MAGIC, arr.shape[0], arr.shape[1], crc)
-    return header + payload
+        frame = bytearray(HEADER_SIZE + len(payload))
+        _HEADER.pack_into(frame, 0, MAGIC_COMPRESSED, arr.shape[0], arr.shape[1], crc)
+        frame[HEADER_SIZE:] = payload
+        return bytes(frame)
+    frame = bytearray(HEADER_SIZE + arr.nbytes)
+    # Fill the payload region in place: the sole copy of the block data.
+    np.frombuffer(frame, dtype=np.float64, offset=HEADER_SIZE)[:] = arr.reshape(-1)
+    crc = zlib.crc32(memoryview(frame)[HEADER_SIZE:])
+    _HEADER.pack_into(frame, 0, MAGIC, arr.shape[0], arr.shape[1], crc)
+    return bytes(frame)
 
 
-def decode_block(frame: bytes) -> np.ndarray:
+def decode_block(frame: bytes, copy: bool = False) -> np.ndarray:
     """Decode a framed byte string back into a ``(points, features)`` array.
 
     Handles both raw and compressed frames (dispatch on the magic).
     Raises :class:`SerdeError` on truncated frames, bad magic or CRC
     mismatch.
+
+    By default the returned array is a **read-only zero-copy view** over
+    the frame's payload bytes (compressed frames decompress into a fresh
+    buffer, but still skip the final defensive copy). Pass ``copy=True``
+    for a writable, independent array.
     """
     if len(frame) < HEADER_SIZE:
         raise SerdeError(f"frame too short: {len(frame)} bytes")
@@ -82,10 +101,10 @@ def decode_block(frame: bytes) -> np.ndarray:
             raise SerdeError(
                 f"frame length {len(frame)} does not match header ({expected} expected)"
             )
-        payload = frame[HEADER_SIZE:]
+        payload = memoryview(frame)[HEADER_SIZE:]
     elif magic == MAGIC_COMPRESSED:
         try:
-            payload = zlib.decompress(frame[HEADER_SIZE:])
+            payload = zlib.decompress(memoryview(frame)[HEADER_SIZE:])
         except zlib.error as exc:
             raise SerdeError(f"corrupt compressed payload: {exc}") from exc
         if len(payload) != points * features * BYTES_PER_VALUE:
@@ -94,5 +113,10 @@ def decode_block(frame: bytes) -> np.ndarray:
         raise SerdeError(f"bad magic {magic!r}")
     if zlib.crc32(payload) != crc:
         raise SerdeError("payload CRC mismatch")
-    arr = np.frombuffer(payload, dtype=np.float64).reshape(points, features)
-    return arr.copy()  # decouple from the immutable buffer
+    arr = np.frombuffer(payload, dtype=np.float64)
+    if copy:
+        return arr.reshape(points, features).copy()
+    # frombuffer over a writable source (e.g. bytearray) yields a
+    # writable view; lock it so the shared frame cannot be corrupted.
+    arr.flags.writeable = False
+    return arr.reshape(points, features)

@@ -68,7 +68,10 @@ class SshEdgePlugin(ResourcePlugin):
         with self._lock:
             if description.nodes > len(self._free):
                 raise ProvisionError("edge devices were claimed concurrently")
-            claimed = [self._free.pop(0) for _ in range(description.nodes)]
+            # Claim the head of the pool in one slice instead of N
+            # O(n)-shift pop(0) calls.
+            claimed = self._free[: description.nodes]
+            del self._free[: description.nodes]
             self._held[pilot_id] = claimed
         return ComputeCluster(
             n_workers=description.nodes,

@@ -87,6 +87,55 @@ class TestProducer:
         assert stats["bytes_sent"] == 3
 
 
+class TestBatchedProducer:
+    def test_send_many_offsets_and_metrics(self, topic_broker):
+        producer = Producer(topic_broker)
+        md = producer.send_many("t", [b"a", b"bb", b"ccc"], partition=2)
+        assert md.partition == 2
+        assert md.base_offset == 0
+        assert md.count == 3
+        assert md.last_offset == 2
+        assert producer.records_sent == 3
+        assert producer.bytes_sent == 6
+
+    def test_send_many_routes_whole_batch_to_one_partition(self, topic_broker):
+        producer = Producer(topic_broker, partitioner=RoundRobinPartitioner())
+        md = producer.send_many("t", [b"a", b"b", b"c"])
+        assert topic_broker.latest_offset("t", md.partition) == 3
+
+    def test_send_many_applies_serde(self, topic_broker):
+        producer = Producer(topic_broker, serde=JsonSerde())
+        producer.send_many("t", [{"a": 1}, {"b": 2}], partition=0)
+        values = [r.value for r in topic_broker.fetch("t", 0, 0, max_records=4)]
+        assert values == [b'{"a":1}', b'{"b":2}']
+
+    def test_send_many_empty_rejected(self, topic_broker):
+        with pytest.raises(ValidationError):
+            Producer(topic_broker).send_many("t", [])
+
+    def test_accumulator_flushes_at_batch_size(self, topic_broker):
+        from repro.broker import BatchAccumulator
+
+        producer = Producer(topic_broker)
+        acc = BatchAccumulator(producer, batch_records=3)
+        for i in range(7):
+            acc.add("t", bytes([i]), partition=0)
+        assert acc.batches_flushed == 2  # two full auto-flushes
+        assert acc.pending_records == 1
+        flushed = acc.flush()
+        assert acc.pending_records == 0
+        assert sum(md.count for md in flushed) == 1
+        records = topic_broker.fetch("t", 0, 0, max_records=16)
+        assert [r.value for r in records] == [bytes([i]) for i in range(7)]
+
+    def test_accumulator_context_manager_flushes(self, topic_broker):
+        from repro.broker import BatchAccumulator
+
+        with BatchAccumulator(Producer(topic_broker), batch_records=100) as acc:
+            acc.add("t", b"x", partition=1)
+        assert topic_broker.latest_offset("t", 1) == 1
+
+
 class TestConsumerManualAssign:
     def test_assign_and_poll(self, topic_broker):
         Producer(topic_broker).send("t", b"v", partition=1)
@@ -159,6 +208,39 @@ class TestConsumerManualAssign:
         t0 = time.monotonic()
         assert consumer.poll(timeout=0.05) == []
         assert time.monotonic() - t0 >= 0.04
+
+    def test_blocking_poll_multi_partition_timeout(self, topic_broker):
+        import time
+
+        consumer = Consumer(topic_broker)
+        consumer.assign([("t", p) for p in range(4)])
+        t0 = time.monotonic()
+        assert consumer.poll(timeout=0.05) == []
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_blocking_poll_wakes_on_any_partition(self, topic_broker):
+        # A blocked poll must observe data on whichever assigned
+        # partition it lands on — not just the first — well before the
+        # timeout expires.
+        import threading
+        import time
+
+        producer = Producer(topic_broker)
+        consumer = Consumer(topic_broker)
+        consumer.assign([("t", p) for p in range(4)])
+
+        def late_append():
+            time.sleep(0.05)
+            producer.send("t", b"wake", partition=3)
+
+        t = threading.Thread(target=late_append)
+        t0 = time.monotonic()
+        t.start()
+        records = consumer.poll(timeout=5.0)
+        elapsed = time.monotonic() - t0
+        t.join()
+        assert [r.value for r in records] == [b"wake"]
+        assert elapsed < 2.0, f"poll blocked {elapsed:.2f}s on the wrong partition"
 
     def test_invalid_offset_reset(self, topic_broker):
         with pytest.raises(ValidationError):

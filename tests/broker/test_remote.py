@@ -148,3 +148,73 @@ class TestClientsOverRemote:
                 remote.append("t", 0, b"x")
             # The in-process view sees the remote writes.
             assert backing.topic("t").total_appended == 1
+
+
+class TestBatchedWire:
+    """The batched binary-frame fast path: one round-trip per batch."""
+
+    def test_append_many_roundtrip(self, remote):
+        remote.create_topic("t", 1)
+        values = [bytes([i]) * (i + 1) for i in range(8)]
+        keys = [None if i % 2 else bytes([i]) for i in range(8)]
+        headers = [{"i": i} for i in range(8)]
+        md = remote.append_many("t", 0, values, keys=keys, headers=headers)
+        assert md.base_offset == 0
+        assert md.count == 8
+        records = remote.fetch("t", 0, 0, max_records=16)
+        assert [r.value for r in records] == values
+        assert [r.key for r in records] == keys
+        assert [r.headers for r in records] == headers
+
+    def test_append_many_binary_safety(self, remote):
+        remote.create_topic("t", 1)
+        payload = bytes(range(256)) * 8
+        remote.append_many("t", 0, [payload, payload])
+        records = remote.fetch("t", 0, 0, max_records=4)
+        assert [r.value for r in records] == [payload, payload]
+
+    def test_batch_is_one_round_trip(self, server, remote):
+        remote.create_topic("t", 1)
+        sent_before = remote.requests_sent
+        served_before = server.requests_served
+        md = remote.append_many("t", 0, [b"v"] * 32)
+        assert md.count == 32
+        # 32 records cost exactly one request on both ends of the socket.
+        assert remote.requests_sent - sent_before == 1
+        assert server.requests_served - served_before == 1
+        assert server.op_counts["append_batch"] == 1
+        assert "append" not in server.op_counts
+
+    def test_fetch_batch_is_one_round_trip(self, server, remote):
+        remote.create_topic("t", 1)
+        remote.append_many("t", 0, [b"v"] * 16)
+        sent_before = remote.requests_sent
+        records = remote.fetch("t", 0, 0, max_records=16)
+        assert len(records) == 16
+        assert remote.requests_sent - sent_before == 1
+        assert server.op_counts["fetch_batch"] == 1
+        assert "fetch" not in server.op_counts
+
+    def test_producer_send_many_over_remote(self, server, remote):
+        remote.create_topic("t", 2)
+        producer = Producer(remote)
+        served_before = server.requests_served
+        md = producer.send_many("t", [b"a", b"b", b"c"], partition=1)
+        assert md.partition == 1
+        assert list(md.offsets) == [0, 1, 2]
+        assert producer.records_sent == 3
+        assert server.requests_served - served_before == 1
+
+    def test_empty_log_fetch_batch(self, remote):
+        remote.create_topic("t", 1)
+        assert remote.fetch("t", 0, 0) == []
+
+    def test_batch_larger_than_iov_max(self, remote):
+        # >512 records means >1024 iovec entries; sendmsg must slice at
+        # IOV_MAX instead of failing with EMSGSIZE.
+        remote.create_topic("t", 1)
+        md = remote.append_many("t", 0, [b"v"] * 1500)
+        assert md.count == 1500
+        records = remote.fetch("t", 0, 100, max_records=2000)
+        assert len(records) == 1400
+        assert records[0].offset == 100

@@ -57,9 +57,30 @@ class TestDecode:
         with pytest.raises(SerdeError, match="length"):
             decode_block(frame + b"extra")
 
-    def test_decoded_is_writable_copy(self, small_block):
+    def test_decoded_is_readonly_view_by_default(self, small_block):
         decoded = decode_block(encode_block(small_block))
+        with pytest.raises(ValueError):
+            decoded[0, 0] = 42.0  # zero-copy views must not be writable
+
+    def test_decoded_view_shares_frame_memory(self, small_block):
+        frame = encode_block(small_block)
+        decoded = decode_block(frame)
+        expected = np.frombuffer(frame[16:], dtype=np.float64).reshape(decoded.shape)
+        np.testing.assert_array_equal(decoded, expected)
+        assert not decoded.flags.owndata  # view over the frame, not a copy
+
+    def test_decoded_copy_is_writable(self, small_block):
+        decoded = decode_block(encode_block(small_block), copy=True)
         decoded[0, 0] = 42.0  # must not raise
+        assert decoded[0, 0] == 42.0
+
+    def test_compressed_decode_honours_copy_flag(self, small_block):
+        frame = encode_block(small_block, compress=True)
+        view = decode_block(frame)
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+        writable = decode_block(frame, copy=True)
+        writable[0, 0] = 1.0
 
     def test_preserves_shape(self):
         block = np.random.default_rng(0).normal(size=(7, 13))
