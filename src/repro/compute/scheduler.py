@@ -48,6 +48,10 @@ class Scheduler:
         self.tasks_timed_out = 0
         self._watchdog: threading.Thread | None = None
         self._watchdog_stop = threading.Event()
+        # Task ids with a soft timeout that have not completed yet; the
+        # watchdog retires itself when this drains so an idle scheduler
+        # stops paying the 20 ms wakeup forever.
+        self._timed_pending: set[str] = set()
 
     # -- worker membership ---------------------------------------------------
 
@@ -144,6 +148,7 @@ class Scheduler:
         self._retries_left[task.task_id] = task.max_retries
         self.tasks_submitted += 1
         if task.timeout > 0:
+            self._timed_pending.add(task.task_id)
             self._ensure_watchdog()
 
     # -- soft timeouts ------------------------------------------------------
@@ -160,6 +165,14 @@ class Scheduler:
         import time
 
         while not self._watchdog_stop.wait(0.02):
+            with self._lock:
+                if not self._timed_pending:
+                    # No timed task outstanding: retire instead of waking
+                    # every 20 ms forever. Clearing the handle under the
+                    # lock lets _ensure_watchdog (also under the lock)
+                    # restart cleanly when the next timed task arrives.
+                    self._watchdog = None
+                    return
             now = time.monotonic()
             for worker in self.workers:
                 for task, future, started in worker.running_tasks():
@@ -263,6 +276,9 @@ class Scheduler:
 
     def _complete(self, task: Task, future: Future) -> None:
         with self._lock:
+            # discard, not remove: a soft-timed-out task completes again
+            # when its (uninterruptible) body eventually returns.
+            self._timed_pending.discard(task.task_id)
             dependents = self._dependents.pop(task.task_id, set())
             for dep_id in sorted(dependents):
                 waiting = self._waiting_deps.get(dep_id)

@@ -38,6 +38,20 @@ class PipelineConfig:
     #: (one lock round-trip in-process, one socket round-trip remotely).
     #: 1 = send every message individually (the paper's per-message shape).
     produce_batch: int = 1
+    #: Consumer-side batching: up to this many freshly polled records are
+    #: decoded together and handed to the application in ONE
+    #: ``process_cloud_batch(context, blocks)`` call (or one call of a
+    #: ``supports_batch`` function), with results split back out per
+    #: message. 1 = the per-message path; >1 only takes effect when the
+    #: processing function is batch-capable — plain ``process_cloud``
+    #: functions keep the per-message path regardless.
+    consume_batch: int = 1
+    #: Verify each frame's payload CRC32 when decoding on the consumer
+    #: (Kafka's ``check.crcs``). The CRC scan dominates decode cost for
+    #: large raw frames; disable it when the transport is trusted (the
+    #: in-process broker never corrupts payloads) and throughput matters
+    #: more than end-to-end integrity checking.
+    check_crcs: bool = True
     #: Blocking-poll timeout per consumer iteration (seconds).
     poll_timeout: float = 0.2
     #: Hard cap on run duration (seconds); the run fails if exceeded.
@@ -63,6 +77,7 @@ class PipelineConfig:
         check_non_negative("num_consumers", self.num_consumers)
         check_positive("poll_batch", self.poll_batch)
         check_positive("produce_batch", self.produce_batch)
+        check_positive("consume_batch", self.consume_batch)
         check_positive("poll_timeout", self.poll_timeout)
         check_positive("max_duration", self.max_duration)
         check_positive("keep_results", self.keep_results)

@@ -45,7 +45,7 @@ from repro.core.events import (
     EventBus,
 )
 from repro.core.placement import CloudCentricPlacement, PlacementDecision, PlacementPolicy
-from repro.data.serde import decode_block, encode_block
+from repro.data.serde import decode_block, decode_block_many, encode_block
 from repro.monitoring.collector import MetricsCollector
 from repro.monitoring.report import ThroughputReport, analyze_bottleneck
 from repro.netem.link import Link
@@ -156,6 +156,9 @@ class EdgeToCloudPipeline:
         # not deliveries.
         self._processed_ids: set = set()
         self._processed_lock = threading.Lock()
+        # Producers park here under backpressure; consumers signal it
+        # from _count_processed* as messages drain.
+        self._backpressure = threading.Condition()
         self._produced = _AtomicCounter()
         self._done = threading.Event()
         self._abort = threading.Event()
@@ -185,13 +188,31 @@ class EdgeToCloudPipeline:
 
     def _count_processed(self, message_id: str) -> bool:
         """Record a distinct processed message; True if it was new."""
+        return self._count_processed_many((message_id,))[0]
+
+    def _count_processed_many(self, message_ids) -> list[bool]:
+        """Record a batch of processed messages under one lock acquisition.
+
+        Returns, per id, whether it was new (first delivery). Signals any
+        backpressured producers after the lock is released — the notify
+        must not nest inside ``_processed_lock`` because waiting producers
+        read ``processed_count`` (which takes that lock) while holding the
+        backpressure condition.
+        """
+        flags = []
         with self._processed_lock:
-            if message_id in self._processed_ids:
-                return False
-            self._processed_ids.add(message_id)
+            for message_id in message_ids:
+                if message_id in self._processed_ids:
+                    flags.append(False)
+                else:
+                    self._processed_ids.add(message_id)
+                    flags.append(True)
             if len(self._processed_ids) >= self._expected_messages():
                 self._done.set()
-            return True
+        if self.config.max_inflight > 0 and any(flags):
+            with self._backpressure:
+                self._backpressure.notify_all()
+        return flags
 
     @property
     def produced_count(self) -> int:
@@ -322,9 +343,10 @@ class EdgeToCloudPipeline:
             if not pending:
                 return
             count = len(pending)
-            t_up = time.monotonic()
-            for mid, _, _ in pending:
-                self._collector.stamp(mid, "uplink_start", t_up, site=edge_site)
+            mids = [mid for mid, _, _ in pending]
+            self._collector.stamp_many(
+                mids, "uplink_start", time.monotonic(), site=edge_site
+            )
             try:
                 if uplink is not None:
                     uplink.transfer(sum(len(p) for _, p, _ in pending))
@@ -337,15 +359,14 @@ class EdgeToCloudPipeline:
             except ConnectionError:
                 # Lossy-link drop: account for the batch (QoS-0
                 # semantics) so the run can still complete.
-                for mid, _, _ in pending:
-                    self._collector.incr("messages_dropped")
-                    self._count_processed(mid)
+                self._collector.incr("messages_dropped", count)
+                self._count_processed_many(mids)
                 self._produced.increment(count)
                 pending.clear()
                 return
-            t_in = time.monotonic()
-            for mid, _, _ in pending:
-                self._collector.stamp(mid, "broker_in", t_in, site=broker_site)
+            self._collector.stamp_many(
+                mids, "broker_in", time.monotonic(), site=broker_site
+            )
             sent += count
             self._produced.increment(count)
             pending.clear()
@@ -354,15 +375,22 @@ class EdgeToCloudPipeline:
             if self._abort.is_set():
                 break
             if cfg.max_inflight > 0:
-                # Backpressure: wait while too many messages are in
-                # flight (produced but not yet processed).
-                while (
-                    self._produced.value - self.processed_count >= cfg.max_inflight
-                    and not self._abort.is_set()
-                    and not self._done.is_set()
-                ):
-                    self._collector.incr("backpressure_waits")
-                    time.sleep(0.001)
+                # Backpressure: park until the processing tier drains.
+                # The condition is signaled from _count_processed_many;
+                # the short wait timeout only covers abort/deadline, not
+                # the drain signal. One stall = one counted wait, however
+                # long the stall lasts.
+                stalled = False
+                with self._backpressure:
+                    while (
+                        self._produced.value - self.processed_count >= cfg.max_inflight
+                        and not self._abort.is_set()
+                        and not self._done.is_set()
+                    ):
+                        if not stalled:
+                            stalled = True
+                            self._collector.incr("backpressure_waits")
+                        self._backpressure.wait(0.05)
             block = self._produce_fn(context)
             if block is None:
                 break
@@ -434,61 +462,13 @@ class EdgeToCloudPipeline:
                 )
                 if not records:
                     continue
-                for record in records:
-                    message_id = record.headers.get("message_id", record.offset)
-                    # Queue exit: the record left the broker; the
-                    # downlink transfer happens next.
-                    self._collector.stamp(
-                        message_id, "dequeue", time.monotonic(), site=broker_site
-                    )
-                    if downlink is not None:
-                        try:
-                            downlink.transfer(record.size)
-                        except ConnectionError:
-                            self._collector.incr("messages_dropped")
-                            self._count_processed(str(message_id))
-                            continue
-                    now = time.monotonic()
-                    self._collector.stamp(
-                        message_id,
-                        "consume",
-                        now,
-                        nbytes=record.size,
-                        site=proc_site,
-                        partition=record.partition,
-                    )
-                    is_new = self._count_processed(str(message_id))
-                    if record.headers.get("processed"):
-                        # Edge-centric mode: already processed on-device.
-                        self._collector.stamp(message_id, "consume_sink", now)
-                    elif is_new:
-                        block = decode_block(record.value)
-                        self._collector.stamp(
-                            message_id, "process_start", time.monotonic(), site=proc_site
-                        )
-                        try:
-                            result = self._current_cloud_fn()(context, block)
-                        except Exception as exc:
-                            # A failing user function poisons one message,
-                            # not the consumer: record and keep consuming.
-                            self._collector.incr("processing_errors")
-                            self._record_error(f"process[{message_id}]", exc)
-                        else:
-                            self._collector.stamp(
-                                message_id,
-                                "process_end",
-                                time.monotonic(),
-                                nbytes=record.size,
-                                site=proc_site,
-                            )
-                            self._results.append(result)
-                    else:
-                        self._collector.incr("duplicate_deliveries")
-                    handled += 1
-                    since_commit += 1
-                    if since_commit >= cfg.commit_interval:
-                        consumer.commit()
-                        since_commit = 0
+                handled += self._handle_records(
+                    records, context, downlink, broker_site, proc_site
+                )
+                since_commit += len(records)
+                if since_commit >= cfg.commit_interval:
+                    consumer.commit()
+                    since_commit = 0
         finally:
             try:
                 consumer.commit()
@@ -496,6 +476,171 @@ class EdgeToCloudPipeline:
                 pass
             consumer.close()
         return handled
+
+    @staticmethod
+    def _resolve_batch_fn(fn: Callable) -> Callable | None:
+        """The batch FaaS contract: how a function opts into batching.
+
+        A processing function takes the batched fast path when it either
+        carries a callable ``process_cloud_batch(context, blocks)``
+        attribute or declares ``supports_batch = True`` (meaning the
+        function itself accepts a list of blocks). Plain per-message
+        functions return None here and keep the per-message path.
+        """
+        batch = getattr(fn, "process_cloud_batch", None)
+        if callable(batch):
+            return batch
+        if getattr(fn, "supports_batch", False):
+            return fn
+        return None
+
+    def _handle_records(
+        self, records, context, downlink, broker_site: str, proc_site: str
+    ) -> int:
+        """Consume one polled record batch: stamp, dedupe, decode, score.
+
+        Every per-record stamp loop runs through ``stamp_many`` (one
+        collector lock acquisition per batch per stage), and fresh
+        records reach the user function as ONE ``process_cloud_batch``
+        call when the function is batch-capable and ``consume_batch`` > 1.
+        """
+        cfg = self.config
+        # Normalize the message id to str ONCE: the record.offset
+        # fallback is an int, and int-keyed stamps would file the same
+        # message under two keys (trace vs processed-set).
+        ids = [str(r.headers.get("message_id", r.offset)) for r in records]
+        # Queue exit: the records left the broker; downlink transfers
+        # happen next.
+        self._collector.stamp_many(ids, "dequeue", time.monotonic(), site=broker_site)
+        if downlink is not None:
+            alive = []
+            dropped = []
+            for message_id, record in zip(ids, records):
+                try:
+                    downlink.transfer(record.size)
+                except ConnectionError:
+                    dropped.append(message_id)
+                else:
+                    alive.append((message_id, record))
+            if dropped:
+                self._collector.incr("messages_dropped", len(dropped))
+                self._count_processed_many(dropped)
+            if not alive:
+                return len(records)
+        else:
+            alive = list(zip(ids, records))
+        now = time.monotonic()
+        self._collector.stamp_many(
+            [m for m, _ in alive],
+            "consume",
+            now,
+            nbytes=[r.size for _, r in alive],
+            site=proc_site,
+            partition=[r.partition for _, r in alive],
+        )
+        new_flags = self._count_processed_many([m for m, _ in alive])
+        fresh = []
+        sink = []
+        duplicates = 0
+        for (message_id, record), is_new in zip(alive, new_flags):
+            if record.headers.get("processed"):
+                # Edge-centric mode: already processed on-device.
+                sink.append(message_id)
+            elif is_new:
+                fresh.append((message_id, record))
+            else:
+                duplicates += 1
+        if sink:
+            self._collector.stamp_many(sink, "consume_sink", now)
+        if duplicates:
+            self._collector.incr("duplicate_deliveries", duplicates)
+        if fresh:
+            fn = self._current_cloud_fn()
+            batch_fn = self._resolve_batch_fn(fn) if cfg.consume_batch > 1 else None
+            if batch_fn is None:
+                for message_id, record in fresh:
+                    self._process_record(message_id, record, fn, context, proc_site)
+            else:
+                for start in range(0, len(fresh), cfg.consume_batch):
+                    self._process_chunk(
+                        fresh[start : start + cfg.consume_batch],
+                        fn,
+                        batch_fn,
+                        context,
+                        proc_site,
+                    )
+        return len(records)
+
+    def _process_record(
+        self, message_id: str, record, fn: Callable, context, proc_site: str, block=None
+    ) -> None:
+        """Per-message processing: decode, score, stamp — one user call."""
+        if block is None:
+            block = decode_block(record.value, verify=self.config.check_crcs)
+        self._collector.stamp(
+            message_id, "process_start", time.monotonic(), site=proc_site
+        )
+        try:
+            result = fn(context, block)
+        except Exception as exc:
+            # A failing user function poisons one message,
+            # not the consumer: record and keep consuming.
+            self._collector.incr("processing_errors")
+            self._record_error(f"process[{message_id}]", exc)
+        else:
+            self._collector.stamp(
+                message_id,
+                "process_end",
+                time.monotonic(),
+                nbytes=record.size,
+                site=proc_site,
+            )
+            self._results.append(result)
+
+    def _process_chunk(
+        self, chunk, fn: Callable, batch_fn: Callable, context, proc_site: str
+    ) -> None:
+        """Batched processing: ONE user-function call for the whole chunk."""
+        mids = [message_id for message_id, _ in chunk]
+        blocks = decode_block_many(
+            [record.value for _, record in chunk], verify=self.config.check_crcs
+        )
+        self._collector.stamp_many(
+            mids, "process_start", time.monotonic(), site=proc_site
+        )
+        try:
+            results = batch_fn(context, blocks)
+            if results is None or len(results) != len(chunk):
+                raise ValidationError(
+                    f"process_cloud_batch returned "
+                    f"{0 if results is None else len(results)} results "
+                    f"for {len(chunk)} blocks"
+                )
+        except Exception:
+            # A poisoned message must cost one message, not the chunk:
+            # re-run per message so failure isolation (and the recorded
+            # errors) match the per-message path exactly. A function that
+            # only exists in batch form (``supports_batch``) is re-run on
+            # singleton lists, unwrapping the one result.
+            self._collector.incr("batch_fallbacks")
+            if fn is batch_fn:
+                single_fn = lambda ctx, blk: batch_fn(ctx, [blk])[0]  # noqa: E731
+            else:
+                single_fn = fn
+            for (message_id, record), block in zip(chunk, blocks):
+                self._process_record(
+                    message_id, record, single_fn, context, proc_site, block=block
+                )
+            return
+        self._collector.stamp_many(
+            mids,
+            "process_end",
+            time.monotonic(),
+            nbytes=[record.size for _, record in chunk],
+            site=proc_site,
+        )
+        for result in results:
+            self._results.append(result)
 
     def _expected_messages(self) -> int:
         return self.config.total_messages

@@ -11,6 +11,9 @@ from repro.data.generator import DataBlockGenerator, GeneratorConfig
 from repro.data.serde import (
     encode_block,
     decode_block,
+    decode_block_many,
+    stack_blocks,
+    split_rows,
     encoded_size,
     HEADER_SIZE,
     BYTES_PER_VALUE,
@@ -22,6 +25,9 @@ __all__ = [
     "GeneratorConfig",
     "encode_block",
     "decode_block",
+    "decode_block_many",
+    "stack_blocks",
+    "split_rows",
     "encoded_size",
     "HEADER_SIZE",
     "BYTES_PER_VALUE",

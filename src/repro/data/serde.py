@@ -80,7 +80,7 @@ def encode_block(block: np.ndarray, compress: bool = False, level: int = 1) -> b
     return bytes(frame)
 
 
-def decode_block(frame: bytes, copy: bool = False) -> np.ndarray:
+def decode_block(frame: bytes, copy: bool = False, verify: bool = True) -> np.ndarray:
     """Decode a framed byte string back into a ``(points, features)`` array.
 
     Handles both raw and compressed frames (dispatch on the magic).
@@ -91,6 +91,12 @@ def decode_block(frame: bytes, copy: bool = False) -> np.ndarray:
     the frame's payload bytes (compressed frames decompress into a fresh
     buffer, but still skip the final defensive copy). Pass ``copy=True``
     for a writable, independent array.
+
+    ``verify=False`` skips the payload CRC check (header and length
+    validation still apply). The CRC scan is the dominant decode cost
+    for large raw frames, and re-verifying is redundant when the frame
+    never left process memory or was already verified upstream — the
+    same trade Kafka exposes as the consumer's ``check.crcs`` knob.
     """
     if len(frame) < HEADER_SIZE:
         raise SerdeError(f"frame too short: {len(frame)} bytes")
@@ -111,7 +117,7 @@ def decode_block(frame: bytes, copy: bool = False) -> np.ndarray:
             raise SerdeError("decompressed payload does not match header shape")
     else:
         raise SerdeError(f"bad magic {magic!r}")
-    if zlib.crc32(payload) != crc:
+    if verify and zlib.crc32(payload) != crc:
         raise SerdeError("payload CRC mismatch")
     arr = np.frombuffer(payload, dtype=np.float64)
     if copy:
@@ -120,3 +126,56 @@ def decode_block(frame: bytes, copy: bool = False) -> np.ndarray:
     # writable view; lock it so the shared frame cannot be corrupted.
     arr.flags.writeable = False
     return arr.reshape(points, features)
+
+
+def decode_block_many(frames, copy: bool = False, verify: bool = True) -> list[np.ndarray]:
+    """Decode a batch of frames into a list of ``(points, features)`` arrays.
+
+    The batched consume path's entry point: one call per polled record
+    batch instead of one per message. Decoding is per-frame (each frame
+    carries its own header and CRC), so a corrupt frame raises
+    :class:`SerdeError` exactly as :func:`decode_block` would — callers
+    that need to poison-pill single messages should fall back to
+    per-frame decoding on error. ``verify`` is forwarded to
+    :func:`decode_block`.
+    """
+    return [decode_block(frame, copy=copy, verify=verify) for frame in frames]
+
+
+def stack_blocks(blocks) -> tuple[np.ndarray, np.ndarray]:
+    """Stack homogeneous ``(n_i, d)`` blocks into one matrix plus row offsets.
+
+    Returns ``(matrix, offsets)`` where ``matrix`` is the ``(sum(n_i), d)``
+    row-wise concatenation and ``offsets`` is an ``int64`` array of
+    ``len(blocks) + 1`` row boundaries (``matrix[offsets[i]:offsets[i+1]]``
+    is block *i*). This is what lets a batch of polled messages hit a
+    model's vectorized ``decision_function`` in ONE call; pair with
+    :func:`split_rows` to fan per-row results back out per message.
+
+    A single block is passed through without copying.
+    """
+    if not blocks:
+        raise SerdeError("stack_blocks() requires at least one block")
+    arrs = [np.asarray(b) for b in blocks]
+    for arr in arrs:
+        if arr.ndim != 2:
+            raise SerdeError(f"blocks must be 2-D, got shape {arr.shape}")
+        if arr.shape[1] != arrs[0].shape[1]:
+            raise SerdeError(
+                f"blocks must share a feature count: {arr.shape[1]} != {arrs[0].shape[1]}"
+            )
+    offsets = np.zeros(len(arrs) + 1, dtype=np.int64)
+    np.cumsum([a.shape[0] for a in arrs], out=offsets[1:])
+    if len(arrs) == 1:
+        return arrs[0], offsets
+    return np.concatenate(arrs, axis=0), offsets
+
+
+def split_rows(stacked: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    """Invert :func:`stack_blocks`: slice row ranges back out as views.
+
+    Works on the stacked matrix itself or on anything row-aligned with it
+    (per-row scores, labels) — each returned array is a zero-copy slice
+    ``stacked[offsets[i]:offsets[i+1]]``.
+    """
+    return [stacked[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.ml.kmeans import StreamingKMeans, kmeans_plus_plus
 from repro.params.client import ParameterClient
+from repro.params.store import KeyNotFound
 from repro.util.validation import ValidationError, check_positive
 
 
@@ -139,11 +140,20 @@ class FederatedCoordinator:
         self._params.set(f"fl/update/{site}", payload)
 
     def pending_sites(self) -> list[str]:
-        """Sites that have not yet reported for the current round."""
+        """Sites that have not yet reported for the current round.
+
+        Uses the client's version-aware cache: coordinators poll this
+        while waiting for stragglers, and a site that has not re-published
+        since the last poll must not re-pay its full update transfer.
+        """
         missing = []
         for site in self._sites:
-            entry = self._params.get_value(f"fl/update/{site}")
-            if entry is None or entry.get("round") != self._round:
+            try:
+                payload = self._params.get_cached(f"fl/update/{site}").value
+            except KeyNotFound:
+                missing.append(site)
+                continue
+            if payload is None or payload.get("round") != self._round:
                 missing.append(site)
         return missing
 

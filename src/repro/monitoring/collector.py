@@ -8,6 +8,13 @@ from collections import defaultdict
 from repro.monitoring.metrics import MessageTrace
 
 
+def _is_sequence(value) -> bool:
+    """Sequence-of-values vs scalar for the stamp_many broadcast rule."""
+    return isinstance(value, (list, tuple)) or (
+        hasattr(value, "__len__") and not isinstance(value, (str, bytes))
+    )
+
+
 class MetricsCollector:
     """Accumulates message traces and named counters for one run.
 
@@ -42,6 +49,41 @@ class MetricsCollector:
             if partition >= 0:
                 trace.partition = partition
             trace.stamp(stage, timestamp, nbytes=nbytes, site=site)
+
+    def stamp_many(
+        self,
+        message_ids,
+        stage: str,
+        timestamp: float,
+        nbytes=0,
+        site: str = "",
+        partition=-1,
+    ) -> None:
+        """Record one stage hit for a whole batch of messages.
+
+        The batched pipeline paths stamp every message of a poll/publish
+        batch at the same stage and timestamp; doing it here costs ONE
+        lock acquisition instead of one per message (~6 lock round-trips
+        per message across the six pipeline stages otherwise).
+
+        ``nbytes`` and ``partition`` may be scalars (applied to every
+        message) or sequences aligned with *message_ids* (per-message
+        values, e.g. record sizes at the ``consume`` stage).
+        """
+        ids = list(message_ids)
+        nbytes_seq = nbytes if _is_sequence(nbytes) else [nbytes] * len(ids)
+        part_seq = partition if _is_sequence(partition) else [partition] * len(ids)
+        if len(nbytes_seq) != len(ids) or len(part_seq) != len(ids):
+            raise ValueError("per-message nbytes/partition must align with message_ids")
+        with self._lock:
+            for message_id, nb, part in zip(ids, nbytes_seq, part_seq):
+                trace = self._traces.get(message_id)
+                if trace is None:
+                    trace = MessageTrace(self.run_id, message_id)
+                    self._traces[message_id] = trace
+                if part >= 0:
+                    trace.partition = part
+                trace.stamp(stage, timestamp, nbytes=nb, site=site)
 
     def trace(self, message_id: str) -> MessageTrace | None:
         with self._lock:

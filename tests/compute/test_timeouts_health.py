@@ -128,3 +128,37 @@ class TestWorkerHealth:
         sched.submit(Task(fn=lambda: None)).result(timeout=5)
         time.sleep(0.02)
         assert worker.last_heartbeat > before
+
+
+class TestWatchdogParking:
+    @staticmethod
+    def _wait_for(predicate, timeout=2.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_untimed_tasks_never_start_watchdog(self, sched):
+        f = sched.submit(Task(fn=lambda: "ok"))
+        assert f.result(timeout=5) == "ok"
+        assert sched._watchdog is None
+
+    def test_watchdog_retires_when_no_timed_tasks_remain(self, sched):
+        f = sched.submit(Task(fn=lambda: "ok", timeout=5.0))
+        assert f.result(timeout=5) == "ok"
+        # The 20 ms poll loop notices the drained pending set and parks.
+        assert self._wait_for(lambda: sched._watchdog is None)
+
+    def test_watchdog_restarts_for_new_timed_task(self, sched):
+        f = sched.submit(Task(fn=lambda: 1, timeout=5.0))
+        assert f.result(timeout=5) == 1
+        assert self._wait_for(lambda: sched._watchdog is None)
+        # A fresh timed task must restart enforcement, not just bookkeeping.
+        release = threading.Event()
+        late = sched.submit(Task(fn=lambda: release.wait(5), timeout=0.05))
+        with pytest.raises(TaskError) as exc_info:
+            late.result(timeout=5)
+        assert isinstance(exc_info.value.cause, TimeoutError)
+        release.set()

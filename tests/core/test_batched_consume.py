@@ -1,0 +1,200 @@
+"""Equivalence tests: the batched consume path vs the per-message path.
+
+The micro-batched fast path must be an *optimisation*, not a semantic
+change: for a stateless processor the two paths must produce identical
+results, identical message traces (same ids, same stages) and identical
+completion accounting — including under duplicate delivery and poisoned
+messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.broker import Producer
+from repro.core import (
+    EdgeToCloudPipeline,
+    PipelineConfig,
+    make_block_producer,
+    make_model_processor,
+    passthrough_processor,
+)
+from repro.core.context import FunctionContext
+from repro.data import encode_block
+from repro.ml import StreamingKMeans
+
+STAGES = (
+    "produce",
+    "uplink_start",
+    "broker_in",
+    "dequeue",
+    "consume",
+    "process_start",
+    "process_end",
+)
+
+
+def build_pipeline(running_pilots, *, batched, run_id, producer=None, processor=None):
+    edge, cloud = running_pilots
+    knobs = dict(poll_batch=8, consume_batch=8) if batched else {}
+    config = PipelineConfig(
+        num_devices=2, messages_per_device=8, max_duration=60.0, **knobs
+    )
+    return EdgeToCloudPipeline(
+        pilot_edge=edge,
+        pilot_cloud_processing=cloud,
+        produce_function_handler=producer
+        or make_block_producer(points=50, features=8, clusters=5),
+        process_cloud_function_handler=processor or passthrough_processor,
+        config=config,
+        run_id=run_id,
+    )
+
+
+def make_seq_producer():
+    """Deterministic producer: block values carry the per-device sequence."""
+    counts: dict = {}
+
+    def produce(context):
+        device = (
+            context.get(FunctionContext.DEVICE_ID, "device-0")
+            if context
+            else "device-0"
+        )
+        seq = counts.get(device, 0)
+        counts[device] = seq + 1
+        return np.full((6, 4), float(seq))
+
+    return produce
+
+
+def make_poison_processor():
+    """Fails on the block whose sequence marker is 2 — in both forms."""
+
+    def poison(context=None, data=None):
+        block = np.asarray(data)
+        if block[0, 0] == 2.0:
+            raise RuntimeError("poisoned block")
+        return {"first": float(block[0, 0])}
+
+    def poison_batch(context=None, blocks=None):
+        if any(np.asarray(b)[0, 0] == 2.0 for b in blocks):
+            raise RuntimeError("batch poisoned")
+        return [poison(context, b) for b in blocks]
+
+    poison.process_cloud_batch = poison_batch
+    return poison
+
+
+class TestEquivalence:
+    def test_results_traces_and_counts_match(self, running_pilots):
+        runs = {}
+        for label, batched in (("per", False), ("bat", True)):
+            pipeline = build_pipeline(running_pilots, batched=batched, run_id="eqv")
+            result = pipeline.run()
+            assert result.completed
+            traces = pipeline.collector.traces()
+            runs[label] = (result, traces)
+        per, bat = runs["per"], runs["bat"]
+        # Same processed count, same results (order-independent).
+        assert len(per[0].results) == len(bat[0].results) == 16
+        key = lambda r: (r["points"], r["features"], round(r["mean_norm"], 12))
+        assert sorted(map(key, per[0].results)) == sorted(map(key, bat[0].results))
+        # Same message ids, each with the full stage trace.
+        per_ids = {t.message_id for t in per[1]}
+        bat_ids = {t.message_id for t in bat[1]}
+        assert per_ids == bat_ids and len(per_ids) == 16
+        for traces in (per[1], bat[1]):
+            for trace in traces:
+                assert all(trace.has(stage) for stage in STAGES), trace.message_id
+
+    def test_plain_function_keeps_per_message_path(self, running_pilots):
+        def plain(context=None, data=None):
+            return {"points": int(np.asarray(data).shape[0])}
+
+        pipeline = build_pipeline(
+            running_pilots, batched=True, run_id="plain", processor=plain
+        )
+        result = pipeline.run()
+        assert result.completed
+        assert len(result.results) == 16
+        assert "batch_fallbacks" not in pipeline.collector.counters()
+
+    def test_supports_batch_function(self, running_pilots):
+        def flex(context=None, blocks=None):
+            return [{"points": int(np.asarray(b).shape[0])} for b in blocks]
+
+        flex.supports_batch = True
+        pipeline = build_pipeline(
+            running_pilots, batched=True, run_id="flex", processor=flex
+        )
+        result = pipeline.run()
+        assert result.completed
+        assert len(result.results) == 16
+        assert all(r == {"points": 50} for r in result.results)
+
+    def test_model_processor_batched_completes(self, running_pilots):
+        processor = make_model_processor(
+            lambda: StreamingKMeans(n_clusters=3, seed=0)
+        )
+        pipeline = build_pipeline(
+            running_pilots, batched=True, run_id="model", processor=processor
+        )
+        result = pipeline.run()
+        assert result.completed
+        assert len(result.results) == 16
+        assert all(r["model"] == "StreamingKMeans" for r in result.results)
+
+
+class TestDuplicateDelivery:
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_duplicate_is_counted_once(self, running_pilots, batched):
+        run_id = f"dup-{batched}"
+        pipeline = build_pipeline(running_pilots, batched=batched, run_id=run_id)
+        config = pipeline.config
+        # Pre-inject a record that collides with the first real message of
+        # device 0: at-least-once delivery hands the consumer the same
+        # message id twice.
+        pipeline.broker.create_topic(
+            config.topic, num_partitions=config.num_devices, exist_ok=True
+        )
+        Producer(pipeline.broker).send(
+            config.topic,
+            encode_block(np.zeros((5, 8))),
+            partition=0,
+            headers={"message_id": f"{run_id}/d0/m0", "device": "device-0"},
+        )
+        result = pipeline.run()
+        assert result.completed
+        # 16 distinct ids -> 16 results; the 17th record is the duplicate.
+        assert len(result.results) == 16
+        assert pipeline.collector.counters()["duplicate_deliveries"] == 1
+
+
+class TestPoisonedMessages:
+    def run_poisoned(self, running_pilots, batched):
+        pipeline = build_pipeline(
+            running_pilots,
+            batched=batched,
+            run_id=f"poison-{batched}",
+            producer=make_seq_producer(),
+            processor=make_poison_processor(),
+        )
+        return pipeline, pipeline.run()
+
+    def test_poison_isolation_matches_per_message_path(self, running_pilots):
+        per_pipe, per = self.run_poisoned(running_pilots, batched=False)
+        bat_pipe, bat = self.run_poisoned(running_pilots, batched=True)
+        # One poisoned message per device, in both modes.
+        for pipeline, result in ((per_pipe, per), (bat_pipe, bat)):
+            assert not result.completed  # errors were recorded
+            assert pipeline.collector.counters()["processing_errors"] == 2
+            assert len(result.errors) == 2
+            assert all("poisoned block" in err for err in result.errors)
+        # Identical surviving results: the batch failure cost one message
+        # per poisoned block, not the whole chunk.
+        key = lambda r: r["first"]
+        assert sorted(map(key, per.results)) == sorted(map(key, bat.results))
+        assert len(bat.results) == 14
+        # The batched run actually exercised the fallback.
+        assert bat_pipe.collector.counters()["batch_fallbacks"] >= 1
+        assert "batch_fallbacks" not in per_pipe.collector.counters()

@@ -193,3 +193,69 @@ class TestBottleneckAnalysis:
 
     def test_no_traces(self):
         assert analyze_bottleneck(MetricsCollector("run"))["bottleneck"] == "unknown"
+
+
+class TestStampMany:
+    def test_equivalent_to_per_message_stamps(self):
+        batched = MetricsCollector("run")
+        looped = MetricsCollector("run")
+        ids = [f"m{i}" for i in range(8)]
+        sizes = [100 * (i + 1) for i in range(8)]
+        batched.stamp_many(ids, "consume", 1.5, nbytes=sizes, site="cloud", partition=3)
+        for mid, nb in zip(ids, sizes):
+            looped.stamp(mid, "consume", 1.5, nbytes=nb, site="cloud", partition=3)
+        for mid in ids:
+            b = batched.trace(mid)
+            l = looped.trace(mid)
+            assert b.at("consume") == l.at("consume")
+            assert b.timings["consume"].nbytes == l.timings["consume"].nbytes
+            assert b.timings["consume"].site == l.timings["consume"].site
+            assert b.partition == l.partition == 3
+
+    def test_scalar_nbytes_broadcasts(self):
+        c = MetricsCollector("run")
+        c.stamp_many(["a", "b"], "dequeue", 2.0, nbytes=64)
+        assert c.trace("a").timings["dequeue"].nbytes == 64
+        assert c.trace("b").timings["dequeue"].nbytes == 64
+
+    def test_misaligned_sequence_rejected(self):
+        c = MetricsCollector("run")
+        with pytest.raises(ValueError):
+            c.stamp_many(["a", "b", "c"], "dequeue", 2.0, nbytes=[1, 2])
+        with pytest.raises(ValueError):
+            c.stamp_many(["a", "b"], "dequeue", 2.0, partition=[0])
+
+    def test_empty_batch_is_noop(self):
+        c = MetricsCollector("run")
+        c.stamp_many([], "dequeue", 1.0)
+        assert len(c) == 0
+
+    def test_concurrent_stamp_many_hammer(self):
+        import threading
+
+        c = MetricsCollector("run")
+        stages = ["dequeue", "consume", "process_start", "process_end"]
+        n_threads, per_thread, batch = 4, 50, 16
+
+        def hammer(k):
+            stage = stages[k]
+            for i in range(per_thread):
+                ids = [f"m{i}-{j}" for j in range(batch)]
+                c.stamp_many(ids, stage, float(i), nbytes=list(range(batch)))
+                c.incr(f"batches_{stage}")
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All threads hammered the SAME id set on different stages: every
+        # trace must exist exactly once and carry all four stamps.
+        assert len(c) == per_thread * batch
+        for i in range(per_thread):
+            for j in range(batch):
+                trace = c.trace(f"m{i}-{j}")
+                assert all(trace.has(s) for s in stages)
+                assert trace.timings["consume"].nbytes == j
+        for stage in stages:
+            assert c.counters()[f"batches_{stage}"] == per_thread
