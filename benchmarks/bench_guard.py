@@ -28,6 +28,7 @@ The pytest entry point is marked ``bench`` and benchmarks/ is outside
 with ``pytest -m bench benchmarks/bench_guard.py``.
 """
 
+import gc
 import json
 import sys
 import time
@@ -40,10 +41,12 @@ from repro.broker import Broker, Consumer, Producer
 from repro.compute import ResourceSpec
 from repro.core import EdgeToCloudPipeline, PipelineConfig
 from repro.data import encode_block
+from repro.faults import FaultInjector, FaultyBroker
 from repro.pilot import PilotComputeService, PilotDescription
 
 ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_broker.json"
 PIPELINE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_pipeline.json"
+ROBUSTNESS_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_robustness.json"
 
 #: Reduced size: enough work to dominate timer noise, small enough for
 #: a per-change smoke run.
@@ -249,6 +252,163 @@ def run_pipeline_guard() -> dict:
     return results
 
 
+# -- robustness guard: idempotence overhead + lossy-path delivery ------------
+
+#: Idempotent batched produce must stay within 10% of the plain batched
+#: path on a clean (fault-free) broker — the dedup bookkeeping is O(1)
+#: per batch and must not tax the fast path. Measured cost is ~6% at 32
+#: records/batch (fixed ~1.5 us of sequence bookkeeping against a
+#: ~25 us batch append), amortizing toward 0 at larger batches.
+MAX_IDEMPOTENCE_OVERHEAD = 0.10
+#: Interleaved sweeps per trial. A single 4-batch sweep finishes in
+#: ~100 us, where one GC pause or scheduler preemption swamps the 10%
+#: gate; taking the min over many alternating plain/idempotent sweeps
+#: (GC disabled) samples both paths under the same noise and keeps the
+#: cleanest pass of each.
+ROBUST_REPS = 40
+#: Trials whose median decides the overhead — rejects whole-trial drift
+#: (measured noise floor for identical producers is ~+-6%).
+ROBUST_TRIALS = 5
+#: Injected drop probability for the lossy-delivery leg (the paper's
+#: cellular-edge loss rate).
+LOSS_PROBABILITY = 0.01
+#: Per-message sends in the lossy leg: enough broker calls that a 1%
+#: drop plan fires several times (expected ~5 for 512 sends).
+LOSSY_MESSAGES = 512
+
+
+def _produce_sweep_pair(payload: bytes) -> tuple:
+    """One interleaved trial: (plain, idempotent) best sweep rates, MB/s.
+
+    Both producers are warmed up first (registration + first-contact
+    partition state happen outside the timed region), then their batch
+    sweeps alternate inside a single GC-disabled loop so scheduler drift
+    and allocator state hit both paths identically; the min sweep of
+    each is the cleanest pass.
+    """
+
+    def setup(**producer_kwargs):
+        broker = Broker()
+        broker.create_topic("guard", 1)
+        producer = Producer(broker, **producer_kwargs)
+        chunks = [
+            [payload] * min(BATCH, MESSAGES - start)
+            for start in range(0, MESSAGES, BATCH)
+        ]
+        for chunk in chunks:  # warm-up
+            producer.send_many("guard", chunk, partition=0)
+        return producer, chunks
+
+    def sweep(producer, chunks) -> float:
+        t0 = time.perf_counter()
+        for chunk in chunks:
+            producer.send_many("guard", chunk, partition=0)
+        return time.perf_counter() - t0
+
+    plain = setup()
+    idem = setup(retries=3, retry_backoff_ms=0.0)
+    gc.collect()
+    gc.disable()
+    try:
+        best_plain = best_idem = float("inf")
+        for _ in range(ROBUST_REPS):
+            best_plain = min(best_plain, sweep(*plain))
+            best_idem = min(best_idem, sweep(*idem))
+    finally:
+        gc.enable()
+    volume = MESSAGES * len(payload) / 1e6
+    return volume / best_plain, volume / best_idem
+
+
+def _lossy_delivery() -> dict:
+    """Produce through a 1%-drop broker with retries; count what landed."""
+    broker = Broker()
+    broker.create_topic("guard", 1)
+    injector = FaultInjector(seed=17)
+    injector.drop_next(10**9, op="append", probability=LOSS_PROBABILITY)
+    producer = Producer(
+        FaultyBroker(broker, injector),
+        client_id="guard-lossy",
+        retries=20,
+        retry_backoff_ms=0.0,
+    )
+    for i in range(LOSSY_MESSAGES):
+        producer.send("guard", b"%d" % i, partition=0)
+    consumer = Consumer(broker)
+    consumer.assign([("guard", 0)])
+    values = [r.value for r in consumer.poll(max_records=10 * LOSSY_MESSAGES)]
+    return {
+        "sent": LOSSY_MESSAGES,
+        "delivered": len(values),
+        "distinct": len(set(values)),
+        "retries": producer.produce_retries,
+        "faults_fired": injector.fired.get("drop", 0),
+    }
+
+
+def run_robustness_guard() -> dict:
+    """Measure the delivery layer, persist the artifact, return results."""
+    payload = _payload()
+    trials = sorted(
+        _produce_sweep_pair(payload) for _ in range(ROBUST_TRIALS)
+    )
+    overheads = sorted(max(0.0, 1.0 - idem / plain) for plain, idem in trials)
+    plain, idempotent = trials[len(trials) // 2]
+    lossy = _lossy_delivery()
+    results = {
+        "messages": MESSAGES,
+        "message_bytes": len(payload),
+        "batch_records": BATCH,
+        "timed_reps": ROBUST_REPS,
+        "trials": ROBUST_TRIALS,
+        "produce_batched_mb_s": round(plain, 1),
+        "produce_idempotent_mb_s": round(idempotent, 1),
+        "idempotence_overhead": round(overheads[len(overheads) // 2], 3),
+        "idempotence_overhead_trials": [round(o, 3) for o in overheads],
+        "max_idempotence_overhead": MAX_IDEMPOTENCE_OVERHEAD,
+        "loss_probability": LOSS_PROBABILITY,
+        "lossy": lossy,
+        "lossy_delivery_rate": round(lossy["distinct"] / lossy["sent"], 4),
+    }
+    ROBUSTNESS_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ROBUSTNESS_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_robustness(results: dict) -> list:
+    failures = []
+    if results["idempotence_overhead"] > MAX_IDEMPOTENCE_OVERHEAD:
+        failures.append(
+            f"idempotent produce overhead {results['idempotence_overhead']:.1%} "
+            f"> allowed {MAX_IDEMPOTENCE_OVERHEAD:.0%} "
+            f"({results['produce_idempotent_mb_s']} vs "
+            f"{results['produce_batched_mb_s']} MB/s)"
+        )
+    lossy = results["lossy"]
+    if lossy["faults_fired"] == 0:
+        failures.append(
+            "lossy run never fired a fault: the delivery check is vacuous"
+        )
+    if lossy["distinct"] != lossy["sent"]:
+        failures.append(
+            f"lossy run delivered {lossy['distinct']}/{lossy['sent']} "
+            f"distinct messages (retries={lossy['retries']})"
+        )
+    if lossy["delivered"] != lossy["distinct"]:
+        failures.append(
+            f"lossy run duplicated offsets: {lossy['delivered']} delivered "
+            f"vs {lossy['distinct']} distinct"
+        )
+    return failures
+
+
+@pytest.mark.bench
+def test_robustness_guard():
+    results = run_robustness_guard()
+    failures = _check_robustness(results)
+    assert not failures, "; ".join(failures) + f"; see {ROBUSTNESS_ARTIFACT}"
+
+
 @pytest.mark.bench
 def test_batched_fast_path_guard():
     results = run_guard()
@@ -284,6 +444,21 @@ def main() -> int:
         status = 1
     else:
         print(f"OK: batched speedup {results['batched_speedup']}x >= {MIN_SPEEDUP}x")
+
+    robust = run_robustness_guard()
+    for key, value in robust.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {ROBUSTNESS_ARTIFACT}]")
+    robust_failures = _check_robustness(robust)
+    for failure in robust_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    if not robust_failures:
+        print(
+            f"OK: idempotence overhead {robust['idempotence_overhead']:.1%} "
+            f"<= {MAX_IDEMPOTENCE_OVERHEAD:.0%}, lossy delivery "
+            f"{robust['lossy_delivery_rate']:.2%}"
+        )
 
     pipe = run_pipeline_guard()
     for key, value in pipe.items():

@@ -49,8 +49,9 @@ from repro.core import (
 from repro.pilot import PilotComputeService, PilotDescription, PilotCompute, PilotState
 from repro.compute import ResourceSpec, Client, ComputeCluster
 from repro.params import ParameterServer, ParameterClient
-from repro.netem import ContinuumTopology, LinkProfile, TRANSATLANTIC, LAN
+from repro.netem import CELLULAR_EDGE, ContinuumTopology, LinkProfile, TRANSATLANTIC, LAN
 from repro.monitoring import ThroughputReport, MetricsCollector
+from repro.faults import FaultInjector, FaultyBroker
 
 __version__ = "1.0.0"
 
@@ -83,7 +84,10 @@ __all__ = [
     "LinkProfile",
     "TRANSATLANTIC",
     "LAN",
+    "CELLULAR_EDGE",
     "ThroughputReport",
     "MetricsCollector",
+    "FaultInjector",
+    "FaultyBroker",
     "__version__",
 ]

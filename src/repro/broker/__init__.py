@@ -20,10 +20,18 @@ the paper's broker plugin mechanism for low-power environments.
 
 from repro.broker.errors import (
     BrokerError,
-    UnknownTopicError,
-    UnknownPartitionError,
+    BrokerTimeoutError,
+    DisconnectedError,
+    FatalError,
     OffsetOutOfRangeError,
+    OutOfOrderSequenceError,
+    ProducerFencedError,
     RebalanceInProgressError,
+    RetriableError,
+    UnknownMemberError,
+    UnknownPartitionError,
+    UnknownTopicError,
+    is_retriable,
 )
 from repro.broker.message import BatchMetadata, Record, RecordMetadata
 from repro.broker.partition import PartitionLog
@@ -35,13 +43,29 @@ from repro.broker.group import GroupCoordinator, AssignmentStrategy, RangeAssign
 from repro.broker.serde import Serde, BytesSerde, JsonSerde, BlockSerde, PickleSerde
 from repro.broker.plugins import broker_plugin, create_broker, available_plugins
 from repro.broker.mqtt import MqttStyleBroker
-from repro.broker.remote import BrokerServer, RemoteBroker, RemoteBrokerError
+from repro.broker.remote import (
+    BrokerServer,
+    RemoteBroker,
+    RemoteBrokerError,
+    RemoteFatalError,
+    RemoteRetriableError,
+)
 
 __all__ = [
     "BrokerServer",
     "RemoteBroker",
     "RemoteBrokerError",
+    "RemoteRetriableError",
+    "RemoteFatalError",
     "BrokerError",
+    "RetriableError",
+    "FatalError",
+    "BrokerTimeoutError",
+    "DisconnectedError",
+    "ProducerFencedError",
+    "OutOfOrderSequenceError",
+    "UnknownMemberError",
+    "is_retriable",
     "UnknownTopicError",
     "UnknownPartitionError",
     "OffsetOutOfRangeError",

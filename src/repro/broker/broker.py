@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.broker.errors import TopicExistsError, UnknownTopicError
+from repro.broker.errors import ProducerFencedError, TopicExistsError, UnknownTopicError
 from repro.broker.group import GroupCoordinator
 from repro.broker.message import BatchMetadata, Record, RecordMetadata
 from repro.broker.partition import PartitionLog
@@ -42,6 +42,13 @@ class Broker:
         # Committed offsets: (group, topic, partition) -> offset.
         self._committed: dict[tuple, int] = {}
         self._offsets_lock = threading.Lock()
+        # Idempotent-producer registry: client name -> producer_id, and
+        # producer_id -> current epoch. Re-registering the same client
+        # bumps the epoch, fencing any zombie instance still retrying
+        # with the old one.
+        self._producer_ids: dict[str, int] = {}
+        self._producer_epochs: dict[int, int] = {}
+        self._producers_lock = threading.Lock()
 
     # -- topic management -----------------------------------------------------
 
@@ -85,6 +92,36 @@ class Broker:
         with self._lock:
             return name in self._topics
 
+    # -- idempotent-producer registry ----------------------------------------
+
+    def register_producer(self, client_id: str) -> tuple[int, int]:
+        """Register *client_id* for idempotent produce; returns (pid, epoch).
+
+        Calling again with the same client id bumps the epoch — the new
+        instance wins, and stale appends from the previous epoch raise
+        :class:`~repro.broker.errors.ProducerFencedError`.
+        """
+        with self._producers_lock:
+            pid = self._producer_ids.get(client_id)
+            if pid is None:
+                pid = len(self._producer_ids)
+                self._producer_ids[client_id] = pid
+                self._producer_epochs[pid] = 0
+            else:
+                self._producer_epochs[pid] += 1
+            return pid, self._producer_epochs[pid]
+
+    def _check_producer_epoch(self, producer_id: int | None, producer_epoch: int) -> None:
+        """Fence stale epochs centrally: a partition only learns a
+        producer's epoch on first contact, so a zombie writing to a fresh
+        partition would otherwise slip past the per-partition check."""
+        if producer_id is None:
+            return
+        with self._producers_lock:
+            current = self._producer_epochs.get(producer_id)
+        if current is not None and producer_epoch < current:
+            raise ProducerFencedError(producer_id, producer_epoch, current)
+
     # -- data path ---------------------------------------------------------------
 
     def append(
@@ -95,10 +132,22 @@ class Broker:
         key: bytes | None = None,
         headers: dict | None = None,
         produce_ts: float | None = None,
+        producer_id: int | None = None,
+        producer_epoch: int = 0,
+        sequence: int | None = None,
     ) -> RecordMetadata:
         """Append a record; returns its metadata (offset assignment)."""
+        self._check_producer_epoch(producer_id, producer_epoch)
         log = self.topic(topic).partition(partition)
-        record = log.append(value, key=key, headers=headers, produce_ts=produce_ts)
+        record = log.append(
+            value,
+            key=key,
+            headers=headers,
+            produce_ts=produce_ts,
+            producer_id=producer_id,
+            producer_epoch=producer_epoch,
+            sequence=sequence,
+        )
         return RecordMetadata(topic=topic, partition=partition, offset=record.offset)
 
     def append_many(
@@ -109,16 +158,28 @@ class Broker:
         keys=None,
         headers=None,
         produce_ts=None,
+        producer_id: int | None = None,
+        producer_epoch: int = 0,
+        base_sequence: int | None = None,
     ) -> BatchMetadata:
         """Append a batch to one partition under a single log lock.
 
         See :meth:`PartitionLog.append_many` for the parameter shapes.
         Returns one :class:`BatchMetadata` for the whole batch (offsets
-        within a batch are contiguous).
+        within a batch are contiguous). With idempotent-producer fields a
+        replayed batch acks with its original offsets and is not
+        re-appended.
         """
+        self._check_producer_epoch(producer_id, producer_epoch)
         log = self.topic(topic).partition(partition)
         records = log.append_many(
-            values, keys=keys, headers=headers, produce_ts=produce_ts
+            values,
+            keys=keys,
+            headers=headers,
+            produce_ts=produce_ts,
+            producer_id=producer_id,
+            producer_epoch=producer_epoch,
+            base_sequence=base_sequence,
         )
         if not records:
             return BatchMetadata(
@@ -191,8 +252,14 @@ class Broker:
                     "records_in": topic.total_appended,
                     "bytes_in": topic.total_bytes_in,
                     "bytes_retained": topic.size_bytes,
+                    "duplicates_dropped": topic.duplicates_dropped,
                 }
-        return {"broker": self.name, "topics": topics}
+        return {
+            "broker": self.name,
+            "topics": topics,
+            "duplicates_dropped": sum(t["duplicates_dropped"] for t in topics.values()),
+            "members_evicted": self._coordinator.members_evicted,
+        }
 
     def __repr__(self) -> str:
         return f"Broker({self.name!r}, topics={len(self._topics)})"

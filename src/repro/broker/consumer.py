@@ -14,11 +14,12 @@ import time
 from typing import Any
 
 from repro.broker.broker import Broker
+from repro.broker.errors import RebalanceInProgressError, UnknownMemberError
 from repro.broker.group import AssignmentStrategy
 from repro.broker.message import Record
 from repro.broker.serde import BytesSerde, Serde
 from repro.util.ids import new_id
-from repro.util.validation import ValidationError, check_positive
+from repro.util.validation import ValidationError, check_non_negative, check_positive
 
 
 class Consumer:
@@ -35,6 +36,13 @@ class Consumer:
     auto_offset_reset:
         Where to start when the group has no committed offset:
         ``"earliest"`` or ``"latest"``.
+    session_timeout_ms:
+        Failure-detection window registered with the group coordinator:
+        if this consumer stops heartbeating for longer, the coordinator
+        evicts it and rebalances its partitions to the survivors.
+        ``poll`` piggybacks a heartbeat every ``session_timeout/3``
+        seconds, so any consumer that keeps polling stays alive. ``None``
+        uses the coordinator's default; 0 disables eviction.
     """
 
     def __init__(
@@ -44,25 +52,36 @@ class Consumer:
         serde: Serde | None = None,
         auto_offset_reset: str = "earliest",
         client_id: str | None = None,
+        session_timeout_ms: float | None = None,
     ) -> None:
         if auto_offset_reset not in ("earliest", "latest"):
             raise ValidationError(
                 f"auto_offset_reset must be 'earliest' or 'latest', got {auto_offset_reset!r}"
             )
+        if session_timeout_ms is not None:
+            check_non_negative("session_timeout_ms", session_timeout_ms)
         self._broker = broker
         self._serde = serde or BytesSerde()
         self.group_id = group_id
         self.client_id = client_id or new_id("consumer")
         self._auto_offset_reset = auto_offset_reset
         self._subscribed_topics: list[str] = []
+        self._strategy: AssignmentStrategy | None = None
         self._generation = -1
         self._assignment: list[tuple] = []
         #: (topic, partition) -> next offset to fetch
         self._positions: dict[tuple, int] = {}
         self._closed = False
+        self.session_timeout_ms = session_timeout_ms
+        self._last_heartbeat = 0.0
         # Consume-side metrics.
         self.records_consumed = 0
         self.bytes_consumed = 0
+        self.heartbeats_sent = 0
+        #: Times this consumer discovered it had been evicted (a missed
+        #: session deadline) and had to re-join the group.
+        self.evictions = 0
+        self.rebalances = 0
 
     # -- subscription -----------------------------------------------------
 
@@ -74,10 +93,22 @@ class Consumer:
             topics = [topics]
         self._check_open()
         self._subscribed_topics = list(topics)
-        self._broker.coordinator.join(
-            self.group_id, self.client_id, self._subscribed_topics, strategy=strategy
-        )
+        self._strategy = strategy
+        self._join()
         self._refresh_assignment()
+
+    def _join(self) -> None:
+        kwargs = {}
+        if self.session_timeout_ms is not None:
+            kwargs["session_timeout_ms"] = self.session_timeout_ms
+        self._broker.coordinator.join(
+            self.group_id,
+            self.client_id,
+            self._subscribed_topics,
+            strategy=self._strategy,
+            **kwargs,
+        )
+        self._last_heartbeat = time.monotonic()
 
     def assign(self, partitions: list[tuple]) -> None:
         """Manually assign ``(topic, partition)`` pairs (no group)."""
@@ -100,9 +131,49 @@ class Consumer:
             self.group_id, self.client_id
         )
         if generation != self._generation:
+            if self._generation >= 0:
+                self.rebalances += 1
             self._generation = generation
             self._assignment = assignment
             self._init_positions()
+
+    def _heartbeat_if_due(self) -> None:
+        """Piggyback a heartbeat on poll; re-join if we were evicted.
+
+        Heartbeats go out every third of the session timeout (Kafka's
+        default ratio). A heartbeat rejected with
+        :class:`UnknownMemberError` means the coordinator already evicted
+        us — our assignment is void, so re-join and raise
+        :class:`RebalanceInProgressError` so the caller knows records may
+        have been handed to another member.
+        """
+        timeout_ms = self.session_timeout_ms
+        if not timeout_ms:
+            # No session timeout: membership never expires, but still
+            # send an occasional lease refresh when the coordinator has a
+            # group-level timeout configured.
+            coordinator_default = getattr(
+                self._broker.coordinator, "session_timeout_ms", 0.0
+            )
+            if not coordinator_default:
+                return
+            timeout_ms = coordinator_default
+        interval = timeout_ms / 3000.0
+        now = time.monotonic()
+        if now - self._last_heartbeat < interval:
+            return
+        try:
+            self._broker.coordinator.heartbeat(self.group_id, self.client_id)
+            self.heartbeats_sent += 1
+            self._last_heartbeat = now
+        except UnknownMemberError:
+            self.evictions += 1
+            self._join()
+            self._refresh_assignment()
+            raise RebalanceInProgressError(
+                f"consumer {self.client_id!r} was evicted from group "
+                f"{self.group_id!r} and re-joined"
+            ) from None
 
     def _init_positions(self) -> None:
         positions: dict[tuple, int] = {}
@@ -148,6 +219,14 @@ class Consumer:
         check_positive("max_records", max_records)
         self._check_open()
         if self.group_id is not None and self._subscribed_topics:
+            try:
+                self._heartbeat_if_due()
+            except RebalanceInProgressError:
+                # Evicted and re-joined: the refreshed assignment is
+                # already in place, but this poll round returns empty so
+                # the caller observes the boundary (positions were reset
+                # to committed offsets).
+                return []
             # Eager rebalance check, as Kafka consumers do on poll().
             current = self._broker.coordinator.generation(self.group_id)
             if current != self._generation:
@@ -262,9 +341,29 @@ class Consumer:
     # -- offsets ----------------------------------------------------------------
 
     def commit(self) -> None:
-        """Commit current positions for all assigned partitions."""
+        """Commit current positions for all assigned partitions.
+
+        Raises :class:`RebalanceInProgressError` when this member is no
+        longer part of the group (evicted by the session-timeout sweeper
+        mid-batch) — its partitions belong to someone else now, so the
+        commit is refused; the next ``poll`` re-joins and refreshes the
+        assignment. A mere generation bump with this member still in the
+        group does **not** raise: broker-side commits are monotonic, so
+        they can never rewind another member's progress.
+        """
         if self.group_id is None:
             raise ValidationError("commit() requires a consumer group")
+        if self._subscribed_topics and self._generation >= 0:
+            generation, _ = self._broker.coordinator.assignment(
+                self.group_id, self.client_id
+            )
+            if generation == 0:
+                # assignment() returns (0, []) only for non-members: any
+                # live membership has generation >= 1.
+                raise RebalanceInProgressError(
+                    f"member {self.client_id!r} is no longer in group "
+                    f"{self.group_id!r}; positions are stale"
+                )
         for tp, offset in self._positions.items():
             self._broker.commit_offset(self.group_id, tp[0], tp[1], offset)
 
@@ -302,4 +401,7 @@ class Consumer:
             "records_consumed": self.records_consumed,
             "bytes_consumed": self.bytes_consumed,
             "assignment": list(self._assignment),
+            "heartbeats_sent": self.heartbeats_sent,
+            "evictions": self.evictions,
+            "rebalances": self.rebalances,
         }

@@ -1,10 +1,87 @@
-"""Broker error hierarchy."""
+"""Broker error hierarchy.
+
+Two orthogonal axes matter to clients:
+
+- what went wrong (the concrete subclass), and
+- whether retrying can help. :class:`RetriableError` marks transient
+  conditions (timeouts, dropped connections, in-flight rebalances) a
+  client may safely retry after a backoff; :class:`FatalError` marks
+  conditions where retrying the same request can never succeed (a fenced
+  producer epoch, a sequence-number gap). :func:`is_retriable` folds
+  built-in transient exceptions (``ConnectionError``, ``TimeoutError``,
+  ``socket.timeout``) into the same test, since the transport surfaces
+  those directly.
+"""
 
 from __future__ import annotations
 
 
 class BrokerError(Exception):
     """Base class for all brokering errors."""
+
+
+class RetriableError(BrokerError):
+    """A transient failure; the same request may succeed after a backoff."""
+
+
+class FatalError(BrokerError):
+    """A permanent failure; retrying the same request cannot succeed."""
+
+
+class BrokerTimeoutError(RetriableError):
+    """An operation exceeded its deadline (server slow, link stalled)."""
+
+
+class DisconnectedError(RetriableError):
+    """The transport to the broker was lost mid-operation."""
+
+
+class ProducerFencedError(FatalError):
+    """A newer instance of this producer registered (higher epoch)."""
+
+    def __init__(self, producer_id: int, epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"producer {producer_id} epoch {epoch} fenced by epoch {current_epoch}"
+        )
+        self.producer_id = producer_id
+        self.epoch = epoch
+        self.current_epoch = current_epoch
+
+
+class OutOfOrderSequenceError(FatalError):
+    """An idempotent append skipped sequence numbers (lost batch)."""
+
+    def __init__(self, producer_id: int, expected: int, got: int) -> None:
+        super().__init__(
+            f"producer {producer_id}: expected sequence {expected}, got {got}"
+        )
+        self.producer_id = producer_id
+        self.expected = expected
+        self.got = got
+
+
+class UnknownMemberError(RetriableError):
+    """A heartbeat/commit referenced a member the group evicted.
+
+    Retriable in the Kafka sense: the consumer re-joins the group and
+    carries on with a fresh assignment.
+    """
+
+    def __init__(self, group_id: str, member_id: str) -> None:
+        super().__init__(f"member {member_id!r} is not in group {group_id!r}")
+        self.group_id = group_id
+        self.member_id = member_id
+
+
+def is_retriable(exc: BaseException) -> bool:
+    """True when *exc* marks a transient condition worth retrying."""
+    if isinstance(exc, RetriableError):
+        return True
+    if isinstance(exc, BrokerError):
+        # Everything else in the hierarchy (unknown topic, fenced
+        # producer, validation-shaped errors) cannot be fixed by retrying.
+        return False
+    return isinstance(exc, (ConnectionError, TimeoutError, OSError))
 
 
 class UnknownTopicError(BrokerError):
@@ -38,8 +115,11 @@ class OffsetOutOfRangeError(BrokerError):
         self.hi = hi
 
 
-class RebalanceInProgressError(BrokerError):
-    """Raised when a consumer operation races a group rebalance."""
+class RebalanceInProgressError(RetriableError):
+    """Raised when a consumer operation races a group rebalance.
+
+    Retriable: once the rebalance settles and the consumer re-fetches
+    its assignment, the operation can be reissued."""
 
 
 class TopicExistsError(BrokerError):

@@ -18,9 +18,11 @@ assignors:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
-from repro.util.validation import ValidationError
+from repro.broker.errors import UnknownMemberError
+from repro.util.validation import ValidationError, check_non_negative
 
 
 class AssignmentStrategy:
@@ -87,15 +89,41 @@ class _GroupState:
     members: dict = field(default_factory=dict)
     #: member_id -> [(topic, partition), ...]
     assignment: dict = field(default_factory=dict)
+    #: member_id -> monotonic time of last heartbeat/join.
+    last_heartbeat: dict = field(default_factory=dict)
+    #: Per-group failure-detection window (seconds); 0 disables eviction.
+    session_timeout_s: float = 0.0
 
 
 class GroupCoordinator:
-    """Tracks consumer groups for one broker."""
+    """Tracks consumer groups for one broker.
 
-    def __init__(self, broker) -> None:
+    Failure detection mirrors Kafka's session-timeout protocol: members
+    refresh their lease via :meth:`heartbeat` (consumers piggyback it on
+    ``poll``), and any member silent for longer than the group's
+    ``session_timeout_ms`` is evicted by the sweeper — which runs lazily
+    on every coordinator access, so no background thread is needed and
+    tests stay deterministic. Eviction bumps the generation, triggering a
+    rebalance that hands the dead member's partitions to the survivors.
+
+    Generations are monotonic for the lifetime of the coordinator: when a
+    group's last member leaves, the group state is dropped but its
+    highest generation is persisted, and a re-created group resumes above
+    it — a consumer can therefore always use ``generation`` comparisons
+    to detect stale assignments, even across group destruction.
+    """
+
+    def __init__(self, broker, session_timeout_ms: float = 0.0) -> None:
+        check_non_negative("session_timeout_ms", session_timeout_ms)
         self._broker = broker
         self._groups: dict[str, _GroupState] = {}
+        #: group_id -> highest generation ever reached (survives deletion).
+        self._epochs: dict[str, int] = {}
         self._lock = threading.RLock()
+        #: Default failure-detection window for new groups (0 = disabled).
+        self.session_timeout_ms = float(session_timeout_ms)
+        #: Members evicted by the session-timeout sweeper (monitoring).
+        self.members_evicted = 0
 
     def join(
         self,
@@ -103,16 +131,21 @@ class GroupCoordinator:
         member_id: str,
         topics: list[str],
         strategy: AssignmentStrategy | None = None,
+        session_timeout_ms: float | None = None,
     ) -> int:
         """Add *member_id* to the group; returns the new generation."""
         if not topics:
             raise ValidationError("a consumer must subscribe to at least one topic")
+        if session_timeout_ms is not None:
+            check_non_negative("session_timeout_ms", session_timeout_ms)
         with self._lock:
             state = self._groups.get(group_id)
             if state is None:
                 state = _GroupState(
                     group_id=group_id,
                     strategy=strategy or RangeAssignor(),
+                    generation=self._epochs.get(group_id, 0),
+                    session_timeout_s=self.session_timeout_ms / 1000.0,
                 )
                 self._groups[group_id] = state
             elif strategy is not None and type(strategy) is not type(state.strategy):
@@ -120,7 +153,10 @@ class GroupCoordinator:
                     f"group {group_id!r} already uses strategy "
                     f"{state.strategy.name!r}"
                 )
+            if session_timeout_ms is not None:
+                state.session_timeout_s = session_timeout_ms / 1000.0
             state.members[member_id] = list(topics)
+            state.last_heartbeat[member_id] = time.monotonic()
             self._rebalance(state)
             return state.generation
 
@@ -130,10 +166,67 @@ class GroupCoordinator:
             if state is None or member_id not in state.members:
                 return
             del state.members[member_id]
+            state.last_heartbeat.pop(member_id, None)
             if state.members:
                 self._rebalance(state)
             else:
+                # Persist the epoch so a re-created group's generations
+                # stay monotonic (stale-assignment checks remain sound).
+                self._epochs[group_id] = state.generation
                 del self._groups[group_id]
+
+    # -- failure detection ----------------------------------------------------
+
+    def heartbeat(self, group_id: str, member_id: str) -> int:
+        """Refresh *member_id*'s session lease; returns the generation.
+
+        Raises :class:`UnknownMemberError` when the member was evicted
+        (or never joined) — the consumer must re-join and re-fetch its
+        assignment.
+        """
+        with self._lock:
+            self._sweep_locked(group_id)
+            state = self._groups.get(group_id)
+            if state is None or member_id not in state.members:
+                raise UnknownMemberError(group_id, member_id)
+            state.last_heartbeat[member_id] = time.monotonic()
+            return state.generation
+
+    def sweep(self, group_id: str | None = None) -> list[str]:
+        """Evict members whose session lease expired; returns their ids.
+
+        Called lazily from every coordinator entry point; exposed for
+        tests and monitoring loops that want an explicit sweep.
+        """
+        with self._lock:
+            groups = [group_id] if group_id is not None else list(self._groups)
+            evicted: list[str] = []
+            for gid in groups:
+                evicted.extend(self._sweep_locked(gid))
+            return evicted
+
+    def _sweep_locked(self, group_id: str) -> list[str]:
+        state = self._groups.get(group_id)
+        if state is None or state.session_timeout_s <= 0:
+            return []
+        cutoff = time.monotonic() - state.session_timeout_s
+        expired = [
+            m for m, last in state.last_heartbeat.items() if last < cutoff
+        ]
+        for member in expired:
+            state.members.pop(member, None)
+            state.last_heartbeat.pop(member, None)
+        if expired:
+            self.members_evicted += len(expired)
+            if state.members:
+                self._rebalance(state)
+            else:
+                # Bump past the dead generation so rejoining members see
+                # a change even though nobody is left to rebalance.
+                state.generation += 1
+                self._epochs[group_id] = state.generation
+                del self._groups[group_id]
+        return expired
 
     def _rebalance(self, state: _GroupState) -> None:
         all_topics = sorted({t for topics in state.members.values() for t in topics})
@@ -167,6 +260,7 @@ class GroupCoordinator:
     def assignment(self, group_id: str, member_id: str) -> tuple[int, list[tuple]]:
         """Return ``(generation, [(topic, partition), ...])`` for a member."""
         with self._lock:
+            self._sweep_locked(group_id)
             state = self._groups.get(group_id)
             if state is None or member_id not in state.members:
                 return (0, [])
@@ -174,17 +268,20 @@ class GroupCoordinator:
 
     def generation(self, group_id: str) -> int:
         with self._lock:
+            self._sweep_locked(group_id)
             state = self._groups.get(group_id)
             return state.generation if state else 0
 
     def members(self, group_id: str) -> list[str]:
         with self._lock:
+            self._sweep_locked(group_id)
             state = self._groups.get(group_id)
             return sorted(state.members) if state else []
 
     def describe(self, group_id: str) -> dict:
         """Full group snapshot for monitoring."""
         with self._lock:
+            self._sweep_locked(group_id)
             state = self._groups.get(group_id)
             if state is None:
                 return {"group": group_id, "members": {}, "generation": 0}
@@ -192,5 +289,6 @@ class GroupCoordinator:
                 "group": group_id,
                 "generation": state.generation,
                 "strategy": state.strategy.name,
+                "session_timeout_ms": state.session_timeout_s * 1000.0,
                 "members": {m: list(tps) for m, tps in state.assignment.items()},
             }

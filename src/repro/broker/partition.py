@@ -28,9 +28,42 @@ import time
 from collections import deque
 from itertools import islice
 
-from repro.broker.errors import OffsetOutOfRangeError
+from repro.broker.errors import (
+    OffsetOutOfRangeError,
+    OutOfOrderSequenceError,
+    ProducerFencedError,
+)
 from repro.broker.message import Record
 from repro.util.validation import ValidationError, check_non_negative, check_positive
+
+#: Recent-batch window per producer (Kafka caches the last 5 batches):
+#: a retried batch older than this window is a protocol violation.
+_DEDUP_WINDOW = 5
+
+
+class _ProducerState:
+    """Per-producer idempotence bookkeeping for one partition.
+
+    Tracks the producer's epoch, the highest sequence number appended,
+    and a sliding window of recently appended batches so a retried
+    (replayed) batch can be acknowledged with its *original* offsets
+    instead of being appended twice.
+    """
+
+    __slots__ = ("epoch", "last_sequence", "recent")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.last_sequence = -1
+        #: deque of (base_sequence, base_offset, count), newest last.
+        self.recent: deque[tuple[int, int, int]] = deque(maxlen=_DEDUP_WINDOW)
+
+    def find_batch(self, base_sequence: int, count: int) -> tuple[int, int] | None:
+        """Original (base_offset, count) of an already-appended batch."""
+        for seq, offset, n in self.recent:
+            if seq == base_sequence and n == count:
+                return offset, n
+        return None
 
 
 class PartitionLog:
@@ -75,8 +108,54 @@ class PartitionLog:
         # Cumulative counters for broker-side metrics.
         self.total_appended = 0
         self.total_bytes_in = 0
+        #: Idempotent-producer bookkeeping: producer_id -> _ProducerState.
+        self._producers: dict[int, _ProducerState] = {}
+        #: Records dropped because a retried batch was already appended.
+        self.duplicates_dropped = 0
 
     # -- write path ---------------------------------------------------------
+
+    def _check_sequence(
+        self, producer_id: int, producer_epoch: int, base_sequence: int, n: int
+    ) -> tuple[int, int] | None:
+        """Validate an idempotent batch's sequence (caller holds the lock).
+
+        Returns ``None`` when the batch is fresh and should be appended,
+        or the original ``(base_offset, count)`` when it is a replay of an
+        already-appended batch (the caller acks it without re-appending).
+        Raises :class:`ProducerFencedError` on a stale epoch and
+        :class:`OutOfOrderSequenceError` on sequence gaps or replays older
+        than the dedup window.
+        """
+        state = self._producers.get(producer_id)
+        if state is None or producer_epoch > state.epoch:
+            # First contact (or a new epoch): accept the producer's
+            # starting sequence as the baseline.
+            state = _ProducerState(producer_epoch)
+            state.last_sequence = base_sequence - 1
+            self._producers[producer_id] = state
+        elif producer_epoch < state.epoch:
+            raise ProducerFencedError(producer_id, producer_epoch, state.epoch)
+        expected = state.last_sequence + 1
+        if base_sequence == expected:
+            return None
+        if base_sequence + n - 1 <= state.last_sequence:
+            cached = state.find_batch(base_sequence, n)
+            if cached is None:
+                # Replay from beyond the dedup window (or with a different
+                # batch boundary): we cannot prove it duplicate-free.
+                raise OutOfOrderSequenceError(producer_id, expected, base_sequence)
+            self.duplicates_dropped += n
+            return cached
+        raise OutOfOrderSequenceError(producer_id, expected, base_sequence)
+
+    def _commit_sequence(
+        self, producer_id: int, base_sequence: int, base_offset: int, n: int
+    ) -> None:
+        """Record a freshly appended batch (caller holds the lock)."""
+        state = self._producers[producer_id]
+        state.last_sequence = base_sequence + n - 1
+        state.recent.append((base_sequence, base_offset, n))
 
     def append(
         self,
@@ -84,13 +163,32 @@ class PartitionLog:
         key: bytes | None = None,
         headers: dict | None = None,
         produce_ts: float | None = None,
+        producer_id: int | None = None,
+        producer_epoch: int = 0,
+        sequence: int | None = None,
     ) -> Record:
-        """Append one record; returns it (with offset and append_ts set)."""
+        """Append one record; returns it (with offset and append_ts set).
+
+        With ``producer_id``/``sequence`` set, the append is idempotent: a
+        replayed record (same producer, already-seen sequence) is dropped
+        and the *original* record is returned instead of a new offset.
+        """
         now = time.monotonic()
         headers = dict(headers or {})
         if produce_ts is None:
             produce_ts = now
         with self._lock:
+            if producer_id is not None and sequence is not None:
+                cached = self._check_sequence(producer_id, producer_epoch, sequence, 1)
+                if cached is not None:
+                    original = self._record_at(cached[0])
+                    if original is not None:
+                        return original
+                    # Original evicted by retention: synthesize the ack.
+                    return Record(
+                        self.topic, self.partition, cached[0], value, key, headers,
+                        produce_ts, now,
+                    )
             record = Record(
                 self.topic,
                 self.partition,
@@ -102,6 +200,8 @@ class PartitionLog:
                 now,
             )
             self._records.append(record)
+            if producer_id is not None and sequence is not None:
+                self._commit_sequence(producer_id, sequence, record.offset, 1)
             self._next_offset += 1
             self._bytes += record.size
             self.total_appended += 1
@@ -110,12 +210,22 @@ class PartitionLog:
             self._notify()
         return record
 
+    def _record_at(self, offset: int) -> Record | None:
+        """The retained record at *offset*, if any (caller holds the lock)."""
+        batch = self._slice_at_offset(offset, 1)
+        if batch and batch[0].offset == offset:
+            return batch[0]
+        return None
+
     def append_many(
         self,
         values,
         keys=None,
         headers=None,
         produce_ts=None,
+        producer_id: int | None = None,
+        producer_epoch: int = 0,
+        base_sequence: int | None = None,
     ) -> list[Record]:
         """Append a batch of records under one lock acquisition.
 
@@ -136,6 +246,13 @@ class PartitionLog:
         produce_ts:
             Either one timestamp for the whole batch or a list of
             per-record timestamps; defaults to the append time.
+        producer_id, producer_epoch, base_sequence:
+            Idempotent-producer identity. When set, a replayed batch
+            (already-appended base_sequence) is **not** re-appended: the
+            original records are returned so the producer gets the same
+            ack twice — at-least-once delivery with duplicate-free
+            offsets. A stale epoch raises :class:`ProducerFencedError`;
+            a sequence gap raises :class:`OutOfOrderSequenceError`.
 
         Returns the appended records in offset order.
         """
@@ -169,6 +286,14 @@ class PartitionLog:
         records: list[Record] = []
         add = records.append
         with self._lock:
+            if producer_id is not None and base_sequence is not None:
+                cached = self._check_sequence(
+                    producer_id, producer_epoch, base_sequence, n
+                )
+                if cached is not None:
+                    # Replay: ack with the original records (whatever
+                    # retention still holds of them).
+                    return self._slice_at_offset(cached[0], cached[1])
             offset = self._next_offset
             bytes_added = 0
             for i in range(n):
@@ -187,6 +312,8 @@ class PartitionLog:
                 add(record)
                 bytes_added += len(value) + (len(key) if key else 0)
             self._records.extend(records)
+            if producer_id is not None and base_sequence is not None:
+                self._commit_sequence(producer_id, base_sequence, offset, n)
             self._next_offset = offset + n
             self._bytes += bytes_added
             self.total_appended += n
@@ -284,6 +411,17 @@ class PartitionLog:
         # indexing costs O(n - i) per item from the closer end.
         records = self._records
         return [records[i] for i in range(start, stop)]
+
+    def _slice_at_offset(self, offset: int, count: int) -> list[Record]:
+        """Retained records in ``[offset, offset+count)`` (lock held)."""
+        if offset >= self._next_offset:
+            return []
+        offset = max(offset, self._base_offset)
+        if self._is_dense():
+            start = offset - self._base_offset
+        else:
+            start = bisect.bisect_left(self._records, offset, key=lambda r: r.offset)
+        return self._slice(start, count)
 
     def fetch(
         self,

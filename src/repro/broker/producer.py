@@ -9,11 +9,13 @@ its own partition).
 
 from __future__ import annotations
 
+import random
 import time
 import zlib
 from typing import Any
 
 from repro.broker.broker import Broker
+from repro.broker.errors import is_retriable
 from repro.broker.message import BatchMetadata, RecordMetadata
 from repro.broker.serde import BytesSerde, Serde
 from repro.util.ids import new_id
@@ -84,7 +86,27 @@ class Producer:
     >>> md = producer.send("t", b"payload", partition=1)
     >>> (md.partition, md.offset)
     (1, 0)
+
+    Delivery knobs (Kafka-shaped):
+
+    - ``acks=1`` (default): the send blocks for the broker ack; failures
+      raise (after any retries). ``acks=0``: fire-and-forget — transport
+      failures are swallowed (counted in ``sends_failed``) and ``None``
+      is returned.
+    - ``retries``: transient failures (``RetriableError``,
+      ``ConnectionError``, timeouts) are retried up to this many times
+      with exponential backoff and jitter starting at
+      ``retry_backoff_ms``.
+    - ``enable_idempotence`` (default: on whenever ``retries > 0``): the
+      producer registers with the broker for a ``(producer_id, epoch)``
+      identity and stamps every append with a per-partition sequence
+      number, so a retried batch that *did* land the first time is
+      deduplicated broker-side — at-least-once retries, exactly-once log
+      offsets.
     """
+
+    #: Backoff growth cap: sleeps never exceed this many seconds.
+    MAX_BACKOFF_S = 2.0
 
     def __init__(
         self,
@@ -92,18 +114,83 @@ class Producer:
         serde: Serde | None = None,
         partitioner: Partitioner | None = None,
         client_id: str | None = None,
+        acks: int = 1,
+        retries: int = 0,
+        retry_backoff_ms: float = 100.0,
+        enable_idempotence: bool | None = None,
     ) -> None:
+        if acks not in (0, 1):
+            raise ValidationError(f"acks must be 0 or 1, got {acks!r}")
+        check_non_negative("retries", retries)
+        check_non_negative("retry_backoff_ms", retry_backoff_ms)
         self._broker = broker
         self._serde = serde or BytesSerde()
         self._partitioner = partitioner or KeyHashPartitioner()
         self.client_id = client_id or new_id("producer")
+        self.acks = int(acks)
+        self.retries = int(retries)
+        self.retry_backoff_ms = float(retry_backoff_ms)
+        self.idempotent = (
+            bool(enable_idempotence) if enable_idempotence is not None else retries > 0
+        )
+        # Idempotent identity, assigned lazily on the first send so plain
+        # producers never pay the registration round-trip.
+        self._pid: int | None = None
+        self._epoch = 0
+        #: (topic, partition) -> next sequence number.
+        self._sequences: dict[tuple, int] = {}
+        # Deterministic per-producer jitter source (stable across runs
+        # for a fixed client_id).
+        self._jitter = random.Random(zlib.crc32(self.client_id.encode()))
         # Produce-side metrics.
         self.records_sent = 0
         self.bytes_sent = 0
+        self.produce_retries = 0
+        self.sends_failed = 0
+        self._accumulators: list["BatchAccumulator"] = []
+        self._closed = False
 
     @property
     def broker(self) -> Broker:
         return self._broker
+
+    # -- idempotence ------------------------------------------------------
+
+    def _ensure_registered(self) -> None:
+        if self._pid is None:
+            self._pid, self._epoch = self._call_with_retries(
+                lambda: self._broker.register_producer(self.client_id)
+            )
+
+    def _next_sequence(self, topic: str, partition: int, count: int) -> int:
+        key = (topic, partition)
+        seq = self._sequences.get(key, 0)
+        self._sequences[key] = seq + count
+        return seq
+
+    def _rollback_sequence(self, topic: str, partition: int, count: int) -> None:
+        self._sequences[(topic, partition)] -= count
+
+    # -- retry engine ------------------------------------------------------
+
+    def _backoff_s(self, attempt: int) -> float:
+        base = (self.retry_backoff_ms / 1000.0) * (2 ** attempt)
+        return min(base, self.MAX_BACKOFF_S) * (0.5 + self._jitter.random())
+
+    def _call_with_retries(self, fn):
+        """Run *fn*, retrying transient failures with backoff + jitter."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if attempt >= self.retries or not is_retriable(exc):
+                    raise
+                self.produce_retries += 1
+                delay = self._backoff_s(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
 
     def send(
         self,
@@ -112,21 +199,44 @@ class Producer:
         key: bytes | None = None,
         partition: int | None = None,
         headers: dict | None = None,
-    ) -> RecordMetadata:
-        """Serialize and append one record; returns its metadata."""
+    ) -> RecordMetadata | None:
+        """Serialize and append one record; returns its metadata.
+
+        With ``acks=0`` transport failures return ``None`` instead of
+        raising (fire-and-forget).
+        """
+        self._check_open()
         payload = self._serde.serialize(value)
         if partition is None:
             num = self._broker.topic(topic).num_partitions
             partition = self._partitioner.select(key, num)
         produce_ts = time.monotonic()
-        md = self._broker.append(
-            topic,
-            partition,
-            payload,
-            key=key,
-            headers=headers,
-            produce_ts=produce_ts,
-        )
+        if self.idempotent:
+            self._ensure_registered()
+            sequence = self._next_sequence(topic, partition, 1)
+        else:
+            sequence = None
+        try:
+            md = self._call_with_retries(
+                lambda: self._broker.append(
+                    topic,
+                    partition,
+                    payload,
+                    key=key,
+                    headers=headers,
+                    produce_ts=produce_ts,
+                    producer_id=self._pid,
+                    producer_epoch=self._epoch,
+                    sequence=sequence,
+                )
+            )
+        except Exception:
+            if sequence is not None:
+                self._rollback_sequence(topic, partition, 1)
+            self.sends_failed += 1
+            if self.acks == 0:
+                return None
+            raise
         self.records_sent += 1
         self.bytes_sent += len(payload)
         return md
@@ -138,7 +248,7 @@ class Producer:
         keys=None,
         partition: int | None = None,
         headers=None,
-    ) -> BatchMetadata:
+    ) -> BatchMetadata | None:
         """Serialize and append a batch of records in one broker call.
 
         The whole batch lands on **one** partition: either the explicit
@@ -146,31 +256,84 @@ class Producer:
         key routing would split the batch — use :class:`BatchAccumulator`
         for that). ``keys`` are stored with the records (compaction) but
         do not route. Against a :class:`~repro.broker.remote.RemoteBroker`
-        this is a single socket round-trip.
+        this is a single socket round-trip. With ``acks=0`` transport
+        failures return ``None`` instead of raising.
         """
+        self._check_open()
         payloads = [self._serde.serialize(v) for v in values]
         if not payloads:
             raise ValidationError("send_many requires at least one value")
         if partition is None:
             num = self._broker.topic(topic).num_partitions
             partition = self._partitioner.select(None, num)
-        md = self._broker.append_many(
-            topic,
-            partition,
-            payloads,
-            keys=keys,
-            headers=headers,
-            produce_ts=time.monotonic(),
-        )
+        if self.idempotent:
+            self._ensure_registered()
+            base_sequence = self._next_sequence(topic, partition, len(payloads))
+        else:
+            base_sequence = None
+        try:
+            md = self._call_with_retries(
+                lambda: self._broker.append_many(
+                    topic,
+                    partition,
+                    payloads,
+                    keys=keys,
+                    headers=headers,
+                    produce_ts=time.monotonic(),
+                    producer_id=self._pid,
+                    producer_epoch=self._epoch,
+                    base_sequence=base_sequence,
+                )
+            )
+        except Exception:
+            if base_sequence is not None:
+                self._rollback_sequence(topic, partition, len(payloads))
+            self.sends_failed += 1
+            if self.acks == 0:
+                return None
+            raise
         self.records_sent += md.count
         self.bytes_sent += sum(len(p) for p in payloads)
         return md
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush every registered :class:`BatchAccumulator` buffer."""
+        for accumulator in self._accumulators:
+            accumulator.flush()
+
+    def close(self) -> None:
+        """Flush buffered records, then mark the producer closed.
+
+        Closing without flushing would silently lose whatever linger
+        batches are still sitting in attached accumulators.
+        """
+        if self._closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self._closed = True
+
+    def __enter__(self) -> "Producer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValidationError("producer is closed")
 
     def stats(self) -> dict:
         return {
             "client_id": self.client_id,
             "records_sent": self.records_sent,
             "bytes_sent": self.bytes_sent,
+            "produce_retries": self.produce_retries,
+            "sends_failed": self.sends_failed,
+            "idempotent": self.idempotent,
         }
 
 
@@ -194,6 +357,9 @@ class BatchAccumulator:
         #: (topic, partition) -> [(value, key, headers), ...]
         self._buffers: dict[tuple, list] = {}
         self.batches_flushed = 0
+        # Register with the producer so Producer.close() drains buffered
+        # records instead of silently losing them.
+        producer._accumulators.append(self)
 
     def add(
         self,

@@ -32,9 +32,17 @@ import json
 import socket
 import struct
 import threading
+import time
 
 from repro.broker.broker import Broker
-from repro.broker.errors import BrokerError
+from repro.broker.errors import (
+    BrokerError,
+    BrokerTimeoutError,
+    DisconnectedError,
+    FatalError,
+    RetriableError,
+    UnknownMemberError,
+)
 from repro.broker.message import BatchMetadata, Record, RecordMetadata
 from repro.util.validation import ValidationError
 
@@ -44,6 +52,42 @@ MAX_FRAME = 64 * 1024 * 1024
 
 class RemoteBrokerError(BrokerError):
     """A server-side error propagated over the wire."""
+
+    def __init__(self, message: str, error_name: str = "") -> None:
+        super().__init__(message)
+        #: Exception class name raised on the server (error taxonomy key).
+        self.error_name = error_name
+
+
+class RemoteRetriableError(RemoteBrokerError, RetriableError):
+    """A server-side *transient* error; the request may be retried."""
+
+
+class RemoteFatalError(RemoteBrokerError, FatalError):
+    """A server-side *permanent* error; retrying cannot succeed."""
+
+
+#: Server-side exception names that map onto the retriable/fatal axes
+#: client-side, so ``is_retriable`` keeps working across the wire.
+_RETRIABLE_WIRE = {
+    "RetriableError",
+    "BrokerTimeoutError",
+    "DisconnectedError",
+    "UnknownMemberError",
+    "RebalanceInProgressError",
+    "ConnectionError",
+    "TimeoutError",
+}
+_FATAL_WIRE = {"FatalError", "ProducerFencedError", "OutOfOrderSequenceError"}
+
+
+def _raise_wire_error(name: str, message: str):
+    text = f"{name}: {message}"
+    if name in _RETRIABLE_WIRE:
+        raise RemoteRetriableError(text, error_name=name)
+    if name in _FATAL_WIRE:
+        raise RemoteFatalError(text, error_name=name)
+    raise RemoteBrokerError(text, error_name=name)
 
 
 def _send_frame(sock: socket.socket, payload: dict, blobs=()) -> None:
@@ -271,6 +315,9 @@ class BrokerServer:
                 key=_unb64(request.get("key")),
                 headers=request.get("headers"),
                 produce_ts=request.get("produce_ts"),
+                producer_id=request.get("producer_id"),
+                producer_epoch=request.get("producer_epoch", 0),
+                sequence=request.get("sequence"),
             )
             return {"offset": md.offset}, ()
         if op == "append_batch":
@@ -283,8 +330,14 @@ class BrokerServer:
                 keys=None if keys is None else [_unb64(k) for k in keys],
                 headers=request.get("headers"),
                 produce_ts=request.get("produce_ts"),
+                producer_id=request.get("producer_id"),
+                producer_epoch=request.get("producer_epoch", 0),
+                base_sequence=request.get("base_sequence"),
             )
             return {"base_offset": md.base_offset, "count": md.count}, ()
+        if op == "register_producer":
+            pid, epoch = broker.register_producer(request["client_id"])
+            return {"producer_id": pid, "epoch": epoch}, ()
         if op == "fetch":
             records = broker.fetch(
                 request["topic"],
@@ -322,10 +375,18 @@ class BrokerServer:
                 (),
             )
         if op == "group_join":
+            kwargs = {}
+            if request.get("session_timeout_ms") is not None:
+                kwargs["session_timeout_ms"] = request["session_timeout_ms"]
             return (
                 broker.coordinator.join(
-                    request["group"], request["member"], request["topics"]
+                    request["group"], request["member"], request["topics"], **kwargs
                 ),
+                (),
+            )
+        if op == "group_heartbeat":
+            return (
+                broker.coordinator.heartbeat(request["group"], request["member"]),
                 (),
             )
         if op == "group_leave":
@@ -349,13 +410,29 @@ class _RemoteCoordinator:
     def __init__(self, remote: "RemoteBroker") -> None:
         self._remote = remote
 
-    def join(self, group_id, member_id, topics, strategy=None):
+    def join(self, group_id, member_id, topics, strategy=None, session_timeout_ms=None):
         if strategy is not None:
             raise ValidationError("remote coordinator uses the server's strategy")
-        return self._remote._call("group_join", group=group_id, member=member_id, topics=list(topics))
+        return self._remote._call(
+            "group_join",
+            group=group_id,
+            member=member_id,
+            topics=list(topics),
+            session_timeout_ms=session_timeout_ms,
+        )
 
     def leave(self, group_id, member_id):
         self._remote._call("group_leave", group=group_id, member=member_id)
+
+    def heartbeat(self, group_id, member_id):
+        try:
+            return self._remote._call("group_heartbeat", group=group_id, member=member_id)
+        except RemoteBrokerError as exc:
+            if exc.error_name == "UnknownMemberError":
+                # Re-raise as the typed error so Consumer's rejoin logic
+                # works identically against remote and in-proc brokers.
+                raise UnknownMemberError(group_id, member_id) from exc
+            raise
 
     def assignment(self, group_id, member_id):
         out = self._remote._call("group_assignment", group=group_id, member=member_id)
@@ -383,20 +460,63 @@ class RemoteBroker:
     RemoteBroker connection.
     """
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 5.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
-        self._sock.settimeout(None)  # blocking fetches may wait server-side
+    #: Ops whose effect is safe to replay on a fresh connection. Append
+    #: ops join the list only when they carry idempotent-producer fields
+    #: (the broker's dedup window then absorbs the replay).
+    _NON_IDEMPOTENT_OPS = frozenset({"append", "append_batch"})
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        op_timeout: float = 10.0,
+        max_attempts: int = 3,
+        reconnect_backoff_ms: float = 50.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = float(connect_timeout)
+        #: Per-request socket deadline; a blocking fetch extends it by its
+        #: own server-side wait, so a healthy-but-slow server is never
+        #: mistaken for a dead one.
+        self.op_timeout = float(op_timeout)
+        self.max_attempts = max(1, int(max_attempts))
+        self.reconnect_backoff_ms = float(reconnect_backoff_ms)
+        self._max_backoff_s = 2.0
         self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
         self.name = f"remote://{host}:{port}"
         self.coordinator = _RemoteCoordinator(self)
         #: Socket round-trips issued by this connection.
         self.requests_sent = 0
+        #: Transport failures that triggered a successful reconnect.
+        self.reconnects = 0
+        #: Optional FaultInjector consulted before every request (tests).
+        self.fault_injector = None
+        self._closed = False
+        with self._lock:
+            self._connect_locked()
+
+    def _connect_locked(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        return self._sock
+
+    def _drop_socket_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        with self._lock:
+            self._closed = True
+            self._drop_socket_locked()
 
     def __enter__(self) -> "RemoteBroker":
         return self
@@ -408,16 +528,70 @@ class RemoteBroker:
         result, _ = self._call_with_blobs(op, _blobs, **kwargs)
         return result
 
+    def _deadline_for(self, op: str, kwargs: dict) -> float:
+        # Blocking fetches legitimately park server-side for up to their
+        # requested timeout; give them that long plus the op budget.
+        return self.op_timeout + float(kwargs.get("timeout") or 0.0)
+
     def _call_with_blobs(self, op: str, _blobs=(), **kwargs):
-        with self._lock:
-            self.requests_sent += 1
-            _send_frame(self._sock, {"op": op, **kwargs}, _blobs)
-            response, blobs = _recv_frame(self._sock)
-        if response.get("ok"):
-            return response.get("result"), blobs
-        raise RemoteBrokerError(
-            f"{response.get('error', 'Error')}: {response.get('message', '')}"
+        replayable = op not in self._NON_IDEMPOTENT_OPS or (
+            kwargs.get("producer_id") is not None
         )
+        deadline = self._deadline_for(op, kwargs)
+        last_exc: Exception | None = None
+        with self._lock:
+            if self._closed:
+                raise DisconnectedError(f"{self.name} is closed")
+            for attempt in range(self.max_attempts):
+                if attempt:
+                    # Capped backoff before re-dialing a flapping server.
+                    time.sleep(
+                        min(
+                            self.reconnect_backoff_ms / 1000.0 * (2 ** (attempt - 1)),
+                            self._max_backoff_s,
+                        )
+                    )
+                try:
+                    sock = self._connect_locked()
+                    if self.fault_injector is not None:
+                        self.fault_injector.on_remote_op(op, sock)
+                    sock.settimeout(deadline)
+                    self.requests_sent += 1
+                    _send_frame(sock, {"op": op, **kwargs}, _blobs)
+                    response, blobs = _recv_frame(sock)
+                except socket.timeout as exc:
+                    # The server accepted the request but went silent; the
+                    # op may have been applied, so only replayable ops are
+                    # retried on a fresh connection.
+                    self._drop_socket_locked()
+                    last_exc = exc
+                    if not replayable:
+                        raise BrokerTimeoutError(
+                            f"{op} timed out after {deadline:.1f}s on {self.name}"
+                        ) from exc
+                    continue
+                except (ConnectionError, OSError) as exc:
+                    self._drop_socket_locked()
+                    last_exc = exc
+                    if not replayable:
+                        raise DisconnectedError(
+                            f"{op} failed on {self.name}: {exc}"
+                        ) from exc
+                    continue
+                if attempt:
+                    self.reconnects += 1
+                if response.get("ok"):
+                    return response.get("result"), blobs
+                _raise_wire_error(
+                    response.get("error", "Error"), response.get("message", "")
+                )
+        if isinstance(last_exc, socket.timeout):
+            raise BrokerTimeoutError(
+                f"{op} timed out after {self.max_attempts} attempts on {self.name}"
+            ) from last_exc
+        raise DisconnectedError(
+            f"{op} failed after {self.max_attempts} attempts on {self.name}: {last_exc}"
+        ) from last_exc
 
     # -- broker surface used by Producer/Consumer -----------------------------
 
@@ -433,7 +607,22 @@ class RemoteBroker:
     def list_topics(self) -> list:
         return self._call("list_topics")
 
-    def append(self, topic, partition, value, key=None, headers=None, produce_ts=None):
+    def register_producer(self, client_id: str) -> tuple[int, int]:
+        out = self._call("register_producer", client_id=client_id)
+        return out["producer_id"], out["epoch"]
+
+    def append(
+        self,
+        topic,
+        partition,
+        value,
+        key=None,
+        headers=None,
+        produce_ts=None,
+        producer_id=None,
+        producer_epoch=0,
+        sequence=None,
+    ):
         out = self._call(
             "append",
             topic=topic,
@@ -442,10 +631,24 @@ class RemoteBroker:
             key=_b64(key),
             headers=headers or {},
             produce_ts=produce_ts,
+            producer_id=producer_id,
+            producer_epoch=producer_epoch,
+            sequence=sequence,
         )
         return RecordMetadata(topic=topic, partition=partition, offset=out["offset"])
 
-    def append_many(self, topic, partition, values, keys=None, headers=None, produce_ts=None):
+    def append_many(
+        self,
+        topic,
+        partition,
+        values,
+        keys=None,
+        headers=None,
+        produce_ts=None,
+        producer_id=None,
+        producer_epoch=0,
+        base_sequence=None,
+    ):
         """Batched append: one socket round-trip, values as binary blobs."""
         values = list(values)
         out = self._call(
@@ -456,6 +659,9 @@ class RemoteBroker:
             keys=None if keys is None else [_b64(k) for k in keys],
             headers=headers,
             produce_ts=produce_ts,
+            producer_id=producer_id,
+            producer_epoch=producer_epoch,
+            base_sequence=base_sequence,
         )
         return BatchMetadata(
             topic=topic,

@@ -58,6 +58,10 @@ class Topic:
         return sum(p.total_bytes_in for p in self._partitions)
 
     @property
+    def duplicates_dropped(self) -> int:
+        return sum(p.duplicates_dropped for p in self._partitions)
+
+    @property
     def size_bytes(self) -> int:
         return sum(p.size_bytes for p in self._partitions)
 

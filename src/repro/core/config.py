@@ -70,6 +70,19 @@ class PipelineConfig:
     #: the "data compression step before the data transfer" the paper
     #: recommends for bandwidth-bound geographic deployments.
     compress_wire: bool = False
+    #: Producer delivery retries. 0 (default) keeps QoS-0 semantics:
+    #: lossy-link drops are counted in ``messages_dropped`` and the run
+    #: proceeds. >0 turns on at-least-once publishing: a lost uplink
+    #: transfer or transient broker failure is retried (with broker-side
+    #: idempotent dedup, so retries never duplicate log offsets).
+    producer_retries: int = 0
+    #: Initial backoff (ms) between producer delivery retries; grows
+    #: exponentially with jitter, capped at 2 s.
+    retry_backoff_ms: float = 100.0
+    #: Consumer-group failure-detection window (ms): consumers that stop
+    #: polling for longer are evicted and their partitions rebalanced to
+    #: the survivors. 0 (default) disables eviction.
+    session_timeout_ms: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive("num_devices", self.num_devices)
@@ -84,6 +97,9 @@ class PipelineConfig:
         check_non_negative("produce_interval", self.produce_interval)
         check_positive("commit_interval", self.commit_interval)
         check_non_negative("max_inflight", self.max_inflight)
+        check_non_negative("producer_retries", self.producer_retries)
+        check_non_negative("retry_backoff_ms", self.retry_backoff_ms)
+        check_non_negative("session_timeout_ms", self.session_timeout_ms)
         if not self.topic:
             raise ValidationError("topic must be non-empty")
 

@@ -35,6 +35,7 @@ from typing import Any, Callable
 
 from repro.broker.broker import Broker
 from repro.broker.consumer import Consumer
+from repro.broker.errors import RebalanceInProgressError
 from repro.broker.producer import Producer
 from repro.compute.task import ResourceSpec, Task
 from repro.core.config import PipelineConfig
@@ -313,7 +314,15 @@ class EdgeToCloudPipeline:
         self.events.publish("pipeline.error", where=where, error=repr(exc))
 
     def _make_consumer(self) -> Consumer:
-        consumer = Consumer(self._broker, group_id=f"{self.run_id}-processors")
+        consumer = Consumer(
+            self._broker,
+            group_id=f"{self.run_id}-processors",
+            session_timeout_ms=(
+                self.config.session_timeout_ms
+                if self.config.session_timeout_ms > 0
+                else None
+            ),
+        )
         consumer.subscribe(self.config.topic)
         return consumer
 
@@ -329,7 +338,12 @@ class EdgeToCloudPipeline:
         context = self._base_context(edge_site).for_device(
             device_id, device_index, edge_site
         )
-        producer = Producer(self._broker, client_id=f"{self.run_id}-{device_id}")
+        producer = Producer(
+            self._broker,
+            client_id=f"{self.run_id}-{device_id}",
+            retries=cfg.producer_retries,
+            retry_backoff_ms=cfg.retry_backoff_ms,
+        )
         edge_processing = (
             self._decision is not None and self._decision.processing_tier == "edge"
         )
@@ -347,23 +361,33 @@ class EdgeToCloudPipeline:
             self._collector.stamp_many(
                 mids, "uplink_start", time.monotonic(), site=edge_site
             )
-            try:
-                if uplink is not None:
-                    uplink.transfer(sum(len(p) for _, p, _ in pending))
-                producer.send_many(
-                    cfg.topic,
-                    [p for _, p, _ in pending],
-                    partition=device_index,
-                    headers=[h for _, _, h in pending],
-                )
-            except ConnectionError:
-                # Lossy-link drop: account for the batch (QoS-0
-                # semantics) so the run can still complete.
-                self._collector.incr("messages_dropped", count)
-                self._count_processed_many(mids)
-                self._produced.increment(count)
-                pending.clear()
-                return
+            payload_bytes = sum(len(p) for _, p, _ in pending)
+            for attempt in range(cfg.producer_retries + 1):
+                try:
+                    if uplink is not None:
+                        uplink.transfer(payload_bytes)
+                    producer.send_many(
+                        cfg.topic,
+                        [p for _, p, _ in pending],
+                        partition=device_index,
+                        headers=[h for _, _, h in pending],
+                    )
+                    break
+                except ConnectionError:
+                    if attempt < cfg.producer_retries:
+                        # At-least-once mode: the uplink dropped the
+                        # batch (or the broker flapped) — resend it. The
+                        # producer's idempotent sequence makes a resend of
+                        # an already-landed batch a broker-side no-op.
+                        self._collector.incr("produce_retries")
+                        continue
+                    # Lossy-link drop: account for the batch (QoS-0
+                    # semantics) so the run can still complete.
+                    self._collector.incr("messages_dropped", count)
+                    self._count_processed_many(mids)
+                    self._produced.increment(count)
+                    pending.clear()
+                    return
             self._collector.stamp_many(
                 mids, "broker_in", time.monotonic(), site=broker_site
             )
@@ -442,6 +466,9 @@ class EdgeToCloudPipeline:
             if cfg.produce_interval > 0:
                 time.sleep(cfg.produce_interval)
         flush()
+        producer.close()
+        if producer.produce_retries:
+            self._collector.incr("produce_retries", producer.produce_retries)
         return sent
 
     def _consumer_loop(self, consumer: Consumer, index: int, stop: threading.Event) -> int:
@@ -467,13 +494,24 @@ class EdgeToCloudPipeline:
                 )
                 since_commit += len(records)
                 if since_commit >= cfg.commit_interval:
-                    consumer.commit()
+                    try:
+                        consumer.commit()
+                    except RebalanceInProgressError:
+                        # Evicted mid-batch: positions are stale, the next
+                        # poll re-fetches the post-rebalance assignment.
+                        # At-least-once delivery + the pipeline's dedup
+                        # absorb the redelivered records.
+                        self._collector.incr("commits_refused")
                     since_commit = 0
         finally:
             try:
                 consumer.commit()
             except Exception:
                 pass
+            if consumer.evictions:
+                # Each eviction is a missed session deadline observed by
+                # this consumer when its next heartbeat bounced.
+                self._collector.incr("heartbeats_missed", consumer.evictions)
             consumer.close()
         return handled
 
@@ -749,6 +787,17 @@ class EdgeToCloudPipeline:
             except Exception as exc:
                 self._record_error("consumer", exc)
 
+        broker_stats = self._broker.stats()
+        # Fold broker/transport robustness counters into the run's
+        # collector so reports see one consistent namespace.
+        for counter in ("duplicates_dropped", "members_evicted"):
+            value = broker_stats.get(counter, 0)
+            if value:
+                self._collector.incr(counter, value)
+        reconnects = getattr(self._broker, "reconnects", 0)
+        if reconnects:
+            self._collector.incr("reconnects", reconnects)
+
         report = ThroughputReport.from_collector(self._collector)
         return PipelineResult(
             run_id=self.run_id,
@@ -757,7 +806,7 @@ class EdgeToCloudPipeline:
             bottleneck=analyze_bottleneck(self._collector),
             results=self._results.to_list(),
             errors=list(self._errors),
-            broker_stats=self._broker.stats(),
+            broker_stats=broker_stats,
             placement=self._decision,
         )
 

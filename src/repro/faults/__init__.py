@@ -1,0 +1,11 @@
+"""Deterministic fault injection for chaos tests and robustness benchmarks.
+
+The injector models the failure classes the paper's edge-to-cloud runs
+actually hit — lossy last-mile links, flapping TCP connections, stalled
+brokers — as *seeded, scripted plans* rather than background randomness,
+so a chaos test replays identically on every run.
+"""
+
+from repro.faults.injector import FaultInjected, FaultInjector, FaultyBroker
+
+__all__ = ["FaultInjected", "FaultInjector", "FaultyBroker"]

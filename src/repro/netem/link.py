@@ -98,6 +98,9 @@ class Link:
         self.bytes_moved = 0
         self.seconds_accumulated = 0.0
         self.losses = 0
+        #: Optional :class:`~repro.faults.FaultInjector` consulted per
+        #: transfer (chaos tests); scripted faults count as losses too.
+        self.injector = None
 
     def sample_rtt_s(self) -> float:
         p = self.profile
@@ -129,6 +132,12 @@ class Link:
         Returns the *modelled* duration in seconds (unscaled). Raises
         :class:`ConnectionError` when the loss model drops the transfer.
         """
+        if self.injector is not None:
+            try:
+                self.injector.on_transfer(self)
+            except ConnectionError:
+                self.losses += 1
+                raise
         if self.is_lost():
             self.losses += 1
             raise ConnectionError(

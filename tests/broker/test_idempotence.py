@@ -1,0 +1,183 @@
+"""Idempotent-producer protocol: sequences, dedup, fencing, retries."""
+
+import pytest
+
+from repro.broker import (
+    BatchAccumulator,
+    Broker,
+    Consumer,
+    OutOfOrderSequenceError,
+    Producer,
+    ProducerFencedError,
+    is_retriable,
+)
+from repro.broker.errors import (
+    BrokerTimeoutError,
+    DisconnectedError,
+    FatalError,
+    RetriableError,
+)
+from repro.faults import FaultInjector, FaultyBroker
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def broker():
+    b = Broker()
+    b.create_topic("t", 2)
+    return b
+
+
+class TestBrokerDedup:
+    def test_replayed_batch_acks_original_offsets(self, broker):
+        pid, epoch = broker.register_producer("p")
+        md1 = broker.append_many(
+            "t", 0, [b"a", b"b"], producer_id=pid, producer_epoch=epoch, base_sequence=0
+        )
+        md2 = broker.append_many(
+            "t", 0, [b"a", b"b"], producer_id=pid, producer_epoch=epoch, base_sequence=0
+        )
+        assert (md2.base_offset, md2.count) == (md1.base_offset, md1.count)
+        assert broker.latest_offset("t", 0) == 2  # nothing re-appended
+        assert broker.stats()["duplicates_dropped"] == 2
+
+    def test_replayed_single_append_is_deduped(self, broker):
+        pid, epoch = broker.register_producer("p")
+        md1 = broker.append("t", 0, b"x", producer_id=pid, producer_epoch=epoch, sequence=0)
+        md2 = broker.append("t", 0, b"x", producer_id=pid, producer_epoch=epoch, sequence=0)
+        assert md2.offset == md1.offset
+        assert broker.latest_offset("t", 0) == 1
+
+    def test_sequence_gap_raises(self, broker):
+        pid, epoch = broker.register_producer("p")
+        broker.append_many(
+            "t", 0, [b"a"], producer_id=pid, producer_epoch=epoch, base_sequence=0
+        )
+        with pytest.raises(OutOfOrderSequenceError):
+            broker.append_many(
+                "t", 0, [b"b"], producer_id=pid, producer_epoch=epoch, base_sequence=5
+            )
+
+    def test_stale_epoch_is_fenced(self, broker):
+        pid, epoch = broker.register_producer("p")
+        broker.register_producer("p")  # new instance bumps the epoch
+        with pytest.raises(ProducerFencedError):
+            broker.append_many(
+                "t", 0, [b"a"], producer_id=pid, producer_epoch=epoch, base_sequence=0
+            )
+
+    def test_sequences_are_per_partition(self, broker):
+        pid, epoch = broker.register_producer("p")
+        broker.append_many("t", 0, [b"a"], producer_id=pid, producer_epoch=epoch, base_sequence=0)
+        broker.append_many("t", 1, [b"b"], producer_id=pid, producer_epoch=epoch, base_sequence=0)
+        assert broker.latest_offset("t", 0) == 1
+        assert broker.latest_offset("t", 1) == 1
+
+    def test_plain_appends_bypass_dedup(self, broker):
+        broker.append_many("t", 0, [b"a"])
+        broker.append_many("t", 0, [b"a"])
+        assert broker.latest_offset("t", 0) == 2
+        assert broker.stats()["duplicates_dropped"] == 0
+
+
+class TestProducerRetries:
+    def test_retry_until_success_no_duplicates(self, broker):
+        injector = FaultInjector().drop_next(2, op="append_many")
+        producer = Producer(
+            FaultyBroker(broker, injector),
+            client_id="p",
+            retries=5,
+            retry_backoff_ms=0.0,
+        )
+        md = producer.send_many("t", [b"a", b"b"], partition=0)
+        assert md.count == 2
+        assert producer.produce_retries == 2
+        assert broker.latest_offset("t", 0) == 2
+
+    def test_retries_exhausted_raises(self, broker):
+        injector = FaultInjector().drop_next(10, op="append_many")
+        producer = Producer(
+            FaultyBroker(broker, injector), client_id="p", retries=1, retry_backoff_ms=0.0
+        )
+        with pytest.raises(ConnectionError):
+            producer.send_many("t", [b"a"], partition=0)
+        assert producer.sends_failed == 1
+
+    def test_acks_zero_swallows_failures(self, broker):
+        injector = FaultInjector().drop_next(10, op="append_many")
+        producer = Producer(
+            FaultyBroker(broker, injector), client_id="p", acks=0, retry_backoff_ms=0.0
+        )
+        assert producer.send_many("t", [b"a"], partition=0) is None
+        assert producer.sends_failed == 1
+
+    def test_sequence_reuse_after_failed_send_dedups(self, broker):
+        # The drop hits the broker *after* a hypothetical partial landing:
+        # model the lost-ack case by appending directly, then letting the
+        # producer's retry replay the identical sequence range.
+        producer = Producer(broker, client_id="p", retries=3, retry_backoff_ms=0.0)
+        producer.send_many("t", [b"a", b"b"], partition=0)
+        pid, epoch = producer._pid, producer._epoch
+        # Replay the same range out-of-band (what a retry after a lost
+        # ack does): acked with the original offsets, not re-appended.
+        md = broker.append_many(
+            "t", 0, [b"a", b"b"], producer_id=pid, producer_epoch=epoch, base_sequence=0
+        )
+        assert md.base_offset == 0
+        assert broker.latest_offset("t", 0) == 2
+
+    def test_idempotence_defaults_to_on_with_retries(self, broker):
+        assert Producer(broker, retries=3).idempotent
+        assert not Producer(broker).idempotent
+        assert not Producer(broker, retries=3, enable_idempotence=False).idempotent
+
+
+class TestProducerLifecycle:
+    def test_close_flushes_accumulator(self, broker):
+        producer = Producer(broker, client_id="p")
+        accumulator = BatchAccumulator(producer, batch_records=100)
+        accumulator.add("t", b"a", partition=0)
+        accumulator.add("t", b"b", partition=0)
+        producer.close()
+        assert broker.latest_offset("t", 0) == 2
+        assert accumulator.pending_records == 0
+
+    def test_closed_producer_rejects_sends(self, broker):
+        producer = Producer(broker)
+        producer.close()
+        with pytest.raises(ValidationError):
+            producer.send("t", b"x", partition=0)
+
+    def test_context_manager_flushes(self, broker):
+        with Producer(broker, client_id="p") as producer:
+            accumulator = BatchAccumulator(producer, batch_records=100)
+            accumulator.add("t", b"a", partition=0)
+        assert broker.latest_offset("t", 0) == 1
+
+
+class TestErrorTaxonomy:
+    def test_retriable_axis(self):
+        assert is_retriable(BrokerTimeoutError("x"))
+        assert is_retriable(DisconnectedError("x"))
+        assert is_retriable(ConnectionError("x"))
+        assert is_retriable(TimeoutError())
+        assert not is_retriable(ProducerFencedError(0, 0, 1))
+        assert not is_retriable(OutOfOrderSequenceError(0, 1, 5))
+        assert not is_retriable(ValueError("x"))
+
+    def test_fatal_and_retriable_are_disjoint(self):
+        assert not issubclass(RetriableError, FatalError)
+        assert not issubclass(FatalError, RetriableError)
+
+    def test_end_to_end_consume_sees_each_record_once(self, broker):
+        injector = FaultInjector().drop_next(1, op="append_many").drop_next(1, op="append_many")
+        producer = Producer(
+            FaultyBroker(broker, injector), client_id="p", retries=5, retry_backoff_ms=0.0
+        )
+        for batch in range(10):
+            producer.send_many("t", [f"{batch}-{i}".encode() for i in range(4)], partition=0)
+        consumer = Consumer(broker)
+        consumer.assign([("t", 0)])
+        values = [r.value for r in consumer.poll(max_records=1000)]
+        assert len(values) == 40
+        assert len(set(values)) == 40  # no duplicated offsets/payloads
