@@ -23,13 +23,23 @@ identical per frame in both modes — the same reasoning that keeps serde
 cost out of the broker guard above. The default-config (CRC-verifying)
 rates are reported alongside for context.
 
+A fourth guard covers the pipelined-transport work: it drains a
+pre-filled multi-partition topic through a :class:`RemoteBroker` over an
+emulated fixed-RTT WAN link (``repro.netem``), synchronous consumer vs
+prefetching consumer, writing ``benchmarks/artifacts/BENCH_prefetch.json``
+— the prefetcher must beat the synchronous baseline by
+``MIN_PREFETCH_WAN_SPEEDUP``x under RTT, while costing at most
+``MAX_PREFETCH_INPROC_REGRESSION`` on the zero-RTT in-proc pipeline.
+
 The pytest entry point is marked ``bench`` and benchmarks/ is outside
 ``testpaths``, so tier-1 runs never pay for it; select it explicitly
-with ``pytest -m bench benchmarks/bench_guard.py``.
+with ``pytest -m bench benchmarks/bench_guard.py``. Set
+``BENCH_GUARD_FAST=1`` for the reduced-trials CI smoke mode.
 """
 
 import gc
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -38,22 +48,30 @@ import numpy as np
 import pytest
 
 from repro.broker import Broker, Consumer, Producer
+from repro.broker.remote import BrokerServer, RemoteBroker
 from repro.compute import ResourceSpec
 from repro.core import EdgeToCloudPipeline, PipelineConfig
 from repro.data import encode_block
 from repro.faults import FaultInjector, FaultyBroker
+from repro.netem import Link, LinkProfile
 from repro.pilot import PilotComputeService, PilotDescription
 
 ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_broker.json"
 PIPELINE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_pipeline.json"
 ROBUSTNESS_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_robustness.json"
+PREFETCH_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_prefetch.json"
+
+#: Reduced-trials mode for CI smoke runs (set BENCH_GUARD_FAST=1):
+#: fewer best-of rounds and smaller sweeps. The gates stay the same;
+#: this trades confidence intervals for wall-clock, not coverage.
+FAST = bool(os.environ.get("BENCH_GUARD_FAST"))
 
 #: Reduced size: enough work to dominate timer noise, small enough for
 #: a per-change smoke run.
 MESSAGES = 128
 POINTS = 1000
 BATCH = 32
-ROUNDS = 3
+ROUNDS = 1 if FAST else 3
 #: The full micro-bench holds the batched path to 3x at 256 KB; the
 #: guard runs smaller and colder, so it alerts a little below that.
 MIN_SPEEDUP = 2.0
@@ -63,7 +81,7 @@ PIPE_MESSAGES = 256
 PIPE_POINTS = 2048
 PIPE_FEATURES = 32
 PIPE_BATCH = 32
-PIPE_ROUNDS = 3
+PIPE_ROUNDS = 1 if FAST else 3
 #: Observed ~2-3x on the overhead-isolating pair; alert below 1.5x.
 MIN_PIPELINE_SPEEDUP = 1.5
 
@@ -149,7 +167,9 @@ def _guard_process_batch(context, blocks):
 _guard_process.process_cloud_batch = _guard_process_batch
 
 
-def _pipeline_rate(payload: bytes, batched: bool, check_crcs: bool) -> float:
+def _pipeline_rate(
+    payload: bytes, batched: bool, check_crcs: bool, prefetch: bool = False
+) -> float:
     """Messages/s through the pipeline's consumer for a pre-filled topic.
 
     The producer function yields nothing; the topic is pre-filled with
@@ -177,6 +197,8 @@ def _pipeline_rate(payload: bytes, batched: bool, check_crcs: bool) -> float:
             if batched
             else dict(poll_batch=1, consume_batch=1)
         )
+        if prefetch:
+            batch_knobs.update(fetch_prefetch_batches=2, fetch_max_wait_ms=50.0)
         config = PipelineConfig(
             num_devices=1,
             messages_per_device=PIPE_MESSAGES,
@@ -250,6 +272,134 @@ def run_pipeline_guard() -> dict:
     PIPELINE_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
     PIPELINE_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
     return results
+
+
+# -- prefetch guard: WAN pipelined consume + in-proc no-regression -----------
+
+#: The WAN leg drains a pre-filled topic over an emulated fixed-RTT link
+#: (paid client-side per request, so pipelined requests overlap delays).
+#: The synchronous baseline pays ~one RTT per poll round; the prefetcher
+#: pays RTTs concurrently across partitions and ahead of the consumer.
+WAN_PARTITIONS = 4
+WAN_MSGS = 24 if FAST else 48  # per partition
+WAN_RTT_MS = 24.0  # >= the issue's 20 ms WAN floor
+WAN_ROUNDS = 1 if FAST else 2
+PREFETCH_POLL_BATCH = 16
+#: RTT-bound drain should improve far more than 2x; alert below it.
+MIN_PREFETCH_WAN_SPEEDUP = 2.0
+#: In-proc (zero-RTT) the prefetcher only adds a thread handoff; it must
+#: stay within 10% of the direct batched consume path.
+MAX_PREFETCH_INPROC_REGRESSION = 0.10
+#: The in-proc pair interleaves base/prefetch rounds and keeps the best
+#: of each, so whole-run load drift hits both paths alike. Not reduced
+#: in FAST mode: a single round of each is dominated by scheduler noise
+#: (especially on small CI runners) and the 10% gate would be vacuous.
+PREFETCH_INPROC_ROUNDS = 3
+
+
+def _wan_consume_rate(server, prefetch: bool) -> float:
+    """Records/s draining the pre-filled topic over an emulated WAN link."""
+    link = Link(
+        LinkProfile("wan-guard", WAN_RTT_MS, WAN_RTT_MS, 1_000.0, 1_000.0),
+        time_scale=1.0,
+    )
+    knobs = (
+        dict(fetch_prefetch_batches=4, fetch_max_wait_ms=100.0) if prefetch else {}
+    )
+    total = WAN_PARTITIONS * WAN_MSGS
+    with RemoteBroker(server.host, server.port, link=link) as rb:
+        consumer = Consumer(rb, **knobs)
+        consumer.assign([("guard", p) for p in range(WAN_PARTITIONS)])
+        try:
+            t0 = time.perf_counter()
+            got = 0
+            while got < total:
+                got += len(
+                    consumer.poll(max_records=PREFETCH_POLL_BATCH, timeout=0.5)
+                )
+            return total / (time.perf_counter() - t0)
+        finally:
+            consumer.close()
+
+
+def run_prefetch_guard() -> dict:
+    """Measure the prefetch path, persist the artifact, return results."""
+    with BrokerServer() as server:
+        with RemoteBroker(server.host, server.port) as admin:
+            admin.create_topic("guard", WAN_PARTITIONS)
+            for p in range(WAN_PARTITIONS):
+                admin.append_many("guard", p, [b"x" * 1024] * WAN_MSGS)
+        sync = max(
+            _wan_consume_rate(server, prefetch=False) for _ in range(WAN_ROUNDS)
+        )
+        prefetched = max(
+            _wan_consume_rate(server, prefetch=True) for _ in range(WAN_ROUNDS)
+        )
+
+    payload = encode_block(
+        np.random.default_rng(0).normal(size=(PIPE_POINTS, PIPE_FEATURES))
+    )
+    pairs = []
+    for _ in range(PREFETCH_INPROC_ROUNDS):
+        base = _pipeline_rate(payload, batched=True, check_crcs=False)
+        pref = _pipeline_rate(payload, batched=True, check_crcs=False, prefetch=True)
+        pairs.append((base, pref))
+    inproc_base = max(b for b, _ in pairs)
+    inproc_prefetch = max(p for _, p in pairs)
+    # Gate on the cleanest adjacent pair (the robustness guard's trick):
+    # each pair runs back-to-back under the same machine load, so one
+    # clean pair is evidence of no regression even when other rounds
+    # were preempted — single-shot pipeline rates swing well past 10%
+    # on small runners.
+    inproc_regression = min(max(0.0, 1.0 - p / b) for b, p in pairs)
+    results = {
+        "wan_rtt_ms": WAN_RTT_MS,
+        "wan_partitions": WAN_PARTITIONS,
+        "wan_messages": WAN_PARTITIONS * WAN_MSGS,
+        "wan_sync_msgs_s": round(sync, 1),
+        "wan_prefetch_msgs_s": round(prefetched, 1),
+        "wan_speedup": round(prefetched / sync, 2),
+        "min_wan_speedup": MIN_PREFETCH_WAN_SPEEDUP,
+        "inproc_messages": PIPE_MESSAGES,
+        "inproc_rounds": PREFETCH_INPROC_ROUNDS,
+        "inproc_batched_msgs_s": round(inproc_base, 1),
+        "inproc_prefetch_msgs_s": round(inproc_prefetch, 1),
+        "inproc_pair_regressions": [
+            round(max(0.0, 1.0 - p / b), 3) for b, p in pairs
+        ],
+        "inproc_regression": round(inproc_regression, 3),
+        "max_inproc_regression": MAX_PREFETCH_INPROC_REGRESSION,
+    }
+    PREFETCH_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    PREFETCH_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_prefetch(results: dict) -> list:
+    failures = []
+    if results["wan_speedup"] < MIN_PREFETCH_WAN_SPEEDUP:
+        failures.append(
+            f"prefetch WAN consume speedup {results['wan_speedup']}x "
+            f"< required {MIN_PREFETCH_WAN_SPEEDUP}x "
+            f"({results['wan_prefetch_msgs_s']} vs "
+            f"{results['wan_sync_msgs_s']} msgs/s at {WAN_RTT_MS} ms RTT)"
+        )
+    if results["inproc_regression"] > MAX_PREFETCH_INPROC_REGRESSION:
+        failures.append(
+            f"prefetch in-proc consume regression "
+            f"{results['inproc_regression']:.1%} > allowed "
+            f"{MAX_PREFETCH_INPROC_REGRESSION:.0%} "
+            f"({results['inproc_prefetch_msgs_s']} vs "
+            f"{results['inproc_batched_msgs_s']} msgs/s)"
+        )
+    return failures
+
+
+@pytest.mark.bench
+def test_prefetch_guard():
+    results = run_prefetch_guard()
+    failures = _check_prefetch(results)
+    assert not failures, "; ".join(failures) + f"; see {PREFETCH_ARTIFACT}"
 
 
 # -- robustness guard: idempotence overhead + lossy-path delivery ------------
@@ -475,6 +625,22 @@ def main() -> int:
         print(
             f"OK: batched consume speedup {pipe['batched_speedup']}x "
             f">= {MIN_PIPELINE_SPEEDUP}x"
+        )
+
+    prefetch = run_prefetch_guard()
+    for key, value in prefetch.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {PREFETCH_ARTIFACT}]")
+    prefetch_failures = _check_prefetch(prefetch)
+    for failure in prefetch_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    if not prefetch_failures:
+        print(
+            f"OK: prefetch WAN speedup {prefetch['wan_speedup']}x "
+            f">= {MIN_PREFETCH_WAN_SPEEDUP}x, in-proc regression "
+            f"{prefetch['inproc_regression']:.1%} "
+            f"<= {MAX_PREFETCH_INPROC_REGRESSION:.0%}"
         )
     return status
 

@@ -207,10 +207,17 @@ class Broker:
         offset: int,
         max_records: int = 64,
         timeout: float = 0.0,
+        min_bytes: int = 1,
     ) -> list[Record]:
-        """Fetch records from one partition starting at *offset*."""
+        """Fetch records from one partition starting at *offset*.
+
+        ``timeout``/``min_bytes`` implement the long-poll contract: the
+        fetch parks on the partition's condition variable until at least
+        *min_bytes* of payload are available (or the deadline passes),
+        instead of returning empty for the caller to re-poll.
+        """
         return self.topic(topic).partition(partition).fetch(
-            offset, max_records=max_records, timeout=timeout
+            offset, max_records=max_records, timeout=timeout, min_bytes=min_bytes
         )
 
     def earliest_offset(self, topic: str, partition: int) -> int:
@@ -253,11 +260,13 @@ class Broker:
                     "bytes_in": topic.total_bytes_in,
                     "bytes_retained": topic.size_bytes,
                     "duplicates_dropped": topic.duplicates_dropped,
+                    "long_polls_parked": topic.long_polls_parked,
                 }
         return {
             "broker": self.name,
             "topics": topics,
             "duplicates_dropped": sum(t["duplicates_dropped"] for t in topics.values()),
+            "long_polls_parked": sum(t["long_polls_parked"] for t in topics.values()),
             "members_evicted": self._coordinator.members_evicted,
         }
 

@@ -11,15 +11,272 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Any
 
 from repro.broker.broker import Broker
-from repro.broker.errors import RebalanceInProgressError, UnknownMemberError
+from repro.broker.errors import BrokerError, RebalanceInProgressError, UnknownMemberError
 from repro.broker.group import AssignmentStrategy
 from repro.broker.message import Record
 from repro.broker.serde import BytesSerde, Serde
 from repro.util.ids import new_id
 from repro.util.validation import ValidationError, check_non_negative, check_positive
+
+
+class _Prefetcher:
+    """Background fetchers that keep a bounded buffer per partition.
+
+    One daemon thread per assigned partition issues long-poll fetches
+    (overlapping network wait across partitions and with the consumer's
+    processing), bounded by ``batches * max_records`` records per
+    partition and ``max_buffer_bytes`` across all buffers.
+
+    Invariant: a partition's buffer is contiguous and starts exactly at
+    the consumer's next offset. Anything that breaks it — a seek, a
+    rebalance resetting positions to committed offsets, a revoked
+    partition — evicts the buffer (counted in ``prefetch_evictions``),
+    and an in-flight fetch that raced the reset is detected by its start
+    offset no longer matching ``_fetch_pos`` and dropped. Buffered
+    records are therefore never delivered across an assignment boundary.
+    """
+
+    def __init__(
+        self,
+        broker,
+        batches: int,
+        max_buffer_bytes: int,
+        min_bytes: int,
+        max_wait_s: float,
+        max_records: int = 64,
+    ) -> None:
+        self._broker = broker
+        self._batches = max(1, int(batches))
+        self._max_records = max(1, int(max_records))
+        self._max_buffer_bytes = int(max_buffer_bytes)
+        self._min_bytes = max(1, int(min_bytes))
+        self._max_wait_s = max(0.01, float(max_wait_s))
+        self._cond = threading.Condition()
+        self._buffers: dict[tuple, deque] = {}
+        self._buffer_bytes: dict[tuple, int] = {}
+        self._fetch_pos: dict[tuple, int] = {}
+        self._threads: dict[tuple, threading.Thread] = {}
+        self._buffered_bytes = 0
+        #: Running estimate used to size fetches against the byte budget
+        #: before the records (and their sizes) are in hand.
+        self._avg_record_bytes = 0.0
+        self._stopped = False
+        # Telemetry (folded into Consumer.stats / pipeline counters).
+        self.prefetch_hits = 0
+        self.prefetch_evictions = 0
+        self.fetch_errors = 0
+        self.fetches_in_flight = 0
+        self.max_fetches_in_flight = 0
+
+    @property
+    def buffered_records(self) -> int:
+        with self._cond:
+            return sum(len(b) for b in self._buffers.values())
+
+    def sync(
+        self,
+        assignment: list[tuple],
+        positions: dict[tuple, int],
+        max_records: int | None = None,
+    ) -> None:
+        """Reconcile fetch threads and buffers with the consumer state."""
+        with self._cond:
+            if self._stopped:
+                return
+            if max_records is not None:
+                # Track the caller's poll batch size so "batches" of
+                # prefetch depth mean batches the consumer actually takes.
+                self._max_records = max(1, int(max_records))
+            current = set(assignment)
+            # Revoked partitions: drop buffers and signal their threads
+            # (each thread exits when it is no longer the registered one).
+            for tp in [t for t in self._threads if t not in current]:
+                del self._threads[tp]
+            for tp in [t for t in self._fetch_pos if t not in current]:
+                self._evict_locked(tp)
+                del self._fetch_pos[tp]
+            for tp in current:
+                pos = positions[tp]
+                buf = self._buffers.get(tp)
+                if buf:
+                    if buf[0].offset != pos:
+                        # Seek or position reset: buffered range is stale.
+                        self._evict_locked(tp)
+                        self._fetch_pos[tp] = pos
+                elif self._fetch_pos.get(tp, pos) != pos:
+                    # Empty buffer but diverged fetch cursor (seek raced
+                    # an in-flight fetch): resetting it also invalidates
+                    # that fetch's results on arrival.
+                    self._fetch_pos[tp] = pos
+                thread = self._threads.get(tp)
+                if thread is None or not thread.is_alive():
+                    self._fetch_pos.setdefault(tp, pos)
+                    thread = threading.Thread(
+                        target=self._run,
+                        args=(tp,),
+                        name=f"prefetch-{tp[0]}-{tp[1]}",
+                        daemon=True,
+                    )
+                    self._threads[tp] = thread
+                    thread.start()
+
+    def take(self, tp: tuple, position: int, budget: int) -> list:
+        """Pop up to *budget* buffered records starting at *position*."""
+        with self._cond:
+            buf = self._buffers.get(tp)
+            if not buf or buf[0].offset != position:
+                return []
+            over_before = self._buffered_bytes >= self._max_buffer_bytes
+            if len(buf) <= int(budget):
+                # Whole-buffer fast path: hand the deque over in one
+                # move and settle the byte accounting from the cached
+                # per-partition total.
+                out = list(buf)
+                buf.clear()
+                taken = self._buffer_bytes.get(tp, 0)
+                self._buffer_bytes[tp] = 0
+            else:
+                out = [buf.popleft() for _ in range(int(budget))]
+                taken = sum(r.size for r in out)
+                self._buffer_bytes[tp] -= taken
+            self._buffered_bytes -= taken
+            self.prefetch_hits += len(out)
+            # Wake parked fetchers only when the buffer actually needs a
+            # refill (below one poll batch) or the byte budget was the
+            # thing parking them. Waking on every take makes the fetcher
+            # ping-pong one batch per poll; letting the buffer drain
+            # first batches refills into one headroom-sized fetch and
+            # one thread handoff per buffer, which is what keeps the
+            # in-proc (zero-RTT) overhead low.
+            if len(buf) < self._max_records or over_before:
+                self._cond.notify_all()
+            return out
+
+    def wait_data(self, timeout: float) -> None:
+        """Block until a fetch thread lands records (or *timeout*)."""
+        with self._cond:
+            self._cond.wait(timeout)
+
+    def _evict_locked(self, tp: tuple) -> None:
+        buf = self._buffers.pop(tp, None)
+        if buf:
+            self.prefetch_evictions += len(buf)
+            self._buffered_bytes -= self._buffer_bytes.get(tp, 0)
+            self._cond.notify_all()
+        self._buffer_bytes.pop(tp, None)
+
+    def _run(self, tp: tuple) -> None:
+        me = threading.current_thread()
+        while True:
+            with self._cond:
+                while True:
+                    if self._stopped or self._threads.get(tp) is not me:
+                        return
+                    buf = self._buffers.get(tp)
+                    full = (
+                        buf is not None
+                        and len(buf) >= self._batches * self._max_records
+                    ) or self._buffered_bytes >= self._max_buffer_bytes
+                    if not full:
+                        break
+                    # Byte-budget backpressure: park until poll drains.
+                    self._cond.wait(0.1)
+                offset = self._fetch_pos[tp]
+                # Size the fetch to the full remaining headroom, not one
+                # poll batch: a consumer that drained the buffer gets it
+                # refilled in one broker round trip (and one thread
+                # handoff) instead of batch-by-batch ping-pong. The byte
+                # budget is enforced predictively through the running
+                # average record size; until one is known, probe with a
+                # single batch.
+                buf = self._buffers.get(tp)
+                want = self._batches * self._max_records - (
+                    len(buf) if buf is not None else 0
+                )
+                want = max(1, want)
+                if self._avg_record_bytes > 0:
+                    byte_room = self._max_buffer_bytes - self._buffered_bytes
+                    want = min(
+                        want, max(1, int(byte_room / self._avg_record_bytes))
+                    )
+                else:
+                    want = min(want, self._max_records)
+                self.fetches_in_flight += 1
+                if self.fetches_in_flight > self.max_fetches_in_flight:
+                    self.max_fetches_in_flight = self.fetches_in_flight
+            batch, failed = [], False
+            try:
+                batch = self._broker.fetch(
+                    tp[0],
+                    tp[1],
+                    offset,
+                    max_records=want,
+                    timeout=self._max_wait_s,
+                    min_bytes=self._min_bytes,
+                )
+            except BrokerError:
+                failed = True
+            except (ConnectionError, OSError):
+                failed = True
+            finally:
+                with self._cond:
+                    self.fetches_in_flight -= 1
+            with self._cond:
+                if self._stopped or self._threads.get(tp) is not me:
+                    if batch:
+                        self.prefetch_evictions += len(batch)
+                    return
+                if self._fetch_pos.get(tp) != offset:
+                    # A seek/rebalance moved the cursor while this fetch
+                    # was in flight; its records are stale.
+                    if batch:
+                        self.prefetch_evictions += len(batch)
+                    continue
+                if failed:
+                    self.fetch_errors += 1
+                    # Transient (reconnecting transport, truncated offset
+                    # being re-resolved): back off briefly, then retry.
+                    self._cond.wait(0.05)
+                    continue
+                if batch:
+                    batch_bytes = sum(r.size for r in batch)
+                    self._buffers.setdefault(tp, deque()).extend(batch)
+                    self._buffer_bytes[tp] = (
+                        self._buffer_bytes.get(tp, 0) + batch_bytes
+                    )
+                    self._buffered_bytes += batch_bytes
+                    self._avg_record_bytes = batch_bytes / len(batch)
+                    self._fetch_pos[tp] = batch[-1].offset + 1
+                    self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop and join every fetch thread; drop all buffers."""
+        with self._cond:
+            self._stopped = True
+            threads = list(self._threads.values())
+            self._threads.clear()
+            for tp in list(self._buffers):
+                self._evict_locked(tp)
+            self._cond.notify_all()
+        for thread in threads:
+            thread.join(timeout=self._max_wait_s + 1.0)
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "prefetch_hits": self.prefetch_hits,
+                "prefetch_evictions": self.prefetch_evictions,
+                "prefetch_buffered_records": sum(
+                    len(b) for b in self._buffers.values()
+                ),
+                "prefetch_buffered_bytes": self._buffered_bytes,
+                "prefetch_fetch_errors": self.fetch_errors,
+                "max_fetches_in_flight": self.max_fetches_in_flight,
+            }
 
 
 class Consumer:
@@ -43,6 +300,18 @@ class Consumer:
         ``poll`` piggybacks a heartbeat every ``session_timeout/3``
         seconds, so any consumer that keeps polling stays alive. ``None``
         uses the coordinator's default; 0 disables eviction.
+    fetch_prefetch_batches:
+        When > 0, a background fetcher per assigned partition keeps up to
+        this many batches (of ``poll``'s default batch size) buffered
+        ahead of the consumer, overlapping fetch latency with processing.
+        0 (the default) fetches synchronously inside ``poll``.
+    fetch_max_buffer_bytes:
+        Global byte budget across all prefetch buffers; fetchers park
+        when it is reached (backpressure), resuming as ``poll`` drains.
+    fetch_min_bytes / fetch_max_wait_ms:
+        Long-poll fetch contract forwarded to the broker: a fetch waits
+        server-side until *fetch_min_bytes* of payload is available or
+        *fetch_max_wait_ms* elapses, instead of returning empty.
     """
 
     def __init__(
@@ -53,6 +322,10 @@ class Consumer:
         auto_offset_reset: str = "earliest",
         client_id: str | None = None,
         session_timeout_ms: float | None = None,
+        fetch_prefetch_batches: int = 0,
+        fetch_max_buffer_bytes: int = 64 * 1024 * 1024,
+        fetch_min_bytes: int = 1,
+        fetch_max_wait_ms: float = 500.0,
     ) -> None:
         if auto_offset_reset not in ("earliest", "latest"):
             raise ValidationError(
@@ -60,6 +333,10 @@ class Consumer:
             )
         if session_timeout_ms is not None:
             check_non_negative("session_timeout_ms", session_timeout_ms)
+        check_non_negative("fetch_prefetch_batches", fetch_prefetch_batches)
+        check_positive("fetch_max_buffer_bytes", fetch_max_buffer_bytes)
+        check_positive("fetch_min_bytes", fetch_min_bytes)
+        check_non_negative("fetch_max_wait_ms", fetch_max_wait_ms)
         self._broker = broker
         self._serde = serde or BytesSerde()
         self.group_id = group_id
@@ -82,6 +359,19 @@ class Consumer:
         #: session deadline) and had to re-join the group.
         self.evictions = 0
         self.rebalances = 0
+        self.fetch_min_bytes = int(fetch_min_bytes)
+        self.fetch_max_wait_ms = float(fetch_max_wait_ms)
+        self._prefetcher = (
+            _Prefetcher(
+                broker,
+                batches=int(fetch_prefetch_batches),
+                max_buffer_bytes=int(fetch_max_buffer_bytes),
+                min_bytes=int(fetch_min_bytes),
+                max_wait_s=float(fetch_max_wait_ms) / 1000.0,
+            )
+            if fetch_prefetch_batches > 0
+            else None
+        )
 
     # -- subscription -----------------------------------------------------
 
@@ -234,9 +524,26 @@ class Consumer:
         if not self._assignment:
             return []
 
+        if self._prefetcher is not None:
+            # Reconcile fetcher threads/buffers with assignment and
+            # positions before reading: this is where seeks, rebalances
+            # and revocations invalidate buffered records.
+            self._prefetcher.sync(self._assignment, self._positions, int(max_records))
         out = self._fetch_ready(int(max_records))
         if out or timeout <= 0:
             return self._account(out)
+        if self._prefetcher is not None:
+            # Block on the prefetcher's condition; fetch threads notify
+            # as soon as any partition's buffer gains records.
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._prefetcher.wait_data(remaining)
+                out = self._fetch_ready(int(max_records))
+                if out:
+                    return self._account(out)
         # Blocking pass. A single assigned partition can block directly
         # inside that partition's fetch (works locally and over the
         # wire); with several partitions we must wake on data arriving on
@@ -258,13 +565,21 @@ class Consumer:
         return self._account(self._poll_blocking_sliced(int(max_records), timeout))
 
     def _fetch_ready(self, max_records: int) -> list[Record]:
-        """One non-blocking round-robin pass over assigned partitions."""
+        """One non-blocking round-robin pass over assigned partitions.
+
+        With prefetching enabled this reads exclusively from the
+        prefetch buffers — going to the broker directly here would race
+        the fetcher threads on the same offsets.
+        """
         out: list[Record] = []
         budget = max_records
         for tp in self._assignment:
             if budget <= 0:
                 break
-            batch = self._broker.fetch(*tp, self._positions[tp], max_records=budget)
+            if self._prefetcher is not None:
+                batch = self._prefetcher.take(tp, self._positions[tp], budget)
+            else:
+                batch = self._broker.fetch(*tp, self._positions[tp], max_records=budget)
             if batch:
                 self._positions[tp] = batch[-1].offset + 1
                 out.extend(batch)
@@ -377,9 +692,15 @@ class Consumer:
     # -- lifecycle ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Leave the group (triggering a rebalance) and stop consuming."""
+        """Leave the group (triggering a rebalance) and stop consuming.
+
+        Prefetch threads are joined (not abandoned) so a closed consumer
+        leaves no background fetchers racing its successor's offsets.
+        """
         if self._closed:
             return
+        if self._prefetcher is not None:
+            self._prefetcher.close()
         if self.group_id is not None and self._subscribed_topics:
             self._broker.coordinator.leave(self.group_id, self.client_id)
         self._closed = True
@@ -395,7 +716,7 @@ class Consumer:
             raise ValidationError("consumer is closed")
 
     def stats(self) -> dict:
-        return {
+        out = {
             "client_id": self.client_id,
             "group_id": self.group_id,
             "records_consumed": self.records_consumed,
@@ -405,3 +726,6 @@ class Consumer:
             "evictions": self.evictions,
             "rebalances": self.rebalances,
         }
+        if self._prefetcher is not None:
+            out.update(self._prefetcher.stats())
+        return out

@@ -112,6 +112,11 @@ class PartitionLog:
         self._producers: dict[int, _ProducerState] = {}
         #: Records dropped because a retried batch was already appended.
         self.duplicates_dropped = 0
+        #: Fetches that parked on the condition variable at least once
+        #: (long-poll accounting: a parked fetch costs zero CPU until an
+        #: append wakes it, versus a client-side poll loop paying one
+        #: round-trip per probe).
+        self.long_polls_parked = 0
 
     # -- write path ---------------------------------------------------------
 
@@ -428,16 +433,24 @@ class PartitionLog:
         offset: int,
         max_records: int = 64,
         timeout: float = 0.0,
+        min_bytes: int = 1,
     ) -> list[Record]:
         """Fetch up to *max_records* starting at *offset*.
 
-        Blocks up to *timeout* seconds when the offset is at the head and
-        no data is available. Raises :class:`OffsetOutOfRangeError` for
+        Blocks up to *timeout* seconds when fewer than *min_bytes* of
+        record payload are available at the offset (Kafka's
+        ``fetch.min.bytes`` / ``fetch.max.wait.ms`` long-poll contract:
+        with the default ``min_bytes=1`` any data returns immediately;
+        larger values trade latency for fuller batches on high-RTT
+        links). At the deadline, whatever is available is returned —
+        possibly an empty list. Raises :class:`OffsetOutOfRangeError` for
         offsets below the retention floor or beyond the head.
         """
         check_non_negative("offset", offset)
         check_positive("max_records", max_records)
+        min_bytes = max(1, int(min_bytes))
         deadline = time.monotonic() + timeout
+        parked = False
         with self._lock:
             while True:
                 if offset < self._base_offset or offset > self._next_offset:
@@ -453,11 +466,18 @@ class PartitionLog:
                         self._records, offset, key=lambda r: r.offset
                     )
                 batch = self._slice(start, int(max_records))
-                if batch or timeout <= 0:
+                if batch and (
+                    min_bytes <= 1
+                    or len(batch) >= int(max_records)
+                    or sum(r.size for r in batch) >= min_bytes
+                ):
                     return batch
                 remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return []
+                if timeout <= 0 or remaining <= 0:
+                    return batch
+                if not parked:
+                    parked = True
+                    self.long_polls_parked += 1
                 self._data_available.wait(remaining)
 
     def offset_for_time(self, timestamp: float) -> int | None:

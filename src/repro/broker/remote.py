@@ -15,14 +15,29 @@ by ~33% and burns CPU on both ends). Small fields (keys, headers,
 offsets) stay base64-in-JSON for debuggability; the legacy per-record
 ``append`` / ``fetch`` ops are still served for compatibility.
 
+The protocol is *pipelined*: every request carries a correlation id
+(``"cid"``) that the server echoes in the response, so one connection
+can have many requests in flight and responses may return out of order
+(a parked long-poll fetch does not block the appends queued behind it).
+On high-RTT links this is the difference between one round-trip per
+request and one round-trip per *window* of requests.
+
 Server side: :class:`BrokerServer` wraps any in-process
 :class:`~repro.broker.broker.Broker`, one thread per connection.
+Blocking (long-poll) fetches are handed to side threads that park on
+the partition's condition variable and respond whenever data lands;
+everything else is dispatched inline, preserving the connection's
+request order for appends (idempotent sequence numbers stay valid).
 
 Client side: :class:`RemoteBroker` implements the same data-path surface
 (`append`, `append_many`, `fetch`, offsets, commits, coordinator
 operations), so the existing :class:`~repro.broker.producer.Producer`
 and :class:`~repro.broker.consumer.Consumer` work against it unchanged
-— including the batched `Producer.send_many` fast path.
+— including the batched `Producer.send_many` fast path. A dedicated
+reader thread dispatches responses to per-request futures; concurrency
+is bounded by ``max_in_flight_requests``, and non-idempotent ops cap
+in-flight at 1 (Kafka-style) so a reconnect can never replay or reorder
+them.
 """
 
 from __future__ import annotations
@@ -267,29 +282,67 @@ class BrokerServer:
                 target=self._serve_client, args=(conn,), daemon=True
             ).start()
 
+    @staticmethod
+    def _is_parkable(request: dict) -> bool:
+        """Requests that may legitimately block server-side (long-polls).
+
+        These are handed to a side thread so a parked fetch cannot
+        head-of-line-block the pipelined requests queued behind it on the
+        same connection — an append racing a long-poll on the *same*
+        partition must get through, or neither would ever complete.
+        """
+        if request.get("op") not in ("fetch", "fetch_batch"):
+            return False
+        try:
+            return float(request.get("timeout") or 0.0) > 0
+        except (TypeError, ValueError):
+            return False
+
     def _serve_client(self, conn: socket.socket) -> None:
+        # Responses from the inline path and from parked long-poll side
+        # threads interleave on one socket; the lock keeps frames whole.
+        send_lock = threading.Lock()
         with conn:
             while not self._stop.is_set():
                 try:
                     request, blobs = _recv_frame(conn)
                 except (ConnectionError, OSError, json.JSONDecodeError):
                     return
-                out_blobs: list = []
-                try:
-                    result, out_blobs = self._dispatch(request, blobs)
-                    response = {"ok": True, "result": result}
-                except Exception as exc:  # noqa: BLE001 — all errors go to the client
-                    out_blobs = []
-                    response = {
-                        "ok": False,
-                        "error": type(exc).__name__,
-                        "message": str(exc),
-                    }
-                self.requests_served += 1
-                try:
-                    _send_frame(conn, response, out_blobs)
-                except OSError:
+                if self._is_parkable(request):
+                    threading.Thread(
+                        target=self._handle_request,
+                        args=(conn, send_lock, request, blobs),
+                        daemon=True,
+                    ).start()
+                elif not self._handle_request(conn, send_lock, request, blobs):
                     return
+
+    def _handle_request(
+        self, conn: socket.socket, send_lock: threading.Lock, request: dict, blobs
+    ) -> bool:
+        """Dispatch one request and send its response; False on dead socket."""
+        cid = request.pop("cid", None)
+        out_blobs: list = []
+        try:
+            result, out_blobs = self._dispatch(request, blobs)
+            response = {"ok": True, "result": result}
+        except Exception as exc:  # noqa: BLE001 — all errors go to the client
+            out_blobs = []
+            response = {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        if cid is not None:
+            response["cid"] = cid
+        with self._counts_lock:
+            self.requests_served += 1
+        try:
+            with send_lock:
+                _send_frame(conn, response, out_blobs)
+        except OSError:
+            return False
+        return True
 
     def _dispatch(self, request: dict, blobs: list[bytes]):
         op = request.get("op")
@@ -345,6 +398,7 @@ class BrokerServer:
                 request["offset"],
                 max_records=request.get("max_records", 64),
                 timeout=request.get("timeout", 0.0),
+                min_bytes=request.get("min_bytes", 1),
             )
             return [_record_to_wire(r) for r in records], ()
         if op == "fetch_batch":
@@ -355,6 +409,7 @@ class BrokerServer:
                 request["offset"],
                 max_records=request.get("max_records", 64),
                 timeout=request.get("timeout", 0.0),
+                min_bytes=request.get("min_bytes", 1),
             )
             meta = [_record_meta_to_wire(r) for r in records]
             return meta, [r.value for r in records]
@@ -452,18 +507,155 @@ class _RemoteTopic:
         return tuple(range(self.num_partitions))
 
 
+class _Pending:
+    """A per-request future the reader thread completes."""
+
+    __slots__ = ("event", "response", "blobs", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: dict | None = None
+        self.blobs: list[bytes] = []
+        self.error: Exception | None = None
+
+
+class _Connection:
+    """One pipelined socket: a writer lock, a reader thread, and the
+    correlation-id -> pending-future table the reader dispatches into.
+
+    Responses for abandoned correlation ids (a caller that gave up on its
+    deadline and reconnected) are silently dropped — the id space is
+    per-connection, so a stale response can never complete a newer
+    request.
+    """
+
+    def __init__(self, sock: socket.socket, name: str) -> None:
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self._pending: dict[int, _Pending] = {}
+        self._plock = threading.Lock()
+        self.dead = False
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"{name}-reader", daemon=True
+        )
+        self.reader.start()
+
+    def register(self, cid: int) -> _Pending:
+        pend = _Pending()
+        with self._plock:
+            if self.dead:
+                raise ConnectionError("connection is dead")
+            self._pending[cid] = pend
+        return pend
+
+    def discard(self, cid: int) -> None:
+        with self._plock:
+            self._pending.pop(cid, None)
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                response, blobs = _recv_frame(self.sock)
+            except (ConnectionError, OSError, json.JSONDecodeError) as exc:
+                self.fail_all(exc)
+                return
+            cid = response.pop("cid", None)
+            with self._plock:
+                pend = self._pending.pop(cid, None)
+            if pend is not None:
+                pend.response = response
+                pend.blobs = blobs
+                pend.event.set()
+
+    def fail_all(self, exc: Exception) -> None:
+        """Mark the connection dead and wake every in-flight waiter."""
+        with self._plock:
+            self.dead = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for pend in pending:
+            pend.error = exc
+            pend.event.set()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _InFlightGate:
+    """Bounds concurrent in-flight requests on one client connection.
+
+    All ops share up to *limit* slots. Non-idempotent ops additionally
+    serialize **among themselves** — at most one is ever in flight, the
+    Kafka ``max.in.flight=1`` rule for non-idempotent producers, so a
+    reconnect can never duplicate or reorder appends. They still
+    pipeline alongside replayable reads: a fetch parked server-side
+    must not block the append that would satisfy it (reads cannot
+    violate produce ordering).
+    """
+
+    def __init__(self, limit: int) -> None:
+        self._limit = max(1, int(limit))
+        self._cond = threading.Condition()
+        self._active = 0
+        self._exclusive = False
+        #: Peak concurrent in-flight requests observed (telemetry).
+        self.max_in_flight_seen = 0
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    def acquire(self, exclusive: bool, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                admissible = self._active < self._limit and not (
+                    exclusive and self._exclusive
+                )
+                if admissible:
+                    self._active += 1
+                    if exclusive:
+                        self._exclusive = True
+                    if self._active > self.max_in_flight_seen:
+                        self.max_in_flight_seen = self._active
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+
+    def release(self, exclusive: bool) -> None:
+        with self._cond:
+            self._active -= 1
+            if exclusive:
+                self._exclusive = False
+            self._cond.notify_all()
+
+
 class RemoteBroker:
     """Client handle exposing the broker data-path API over TCP.
 
-    Thread safety: one socket guarded by a lock (requests serialize).
-    For concurrent producers/consumers in one process, give each its own
-    RemoteBroker connection.
+    Thread safety: the connection is *pipelined* — any number of threads
+    may issue requests concurrently; up to ``max_in_flight_requests``
+    travel on the wire at once and a dedicated reader thread routes each
+    response to its caller by correlation id. Non-idempotent ops (plain
+    appends without a producer id) serialize at in-flight = 1 so a
+    reconnect can never replay or reorder them.
     """
 
     #: Ops whose effect is safe to replay on a fresh connection. Append
     #: ops join the list only when they carry idempotent-producer fields
     #: (the broker's dedup window then absorbs the replay).
     _NON_IDEMPOTENT_OPS = frozenset({"append", "append_batch"})
+
+    #: Extra headroom on top of a long-poll's server-side wait before the
+    #: client declares the server dead — covers scheduling jitter and the
+    #: response's return trip so a parked fetch is never misdiagnosed as
+    #: a silent server.
+    _LONG_POLL_SLACK_S = 0.5
 
     def __init__(
         self,
@@ -473,50 +665,85 @@ class RemoteBroker:
         op_timeout: float = 10.0,
         max_attempts: int = 3,
         reconnect_backoff_ms: float = 50.0,
+        max_in_flight_requests: int = 5,
+        link=None,
     ) -> None:
         self.host = host
         self.port = port
         self.connect_timeout = float(connect_timeout)
-        #: Per-request socket deadline; a blocking fetch extends it by its
-        #: own server-side wait, so a healthy-but-slow server is never
-        #: mistaken for a dead one.
+        #: Per-request deadline; a blocking fetch extends it by its own
+        #: server-side wait (plus slack), so a healthy-but-parked server
+        #: is never mistaken for a dead one.
         self.op_timeout = float(op_timeout)
         self.max_attempts = max(1, int(max_attempts))
         self.reconnect_backoff_ms = float(reconnect_backoff_ms)
         self._max_backoff_s = 2.0
-        self._lock = threading.Lock()
-        self._sock: socket.socket | None = None
         self.name = f"remote://{host}:{port}"
         self.coordinator = _RemoteCoordinator(self)
-        #: Socket round-trips issued by this connection.
+        #: Requests written to the wire by this client.
         self.requests_sent = 0
         #: Transport failures that triggered a successful reconnect.
         self.reconnects = 0
         #: Optional FaultInjector consulted before every request (tests).
         self.fault_injector = None
+        #: Optional netem Link; when set, every request pays the link's
+        #: sampled RTT client-side *in the calling thread*, so pipelined
+        #: requests overlap their delays the way real concurrent packets
+        #: share a wire.
+        self.link = link
+        self._gate = _InFlightGate(max_in_flight_requests)
+        self._cid_lock = threading.Lock()
+        self._next_cid = 0
+        self._conn_lock = threading.Lock()
+        self._conn: _Connection | None = None
         self._closed = False
-        with self._lock:
-            self._connect_locked()
+        self._ensure_conn()
 
-    def _connect_locked(self) -> socket.socket:
-        if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.connect_timeout
-            )
-        return self._sock
+    @property
+    def max_in_flight_requests(self) -> int:
+        return self._gate.limit
 
-    def _drop_socket_locked(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
+    @property
+    def max_in_flight_seen(self) -> int:
+        """Peak concurrent in-flight requests observed (telemetry)."""
+        return self._gate.max_in_flight_seen
+
+    def _ensure_conn(self) -> _Connection:
+        with self._conn_lock:
+            if self._closed:
+                raise DisconnectedError(f"{self.name} is closed")
+            if self._conn is None or self._conn.dead:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                # Deadlines are enforced by per-request future waits, not
+                # socket timeouts — the reader blocks indefinitely and is
+                # woken by data or by close().
+                sock.settimeout(None)
+                self._conn = _Connection(sock, self.name)
+            return self._conn
+
+    def _drop_conn(self, conn: _Connection, exc: Exception) -> None:
+        """Retire a connection after a transport failure.
+
+        Every other in-flight caller on it is failed immediately (their
+        requests may or may not have been applied — the same ambiguity a
+        socket timeout has), and the next request dials fresh.
+        """
+        conn.fail_all(exc)
+        conn.close()
+        with self._conn_lock:
+            if self._conn is conn:
+                self._conn = None
 
     def close(self) -> None:
-        with self._lock:
+        with self._conn_lock:
             self._closed = True
-            self._drop_socket_locked()
+            conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.fail_all(DisconnectedError(f"{self.name} is closed"))
+            conn.close()
+            conn.reader.join(timeout=1.0)
 
     def __enter__(self) -> "RemoteBroker":
         return self
@@ -530,8 +757,16 @@ class RemoteBroker:
 
     def _deadline_for(self, op: str, kwargs: dict) -> float:
         # Blocking fetches legitimately park server-side for up to their
-        # requested timeout; give them that long plus the op budget.
-        return self.op_timeout + float(kwargs.get("timeout") or 0.0)
+        # requested timeout; give them that long, plus slack for the
+        # response's return trip, plus the op budget.
+        wait = float(kwargs.get("timeout") or 0.0)
+        slack = self._LONG_POLL_SLACK_S if wait > 0 else 0.0
+        return self.op_timeout + wait + slack
+
+    def _new_cid(self) -> int:
+        with self._cid_lock:
+            self._next_cid += 1
+            return self._next_cid
 
     def _call_with_blobs(self, op: str, _blobs=(), **kwargs):
         replayable = op not in self._NON_IDEMPOTENT_OPS or (
@@ -539,52 +774,82 @@ class RemoteBroker:
         )
         deadline = self._deadline_for(op, kwargs)
         last_exc: Exception | None = None
-        with self._lock:
+        for attempt in range(self.max_attempts):
+            if attempt:
+                # Capped backoff before re-dialing a flapping server.
+                time.sleep(
+                    min(
+                        self.reconnect_backoff_ms / 1000.0 * (2 ** (attempt - 1)),
+                        self._max_backoff_s,
+                    )
+                )
             if self._closed:
                 raise DisconnectedError(f"{self.name} is closed")
-            for attempt in range(self.max_attempts):
-                if attempt:
-                    # Capped backoff before re-dialing a flapping server.
-                    time.sleep(
-                        min(
-                            self.reconnect_backoff_ms / 1000.0 * (2 ** (attempt - 1)),
-                            self._max_backoff_s,
-                        )
-                    )
+            try:
+                conn = self._ensure_conn()
+            except (ConnectionError, OSError) as exc:
+                last_exc = exc
+                continue
+            # Non-replayable ops serialize among themselves (at most one
+            # in flight) so a transport failure can never duplicate or
+            # reorder appends; replayable reads pipeline freely.
+            exclusive = not replayable
+            if not self._gate.acquire(exclusive=exclusive, timeout=deadline):
+                raise BrokerTimeoutError(
+                    f"{op} waited {deadline:.1f}s for an in-flight slot on {self.name}"
+                )
+            try:
+                cid = self._new_cid()
                 try:
-                    sock = self._connect_locked()
+                    pend = conn.register(cid)
+                    if self.link is not None:
+                        self.link.rtt_delay()
                     if self.fault_injector is not None:
-                        self.fault_injector.on_remote_op(op, sock)
-                    sock.settimeout(deadline)
-                    self.requests_sent += 1
-                    _send_frame(sock, {"op": op, **kwargs}, _blobs)
-                    response, blobs = _recv_frame(sock)
-                except socket.timeout as exc:
-                    # The server accepted the request but went silent; the
-                    # op may have been applied, so only replayable ops are
-                    # retried on a fresh connection.
-                    self._drop_socket_locked()
-                    last_exc = exc
-                    if not replayable:
-                        raise BrokerTimeoutError(
-                            f"{op} timed out after {deadline:.1f}s on {self.name}"
-                        ) from exc
-                    continue
+                        self.fault_injector.on_remote_op(op, conn.sock)
+                    with conn.send_lock:
+                        self.requests_sent += 1
+                        _send_frame(conn.sock, {"op": op, "cid": cid, **kwargs}, _blobs)
                 except (ConnectionError, OSError) as exc:
-                    self._drop_socket_locked()
+                    conn.discard(cid)
+                    self._drop_conn(conn, exc)
                     last_exc = exc
                     if not replayable:
                         raise DisconnectedError(
                             f"{op} failed on {self.name}: {exc}"
                         ) from exc
                     continue
-                if attempt:
-                    self.reconnects += 1
-                if response.get("ok"):
-                    return response.get("result"), blobs
-                _raise_wire_error(
-                    response.get("error", "Error"), response.get("message", "")
-                )
+                if not pend.event.wait(deadline):
+                    # The server accepted the request but went silent; the
+                    # op may have been applied, so only replayable ops are
+                    # retried on a fresh connection.
+                    conn.discard(cid)
+                    exc = socket.timeout(f"{op} deadline {deadline:.1f}s")
+                    self._drop_conn(conn, exc)
+                    last_exc = exc
+                    if not replayable:
+                        raise BrokerTimeoutError(
+                            f"{op} timed out after {deadline:.1f}s on {self.name}"
+                        )
+                    continue
+                if pend.error is not None:
+                    # Reader saw the transport die mid-flight.
+                    self._drop_conn(conn, pend.error)
+                    last_exc = pend.error
+                    if not replayable:
+                        raise DisconnectedError(
+                            f"{op} failed on {self.name}: {pend.error}"
+                        ) from pend.error
+                    continue
+            finally:
+                self._gate.release(exclusive)
+            if attempt:
+                self.reconnects += 1
+            response = pend.response
+            if response.get("ok"):
+                return response.get("result"), pend.blobs
+            _raise_wire_error(
+                response.get("error", "Error"), response.get("message", "")
+            )
         if isinstance(last_exc, socket.timeout):
             raise BrokerTimeoutError(
                 f"{op} timed out after {self.max_attempts} attempts on {self.name}"
@@ -670,8 +935,14 @@ class RemoteBroker:
             count=out["count"],
         )
 
-    def fetch(self, topic, partition, offset, max_records=64, timeout=0.0):
-        """Fetch records; values travel as binary blobs (``fetch_batch``)."""
+    def fetch(self, topic, partition, offset, max_records=64, timeout=0.0, min_bytes=1):
+        """Fetch records; values travel as binary blobs (``fetch_batch``).
+
+        With ``timeout > 0`` the server long-polls: it parks on the
+        partition until at least *min_bytes* of payload (or a full batch)
+        is available rather than returning empty for the client to
+        re-poll over the WAN.
+        """
         meta, blobs = self._call_with_blobs(
             "fetch_batch",
             topic=topic,
@@ -679,6 +950,7 @@ class RemoteBroker:
             offset=offset,
             max_records=max_records,
             timeout=timeout,
+            min_bytes=min_bytes,
         )
         return [
             Record(

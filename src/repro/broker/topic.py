@@ -62,6 +62,10 @@ class Topic:
         return sum(p.duplicates_dropped for p in self._partitions)
 
     @property
+    def long_polls_parked(self) -> int:
+        return sum(p.long_polls_parked for p in self._partitions)
+
+    @property
     def size_bytes(self) -> int:
         return sum(p.size_bytes for p in self._partitions)
 

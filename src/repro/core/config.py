@@ -83,6 +83,24 @@ class PipelineConfig:
     #: polling for longer are evicted and their partitions rebalanced to
     #: the survivors. 0 (default) disables eviction.
     session_timeout_ms: float = 0.0
+    #: Pipelined wire protocol: requests in flight per remote-broker
+    #: connection before callers queue for a slot. Non-idempotent ops
+    #: always cap at 1 regardless (Kafka's max.in.flight rule). Only
+    #: meaningful for remote brokers; the in-process path has no wire.
+    max_in_flight_requests: int = 5
+    #: Long-poll fetch: the broker holds a fetch until this many payload
+    #: bytes are available (or the wait expires) instead of returning
+    #: empty for the consumer to re-poll across the WAN.
+    fetch_min_bytes: int = 1
+    #: Upper bound (ms) on how long the broker parks a long-poll fetch.
+    fetch_max_wait_ms: float = 500.0
+    #: Consumer prefetch depth, in batches of ``poll_batch`` records per
+    #: assigned partition. 0 (default) disables the background fetcher
+    #: and polls synchronously.
+    fetch_prefetch_batches: int = 0
+    #: Byte budget shared by all of one consumer's prefetch buffers;
+    #: fetchers park (backpressure) when it is reached.
+    fetch_max_buffer_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         check_positive("num_devices", self.num_devices)
@@ -100,6 +118,11 @@ class PipelineConfig:
         check_non_negative("producer_retries", self.producer_retries)
         check_non_negative("retry_backoff_ms", self.retry_backoff_ms)
         check_non_negative("session_timeout_ms", self.session_timeout_ms)
+        check_positive("max_in_flight_requests", self.max_in_flight_requests)
+        check_positive("fetch_min_bytes", self.fetch_min_bytes)
+        check_non_negative("fetch_max_wait_ms", self.fetch_max_wait_ms)
+        check_non_negative("fetch_prefetch_batches", self.fetch_prefetch_batches)
+        check_positive("fetch_max_buffer_bytes", self.fetch_max_buffer_bytes)
         if not self.topic:
             raise ValidationError("topic must be non-empty")
 

@@ -210,7 +210,10 @@ class EdgeToCloudPipeline:
                     flags.append(True)
             if len(self._processed_ids) >= self._expected_messages():
                 self._done.set()
-        if self.config.max_inflight > 0 and any(flags):
+        # Always notify: besides backpressured producers, outside callers
+        # (RunningPipeline.wait_for_processed) wait on this condition for
+        # progress.
+        if any(flags):
             with self._backpressure:
                 self._backpressure.notify_all()
         return flags
@@ -314,16 +317,19 @@ class EdgeToCloudPipeline:
         self.events.publish("pipeline.error", where=where, error=repr(exc))
 
     def _make_consumer(self) -> Consumer:
+        cfg = self.config
         consumer = Consumer(
             self._broker,
             group_id=f"{self.run_id}-processors",
             session_timeout_ms=(
-                self.config.session_timeout_ms
-                if self.config.session_timeout_ms > 0
-                else None
+                cfg.session_timeout_ms if cfg.session_timeout_ms > 0 else None
             ),
+            fetch_prefetch_batches=cfg.fetch_prefetch_batches,
+            fetch_max_buffer_bytes=cfg.fetch_max_buffer_bytes,
+            fetch_min_bytes=cfg.fetch_min_bytes,
+            fetch_max_wait_ms=cfg.fetch_max_wait_ms,
         )
-        consumer.subscribe(self.config.topic)
+        consumer.subscribe(cfg.topic)
         return consumer
 
     # -- the two task bodies -------------------------------------------------------
@@ -513,6 +519,19 @@ class EdgeToCloudPipeline:
                 # this consumer when its next heartbeat bounced.
                 self._collector.incr("heartbeats_missed", consumer.evictions)
             consumer.close()
+            stats = consumer.stats()
+            if "prefetch_hits" in stats:
+                # close() already evicted any undelivered buffered
+                # records, so these totals are final.
+                if stats["prefetch_hits"]:
+                    self._collector.incr("prefetch_hits", stats["prefetch_hits"])
+                if stats["prefetch_evictions"]:
+                    self._collector.incr(
+                        "prefetch_evictions", stats["prefetch_evictions"]
+                    )
+                self._collector.record_max(
+                    "fetches_in_flight", stats["max_fetches_in_flight"]
+                )
         return handled
 
     @staticmethod
@@ -790,7 +809,7 @@ class EdgeToCloudPipeline:
         broker_stats = self._broker.stats()
         # Fold broker/transport robustness counters into the run's
         # collector so reports see one consistent namespace.
-        for counter in ("duplicates_dropped", "members_evicted"):
+        for counter in ("duplicates_dropped", "members_evicted", "long_polls_parked"):
             value = broker_stats.get(counter, 0)
             if value:
                 self._collector.incr(counter, value)
@@ -837,19 +856,35 @@ class RunningPipeline:
         return self.pipeline._done.is_set()
 
     def wait_for_processed(self, count: int, timeout: float = 30.0) -> bool:
-        """Block until at least *count* messages have been processed."""
+        """Block until at least *count* messages have been processed.
+
+        Waits on the pipeline's progress condition (consumers notify it
+        as messages drain) instead of sleep-polling; the wait is capped
+        so done/abort transitions — which can fire without a final
+        progress notification — are still observed promptly.
+        """
+        pipeline = self.pipeline
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if self.pipeline.processed_count >= count:
+        while True:
+            if pipeline.processed_count >= count:
                 return True
             if self.done:
-                return self.pipeline.processed_count >= count
-            time.sleep(0.005)
-        return False
+                return pipeline.processed_count >= count
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            with pipeline._backpressure:
+                # Re-check under the lock so a notify racing the checks
+                # above is not lost.
+                if pipeline.processed_count >= count or self.done:
+                    continue
+                pipeline._backpressure.wait(min(remaining, 0.25))
 
     def abort(self) -> None:
         self.pipeline._abort.set()
         self.pipeline._done.set()
+        with self.pipeline._backpressure:
+            self.pipeline._backpressure.notify_all()
 
     def join(self) -> PipelineResult:
         return self.pipeline._finalize(self._producer_futures, self._consumer_futures)

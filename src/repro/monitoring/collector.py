@@ -106,6 +106,16 @@ class MetricsCollector:
         with self._lock:
             self._counters[name] += value
 
+    def record_max(self, name: str, value: float) -> None:
+        """High-watermark gauge: keep the largest value reported.
+
+        Used for peak-style metrics (e.g. concurrent fetches in flight)
+        where summing per-thread reports would overstate the level.
+        """
+        with self._lock:
+            if value > self._counters.get(name, 0.0):
+                self._counters[name] = float(value)
+
     def counter(self, name: str) -> float:
         with self._lock:
             return self._counters.get(name, 0.0)

@@ -17,6 +17,7 @@ Links can *apply* the delay in two ways:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -101,6 +102,11 @@ class Link:
         #: Optional :class:`~repro.faults.FaultInjector` consulted per
         #: transfer (chaos tests); scripted faults count as losses too.
         self.injector = None
+        # rtt_delay() is called concurrently from pipelined request
+        # threads; the numpy Generator and the stats counters need a
+        # lock there (transfer()/transfer_time() stay single-caller).
+        self._rtt_lock = threading.Lock()
+        self.rtt_delays = 0
 
     def sample_rtt_s(self) -> float:
         p = self.profile
@@ -148,6 +154,24 @@ class Link:
             time.sleep(duration * self.time_scale)
         return duration
 
+    def rtt_delay(self) -> float:
+        """Emulate one request/response round trip (sleep in the caller).
+
+        This is the wire-protocol counterpart of :meth:`transfer`: a
+        :class:`~repro.broker.remote.RemoteBroker` with ``link`` set
+        calls it once per request *in the requesting thread*, so
+        pipelined concurrent requests overlap their RTTs the way real
+        in-flight packets share a wire, while a serial client pays one
+        full RTT per request. Returns the modelled (unscaled) RTT.
+        """
+        with self._rtt_lock:
+            rtt = self.sample_rtt_s()
+            self.rtt_delays += 1
+            self.seconds_accumulated += rtt
+        if self.time_scale > 0 and rtt > 0:
+            time.sleep(rtt * self.time_scale)
+        return rtt
+
     def stats(self) -> dict:
         return {
             "profile": self.profile.name,
@@ -155,6 +179,7 @@ class Link:
             "bytes_moved": self.bytes_moved,
             "seconds_accumulated": self.seconds_accumulated,
             "losses": self.losses,
+            "rtt_delays": self.rtt_delays,
         }
 
     def __repr__(self) -> str:
