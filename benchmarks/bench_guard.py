@@ -60,6 +60,10 @@ ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_broker.json"
 PIPELINE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_pipeline.json"
 ROBUSTNESS_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_robustness.json"
 PREFETCH_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_prefetch.json"
+TELEMETRY_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_telemetry.json"
+#: Sampler time series from the fully-enabled telemetry round, uploaded
+#: by CI next to the BENCH_*.json artifacts.
+TELEMETRY_JSONL = Path(__file__).parent / "artifacts" / "telemetry.jsonl"
 
 #: Reduced-trials mode for CI smoke runs (set BENCH_GUARD_FAST=1):
 #: fewer best-of rounds and smaller sweeps. The gates stay the same;
@@ -168,7 +172,11 @@ _guard_process.process_cloud_batch = _guard_process_batch
 
 
 def _pipeline_rate(
-    payload: bytes, batched: bool, check_crcs: bool, prefetch: bool = False
+    payload: bytes,
+    batched: bool,
+    check_crcs: bool,
+    prefetch: bool = False,
+    telemetry: tuple | None = None,
 ) -> float:
     """Messages/s through the pipeline's consumer for a pre-filled topic.
 
@@ -206,6 +214,7 @@ def _pipeline_rate(
             check_crcs=check_crcs,
             **batch_knobs,
         )
+        registry, tracer, sampler = telemetry if telemetry is not None else (None,) * 3
         pipeline = EdgeToCloudPipeline(
             pilot_edge=edge,
             pilot_cloud_processing=cloud,
@@ -213,9 +222,12 @@ def _pipeline_rate(
             process_cloud_function_handler=_guard_process,
             config=config,
             run_id="bench",
+            registry=registry,
+            tracer=tracer,
+            sampler=sampler,
         )
         pipeline.broker.create_topic(config.topic, num_partitions=1, exist_ok=True)
-        Producer(pipeline.broker).send_many(
+        Producer(pipeline.broker, tracer=tracer, trace_site="edge-site").send_many(
             config.topic,
             [payload] * PIPE_MESSAGES,
             partition=0,
@@ -400,6 +412,102 @@ def test_prefetch_guard():
     results = run_prefetch_guard()
     failures = _check_prefetch(results)
     assert not failures, "; ".join(failures) + f"; see {PREFETCH_ARTIFACT}"
+
+
+# -- telemetry guard: disabled-hook overhead + enabled-run artifact ----------
+
+#: Telemetry attached but *disabled* (tracer at sample_rate=0 plus a
+#: metrics registry, no sampler thread) must stay within 5% of the bare
+#: pipeline: the per-record hook cost is a header check and a sampled-out
+#: (no-op) span. This is the issue's "disabled-by-default overhead" gate.
+MAX_TELEMETRY_OFF_OVERHEAD = 0.05
+#: Interleaved bare/disabled pairs, gated on the cleanest adjacent pair
+#: (same trick as the prefetch in-proc gate). Not reduced in FAST mode:
+#: a single pair is dominated by scheduler noise and the 5% gate would
+#: be vacuous.
+TELEMETRY_ROUNDS = 3
+
+
+def _telemetry_objects(enabled: bool) -> tuple:
+    """(registry, tracer, sampler) — sampler only when *enabled*."""
+    from repro.monitoring import MetricsRegistry, TelemetrySampler, Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer("bench", sample_rate=1.0 if enabled else 0.0)
+    sampler = (
+        TelemetrySampler(registry=registry, interval_s=0.05) if enabled else None
+    )
+    return registry, tracer, sampler
+
+
+def run_telemetry_guard() -> dict:
+    """Measure telemetry overhead, persist artifact + JSONL, return results."""
+    payload = encode_block(
+        np.random.default_rng(0).normal(size=(PIPE_POINTS, PIPE_FEATURES))
+    )
+    pairs = []
+    for _ in range(TELEMETRY_ROUNDS):
+        bare = _pipeline_rate(payload, batched=True, check_crcs=False)
+        off = _pipeline_rate(
+            payload, batched=True, check_crcs=False,
+            telemetry=_telemetry_objects(enabled=False),
+        )
+        pairs.append((bare, off))
+    off_overhead = min(max(0.0, 1.0 - o / b) for b, o in pairs)
+
+    # Fully-enabled round (tracing every message + background sampler):
+    # reported for context, not gated — per-message span bookkeeping is
+    # real, opted-in work. Its sampler series is the CI artifact.
+    registry, tracer, sampler = _telemetry_objects(enabled=True)
+    enabled = _pipeline_rate(
+        payload, batched=True, check_crcs=False,
+        telemetry=(registry, tracer, sampler),
+    )
+    TELEMETRY_JSONL.parent.mkdir(parents=True, exist_ok=True)
+    sampler.write_jsonl(TELEMETRY_JSONL)
+    bare_best = max(b for b, _ in pairs)
+    results = {
+        "messages": PIPE_MESSAGES,
+        "message_bytes": len(payload),
+        "rounds": TELEMETRY_ROUNDS,
+        "bare_msgs_s": round(bare_best, 1),
+        "disabled_msgs_s": round(max(o for _, o in pairs), 1),
+        "enabled_msgs_s": round(enabled, 1),
+        "pair_overheads": [round(max(0.0, 1.0 - o / b), 3) for b, o in pairs],
+        "disabled_overhead": round(off_overhead, 3),
+        "max_disabled_overhead": MAX_TELEMETRY_OFF_OVERHEAD,
+        "enabled_overhead": round(max(0.0, 1.0 - enabled / bare_best), 3),
+        "enabled_spans": tracer.stats()["spans_retained"],
+        "enabled_sample_rounds": sampler.sample_rounds,
+        "telemetry_jsonl": str(TELEMETRY_JSONL),
+    }
+    TELEMETRY_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    TELEMETRY_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_telemetry(results: dict) -> list:
+    failures = []
+    if results["disabled_overhead"] > MAX_TELEMETRY_OFF_OVERHEAD:
+        failures.append(
+            f"disabled-telemetry consume overhead "
+            f"{results['disabled_overhead']:.1%} > allowed "
+            f"{MAX_TELEMETRY_OFF_OVERHEAD:.0%} "
+            f"({results['disabled_msgs_s']} vs {results['bare_msgs_s']} msgs/s)"
+        )
+    if results["enabled_spans"] == 0:
+        failures.append(
+            "enabled-telemetry round recorded no spans: the overhead "
+            "numbers are vacuous"
+        )
+    return failures
+
+
+@pytest.mark.bench
+def test_telemetry_guard():
+    results = run_telemetry_guard()
+    failures = _check_telemetry(results)
+    assert not failures, "; ".join(failures) + f"; see {TELEMETRY_ARTIFACT}"
 
 
 # -- robustness guard: idempotence overhead + lossy-path delivery ------------
@@ -641,6 +749,22 @@ def main() -> int:
             f">= {MIN_PREFETCH_WAN_SPEEDUP}x, in-proc regression "
             f"{prefetch['inproc_regression']:.1%} "
             f"<= {MAX_PREFETCH_INPROC_REGRESSION:.0%}"
+        )
+
+    telemetry = run_telemetry_guard()
+    for key, value in telemetry.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {TELEMETRY_ARTIFACT}]")
+    telemetry_failures = _check_telemetry(telemetry)
+    for failure in telemetry_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    if not telemetry_failures:
+        print(
+            f"OK: disabled-telemetry overhead "
+            f"{telemetry['disabled_overhead']:.1%} <= "
+            f"{MAX_TELEMETRY_OFF_OVERHEAD:.0%} (enabled: "
+            f"{telemetry['enabled_overhead']:.1%}, informational)"
         )
     return status
 

@@ -10,6 +10,7 @@ consumer-group rebalancing also lives here, as it does in Kafka.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.broker.errors import ProducerFencedError, TopicExistsError, UnknownTopicError
 from repro.broker.group import GroupCoordinator
@@ -33,9 +34,18 @@ class Broker:
         where partition counts are explicit.
     """
 
-    def __init__(self, name: str | None = None, auto_create_topics: bool = False) -> None:
+    def __init__(
+        self,
+        name: str | None = None,
+        auto_create_topics: bool = False,
+        tracer=None,
+    ) -> None:
         self.name = name or new_id("broker")
         self.auto_create_topics = bool(auto_create_topics)
+        #: Optional :class:`repro.monitoring.Tracer`; when set, appends of
+        #: records carrying a propagated trace context record a
+        #: ``broker.append`` span (the broker leg of the message's tree).
+        self.tracer = tracer
         self._topics: dict[str, Topic] = {}
         self._lock = threading.RLock()
         self._coordinator = GroupCoordinator(self)
@@ -139,6 +149,7 @@ class Broker:
         """Append a record; returns its metadata (offset assignment)."""
         self._check_producer_epoch(producer_id, producer_epoch)
         log = self.topic(topic).partition(partition)
+        start = time.monotonic() if self.tracer is not None else 0.0
         record = log.append(
             value,
             key=key,
@@ -148,6 +159,8 @@ class Broker:
             producer_epoch=producer_epoch,
             sequence=sequence,
         )
+        if self.tracer is not None:
+            self._trace_appends((record,), topic, partition, start)
         return RecordMetadata(topic=topic, partition=partition, offset=record.offset)
 
     def append_many(
@@ -172,6 +185,7 @@ class Broker:
         """
         self._check_producer_epoch(producer_id, producer_epoch)
         log = self.topic(topic).partition(partition)
+        start = time.monotonic() if self.tracer is not None else 0.0
         records = log.append_many(
             values,
             keys=keys,
@@ -181,6 +195,8 @@ class Broker:
             producer_epoch=producer_epoch,
             base_sequence=base_sequence,
         )
+        if self.tracer is not None and records:
+            self._trace_appends(records, topic, partition, start)
         if not records:
             return BatchMetadata(
                 topic=topic, partition=partition, base_offset=log.latest_offset, count=0
@@ -191,6 +207,24 @@ class Broker:
             base_offset=records[0].offset,
             count=len(records),
         )
+
+    def _trace_appends(self, records, topic: str, partition: int, start: float) -> None:
+        """Record a ``broker.append`` span for each record that arrived
+        with a propagated trace context in its headers."""
+        tracer = self.tracer
+        end = time.monotonic()
+        for record in records:
+            headers = record.headers
+            ctx = headers.get("trace") if headers else None
+            if not ctx:
+                continue
+            span = tracer.start_span(
+                "broker.append", parent=ctx, site=self.name, start=start
+            )
+            span.set_attr("topic", topic)
+            span.set_attr("partition", partition)
+            span.set_attr("offset", record.offset)
+            span.finish(end)
 
     def partition_log(self, topic: str, partition: int) -> PartitionLog:
         """Direct handle to one partition's log (in-process brokers only).
@@ -240,6 +274,67 @@ class Broker:
     def committed_offset(self, group: str, topic: str, partition: int) -> int | None:
         with self._offsets_lock:
             return self._committed.get((group, topic, partition))
+
+    def committed_offsets(self, group: str | None = None) -> dict:
+        """Snapshot of committed offsets.
+
+        With *group*, returns ``{(topic, partition): offset}`` for that
+        group; without, ``{(group, topic, partition): offset}`` for all.
+        """
+        with self._offsets_lock:
+            if group is None:
+                return dict(self._committed)
+            return {
+                (t, p): off
+                for (g, t, p), off in self._committed.items()
+                if g == group
+            }
+
+    def consumer_lag(self, group: str) -> dict:
+        """Per-partition consumer lag for *group*: ``{(topic, partition): lag}``.
+
+        Lag is the broker's end-offset minus the group's committed offset
+        — the number of appended records the group has not durably
+        acknowledged.  Partitions the group subscribes to but has never
+        committed count from their earliest retained offset, so a
+        consumer that is connected but has made no progress shows the
+        full backlog rather than 0.
+        """
+        committed = self.committed_offsets(group)
+        partitions = set(committed)
+        for topic_name in self._coordinator.group_topics(group):
+            try:
+                topic = self.topic(topic_name)
+            except UnknownTopicError:
+                continue
+            partitions.update((topic_name, p) for p in topic.partitions)
+        lag: dict[tuple, int] = {}
+        for topic_name, p in partitions:
+            try:
+                log = self.topic(topic_name).partition(p)
+            except UnknownTopicError:
+                continue
+            base = committed.get((topic_name, p))
+            if base is None:
+                base = log.earliest_offset
+            lag[(topic_name, p)] = max(0, log.latest_offset - base)
+        return lag
+
+    def partition_depths(self) -> dict:
+        """``{(topic, partition): {"depth": n, "end_offset": o, "bytes": b}}``
+        for every partition — the sampler's per-partition gauge source."""
+        with self._lock:
+            topics = list(self._topics.items())
+        out: dict[tuple, dict] = {}
+        for name, topic in topics:
+            for p in topic.partitions:
+                log = topic.partition(p)
+                out[(name, p)] = {
+                    "depth": len(log),
+                    "end_offset": log.latest_offset,
+                    "bytes": log.size_bytes,
+                }
+        return out
 
     # -- coordination ------------------------------------------------------------------
 

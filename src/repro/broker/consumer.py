@@ -326,6 +326,8 @@ class Consumer:
         fetch_max_buffer_bytes: int = 64 * 1024 * 1024,
         fetch_min_bytes: int = 1,
         fetch_max_wait_ms: float = 500.0,
+        tracer=None,
+        trace_site: str = "",
     ) -> None:
         if auto_offset_reset not in ("earliest", "latest"):
             raise ValidationError(
@@ -361,6 +363,11 @@ class Consumer:
         self.rebalances = 0
         self.fetch_min_bytes = int(fetch_min_bytes)
         self.fetch_max_wait_ms = float(fetch_max_wait_ms)
+        #: Optional :class:`repro.monitoring.Tracer`. When set, every
+        #: delivered record that carries a propagated trace context gets a
+        #: ``consumer.poll`` span — the downlink leg of the message tree.
+        self._tracer = tracer
+        self._trace_site = trace_site or (client_id or "consumer")
         self._prefetcher = (
             _Prefetcher(
                 broker,
@@ -590,6 +597,17 @@ class Consumer:
         for r in records:
             self.records_consumed += 1
             self.bytes_consumed += r.size
+        if self._tracer is not None and records:
+            now = time.monotonic()
+            for r in records:
+                ctx = r.headers.get("trace") if r.headers else None
+                if not ctx:
+                    continue
+                span = self._tracer.start_span(
+                    "consumer.poll", parent=ctx, site=self._trace_site, start=now
+                )
+                span.set_attr("offset", r.offset)
+                span.finish(now)
         return records
 
     def _partition_logs(self):
@@ -683,7 +701,27 @@ class Consumer:
             self._broker.commit_offset(self.group_id, tp[0], tp[1], offset)
 
     def lag(self) -> dict[tuple, int]:
-        """Per-partition lag: records between position and the log head."""
+        """Per-partition lag: records between position and the log head.
+
+        Lag is ``end_offset - position`` per assigned partition, where
+        *position* is the next offset :meth:`poll` would deliver.  Three
+        consequences the telemetry sampler (and its tests) rely on:
+
+        - **Seek** moves the position, so seeking backwards immediately
+          raises lag (those records will be re-delivered).
+        - **Rebalance** starts *newly-assigned* partitions at their
+          committed offsets (retained partitions keep their in-memory
+          positions), so a partition that changes owner re-exposes the
+          previous owner's uncommitted progress as the new owner's lag.
+        - **Prefetch-buffered** records (fetched by the background
+          fetchers but not yet taken by ``poll``) still count as lag —
+          the position only advances on delivery, so buffered-but-unseen
+          data is correctly reported as outstanding.
+
+        For committed-offset (group-durable) lag, use
+        :meth:`Broker.consumer_lag` / the coordinator's
+        ``committed_offsets`` accessor instead.
+        """
         return {
             tp: max(0, self._broker.latest_offset(*tp) - pos)
             for tp, pos in self._positions.items()

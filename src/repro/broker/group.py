@@ -278,6 +278,31 @@ class GroupCoordinator:
             state = self._groups.get(group_id)
             return sorted(state.members) if state else []
 
+    def group_ids(self) -> list[str]:
+        """Ids of all live groups (the telemetry sampler iterates these)."""
+        with self._lock:
+            for gid in list(self._groups):
+                self._sweep_locked(gid)
+            return sorted(self._groups)
+
+    def group_topics(self, group_id: str) -> list[str]:
+        """Union of the topics the group's members subscribe to."""
+        with self._lock:
+            self._sweep_locked(group_id)
+            state = self._groups.get(group_id)
+            if state is None:
+                return []
+            return sorted({t for topics in state.members.values() for t in topics})
+
+    def committed_offsets(self, group_id: str) -> dict:
+        """``{(topic, partition): committed_offset}`` for one group.
+
+        Offsets live on the broker's offset store; this accessor scopes
+        them to a group so the telemetry sampler (and lag computations)
+        need not know the store's key layout.
+        """
+        return self._broker.committed_offsets(group_id)
+
     def describe(self, group_id: str) -> dict:
         """Full group snapshot for monitoring."""
         with self._lock:

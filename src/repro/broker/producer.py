@@ -118,6 +118,8 @@ class Producer:
         retries: int = 0,
         retry_backoff_ms: float = 100.0,
         enable_idempotence: bool | None = None,
+        tracer=None,
+        trace_site: str = "",
     ) -> None:
         if acks not in (0, 1):
             raise ValidationError(f"acks must be 0 or 1, got {acks!r}")
@@ -142,6 +144,12 @@ class Producer:
         # Deterministic per-producer jitter source (stable across runs
         # for a fixed client_id).
         self._jitter = random.Random(zlib.crc32(self.client_id.encode()))
+        #: Optional :class:`repro.monitoring.Tracer`. When set, every send
+        #: opens a ``producer.send`` span (child of any context already in
+        #: the record's headers) and injects its context into the headers,
+        #: so the broker and consumer legs attach to the same trace.
+        self._tracer = tracer
+        self._trace_site = trace_site or self.client_id
         # Produce-side metrics.
         self.records_sent = 0
         self.bytes_sent = 0
@@ -177,6 +185,43 @@ class Producer:
         base = (self.retry_backoff_ms / 1000.0) * (2 ** attempt)
         return min(base, self.MAX_BACKOFF_S) * (0.5 + self._jitter.random())
 
+    # -- tracing -----------------------------------------------------------
+
+    def _trace_send(self, headers, count: int):
+        """Open one ``producer.send`` span per record and inject contexts.
+
+        Returns ``(spans, headers)`` where *headers* is a per-record list
+        carrying each span's context. ``headers`` may come in as ``None``,
+        one dict broadcast to the batch, or a per-record sequence.
+        """
+        hdr_seq = (
+            list(headers)
+            if isinstance(headers, (list, tuple))
+            else [headers] * count
+        )
+        spans, out_headers = [], []
+        for h in hdr_seq:
+            span = self._tracer.start_span(
+                "producer.send",
+                parent=self._tracer.extract(h),
+                site=self._trace_site,
+            )
+            if span.recording:
+                h = dict(h) if h else {}
+                self._tracer.inject(span, h)
+            spans.append(span)
+            out_headers.append(h)
+        return spans, out_headers
+
+    @staticmethod
+    def _finish_spans(spans, error: str | None = None) -> None:
+        if not spans:
+            return
+        for span in spans:
+            if error is not None:
+                span.set_attr("error", error)
+            span.finish()
+
     def _call_with_retries(self, fn):
         """Run *fn*, retrying transient failures with backoff + jitter."""
         attempt = 0
@@ -211,6 +256,10 @@ class Producer:
             num = self._broker.topic(topic).num_partitions
             partition = self._partitioner.select(key, num)
         produce_ts = time.monotonic()
+        spans = None
+        if self._tracer is not None:
+            spans, hdr_list = self._trace_send(headers, 1)
+            headers = hdr_list[0]
         if self.idempotent:
             self._ensure_registered()
             sequence = self._next_sequence(topic, partition, 1)
@@ -230,13 +279,15 @@ class Producer:
                     sequence=sequence,
                 )
             )
-        except Exception:
+        except Exception as exc:
+            self._finish_spans(spans, error=type(exc).__name__)
             if sequence is not None:
                 self._rollback_sequence(topic, partition, 1)
             self.sends_failed += 1
             if self.acks == 0:
                 return None
             raise
+        self._finish_spans(spans)
         self.records_sent += 1
         self.bytes_sent += len(payload)
         return md
@@ -266,6 +317,9 @@ class Producer:
         if partition is None:
             num = self._broker.topic(topic).num_partitions
             partition = self._partitioner.select(None, num)
+        spans = None
+        if self._tracer is not None:
+            spans, headers = self._trace_send(headers, len(payloads))
         if self.idempotent:
             self._ensure_registered()
             base_sequence = self._next_sequence(topic, partition, len(payloads))
@@ -285,13 +339,15 @@ class Producer:
                     base_sequence=base_sequence,
                 )
             )
-        except Exception:
+        except Exception as exc:
+            self._finish_spans(spans, error=type(exc).__name__)
             if base_sequence is not None:
                 self._rollback_sequence(topic, partition, len(payloads))
             self.sends_failed += 1
             if self.acks == 0:
                 return None
             raise
+        self._finish_spans(spans)
         self.records_sent += md.count
         self.bytes_sent += sum(len(p) for p in payloads)
         return md

@@ -217,8 +217,20 @@ def _record_meta_to_wire(record: Record) -> dict:
 class BrokerServer:
     """Serves an in-process broker over TCP (one thread per client)."""
 
-    def __init__(self, broker: Broker | None = None, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        broker: Broker | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tracer=None,
+    ) -> None:
         self.broker = broker if broker is not None else Broker()
+        #: Optional :class:`repro.monitoring.Tracer`. When set, requests
+        #: carrying the optional ``"trace"`` frame field get a
+        #: ``server.<op>`` span (child of the client's RPC span). Frames
+        #: without the field — i.e. from pre-tracing clients — dispatch
+        #: exactly as before.
+        self._tracer = tracer
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -322,17 +334,30 @@ class BrokerServer:
     ) -> bool:
         """Dispatch one request and send its response; False on dead socket."""
         cid = request.pop("cid", None)
+        # Optional frame-level trace context (absent on old clients).
+        trace_ctx = request.pop("trace", None)
+        span = None
+        if self._tracer is not None and trace_ctx is not None:
+            span = self._tracer.start_span(
+                f"server.{request.get('op')}",
+                parent=trace_ctx,
+                site=self.broker.name,
+            )
         out_blobs: list = []
         try:
             result, out_blobs = self._dispatch(request, blobs)
             response = {"ok": True, "result": result}
         except Exception as exc:  # noqa: BLE001 — all errors go to the client
             out_blobs = []
+            if span is not None:
+                span.set_attr("error", type(exc).__name__)
             response = {
                 "ok": False,
                 "error": type(exc).__name__,
                 "message": str(exc),
             }
+        if span is not None:
+            span.finish()
         if cid is not None:
             response["cid"] = cid
         with self._counts_lock:
@@ -454,6 +479,28 @@ class BrokerServer:
             return {"generation": generation, "assignment": assignment}, ()
         if op == "group_generation":
             return broker.coordinator.generation(request["group"]), ()
+        if op == "group_ids":
+            return broker.coordinator.group_ids(), ()
+        if op == "group_members":
+            return broker.coordinator.members(request["group"]), ()
+        if op == "committed_offsets":
+            return (
+                [[t, p, off] for (t, p), off in broker.committed_offsets(request["group"]).items()],
+                (),
+            )
+        if op == "consumer_lag":
+            return (
+                [[t, p, lag] for (t, p), lag in broker.consumer_lag(request["group"]).items()],
+                (),
+            )
+        if op == "partition_depths":
+            return (
+                [
+                    [t, p, d["depth"], d["end_offset"], d["bytes"]]
+                    for (t, p), d in broker.partition_depths().items()
+                ],
+                (),
+            )
         if op == "stats":
             return broker.stats(), ()
         raise ValidationError(f"unknown op {op!r}")
@@ -495,6 +542,18 @@ class _RemoteCoordinator:
 
     def generation(self, group_id):
         return self._remote._call("group_generation", group=group_id)
+
+    def group_ids(self):
+        return self._remote._call("group_ids")
+
+    def members(self, group_id):
+        return self._remote._call("group_members", group=group_id)
+
+    def committed_offsets(self, group_id):
+        return {
+            (t, p): off
+            for t, p, off in self._remote._call("committed_offsets", group=group_id)
+        }
 
 
 class _RemoteTopic:
@@ -608,6 +667,12 @@ class _InFlightGate:
     def limit(self) -> int:
         return self._limit
 
+    @property
+    def active(self) -> int:
+        """Requests currently in flight (telemetry gauge)."""
+        with self._cond:
+            return self._active
+
     def acquire(self, exclusive: bool, timeout: float) -> bool:
         deadline = time.monotonic() + timeout
         with self._cond:
@@ -667,6 +732,7 @@ class RemoteBroker:
         reconnect_backoff_ms: float = 50.0,
         max_in_flight_requests: int = 5,
         link=None,
+        tracer=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -691,6 +757,10 @@ class RemoteBroker:
         #: requests overlap their delays the way real concurrent packets
         #: share a wire.
         self.link = link
+        #: Optional :class:`repro.monitoring.Tracer`. When set, every RPC
+        #: opens an ``rpc.<op>`` span whose context travels in the frame's
+        #: optional ``"trace"`` field (ignored by pre-tracing servers).
+        self._tracer = tracer
         self._gate = _InFlightGate(max_in_flight_requests)
         self._cid_lock = threading.Lock()
         self._next_cid = 0
@@ -769,6 +839,19 @@ class RemoteBroker:
             return self._next_cid
 
     def _call_with_blobs(self, op: str, _blobs=(), **kwargs):
+        if self._tracer is None:
+            return self._invoke(op, _blobs, None, kwargs)
+        span = self._tracer.start_trace(f"rpc.{op}", site=self.name)
+        try:
+            result = self._invoke(op, _blobs, span, kwargs)
+        except Exception as exc:
+            span.set_attr("error", type(exc).__name__)
+            span.finish()
+            raise
+        span.finish()
+        return result
+
+    def _invoke(self, op: str, _blobs, span, kwargs):
         replayable = op not in self._NON_IDEMPOTENT_OPS or (
             kwargs.get("producer_id") is not None
         )
@@ -806,9 +889,12 @@ class RemoteBroker:
                         self.link.rtt_delay()
                     if self.fault_injector is not None:
                         self.fault_injector.on_remote_op(op, conn.sock)
+                    frame = {"op": op, "cid": cid, **kwargs}
+                    if span is not None and span.recording:
+                        frame["trace"] = span.context
                     with conn.send_lock:
                         self.requests_sent += 1
-                        _send_frame(conn.sock, {"op": op, "cid": cid, **kwargs}, _blobs)
+                        _send_frame(conn.sock, frame, _blobs)
                 except (ConnectionError, OSError) as exc:
                     conn.discard(cid)
                     self._drop_conn(conn, exc)
@@ -979,6 +1065,27 @@ class RemoteBroker:
 
     def committed_offset(self, group, topic, partition):
         return self._call("committed_offset", group=group, topic=topic, partition=partition)
+
+    def committed_offsets(self, group):
+        return self.coordinator.committed_offsets(group)
+
+    def consumer_lag(self, group) -> dict:
+        """Per-partition committed-offset lag for *group* (server-side)."""
+        return {
+            (t, p): lag for t, p, lag in self._call("consumer_lag", group=group)
+        }
+
+    def partition_depths(self) -> dict:
+        """Per-partition depth/end-offset/bytes snapshot (server-side)."""
+        return {
+            (t, p): {"depth": depth, "end_offset": end, "bytes": nbytes}
+            for t, p, depth, end, nbytes in self._call("partition_depths")
+        }
+
+    @property
+    def requests_in_flight(self) -> int:
+        """Requests currently on the wire (telemetry gauge)."""
+        return self._gate.active
 
     def stats(self) -> dict:
         return self._call("stats")

@@ -64,11 +64,43 @@ def _print_report(result, as_json: bool) -> None:
         "bottleneck_reason": result.bottleneck.get("reason"),
         "errors": len(result.errors),
     }
+    if result.report.lag:
+        payload["lag_peak"] = result.report.lag["peak"]
+        payload["lag_returned_to_zero"] = result.report.lag["returned_to_zero"]
+    if result.report.spans:
+        payload["span_bottleneck"] = result.report.spans.get("slowest")
+        payload["traces"] = result.report.spans.get("traces")
     if as_json:
         print(json.dumps(payload, indent=2))
     else:
         for key, value in payload.items():
             print(f"{key}={value}")
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """(registry, tracer, sampler) when ``--telemetry DIR`` was given."""
+    if getattr(args, "telemetry", None) is None:
+        return None, None, None
+    from repro.monitoring import MetricsRegistry, TelemetrySampler, Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer("cli", sample_rate=args.trace_sample)
+    sampler = TelemetrySampler(registry=registry, interval_s=args.sample_interval)
+    return registry, tracer, sampler
+
+
+def _dump_telemetry(args: argparse.Namespace, registry, tracer, sampler) -> None:
+    """Write telemetry.jsonl / spans.json / metrics.prom into the dir."""
+    from pathlib import Path
+
+    from repro.monitoring.export import write_series_jsonl, write_spans_json
+
+    out = Path(args.telemetry)
+    out.mkdir(parents=True, exist_ok=True)
+    write_series_jsonl(out / "telemetry.jsonl", sampler)
+    write_spans_json(out / "spans.json", tracer)
+    (out / "metrics.prom").write_text(registry.to_prometheus())
+    print(f"telemetry_dir={out}", file=sys.stderr)
 
 
 def cmd_baseline(args: argparse.Namespace) -> int:
@@ -101,6 +133,7 @@ def cmd_model(args: argparse.Namespace) -> int:
         if not service.wait_all(timeout=60):
             print("error: pilot acquisition failed", file=sys.stderr)
             return 1
+        registry, tracer, sampler = _make_telemetry(args)
         pipeline = EdgeToCloudPipeline(
             pilot_edge=edge,
             pilot_cloud_processing=cloud,
@@ -113,8 +146,13 @@ def cmd_model(args: argparse.Namespace) -> int:
                 messages_per_device=args.messages,
                 max_duration=args.max_duration,
             ),
+            registry=registry,
+            tracer=tracer,
+            sampler=sampler,
         )
         result = pipeline.run()
+        if registry is not None:
+            _dump_telemetry(args, registry, tracer, sampler)
         _print_report(result, args.json)
         return 0 if result.completed else 1
     finally:
@@ -193,14 +231,33 @@ def build_parser() -> argparse.ArgumentParser:
         if with_model:
             p.add_argument("--model", choices=MODELS, default="kmeans")
 
+    def telemetry_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry",
+            metavar="DIR",
+            default=None,
+            help="enable tracing + sampling; write telemetry.jsonl, "
+            "spans.json and metrics.prom into DIR",
+        )
+        p.add_argument(
+            "--trace-sample", type=float, default=1.0,
+            help="fraction of messages to trace (default 1.0)",
+        )
+        p.add_argument(
+            "--sample-interval", type=float, default=0.25,
+            help="telemetry sampling period in seconds",
+        )
+
     p_base = sub.add_parser("baseline", help="pass-through pipeline run (Fig. 2 point)")
     common(p_base, with_model=False)
     p_base.add_argument("--max-duration", type=float, default=600.0)
+    telemetry_opts(p_base)
     p_base.set_defaults(func=cmd_baseline)
 
     p_model = sub.add_parser("model", help="ML workload run (Fig. 3 point)")
     common(p_model, with_model=True)
     p_model.add_argument("--max-duration", type=float, default=600.0)
+    telemetry_opts(p_model)
     p_model.set_defaults(func=cmd_model)
 
     p_geo = sub.add_parser("geo", help="simulated geographic run (Fig. 3 geo point)")

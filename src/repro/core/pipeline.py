@@ -118,6 +118,9 @@ class EdgeToCloudPipeline:
         event_bus: EventBus | None = None,
         run_id: str | None = None,
         broker: Broker | None = None,
+        registry=None,
+        tracer=None,
+        sampler=None,
     ) -> None:
         for name, pilot in (("pilot_edge", pilot_edge), ("pilot_cloud_processing", pilot_cloud_processing)):
             if not isinstance(pilot, PilotCompute):
@@ -142,11 +145,22 @@ class EdgeToCloudPipeline:
         self._fn_lock = threading.Lock()
 
         self._param_server = parameter_server or ParameterServer(name=f"{self.run_id}-params")
+        # Telemetry is opt-in: with all three left as None the data path
+        # runs exactly as before (no per-message tracing hooks, no typed
+        # instruments, no background sampling).
+        self._registry = registry
+        self._tracer = tracer
+        self._sampler = sampler
+        self._owns_sampler = False
         # The broker may be injected (e.g. a pilot-managed broker from
         # repro.pilot.frameworks.ManagedBroker); otherwise the pipeline
         # manages a private one.
-        self._broker = broker if broker is not None else Broker(name=f"{self.run_id}-broker")
-        self._collector = MetricsCollector(self.run_id)
+        self._broker = (
+            broker
+            if broker is not None
+            else Broker(name=f"{self.run_id}-broker", tracer=tracer)
+        )
+        self._collector = MetricsCollector(self.run_id, registry=registry)
         self._results = RingBuffer(self.config.keep_results)
         self._errors: list[str] = []
         self._errors_lock = threading.Lock()
@@ -181,6 +195,18 @@ class EdgeToCloudPipeline:
     @property
     def collector(self) -> MetricsCollector:
         return self._collector
+
+    @property
+    def registry(self):
+        return self._registry
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @property
+    def sampler(self):
+        return self._sampler
 
     @property
     def processed_count(self) -> int:
@@ -328,6 +354,8 @@ class EdgeToCloudPipeline:
             fetch_max_buffer_bytes=cfg.fetch_max_buffer_bytes,
             fetch_min_bytes=cfg.fetch_min_bytes,
             fetch_max_wait_ms=cfg.fetch_max_wait_ms,
+            tracer=self._tracer,
+            trace_site=self.pilot_cloud_processing.site,
         )
         consumer.subscribe(cfg.topic)
         return consumer
@@ -349,6 +377,8 @@ class EdgeToCloudPipeline:
             client_id=f"{self.run_id}-{device_id}",
             retries=cfg.producer_retries,
             retry_backoff_ms=cfg.retry_backoff_ms,
+            tracer=self._tracer,
+            trace_site=edge_site,
         )
         edge_processing = (
             self._decision is not None and self._decision.processing_tier == "edge"
@@ -738,6 +768,16 @@ class EdgeToCloudPipeline:
 
         self._broker.create_topic(cfg.topic, num_partitions=cfg.num_devices, exist_ok=True)
 
+        if self._sampler is not None:
+            # Watch the run's broker (log depth, end offsets, group size,
+            # consumer lag). A sampler the caller already started keeps
+            # its cadence; otherwise the pipeline owns its lifecycle and
+            # stops it (with a final sample) at the end of the run.
+            self._sampler.watch_broker(self._broker)
+            if not self._sampler.running:
+                self._sampler.start()
+                self._owns_sampler = True
+
         # Consumers join the group before producers start so the initial
         # partition assignment is stable for the whole run.
         consumers = [self._make_consumer() for _ in range(cfg.effective_consumers)]
@@ -817,7 +857,14 @@ class EdgeToCloudPipeline:
         if reconnects:
             self._collector.incr("reconnects", reconnects)
 
-        report = ThroughputReport.from_collector(self._collector)
+        if self._sampler is not None and self._owns_sampler:
+            # Consumers have committed and left by now, so the final
+            # sample records the drained state: lag back to 0.
+            self._sampler.stop(final_sample=True)
+
+        report = ThroughputReport.from_collector(
+            self._collector, sampler=self._sampler, tracer=self._tracer
+        )
         return PipelineResult(
             run_id=self.run_id,
             completed=completed and not self._errors,

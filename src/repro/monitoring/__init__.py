@@ -1,4 +1,4 @@
-"""Linked cross-component metrics.
+"""Linked cross-component metrics, tracing, and live telemetry.
 
 The paper emphasises that "the framework captures and links comprehensive
 metrics across all involved components, particularly the edge data
@@ -11,21 +11,53 @@ This package provides:
 - :class:`MessageTrace` — one message's timestamps across every stage,
   linked by ``(run_id, message_id)``,
 - :class:`MetricsCollector` — thread-safe trace accumulation plus named
-  counters,
-- :class:`ThroughputReport` / :func:`analyze_bottleneck` — the aggregate
-  throughput/latency statistics and stage-rate comparison that the
-  benchmark harness prints for each figure.
+  counters and high-watermark gauges,
+- :class:`Tracer` / :class:`Span` — distributed tracing with
+  ``(trace_id, span_id, parent_id)`` context propagated through message
+  and frame headers, so one message's produce→broker→consume path
+  reconstructs as a span tree across sites,
+- :class:`MetricsRegistry` with typed instruments (:class:`Counter`,
+  :class:`Gauge`, log-bucketed :class:`Histogram` with live
+  p50/p95/p99) and Prometheus text exposition,
+- :class:`TelemetrySampler` — a background thread snapshotting gauges
+  (per-partition log depth, consumer lag, prefetch buffer fill,
+  in-flight requests, group size) into a JSONL-exportable time series,
+  with :func:`serve_exposition` for a live ``/metrics`` endpoint,
+- :class:`ThroughputReport` / :func:`analyze_bottleneck` /
+  :func:`lag_over_time` / :func:`span_bottleneck` — the aggregate
+  statistics, stage-rate comparison, lag trajectory, and span-tree
+  attribution the benchmark harness prints for each figure.
 """
 
 from repro.monitoring.metrics import MessageTrace, StageTiming
 from repro.monitoring.collector import MetricsCollector
-from repro.monitoring.report import ThroughputReport, analyze_bottleneck, percentile
+from repro.monitoring.instruments import Counter, Gauge, Histogram, MetricsRegistry
+from repro.monitoring.tracing import NOOP_SPAN, Span, Tracer
+from repro.monitoring.sampler import TelemetrySampler, serve_exposition
+from repro.monitoring.report import (
+    ThroughputReport,
+    analyze_bottleneck,
+    lag_over_time,
+    percentile,
+    span_bottleneck,
+)
 
 __all__ = [
     "MessageTrace",
     "StageTiming",
     "MetricsCollector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "TelemetrySampler",
+    "serve_exposition",
     "ThroughputReport",
     "analyze_bottleneck",
+    "lag_over_time",
     "percentile",
+    "span_bottleneck",
 ]

@@ -23,10 +23,18 @@ class MetricsCollector:
     regardless of which thread/site stamped each stage.
     """
 
-    def __init__(self, run_id: str) -> None:
+    def __init__(self, run_id: str, registry=None) -> None:
         self.run_id = run_id
         self._traces: dict[str, MessageTrace] = {}
         self._counters: dict[str, float] = defaultdict(float)
+        #: High-watermark gauges (``record_max``) — kept apart from the
+        #: monotonic counters so exports can tell a level from a rate.
+        self._gauges: dict[str, float] = {}
+        #: Optional :class:`repro.monitoring.MetricsRegistry`. When set,
+        #: counters/gauges are mirrored into typed instruments and
+        #: ``process_end`` stamps feed a live end-to-end latency
+        #: histogram, so percentiles are available mid-run.
+        self._registry = registry
         self._lock = threading.Lock()
 
     # -- traces ----------------------------------------------------------
@@ -49,6 +57,8 @@ class MetricsCollector:
             if partition >= 0:
                 trace.partition = partition
             trace.stamp(stage, timestamp, nbytes=nbytes, site=site)
+        if self._registry is not None and stage == "process_end":
+            self._observe_latencies((trace,), timestamp)
 
     def stamp_many(
         self,
@@ -75,6 +85,7 @@ class MetricsCollector:
         part_seq = partition if _is_sequence(partition) else [partition] * len(ids)
         if len(nbytes_seq) != len(ids) or len(part_seq) != len(ids):
             raise ValueError("per-message nbytes/partition must align with message_ids")
+        touched = []
         with self._lock:
             for message_id, nb, part in zip(ids, nbytes_seq, part_seq):
                 trace = self._traces.get(message_id)
@@ -84,6 +95,17 @@ class MetricsCollector:
                 if part >= 0:
                     trace.partition = part
                 trace.stamp(stage, timestamp, nbytes=nb, site=site)
+                touched.append(trace)
+        if self._registry is not None and stage == "process_end":
+            self._observe_latencies(touched, timestamp)
+
+    def _observe_latencies(self, traces, end_ts: float) -> None:
+        """Feed live latency histograms from completed message traces."""
+        e2e = self._registry.histogram("pipeline_e2e_latency_s")
+        for trace in traces:
+            start = trace.at("produce")
+            if start is not None and end_ts >= start:
+                e2e.observe(end_ts - start)
 
     def trace(self, message_id: str) -> MessageTrace | None:
         with self._lock:
@@ -105,21 +127,56 @@ class MetricsCollector:
     def incr(self, name: str, value: float = 1.0) -> None:
         with self._lock:
             self._counters[name] += value
+        if self._registry is not None and value >= 0:
+            self._registry.counter(name).inc(value)
 
     def record_max(self, name: str, value: float) -> None:
         """High-watermark gauge: keep the largest value reported.
 
         Used for peak-style metrics (e.g. concurrent fetches in flight)
         where summing per-thread reports would overstate the level.
+        The first report always lands, whatever its sign — "never
+        reported" is tracked by key absence, not by comparing against an
+        implicit 0 (which would silently drop a first negative value).
         """
         with self._lock:
-            if value > self._counters.get(name, 0.0):
-                self._counters[name] = float(value)
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = float(value)
+        if self._registry is not None:
+            self._registry.gauge(name).set_max(value)
 
     def counter(self, name: str) -> float:
         with self._lock:
-            return self._counters.get(name, 0.0)
+            if name in self._counters:
+                return self._counters[name]
+            return self._gauges.get(name, 0.0)
 
     def counters(self) -> dict:
+        """Flat merged view of counters and gauges (legacy key layout).
+
+        Bench guards and older exports read rates and high-watermarks
+        from one dict; use :meth:`split_counters` when the distinction
+        matters. A name reported through both kinds resolves to the
+        counter.
+        """
         with self._lock:
-            return dict(self._counters)
+            out = dict(self._gauges)
+            out.update(self._counters)
+            return out
+
+    def split_counters(self) -> dict:
+        """Typed view: ``{"counters": {...}, "gauges": {...}}``.
+
+        Counters are monotonic rates (``incr``); gauges are
+        high-watermark levels (``record_max``).
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }
+
+    def gauges(self) -> dict:
+        with self._lock:
+            return dict(self._gauges)

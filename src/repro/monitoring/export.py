@@ -106,3 +106,59 @@ def write_traces_json(
     path = Path(path)
     path.write_text(traces_to_json(collector, complete_only=complete_only))
     return path
+
+
+def spans_to_json(tracer) -> str:
+    """Serialize a tracer's retained spans (grouped by trace) as JSON."""
+    traces = {
+        trace_id: [span.to_dict() for span in tracer.spans(trace_id)]
+        for trace_id in tracer.trace_ids()
+    }
+    return json.dumps({"stats": tracer.stats(), "traces": traces}, indent=2)
+
+
+def spans_from_json(text: str) -> dict:
+    """Parse a :func:`spans_to_json` dump back into Span objects.
+
+    Returns ``{trace_id: [Span, ...]}``; spans are detached (not bound to
+    a tracer), suitable for offline tree reconstruction.
+    """
+    from repro.monitoring.tracing import Span
+
+    data = json.loads(text)
+    return {
+        trace_id: [Span.from_dict(obj) for obj in spans]
+        for trace_id, spans in data.get("traces", {}).items()
+    }
+
+
+def write_spans_json(path: str | Path, tracer) -> Path:
+    path = Path(path)
+    path.write_text(spans_to_json(tracer))
+    return path
+
+
+def series_from_jsonl(text: str) -> dict:
+    """Parse a sampler JSONL dump back into per-series point lists.
+
+    Inverse of :meth:`TelemetrySampler.to_jsonl`: returns
+    ``{series_name: [(t, value), ...]}`` with points in time order.
+    """
+    series: dict[str, list] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        t = obj["t"]
+        for name, value in obj["values"].items():
+            series.setdefault(name, []).append((t, value))
+    for points in series.values():
+        points.sort(key=lambda p: p[0])
+    return series
+
+
+def write_series_jsonl(path: str | Path, sampler) -> Path:
+    path = Path(path)
+    path.write_text(sampler.to_jsonl())
+    return path

@@ -1,0 +1,286 @@
+"""Typed metric instruments and the registry that names them.
+
+Three instrument types, mirroring the Prometheus data model the paper's
+monitoring section assumes:
+
+* :class:`Counter` — monotonically increasing rate (records in, retries).
+* :class:`Gauge` — a level that can go up and down (log depth, lag).
+  ``set_max`` supports high-watermark use (peak in-flight requests).
+* :class:`Histogram` — log-bucketed latency distribution with live
+  p50/p95/p99, so percentiles are available *during* a run instead of
+  only from full trace retention afterwards.
+
+A :class:`MetricsRegistry` hands out instruments by name (get-or-create,
+thread-safe) and renders the whole set as Prometheus text exposition
+format for the CLI dump / HTTP endpoint in ``repro.monitoring.sampler``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+def _check_name(name: str) -> str:
+    if not name or not isinstance(name, str):
+        raise ValueError(f"instrument name must be a non-empty string, got {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonic counter. Negative increments are rejected."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A settable level; also supports high-watermark and delta updates."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the largest value ever reported (first report always lands)."""
+        with self._lock:
+            if self._value is None or value > self._value:
+                self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value = (self._value or 0.0) + amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current level; an untouched gauge reads 0."""
+        with self._lock:
+            return 0.0 if self._value is None else self._value
+
+    @property
+    def reported(self) -> bool:
+        with self._lock:
+            return self._value is not None
+
+
+class Histogram:
+    """Log-bucketed histogram for latency-style observations.
+
+    Buckets are geometric: ``base * growth**i`` for i in [0, nbuckets),
+    defaulting to 1 µs .. ~1100 s with x2 growth (31 buckets) — wide
+    enough for in-proc microseconds and WAN-emulated seconds alike while
+    staying O(30) memory per instrument.  Percentiles are estimated by
+    log-linear interpolation inside the winning bucket, which is exact to
+    within one bucket's resolution (a factor of ``growth``).
+    """
+
+    __slots__ = ("name", "_bounds", "_buckets", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        base: float = 1e-6,
+        growth: float = 2.0,
+        nbuckets: int = 31,
+    ) -> None:
+        self.name = _check_name(name)
+        if base <= 0 or growth <= 1.0 or nbuckets < 1:
+            raise ValueError("histogram needs base > 0, growth > 1, nbuckets >= 1")
+        self._bounds = [base * growth**i for i in range(nbuckets)]
+        self._buckets = [0] * (nbuckets + 1)  # +1 overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self._bounds[0]:
+            return 0
+        if value > self._bounds[-1]:
+            return len(self._bounds)
+        # log-time lookup: bounds are geometric so the index is a log
+        base, growth = self._bounds[0], self._bounds[1] / self._bounds[0]
+        idx = int(math.ceil(math.log(value / base, growth) - 1e-9))
+        # guard float slop at bucket edges
+        while idx > 0 and value <= self._bounds[idx - 1]:
+            idx -= 1
+        while idx < len(self._bounds) and value > self._bounds[idx]:
+            idx += 1
+        return idx
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = self._bucket_index(value) if value > 0 else 0
+        with self._lock:
+            self._buckets[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (q in [0, 100]) from bucket counts."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q / 100.0 * self._count
+            seen = 0
+            for idx, n in enumerate(self._buckets):
+                if n == 0:
+                    continue
+                if seen + n >= target:
+                    frac = (target - seen) / n if n else 0.0
+                    lo = self._bounds[idx - 1] if idx > 0 else 0.0
+                    hi = self._bounds[idx] if idx < len(self._bounds) else self._max
+                    hi = min(hi, self._max)
+                    lo = max(lo, self._min if self._min != math.inf else lo)
+                    if hi <= lo:
+                        return hi
+                    return lo + frac * (hi - lo)
+                seen += n
+            return self._max
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            count, total = self._count, self._sum
+            buckets = list(self._buckets)
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": buckets,
+            "bounds": list(self._bounds),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    A name is bound to a single instrument type for the registry's
+    lifetime; asking for the same name with a different type raises, so
+    wiring bugs (a counter sampled as a gauge) fail loudly.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, *args, **kwargs):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, *args, **kwargs)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"instrument {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self._get_or_create(name, Histogram, **kwargs)
+
+    def instruments(self) -> dict:
+        with self._lock:
+            return dict(self._instruments)
+
+    def collect(self) -> dict:
+        """Flat snapshot: counters/gauges as floats, histograms as dicts."""
+        out: dict[str, object] = {}
+        for name, inst in sorted(self.instruments().items()):
+            if isinstance(inst, Histogram):
+                out[name] = inst.snapshot()
+            else:
+                out[name] = inst.value
+        return out
+
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """Render every instrument in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name, inst in sorted(self.instruments().items()):
+            metric = _prom_name(namespace, name)
+            if isinstance(inst, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {_prom_value(inst.value)}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_prom_value(inst.value)}")
+            elif isinstance(inst, Histogram):
+                snap = inst.snapshot()
+                lines.append(f"# TYPE {metric} histogram")
+                cumulative = 0
+                for bound, n in zip(snap["bounds"], snap["buckets"]):
+                    cumulative += n
+                    lines.append(
+                        f'{metric}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                    )
+                lines.append(f'{metric}_bucket{{le="+Inf"}} {snap["count"]}')
+                lines.append(f"{metric}_sum {_prom_value(snap['sum'])}")
+                lines.append(f"{metric}_count {snap['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{namespace}_{safe}" if namespace else safe
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

@@ -38,11 +38,23 @@ class ThroughputReport:
     latency_p95_s: float
     latency_p99_s: float
     stage_means_s: dict = field(default_factory=dict)
+    #: Lag-over-time summary (from a TelemetrySampler), see
+    #: :func:`lag_over_time`. Empty when no sampler was attached.
+    lag: dict = field(default_factory=dict)
+    #: Span-tree bottleneck attribution (from a Tracer), see
+    #: :func:`span_bottleneck`. Empty when tracing was off.
+    spans: dict = field(default_factory=dict)
 
     @classmethod
     def from_collector(
-        cls, collector: MetricsCollector, duration_s: float | None = None
+        cls,
+        collector: MetricsCollector,
+        duration_s: float | None = None,
+        sampler=None,
+        tracer=None,
     ) -> "ThroughputReport":
+        lag = lag_over_time(sampler) if sampler is not None else {}
+        spans = span_bottleneck(tracer) if tracer is not None else {}
         traces = collector.traces(complete_only=True)
         if not traces:
             return cls(
@@ -56,6 +68,8 @@ class ThroughputReport:
                 latency_p50_s=float("nan"),
                 latency_p95_s=float("nan"),
                 latency_p99_s=float("nan"),
+                lag=lag,
+                spans=spans,
             )
         latencies = np.array([t.end_to_end_latency for t in traces])
         total_bytes = int(sum(t.nbytes for t in traces))
@@ -87,6 +101,8 @@ class ThroughputReport:
             latency_p95_s=percentile(latencies, 95),
             latency_p99_s=percentile(latencies, 99),
             stage_means_s=stage_means,
+            lag=lag,
+            spans=spans,
         )
 
     def row(self) -> dict:
@@ -101,6 +117,67 @@ class ThroughputReport:
             "lat_p50_ms": round(self.latency_p50_s * 1e3, 2),
             "lat_p95_ms": round(self.latency_p95_s * 1e3, 2),
         }
+
+
+def lag_over_time(sampler) -> dict:
+    """Consumer-lag trajectory from a :class:`TelemetrySampler`.
+
+    Sums every ``consumer_lag.<group>.<topic>.<partition>`` series per
+    sample time into one total-lag curve and summarizes it: peak backlog,
+    when it occurred, the final value, and whether the run drained
+    (``returned_to_zero``). A healthy run's curve rises while producers
+    outpace consumers and returns to 0 by the end.
+    """
+    per_time: dict[float, float] = {}
+    for name in sampler.names():
+        if not name.startswith("consumer_lag."):
+            continue
+        for t, value in sampler.series(name):
+            per_time[t] = per_time.get(t, 0.0) + value
+    if not per_time:
+        return {}
+    curve = sorted(per_time.items())
+    peak_t, peak = max(curve, key=lambda p: p[1])
+    final_t, final = curve[-1]
+    return {
+        "series": curve,
+        "peak": peak,
+        "peak_t_s": peak_t,
+        "final": final,
+        "final_t_s": final_t,
+        "returned_to_zero": final == 0.0,
+    }
+
+
+def span_bottleneck(tracer) -> dict:
+    """Span-tree bottleneck attribution from a :class:`Tracer`.
+
+    Aggregates finished spans by name (mean/total/count per operation)
+    and names the operation with the largest total recorded time — the
+    hop of the produce→broker→consume tree where wall-clock actually
+    went. Instantaneous marker spans (zero duration) can never win.
+    """
+    by_name: dict[str, dict] = {}
+    for span in tracer.spans():
+        if span.end is None:
+            continue
+        agg = by_name.setdefault(span.name, {"count": 0, "total_s": 0.0})
+        agg["count"] += 1
+        agg["total_s"] += span.duration
+    for agg in by_name.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+    slowest = max(
+        (name for name in by_name if by_name[name]["total_s"] > 0),
+        key=lambda n: by_name[n]["total_s"],
+        default=None,
+    )
+    stats = tracer.stats()
+    return {
+        "by_name": by_name,
+        "slowest": slowest,
+        "traces": len(tracer.trace_ids()),
+        **stats,
+    }
 
 
 def analyze_bottleneck(collector: MetricsCollector) -> dict:

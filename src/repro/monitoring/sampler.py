@@ -1,0 +1,278 @@
+"""Background gauge sampling: live time series for a running pipeline.
+
+A :class:`TelemetrySampler` periodically snapshots gauge *sources* —
+callables returning ``{series_name: value}`` — into an in-memory time
+series.  Convenience ``watch_*`` methods register the gauges the broker
+and clients expose:
+
+* per-partition log depth, end offset, and retained bytes
+  (:meth:`Broker.partition_depths`, also served over the wire),
+* **consumer lag** per group × partition (end offset minus committed
+  offset, via :meth:`Broker.consumer_lag`),
+* group membership size,
+* prefetch buffer bytes/records (:meth:`Consumer.stats`),
+* pipelined-connection in-flight request count
+  (:attr:`RemoteBroker.requests_in_flight`).
+
+Series export as JSONL (one sample round per line) and, through an
+attached :class:`~repro.monitoring.instruments.MetricsRegistry`, as
+Prometheus text exposition — either dumped by the CLI or served by
+:func:`serve_exposition`.
+
+Everything here is opt-in: nothing in the data path references a sampler,
+so the disabled-by-default overhead is zero.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class TelemetrySampler:
+    """Samples registered gauge sources on a fixed interval.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`MetricsRegistry`; sampled values are mirrored
+        into its gauges so the Prometheus exposition shows live levels.
+    interval_s:
+        Background sampling period. :meth:`sample_now` can always be
+        called directly (tests do, for determinism).
+    max_samples:
+        Retention bound per series; the oldest samples are dropped first.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        interval_s: float = 0.25,
+        max_samples: int = 10_000,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.max_samples = int(max_samples)
+        self._sources: list[tuple[str, object]] = []
+        #: series name -> [(elapsed_seconds, value), ...]
+        self._series: dict[str, list[tuple[float, float]]] = {}
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.sample_rounds = 0
+        self.source_errors = 0
+
+    # -- sources ---------------------------------------------------------
+
+    def add_source(self, name: str, fn) -> None:
+        """Register a gauge source: ``fn() -> {series_name: value}``."""
+        with self._lock:
+            self._sources.append((name, fn))
+
+    def watch_broker(self, broker) -> None:
+        """Sample per-partition depth/end-offset/bytes, group membership
+        size, and per-group consumer lag from *broker* (in-proc or
+        remote — both expose the same telemetry surface).
+
+        Groups are remembered once seen: a group whose last member left
+        keeps its lag series alive (computed from committed offsets), so
+        a run's lag trajectory visibly returns to 0 instead of ending on
+        its last pre-shutdown value.
+        """
+        seen_groups: set[str] = set()
+
+        def _sample() -> dict:
+            out: dict[str, float] = {}
+            depths = getattr(broker, "partition_depths", None)
+            if depths is not None:
+                for (topic, p), d in depths().items():
+                    out[f"broker.log_depth.{topic}.{p}"] = d["depth"]
+                    out[f"broker.end_offset.{topic}.{p}"] = d["end_offset"]
+                    out[f"broker.log_bytes.{topic}.{p}"] = d["bytes"]
+            coordinator = getattr(broker, "coordinator", None)
+            if coordinator is not None and hasattr(coordinator, "group_ids"):
+                seen_groups.update(coordinator.group_ids())
+                try:
+                    # Groups that already left still have committed
+                    # offsets; include them so even a first sample taken
+                    # after shutdown records the (drained) lag.
+                    seen_groups.update(
+                        key[0] for key in broker.committed_offsets()
+                    )
+                except (TypeError, AttributeError):
+                    pass  # remote brokers only expose per-group queries
+                for group in sorted(seen_groups):
+                    out[f"group.members.{group}"] = len(coordinator.members(group))
+                    for (topic, p), lag in broker.consumer_lag(group).items():
+                        out[f"consumer_lag.{group}.{topic}.{p}"] = lag
+            return out
+
+        self.add_source(f"broker:{getattr(broker, 'name', 'broker')}", _sample)
+
+    def watch_consumer(self, consumer) -> None:
+        """Sample prefetch buffer fill and position-based lag."""
+        name = getattr(consumer, "client_id", "consumer")
+
+        def _sample() -> dict:
+            out: dict[str, float] = {}
+            stats = consumer.stats()
+            if "prefetch_buffered_bytes" in stats:
+                out[f"consumer.{name}.prefetch_buffered_bytes"] = stats[
+                    "prefetch_buffered_bytes"
+                ]
+                out[f"consumer.{name}.prefetch_buffered_records"] = stats[
+                    "prefetch_buffered_records"
+                ]
+            out[f"consumer.{name}.position_lag"] = sum(consumer.lag().values())
+            return out
+
+        self.add_source(f"consumer:{name}", _sample)
+
+    def watch_remote(self, remote) -> None:
+        """Sample the pipelined connection's in-flight request count."""
+        name = getattr(remote, "name", "remote")
+
+        def _sample() -> dict:
+            return {f"remote.{name}.requests_in_flight": remote.requests_in_flight}
+
+        self.add_source(f"remote:{name}", _sample)
+
+    # -- sampling --------------------------------------------------------
+
+    def sample_now(self) -> dict:
+        """Run every source once; returns this round's ``{name: value}``."""
+        with self._lock:
+            sources = list(self._sources)
+        values: dict[str, float] = {}
+        for _, fn in sources:
+            try:
+                values.update(fn())
+            except Exception:  # noqa: BLE001 — a dying component must not
+                # take the telemetry loop (or the run) down with it.
+                self.source_errors += 1
+        t = time.monotonic() - self._t0
+        with self._lock:
+            self.sample_rounds += 1
+            for name, value in values.items():
+                series = self._series.setdefault(name, [])
+                series.append((t, float(value)))
+                if len(series) > self.max_samples:
+                    del series[: len(series) - self.max_samples]
+        if self.registry is not None:
+            for name, value in values.items():
+                self.registry.gauge(name).set(value)
+        return values
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_now()
+
+    def start(self) -> "TelemetrySampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="telemetry-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the background thread; by default take one last sample so
+        end-of-run levels (lag back to 0, buffers drained) are recorded."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval_s + 5.0)
+            self._thread = None
+        if final_sample:
+            self.sample_now()
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- access / export -------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        with self._lock:
+            return list(self._series.get(name, ()))
+
+    def latest(self, name: str) -> float | None:
+        with self._lock:
+            series = self._series.get(name)
+            return series[-1][1] if series else None
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: list(points) for name, points in self._series.items()}
+
+    def to_jsonl(self) -> str:
+        """One JSON object per sample time: ``{"t": ..., "values": {...}}``.
+
+        Rebuilt by grouping every series' points by timestamp, so a
+        parsed dump reconstructs the exact in-memory series (see
+        ``series_from_jsonl`` in :mod:`repro.monitoring.export`).
+        """
+        rounds: dict[float, dict] = {}
+        for name, points in self.snapshot().items():
+            for t, value in points:
+                rounds.setdefault(t, {})[name] = value
+        lines = [
+            json.dumps({"t": t, "values": rounds[t]}, sort_keys=True)
+            for t in sorted(rounds)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+
+class _ExpositionHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        registry = self.server.registry  # type: ignore[attr-defined]
+        if self.path not in ("/", "/metrics"):
+            self.send_error(404)
+            return
+        body = registry.to_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+
+def serve_exposition(registry, host: str = "127.0.0.1", port: int = 0):
+    """Serve *registry* as Prometheus text at ``/metrics`` (daemon thread).
+
+    Returns the HTTP server; read the bound address from
+    ``server.server_address`` and stop it with ``server.shutdown()``.
+    """
+    server = ThreadingHTTPServer((host, port), _ExpositionHandler)
+    server.registry = registry  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="telemetry-exposition", daemon=True
+    )
+    thread.start()
+    return server

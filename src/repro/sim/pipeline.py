@@ -100,12 +100,15 @@ class SimResult:
 class SimulatedPipeline:
     """Runs one :class:`SimConfig` through the DES engine."""
 
-    def __init__(self, config: SimConfig) -> None:
+    def __init__(self, config: SimConfig, registry=None) -> None:
         self.config = config
         self.run_id = new_run_id()
         self._rng = np.random.default_rng(config.seed)
         self._sim = Simulator()
-        self._collector = MetricsCollector(self.run_id)
+        # An attached MetricsRegistry receives the simulated run's
+        # counters and end-to-end latency histogram, so simulated and
+        # live runs share one exposition surface.
+        self._collector = MetricsCollector(self.run_id, registry=registry)
         # Stations.
         self._uplink = FifoServer(self._sim, capacity=1, name="uplink")
         self._downlink = FifoServer(self._sim, capacity=1, name="downlink")

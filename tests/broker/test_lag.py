@@ -1,0 +1,176 @@
+"""Tests for consumer-lag accounting: position-based and committed-based."""
+
+import time
+
+import pytest
+
+from repro.broker import Broker, Consumer, Producer
+from repro.broker.remote import BrokerServer, RemoteBroker
+
+
+def _fill(broker, n=8, topic="t", partition=0, payload=b"x"):
+    Producer(broker).send_many(topic, [payload] * n, partition=partition)
+
+
+def _drain(consumer, n, timeout=5.0):
+    got = []
+    deadline = time.monotonic() + timeout
+    while len(got) < n and time.monotonic() < deadline:
+        got.extend(consumer.poll(max_records=n, timeout=0.2))
+    assert len(got) >= n, f"drained {len(got)}/{n}"
+    return got
+
+
+class TestConsumerPositionLag:
+    def test_lag_counts_undelivered_records(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        _fill(broker, 8)
+        consumer = Consumer(broker)
+        consumer.assign([("t", 0)])
+        assert consumer.lag() == {("t", 0): 8}
+        _drain(consumer, 3)
+        assert consumer.lag() == {("t", 0): 5}
+        _drain(consumer, 5)
+        assert consumer.lag() == {("t", 0): 0}
+
+    def test_lag_after_seek(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        _fill(broker, 8)
+        consumer = Consumer(broker)
+        consumer.assign([("t", 0)])
+        _drain(consumer, 8)
+        assert consumer.lag() == {("t", 0): 0}
+        # seeking backwards re-exposes records as lag...
+        consumer.seek("t", 0, 2)
+        assert consumer.lag() == {("t", 0): 6}
+        # ...and seeking past the end clamps to zero, not negative
+        consumer.seek("t", 0, 100)
+        assert consumer.lag() == {("t", 0): 0}
+
+    def test_rebalance_newly_assigned_partition_starts_at_committed(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=2)
+        for p in (0, 1):
+            _fill(broker, 6, partition=p)
+        first = Consumer(broker, group_id="g", client_id="c1")
+        first.subscribe("t")
+        _drain(first, 12)
+        # commit only partial progress (broker-side, like a crashed
+        # consumer that last committed at offset 2)
+        broker.commit_offset("g", "t", 0, 2)
+        broker.commit_offset("g", "t", 1, 2)
+        assert first.lag() == {("t", 0): 0, ("t", 1): 0}
+        # a second member joining forces a rebalance; the partition that
+        # changes owner starts from the committed offset, so the first
+        # consumer's uncommitted progress re-appears as lag at the new
+        # owner (records 2..6 will be redelivered)
+        second = Consumer(broker, group_id="g", client_id="c2")
+        second.subscribe("t")
+        delivered = second.poll(max_records=1, timeout=0.5)  # adopt the assignment
+        taken = list(second.assignment)
+        assert taken, "rebalance assigned nothing to the new member"
+        lag = second.lag()
+        # committed at 2 of 6 -> 4 outstanding, minus whatever that first
+        # poll already handed over
+        expected = {tp: 4 for tp in taken}
+        for rec in delivered:
+            expected[(rec.topic, rec.partition)] -= 1
+        assert lag == expected, (lag, expected)
+        # the redelivered record is the first uncommitted one
+        if delivered:
+            assert delivered[0].offset == 2
+        first.close()
+        second.close()
+
+    def test_prefetch_buffered_records_still_count_as_lag(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        _fill(broker, 8)
+        consumer = Consumer(broker, fetch_prefetch_batches=4, fetch_max_wait_ms=10.0)
+        consumer.assign([("t", 0)])
+        # prime the prefetcher without consuming everything
+        _drain(consumer, 1)
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            stats = consumer.stats()
+            if stats.get("prefetch_buffered_records", 0) > 0:
+                break
+            time.sleep(0.01)
+        assert stats["prefetch_buffered_records"] > 0
+        # buffered-but-undelivered records are still outstanding
+        assert consumer.lag()[("t", 0)] == 7
+        consumer.close()
+
+
+class TestBrokerCommittedLag:
+    def test_lag_from_committed_offsets(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=2)
+        _fill(broker, 6, partition=0)
+        _fill(broker, 4, partition=1)
+        consumer = Consumer(broker, group_id="g")
+        consumer.subscribe("t")
+        # nothing committed: full logs are lag
+        assert broker.consumer_lag("g") == {("t", 0): 6, ("t", 1): 4}
+        _drain(consumer, 10)
+        assert broker.consumer_lag("g") == {("t", 0): 6, ("t", 1): 4}
+        consumer.commit()
+        assert broker.consumer_lag("g") == {("t", 0): 0, ("t", 1): 0}
+        consumer.close()
+        # committed offsets survive group shutdown
+        assert broker.consumer_lag("g") == {("t", 0): 0, ("t", 1): 0}
+        _fill(broker, 3, partition=0)
+        assert broker.consumer_lag("g")[("t", 0)] == 3
+
+    def test_unknown_group_is_empty(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        assert broker.consumer_lag("ghost") == {}
+
+    def test_committed_offsets_accessors(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        _fill(broker, 5)
+        consumer = Consumer(broker, group_id="g")
+        consumer.subscribe("t")
+        _drain(consumer, 5)
+        consumer.commit()
+        assert broker.committed_offsets("g") == {("t", 0): 5}
+        assert broker.committed_offsets() == {("g", "t", 0): 5}
+        # the coordinator exposes the same view for group tooling
+        assert broker.coordinator.committed_offsets("g") == {("t", 0): 5}
+        assert broker.coordinator.group_ids() == ["g"]
+        assert broker.coordinator.group_topics("g") == ["t"]
+        consumer.close()
+
+    def test_partition_depths(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=2)
+        _fill(broker, 3, partition=1, payload=b"abcd")
+        depths = broker.partition_depths()
+        assert depths[("t", 0)] == {"depth": 0, "end_offset": 0, "bytes": 0}
+        assert depths[("t", 1)] == {"depth": 3, "end_offset": 3, "bytes": 12}
+
+
+class TestRemoteLagOps:
+    def test_lag_surface_over_the_wire(self):
+        core = Broker(name="core")
+        with BrokerServer(broker=core) as server:
+            with RemoteBroker(server.host, server.port) as remote:
+                remote.create_topic("t", num_partitions=1)
+                Producer(remote).send_many("t", [b"xy"] * 4, partition=0)
+                consumer = Consumer(remote, group_id="g")
+                consumer.subscribe("t")
+                assert remote.consumer_lag("g") == {("t", 0): 4}
+                _drain(consumer, 4)
+                consumer.commit()
+                assert remote.consumer_lag("g") == {("t", 0): 0}
+                assert remote.committed_offsets("g") == {("t", 0): 4}
+                assert remote.partition_depths() == {
+                    ("t", 0): {"depth": 4, "end_offset": 4, "bytes": 8}
+                }
+                assert remote.coordinator.group_ids() == ["g"]
+                assert remote.coordinator.committed_offsets("g") == {("t", 0): 4}
+                consumer.close()

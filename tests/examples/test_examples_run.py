@@ -23,6 +23,7 @@ EXAMPLES = {
     "hierarchical_continuum.py": "Small messages tolerate",
     "federated_learning.py": "model weights over the transatlantic link",
     "objective_planning.py": "acquired pilots",
+    "telemetry_tracing.py": "telemetry accounting verified",
     "visual_inspection.py": "accounting verified",
 }
 

@@ -89,3 +89,88 @@ class TestTraceJson:
     def test_write_file(self, collector, tmp_path):
         path = write_traces_json(tmp_path / "traces.json", collector)
         assert json.loads(path.read_text())["traces"]
+
+
+class TestTraceJsonRoundTrip:
+    def test_reparsed_dump_matches_source_collector(self, collector):
+        payload = json.loads(traces_to_json(collector))
+        by_id = {t["message_id"]: t for t in payload["traces"]}
+        for trace in collector.traces(complete_only=True):
+            dumped = by_id[trace.message_id]
+            assert dumped["partition"] == trace.partition
+            assert dumped["end_to_end_latency_s"] == pytest.approx(
+                trace.end_to_end_latency
+            )
+            for stage, timing in trace.timings.items():
+                assert dumped["timings"][stage]["t"] == timing.timestamp
+                assert dumped["timings"][stage]["nbytes"] == timing.nbytes
+                assert dumped["timings"][stage]["site"] == timing.site
+
+    def test_csv_stage_columns_match_report(self, report):
+        text = reports_csv_string([report], labels=["x"])
+        row = next(iter(csv.DictReader(text.splitlines())))
+        for stage, seconds in report.stage_means_s.items():
+            assert float(row[f"stage:{stage}_ms"]) == pytest.approx(
+                seconds * 1e3, abs=1e-3
+            )
+
+
+class TestSpanJsonRoundTrip:
+    def _tracer(self):
+        from repro.monitoring import Tracer
+
+        tracer = Tracer("svc")
+        root = tracer.start_trace("produce", site="edge", start=1.0)
+        child = tracer.start_span("append", parent=root, site="broker", start=1.1)
+        child.set_attr("offset", 3)
+        child.finish(end=1.2)
+        root.finish(end=1.5)
+        return tracer
+
+    def test_spans_roundtrip(self):
+        from repro.monitoring.export import spans_from_json, spans_to_json
+
+        tracer = self._tracer()
+        parsed = spans_from_json(spans_to_json(tracer))
+        (trace_id,) = parsed.keys()
+        assert trace_id == tracer.trace_ids()[0]
+        source = {s.span_id: s for s in tracer.spans()}
+        assert len(parsed[trace_id]) == len(source)
+        for span in parsed[trace_id]:
+            original = source[span.span_id]
+            assert span.name == original.name
+            assert span.site == original.site
+            assert span.parent_id == original.parent_id
+            assert span.start == original.start
+            assert span.end == original.end
+            assert span.attrs == original.attrs
+
+    def test_dump_carries_tracer_stats(self):
+        from repro.monitoring.export import spans_to_json
+
+        payload = json.loads(spans_to_json(self._tracer()))
+        assert payload["stats"]["spans_retained"] == 2
+
+    def test_write_spans_file(self, tmp_path):
+        from repro.monitoring.export import spans_from_json, write_spans_json
+
+        tracer = self._tracer()
+        path = write_spans_json(tmp_path / "spans.json", tracer)
+        assert spans_from_json(path.read_text())
+
+
+class TestSeriesJsonlRoundTrip:
+    def test_series_roundtrip_matches_sampler(self, tmp_path):
+        from repro.monitoring import TelemetrySampler
+        from repro.monitoring.export import series_from_jsonl, write_series_jsonl
+
+        sampler = TelemetrySampler()
+        level = {"v": 0}
+        sampler.add_source("s", lambda: {"lag": 10 - level["v"], "depth": level["v"]})
+        for v in (2, 6, 10):
+            level["v"] = v
+            sampler.sample_now()
+        path = write_series_jsonl(tmp_path / "series.jsonl", sampler)
+        parsed = series_from_jsonl(path.read_text())
+        assert parsed == sampler.snapshot()
+        assert [p[1] for p in parsed["lag"]] == [8.0, 4.0, 0.0]

@@ -93,6 +93,107 @@ class TestMetricsCollector:
         assert len(c) == 2000
 
 
+class TestRecordMax:
+    def test_keeps_high_watermark(self):
+        c = MetricsCollector("run")
+        c.record_max("fetches_in_flight", 2)
+        c.record_max("fetches_in_flight", 5)
+        c.record_max("fetches_in_flight", 3)
+        assert c.counter("fetches_in_flight") == 5
+
+    def test_first_negative_value_lands(self):
+        # Regression: the old implementation compared against an implicit
+        # 0, silently discarding a first report below zero (e.g. a clock
+        # drift or balance-style gauge).
+        c = MetricsCollector("run")
+        c.record_max("drift", -2.5)
+        assert c.counter("drift") == -2.5
+        assert c.gauges() == {"drift": -2.5}
+        c.record_max("drift", -4.0)
+        assert c.counter("drift") == -2.5
+        c.record_max("drift", -1.0)
+        assert c.counter("drift") == -1.0
+
+    def test_unreported_name_reads_zero(self):
+        assert MetricsCollector("run").counter("nope") == 0.0
+
+
+class TestSplitCounters:
+    def test_gauges_separated_from_counters(self):
+        c = MetricsCollector("run")
+        c.incr("records", 3)
+        c.record_max("peak_inflight", 7)
+        split = c.split_counters()
+        assert split == {
+            "counters": {"records": 3},
+            "gauges": {"peak_inflight": 7.0},
+        }
+        assert c.gauges() == {"peak_inflight": 7.0}
+
+    def test_merged_view_keeps_legacy_keys(self):
+        # Bench guards read both kinds from counters(); both must stay
+        # visible under their old names.
+        c = MetricsCollector("run")
+        c.incr("records", 3)
+        c.record_max("peak_inflight", 7)
+        assert c.counters() == {"records": 3, "peak_inflight": 7.0}
+
+    def test_counter_wins_name_collisions_in_merged_view(self):
+        c = MetricsCollector("run")
+        c.record_max("x", 99)
+        c.incr("x", 1)
+        assert c.counters()["x"] == 1
+        assert c.counter("x") == 1
+        split = c.split_counters()
+        assert split["counters"]["x"] == 1
+        assert split["gauges"]["x"] == 99.0
+
+
+class TestRegistryForwarding:
+    def _registry(self):
+        from repro.monitoring import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_incr_feeds_counter_instrument(self):
+        reg = self._registry()
+        c = MetricsCollector("run", registry=reg)
+        c.incr("dropped", 2)
+        c.incr("dropped")
+        assert reg.counter("dropped").value == 3
+
+    def test_negative_incr_skips_monotonic_instrument(self):
+        reg = self._registry()
+        c = MetricsCollector("run", registry=reg)
+        c.incr("adjustment", -1)
+        assert c.counter("adjustment") == -1  # collector keeps it
+        assert reg.counter("adjustment").value == 0  # instrument stays monotonic
+
+    def test_record_max_feeds_gauge_instrument(self):
+        reg = self._registry()
+        c = MetricsCollector("run", registry=reg)
+        c.record_max("peak", 4)
+        c.record_max("peak", 2)
+        assert reg.gauge("peak").value == 4.0
+
+    def test_process_end_stamps_feed_latency_histogram(self):
+        reg = self._registry()
+        c = MetricsCollector("run", registry=reg)
+        c.stamp("m1", "produce", 1.0)
+        c.stamp("m1", "process_end", 1.5)
+        c.stamp_many(["m2", "m3"], "produce", 2.0)
+        c.stamp_many(["m2", "m3"], "process_end", 2.25)
+        hist = reg.histogram("pipeline_e2e_latency_s")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(1.0)
+
+    def test_no_registry_is_default(self):
+        c = MetricsCollector("run")
+        c.stamp("m1", "produce", 1.0)
+        c.stamp("m1", "process_end", 1.5)  # must not touch any registry
+        assert c.trace("m1").complete
+
+
 class TestPercentile:
     def test_median(self):
         assert percentile([1, 2, 3, 4, 5], 50) == 3
