@@ -31,6 +31,13 @@ prefetching consumer, writing ``benchmarks/artifacts/BENCH_prefetch.json``
 ``MIN_PREFETCH_WAN_SPEEDUP``x under RTT, while costing at most
 ``MAX_PREFETCH_INPROC_REGRESSION`` on the zero-RTT in-proc pipeline.
 
+The reactor guard (``BENCH_reactor.json``) covers the event-loop server:
+1k+ concurrent mixed-role clients on one reactor with zero extra threads
+and flat per-connection memory, plus interleaved drain-rate pairs
+against the thread-per-connection baseline (in-proc and 24 ms WAN). The
+telemetry guard gates both the disabled (<= 5%) and fully-enabled
+(<= 10%) overhead of the tracing/metrics hot path.
+
 The pytest entry point is marked ``bench`` and benchmarks/ is outside
 ``testpaths``, so tier-1 runs never pay for it; select it explicitly
 with ``pytest -m bench benchmarks/bench_guard.py``. Set
@@ -40,15 +47,21 @@ with ``pytest -m bench benchmarks/bench_guard.py``. Set
 import gc
 import json
 import os
+import resource
+import socket
 import sys
+import threading
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.broker import Broker, Consumer, Producer
-from repro.broker.remote import BrokerServer, RemoteBroker
+from repro.broker.reactor import ReactorBrokerServer
+from repro.broker.remote import BrokerServer, RemoteBroker, ThreadedBrokerServer
+from repro.broker.wire import b64, recv_frame, send_frame
 from repro.compute import ResourceSpec
 from repro.core import EdgeToCloudPipeline, PipelineConfig
 from repro.data import encode_block
@@ -59,6 +72,7 @@ from repro.pilot import PilotComputeService, PilotDescription
 ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_broker.json"
 PIPELINE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_pipeline.json"
 ROBUSTNESS_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_robustness.json"
+REACTOR_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_reactor.json"
 PREFETCH_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_prefetch.json"
 TELEMETRY_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_telemetry.json"
 #: Sampler time series from the fully-enabled telemetry round, uploaded
@@ -421,10 +435,16 @@ def test_prefetch_guard():
 #: pipeline: the per-record hook cost is a header check and a sampled-out
 #: (no-op) span. This is the issue's "disabled-by-default overhead" gate.
 MAX_TELEMETRY_OFF_OVERHEAD = 0.05
-#: Interleaved bare/disabled pairs, gated on the cleanest adjacent pair
-#: (same trick as the prefetch in-proc gate). Not reduced in FAST mode:
-#: a single pair is dominated by scheduler noise and the 5% gate would
-#: be vacuous.
+#: Fully *enabled* telemetry (tracing every message + live registry +
+#: background sampler) is real per-record work, but since the hot path
+#: went batch-shaped (``record_hops``/``observe_many``, lazy span attrs)
+#: it must stay within 10% of the bare pipeline — down from the ~45%
+#: the per-span-object path cost.
+MAX_TELEMETRY_ON_OVERHEAD = 0.10
+#: Interleaved bare/disabled/enabled rounds, each gate taking the
+#: cleanest adjacent pair (same trick as the prefetch in-proc gate).
+#: Not reduced in FAST mode: a single pair is dominated by scheduler
+#: noise and the 5%/10% gates would be vacuous.
 TELEMETRY_ROUNDS = 3
 
 
@@ -446,23 +466,28 @@ def run_telemetry_guard() -> dict:
         np.random.default_rng(0).normal(size=(PIPE_POINTS, PIPE_FEATURES))
     )
     pairs = []
+    enabled_pairs = []
+    tracer = sampler = None
     for _ in range(TELEMETRY_ROUNDS):
         bare = _pipeline_rate(payload, batched=True, check_crcs=False)
         off = _pipeline_rate(
             payload, batched=True, check_crcs=False,
             telemetry=_telemetry_objects(enabled=False),
         )
+        # Fully-enabled round in the same interleave: every message
+        # traced (producer stamp -> broker.append -> consumer.poll
+        # spans), live registry histograms, background sampler thread.
+        registry, tracer, sampler = _telemetry_objects(enabled=True)
+        on = _pipeline_rate(
+            payload, batched=True, check_crcs=False,
+            telemetry=(registry, tracer, sampler),
+        )
         pairs.append((bare, off))
+        enabled_pairs.append((bare, on))
     off_overhead = min(max(0.0, 1.0 - o / b) for b, o in pairs)
+    on_overhead = min(max(0.0, 1.0 - o / b) for b, o in enabled_pairs)
 
-    # Fully-enabled round (tracing every message + background sampler):
-    # reported for context, not gated — per-message span bookkeeping is
-    # real, opted-in work. Its sampler series is the CI artifact.
-    registry, tracer, sampler = _telemetry_objects(enabled=True)
-    enabled = _pipeline_rate(
-        payload, batched=True, check_crcs=False,
-        telemetry=(registry, tracer, sampler),
-    )
+    # The last enabled round's sampler series is the CI artifact.
     TELEMETRY_JSONL.parent.mkdir(parents=True, exist_ok=True)
     sampler.write_jsonl(TELEMETRY_JSONL)
     bare_best = max(b for b, _ in pairs)
@@ -472,11 +497,15 @@ def run_telemetry_guard() -> dict:
         "rounds": TELEMETRY_ROUNDS,
         "bare_msgs_s": round(bare_best, 1),
         "disabled_msgs_s": round(max(o for _, o in pairs), 1),
-        "enabled_msgs_s": round(enabled, 1),
+        "enabled_msgs_s": round(max(o for _, o in enabled_pairs), 1),
         "pair_overheads": [round(max(0.0, 1.0 - o / b), 3) for b, o in pairs],
         "disabled_overhead": round(off_overhead, 3),
         "max_disabled_overhead": MAX_TELEMETRY_OFF_OVERHEAD,
-        "enabled_overhead": round(max(0.0, 1.0 - enabled / bare_best), 3),
+        "enabled_pair_overheads": [
+            round(max(0.0, 1.0 - o / b), 3) for b, o in enabled_pairs
+        ],
+        "enabled_overhead": round(on_overhead, 3),
+        "max_enabled_overhead": MAX_TELEMETRY_ON_OVERHEAD,
         "enabled_spans": tracer.stats()["spans_retained"],
         "enabled_sample_rounds": sampler.sample_rounds,
         "telemetry_jsonl": str(TELEMETRY_JSONL),
@@ -495,6 +524,13 @@ def _check_telemetry(results: dict) -> list:
             f"{MAX_TELEMETRY_OFF_OVERHEAD:.0%} "
             f"({results['disabled_msgs_s']} vs {results['bare_msgs_s']} msgs/s)"
         )
+    if results["enabled_overhead"] > MAX_TELEMETRY_ON_OVERHEAD:
+        failures.append(
+            f"enabled-telemetry consume overhead "
+            f"{results['enabled_overhead']:.1%} > allowed "
+            f"{MAX_TELEMETRY_ON_OVERHEAD:.0%} "
+            f"({results['enabled_msgs_s']} vs {results['bare_msgs_s']} msgs/s)"
+        )
     if results["enabled_spans"] == 0:
         failures.append(
             "enabled-telemetry round recorded no spans: the overhead "
@@ -508,6 +544,254 @@ def test_telemetry_guard():
     results = run_telemetry_guard()
     failures = _check_telemetry(results)
     assert not failures, "; ".join(failures) + f"; see {TELEMETRY_ARTIFACT}"
+
+
+# -- reactor guard: connection scale + no server throughput regression -------
+
+#: The connection-scale leg must hold 1k+ concurrent clients (mixed
+#: idle / long-polling / pipelined-producing) on ONE reactor with zero
+#: extra threads and flat per-connection Python-heap memory.
+REACTOR_CONNECTIONS = 1000
+REACTOR_PRODUCERS = 100
+REACTOR_LONG_POLLERS = 200
+REACTOR_APPENDS_PER_PRODUCER = 5
+MAX_REACTOR_PER_CONN_BYTES = 32 * 1024
+#: Throughput legs: draining the prefetch-guard topic through a
+#: RemoteBroker against the reactor must stay within 10% of the
+#: thread-per-connection baseline, in-proc and at the 24 ms WAN RTT.
+#: Interleaved baseline/reactor pairs, gated on the cleanest pair.
+MAX_REACTOR_INPROC_REGRESSION = 0.10
+MAX_REACTOR_WAN_REGRESSION = 0.10
+REACTOR_INPROC_ROUNDS = 3
+REACTOR_WAN_ROUNDS = 1 if FAST else 2
+
+
+def _ensure_fds(needed: int) -> bool:
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft >= needed:
+        return True
+    try:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (min(needed, hard), hard))
+    except (ValueError, OSError):
+        return False
+    return resource.getrlimit(resource.RLIMIT_NOFILE)[0] >= needed
+
+
+def _reactor_connection_scale() -> dict:
+    """1k concurrent mixed-role clients against one reactor, measured."""
+    if not _ensure_fds(2 * REACTOR_CONNECTIONS + 256):
+        return {"connections": 0, "error": "cannot raise RLIMIT_NOFILE"}
+    server = ReactorBrokerServer(num_workers=4).start()
+    server.broker.create_topic("lp", 1)
+    server.broker.create_topic("prod", 1)
+    socks: list = []
+    try:
+        baseline_threads = threading.active_count()
+
+        def connect() -> socket.socket:
+            sock = socket.create_connection((server.host, server.port), timeout=30)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(30)
+            socks.append(sock)
+            return sock
+
+        producers = [connect() for _ in range(REACTOR_PRODUCERS)]
+        pollers = [connect() for _ in range(REACTOR_LONG_POLLERS)]
+        n_idle = REACTOR_CONNECTIONS - REACTOR_PRODUCERS - REACTOR_LONG_POLLERS
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(n_idle):
+            connect()
+        deadline = time.monotonic() + 30
+        while (
+            server.connections_active < REACTOR_CONNECTIONS
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        per_conn = (after - before) / n_idle
+
+        for sock in pollers:
+            send_frame(
+                sock,
+                {"op": "fetch", "topic": "lp", "partition": 0, "offset": 0,
+                 "timeout": 60.0, "cid": 0},
+            )
+        deadline = time.monotonic() + 30
+        while (
+            server.parked_fetches < REACTOR_LONG_POLLERS
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        threads_added = threading.active_count() - baseline_threads
+
+        t0 = time.perf_counter()
+        answered = 0
+        for i, sock in enumerate(producers):
+            for j in range(REACTOR_APPENDS_PER_PRODUCER):
+                send_frame(
+                    sock,
+                    {"op": "append", "topic": "prod", "partition": 0,
+                     "value": b64(b"m%d-%d" % (i, j)), "cid": j},
+                )
+        for sock in producers:
+            for _ in range(REACTOR_APPENDS_PER_PRODUCER):
+                response, _ = recv_frame(sock)
+                answered += response["ok"]
+        server.broker.append("lp", 0, b"wake")
+        for sock in pollers:
+            response, _ = recv_frame(sock)
+            answered += response["ok"] and len(response["result"]) == 1
+        elapsed = time.perf_counter() - t0
+        expected = (
+            REACTOR_PRODUCERS * REACTOR_APPENDS_PER_PRODUCER
+            + REACTOR_LONG_POLLERS
+        )
+        return {
+            "connections": server.connections_active,
+            "long_polls_parked_peak": REACTOR_LONG_POLLERS,
+            "threads_added": threads_added,
+            "per_conn_bytes": round(per_conn),
+            "requests_expected": expected,
+            "requests_answered": int(answered),
+            "mixed_load_s": round(elapsed, 3),
+        }
+    finally:
+        if tracemalloc.is_tracing():
+            tracemalloc.stop()
+        for sock in socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        server.stop()
+
+
+def _prefilled_server(server_cls):
+    server = server_cls()
+    server.start()
+    with RemoteBroker(server.host, server.port) as admin:
+        admin.create_topic("guard", WAN_PARTITIONS)
+        for p in range(WAN_PARTITIONS):
+            admin.append_many("guard", p, [b"x" * 1024] * WAN_MSGS)
+    return server
+
+
+def _server_drain_rate(server, rtt_ms: float) -> float:
+    """Records/s draining the pre-filled topic from *server*."""
+    link = None
+    if rtt_ms > 0:
+        link = Link(
+            LinkProfile("reactor-guard", rtt_ms, rtt_ms, 1_000.0, 1_000.0),
+            time_scale=1.0,
+        )
+    total = WAN_PARTITIONS * WAN_MSGS
+    with RemoteBroker(server.host, server.port, link=link) as rb:
+        consumer = Consumer(
+            rb, fetch_prefetch_batches=4, fetch_max_wait_ms=100.0
+        )
+        consumer.assign([("guard", p) for p in range(WAN_PARTITIONS)])
+        try:
+            t0 = time.perf_counter()
+            got = 0
+            while got < total:
+                got += len(
+                    consumer.poll(max_records=PREFETCH_POLL_BATCH, timeout=0.5)
+                )
+            return total / (time.perf_counter() - t0)
+        finally:
+            consumer.close()
+
+
+def _server_drain_pair(rtt_ms: float) -> tuple:
+    """(threaded, reactor) drain rates measured back to back."""
+    rates = []
+    for server_cls in (ThreadedBrokerServer, ReactorBrokerServer):
+        server = _prefilled_server(server_cls)
+        try:
+            rates.append(_server_drain_rate(server, rtt_ms))
+        finally:
+            server.stop()
+    return tuple(rates)
+
+
+def run_reactor_guard() -> dict:
+    """Measure the reactor server, persist the artifact, return results."""
+    scale = _reactor_connection_scale()
+    inproc_pairs = [_server_drain_pair(0.0) for _ in range(REACTOR_INPROC_ROUNDS)]
+    wan_pairs = [_server_drain_pair(WAN_RTT_MS) for _ in range(REACTOR_WAN_ROUNDS)]
+    inproc_regression = min(max(0.0, 1.0 - r / b) for b, r in inproc_pairs)
+    wan_regression = min(max(0.0, 1.0 - r / b) for b, r in wan_pairs)
+    results = {
+        **scale,
+        "wan_rtt_ms": WAN_RTT_MS,
+        "drain_messages": WAN_PARTITIONS * WAN_MSGS,
+        "inproc_threaded_msgs_s": round(max(b for b, _ in inproc_pairs), 1),
+        "inproc_reactor_msgs_s": round(max(r for _, r in inproc_pairs), 1),
+        "inproc_pair_regressions": [
+            round(max(0.0, 1.0 - r / b), 3) for b, r in inproc_pairs
+        ],
+        "inproc_regression": round(inproc_regression, 3),
+        "max_inproc_regression": MAX_REACTOR_INPROC_REGRESSION,
+        "wan_threaded_msgs_s": round(max(b for b, _ in wan_pairs), 1),
+        "wan_reactor_msgs_s": round(max(r for _, r in wan_pairs), 1),
+        "wan_regression": round(wan_regression, 3),
+        "max_wan_regression": MAX_REACTOR_WAN_REGRESSION,
+        "max_per_conn_bytes": MAX_REACTOR_PER_CONN_BYTES,
+    }
+    REACTOR_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    REACTOR_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_reactor(results: dict) -> list:
+    failures = []
+    if results["connections"] < REACTOR_CONNECTIONS:
+        failures.append(
+            f"connection-scale leg held {results['connections']} concurrent "
+            f"connections < required {REACTOR_CONNECTIONS} "
+            f"({results.get('error', 'connections dropped or not accepted')})"
+        )
+    else:
+        if results["threads_added"] > 0:
+            failures.append(
+                f"{results['connections']} connections grew the thread count "
+                f"by {results['threads_added']} (must be 0: O(1) threads)"
+            )
+        if results["per_conn_bytes"] > MAX_REACTOR_PER_CONN_BYTES:
+            failures.append(
+                f"per-connection heap {results['per_conn_bytes']} B > allowed "
+                f"{MAX_REACTOR_PER_CONN_BYTES} B"
+            )
+        if results["requests_answered"] != results["requests_expected"]:
+            failures.append(
+                f"only {results['requests_answered']}/"
+                f"{results['requests_expected']} requests answered"
+            )
+    if results["inproc_regression"] > MAX_REACTOR_INPROC_REGRESSION:
+        failures.append(
+            f"reactor in-proc drain regression "
+            f"{results['inproc_regression']:.1%} > allowed "
+            f"{MAX_REACTOR_INPROC_REGRESSION:.0%} "
+            f"({results['inproc_reactor_msgs_s']} vs "
+            f"{results['inproc_threaded_msgs_s']} msgs/s)"
+        )
+    if results["wan_regression"] > MAX_REACTOR_WAN_REGRESSION:
+        failures.append(
+            f"reactor WAN drain regression {results['wan_regression']:.1%} "
+            f"> allowed {MAX_REACTOR_WAN_REGRESSION:.0%} "
+            f"({results['wan_reactor_msgs_s']} vs "
+            f"{results['wan_threaded_msgs_s']} msgs/s at {WAN_RTT_MS} ms RTT)"
+        )
+    return failures
+
+
+@pytest.mark.bench
+def test_reactor_guard():
+    results = run_reactor_guard()
+    failures = _check_reactor(results)
+    assert not failures, "; ".join(failures) + f"; see {REACTOR_ARTIFACT}"
 
 
 # -- robustness guard: idempotence overhead + lossy-path delivery ------------
@@ -763,8 +1047,25 @@ def main() -> int:
         print(
             f"OK: disabled-telemetry overhead "
             f"{telemetry['disabled_overhead']:.1%} <= "
-            f"{MAX_TELEMETRY_OFF_OVERHEAD:.0%} (enabled: "
-            f"{telemetry['enabled_overhead']:.1%}, informational)"
+            f"{MAX_TELEMETRY_OFF_OVERHEAD:.0%}, enabled "
+            f"{telemetry['enabled_overhead']:.1%} <= "
+            f"{MAX_TELEMETRY_ON_OVERHEAD:.0%}"
+        )
+
+    reactor = run_reactor_guard()
+    for key, value in reactor.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {REACTOR_ARTIFACT}]")
+    reactor_failures = _check_reactor(reactor)
+    for failure in reactor_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    if not reactor_failures:
+        print(
+            f"OK: reactor served {reactor['connections']} connections with "
+            f"{reactor['threads_added']} extra threads, in-proc regression "
+            f"{reactor['inproc_regression']:.1%}, WAN regression "
+            f"{reactor['wan_regression']:.1%}"
         )
     return status
 

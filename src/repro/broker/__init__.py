@@ -49,10 +49,12 @@ from repro.broker.remote import (
     RemoteBrokerError,
     RemoteFatalError,
     RemoteRetriableError,
+    ThreadedBrokerServer,
 )
 
 __all__ = [
     "BrokerServer",
+    "ThreadedBrokerServer",
     "RemoteBroker",
     "RemoteBrokerError",
     "RemoteRetriableError",

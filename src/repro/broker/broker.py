@@ -211,20 +211,21 @@ class Broker:
     def _trace_appends(self, records, topic: str, partition: int, start: float) -> None:
         """Record a ``broker.append`` span for each record that arrived
         with a propagated trace context in its headers."""
-        tracer = self.tracer
         end = time.monotonic()
+        hops = []
         for record in records:
             headers = record.headers
             ctx = headers.get("trace") if headers else None
-            if not ctx:
-                continue
-            span = tracer.start_span(
-                "broker.append", parent=ctx, site=self.name, start=start
+            if ctx:
+                hops.append(
+                    (ctx, {"topic": topic, "partition": partition, "offset": record.offset})
+                )
+        if hops:
+            # One batched recording per append batch (one tracer lock),
+            # not one span-object lifecycle per record.
+            self.tracer.record_hops(
+                "broker.append", hops, site=self.name, start=start, end=end
             )
-            span.set_attr("topic", topic)
-            span.set_attr("partition", partition)
-            span.set_attr("offset", record.offset)
-            span.finish(end)
 
     def partition_log(self, topic: str, partition: int) -> PartitionLog:
         """Direct handle to one partition's log (in-process brokers only).

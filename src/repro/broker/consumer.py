@@ -598,16 +598,19 @@ class Consumer:
             self.records_consumed += 1
             self.bytes_consumed += r.size
         if self._tracer is not None and records:
+            # Batched span recording: one timestamp and one tracer lock
+            # for the whole poll batch instead of per record — this loop
+            # dominated the enabled-telemetry overhead benchmark.
             now = time.monotonic()
+            hops = []
             for r in records:
                 ctx = r.headers.get("trace") if r.headers else None
-                if not ctx:
-                    continue
-                span = self._tracer.start_span(
-                    "consumer.poll", parent=ctx, site=self._trace_site, start=now
+                if ctx:
+                    hops.append((ctx, {"offset": r.offset}))
+            if hops:
+                self._tracer.record_hops(
+                    "consumer.poll", hops, site=self._trace_site, start=now, end=now
                 )
-                span.set_attr("offset", r.offset)
-                span.finish(now)
         return records
 
     def _partition_logs(self):

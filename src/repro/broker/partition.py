@@ -480,6 +480,53 @@ class PartitionLog:
                     self.long_polls_parked += 1
                 self._data_available.wait(remaining)
 
+    def poll_fetch(
+        self,
+        offset: int,
+        max_records: int = 64,
+        min_bytes: int = 1,
+    ) -> tuple[list[Record], bool]:
+        """Non-blocking fetch probe for event-loop servers.
+
+        Returns ``(batch, satisfied)``: *satisfied* is True when the
+        long-poll contract of :meth:`fetch` would return *batch* now
+        (data present and the ``min_bytes`` / full-batch threshold met).
+        When False, the caller should park — registering a waiter first
+        and re-probing after, so an append racing the park is never
+        missed. Raises :class:`OffsetOutOfRangeError` like :meth:`fetch`.
+        """
+        check_non_negative("offset", offset)
+        check_positive("max_records", max_records)
+        min_bytes = max(1, int(min_bytes))
+        with self._lock:
+            if offset < self._base_offset or offset > self._next_offset:
+                raise OffsetOutOfRangeError(
+                    self.topic, self.partition, offset, self._base_offset, self._next_offset
+                )
+            if self._is_dense():
+                start = offset - self._base_offset
+            else:
+                start = bisect.bisect_left(
+                    self._records, offset, key=lambda r: r.offset
+                )
+            batch = self._slice(start, int(max_records))
+            satisfied = bool(batch) and (
+                min_bytes <= 1
+                or len(batch) >= int(max_records)
+                or sum(r.size for r in batch) >= min_bytes
+            )
+            return batch, satisfied
+
+    def note_long_poll_parked(self) -> None:
+        """Count a long-poll that parked outside the condition variable.
+
+        The reactor server parks fetches as event-loop state rather than
+        blocking in :meth:`fetch`; this keeps ``long_polls_parked``
+        accurate for broker stats and the telemetry sampler either way.
+        """
+        with self._lock:
+            self.long_polls_parked += 1
+
     def offset_for_time(self, timestamp: float) -> int | None:
         """Earliest offset whose append time is >= *timestamp*.
 

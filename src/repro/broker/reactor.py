@@ -1,0 +1,679 @@
+"""Reactor broker server: one event loop, O(1) threads, 1k+ connections.
+
+The thread-per-connection server (:class:`repro.broker.remote.ThreadedBrokerServer`)
+spends one OS thread per client plus one side thread per parked
+long-poll — a model that collapses well before the connection counts an
+edge deployment needs. This module replaces the server half of the wire
+path with a ``selectors``-based reactor:
+
+* **One I/O thread** multiplexes every client socket with non-blocking
+  reads and writes. Inbound bytes feed a per-connection incremental
+  :class:`~repro.broker.wire.FrameDecoder`; outbound frames accumulate
+  in a per-connection write buffer that drains as the socket allows.
+* **A small bounded worker pool** executes op dispatch (JSON build,
+  base64, broker calls) off the loop. Each connection is a *strand*: its
+  requests run one at a time in arrival order — per-connection append
+  order is preserved, which idempotent producer sequence numbers rely
+  on — while different connections run in parallel across workers.
+* **Long-poll fetches park as reactor state**, not threads. A parkable
+  fetch is probed non-blockingly (:meth:`PartitionLog.poll_fetch`); if
+  unsatisfied it lands in a parked-request table keyed by
+  ``(topic, partition)`` with a deadline heap. The partition's existing
+  waiter hook (``register_waiter``) takes a duck-typed waker whose
+  ``set()`` nudges the loop through a self-pipe, so the append path did
+  not change at all. A parked fetch therefore costs one table entry —
+  no thread, no stack.
+
+The wire format and the client (:class:`repro.broker.remote.RemoteBroker`)
+are untouched: correlation-id pipelining, per-op semantics, deadlines,
+and reconnect/replay behavior all hold. Frames still carry the optional
+``"trace"`` field; a ``server.<op>`` span covers dispatch (and for a
+parked fetch, the full park duration — same as the old side thread).
+
+Tuning knobs: ``num_workers`` (dispatch parallelism; the default of 4
+is plenty for a GIL-bound op table), ``max_buffered_bytes`` (per-
+connection outbound cap — a slow reader's reads are paused until its
+buffer drains below half the cap, bounding per-connection memory).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from functools import partial
+
+from repro.broker.broker import Broker
+from repro.broker.wire import (
+    FrameDecoder,
+    encode_frame,
+    execute_op,
+    format_fetch,
+    is_parkable,
+)
+
+_READ = selectors.EVENT_READ
+_WRITE = selectors.EVENT_WRITE
+_RECV_CHUNK = 262144
+
+
+class _Conn:
+    """Per-connection reactor state (loop-owned except where noted)."""
+
+    __slots__ = (
+        "sock",
+        "fd",
+        "decoder",
+        "outbuf",
+        "outbox",
+        "lock",
+        "pending",
+        "scheduled",
+        "closed",
+        "read_paused",
+        "mask",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.decoder = FrameDecoder()
+        #: Loop-owned outbound byte buffer, drained as the socket allows.
+        self.outbuf = bytearray()
+        #: Worker -> loop handoff: encoded response buffers (under lock).
+        self.outbox: deque = deque()
+        self.lock = threading.Lock()
+        #: Strand queue: this connection's requests, executed in order.
+        self.pending: deque = deque()
+        self.scheduled = False
+        self.closed = False
+        self.read_paused = False
+        self.mask = 0
+
+
+class _ParkedFetch:
+    """A long-poll fetch parked as reactor state instead of a thread."""
+
+    __slots__ = (
+        "conn", "op", "cid", "span", "log",
+        "topic", "partition", "offset", "max_records", "min_bytes",
+        "deadline", "done",
+    )
+
+    def __init__(self, conn, op, cid, span, request) -> None:
+        self.conn = conn
+        self.op = op
+        self.cid = cid
+        self.span = span
+        self.log = None
+        self.topic = request.get("topic")
+        self.partition = request.get("partition")
+        self.offset = request.get("offset")
+        self.max_records = request.get("max_records", 64)
+        self.min_bytes = request.get("min_bytes", 1)
+        self.deadline = 0.0
+        self.done = False
+
+
+class _PartitionWaker:
+    """Duck-typed waiter handed to ``PartitionLog.register_waiter``.
+
+    The log calls ``set()`` on every append (it expects a
+    ``threading.Event``); here that marks the partition key dirty and
+    nudges the reactor through its self-pipe — the append path needs no
+    knowledge of the reactor at all.
+    """
+
+    __slots__ = ("_server", "_key")
+
+    def __init__(self, server: "ReactorBrokerServer", key: tuple) -> None:
+        self._server = server
+        self._key = key
+
+    def set(self) -> None:
+        server = self._server
+        with server._wake_lock:
+            server._pending_wakes.add(self._key)
+        server._wake()
+
+
+class ReactorBrokerServer:
+    """Serves an in-process broker over TCP from one event loop.
+
+    Drop-in replacement for the threaded server: same constructor, same
+    public counters (``connections_served`` / ``requests_served`` /
+    ``op_counts``), same wire behavior. Exported from
+    ``repro.broker.remote`` as ``BrokerServer``.
+    """
+
+    def __init__(
+        self,
+        broker: Broker | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tracer=None,
+        num_workers: int = 4,
+        max_buffered_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.broker = broker if broker is not None else Broker()
+        #: Optional :class:`repro.monitoring.Tracer`; frames carrying the
+        #: optional ``"trace"`` field get a ``server.<op>`` span.
+        self._tracer = tracer
+        self.num_workers = max(1, int(num_workers))
+        #: Per-connection outbound buffer cap: beyond it the connection's
+        #: reads pause until the buffer drains below half (backpressure).
+        self.max_buffered_bytes = int(max_buffered_bytes)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1024)
+        self.host, self.port = self._listener.getsockname()
+
+        self.connections_served = 0
+        self.requests_served = 0
+        #: op name -> number of requests dispatched (batching telemetry).
+        self.op_counts: dict[str, int] = {}
+        self._counts_lock = threading.Lock()
+        #: Seconds the loop spent processing its last wakeup — a growing
+        #: value means the loop (not the sockets) is the bottleneck.
+        self.reactor_loop_lag = 0.0
+
+        self._selector: selectors.DefaultSelector | None = None
+        self._conns: dict[int, _Conn] = {}
+        self._parked: dict[tuple, list[_ParkedFetch]] = {}
+        self._wakers: dict[tuple, _PartitionWaker] = {}
+        self._deadlines: list = []
+        self._park_seq = itertools.count()
+        self._wake_lock = threading.Lock()
+        self._pending_wakes: set = set()
+        self._dirty: set = set()
+        self._wake_r: socket.socket | None = None
+        self._wake_w: socket.socket | None = None
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._workers: list[threading.Thread] = []
+        self._reactor_thread: threading.Thread | None = None
+        self._stopping = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ReactorBrokerServer":
+        if self._reactor_thread is not None:
+            raise RuntimeError("server already started")
+        self._stopping = False
+        self._listener.setblocking(False)
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, _READ, "accept")
+        self._selector.register(self._wake_r, _READ, "wake")
+        for i in range(self.num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"broker-worker-{i}:{self.port}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._reactor_thread = threading.Thread(
+            target=self._run, name=f"broker-reactor:{self.port}", daemon=True
+        )
+        self._reactor_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Deterministic shutdown: close every live connection, drain the
+        parked-request table, join the reactor and every worker."""
+        if self._reactor_thread is not None:
+            self._stopping = True
+            self._wake()
+            self._reactor_thread.join(timeout=10)
+            self._reactor_thread = None
+        else:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for _ in self._workers:
+            self._tasks.put(None)
+        for worker in self._workers:
+            worker.join(timeout=5)
+        self._workers = []
+
+    def __enter__(self) -> "ReactorBrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple:
+        return (self.host, self.port)
+
+    @property
+    def connections_active(self) -> int:
+        """Live client connections (gauge)."""
+        return len(self._conns)
+
+    @property
+    def parked_fetches(self) -> int:
+        """Long-poll fetches currently parked in the reactor (gauge)."""
+        return sum(len(b) for b in self._parked.values())
+
+    def metrics(self) -> dict:
+        """Server-internals snapshot for the telemetry sampler."""
+        return {
+            "connections_active": self.connections_active,
+            "parked_fetches": self.parked_fetches,
+            "reactor_loop_lag_s": self.reactor_loop_lag,
+            "requests_served": self.requests_served,
+            "connections_served": self.connections_served,
+        }
+
+    # -- the loop -----------------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except (BlockingIOError, OSError, AttributeError):
+            pass  # pipe full (loop will wake anyway) or already closed
+
+    def _run(self) -> None:
+        selector = self._selector
+        try:
+            while not self._stopping:
+                timeout = self._next_timeout()
+                events = selector.select(timeout)
+                t0 = time.monotonic()
+                for key, mask in events:
+                    data = key.data
+                    if data == "accept":
+                        self._on_accept()
+                    elif data == "wake":
+                        try:
+                            while self._wake_r.recv(4096):
+                                pass
+                        except (BlockingIOError, OSError):
+                            pass
+                    else:
+                        if mask & _READ:
+                            self._on_readable(data)
+                        if mask & _WRITE and not data.closed:
+                            self._pump_out(data)
+                self._flush_dirty()
+                self._process_wakes()
+                self._process_deadlines()
+                self.reactor_loop_lag = time.monotonic() - t0
+        finally:
+            self._teardown()
+
+    def _next_timeout(self) -> float:
+        heap = self._deadlines
+        while heap and heap[0][2].done:
+            heapq.heappop(heap)
+        if not heap:
+            return 0.5
+        return min(0.5, max(0.0, heap[0][0] - time.monotonic()))
+
+    def _teardown(self) -> None:
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        for obj in (self._listener, self._wake_r, self._wake_w):
+            try:
+                obj.close()
+            except (OSError, AttributeError):
+                pass
+        self._selector.close()
+        self._selector = None
+        self._parked.clear()
+        self._wakers.clear()
+        self._deadlines.clear()
+
+    # -- connections --------------------------------------------------------
+
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn = _Conn(sock)
+            self._conns[conn.fd] = conn
+            self.connections_served += 1
+            conn.mask = _READ
+            self._selector.register(sock, _READ, conn)
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        with conn.lock:
+            conn.closed = True
+            conn.outbox.clear()
+            conn.pending.clear()
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._conns.pop(conn.fd, None)
+        with self._wake_lock:
+            self._dirty.discard(conn)
+        # Drop this connection's parked fetches; finish their spans so a
+        # traced run does not leak unrecorded server spans.
+        for key in list(self._parked):
+            for entry in [e for e in self._parked.get(key, ()) if e.conn is conn]:
+                self._unpark(entry)
+                if entry.span is not None:
+                    entry.span.set_attr("error", "ConnectionClosed")
+                    entry.span.finish()
+
+    def _on_readable(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            self._close_conn(conn)
+            return
+        conn.decoder.feed(data)
+        try:
+            while True:
+                frame = conn.decoder.next_frame()
+                if frame is None:
+                    break
+                request, blobs = frame
+                if is_parkable(request):
+                    # Long-polls never occupy a worker: probe, then park
+                    # as loop state or complete through the strand.
+                    self._begin_parkable_fetch(conn, request, blobs)
+                else:
+                    self._enqueue_task(
+                        conn, partial(self._handle_request, conn, request, blobs)
+                    )
+        except ConnectionError:
+            self._close_conn(conn)
+
+    # -- outbound -----------------------------------------------------------
+
+    def _queue_output(self, conn: _Conn, buffers) -> None:
+        """Hand encoded buffers to the loop (called from workers)."""
+        with conn.lock:
+            if conn.closed:
+                return
+            conn.outbox.extend(buffers)
+        with self._wake_lock:
+            self._dirty.add(conn)
+        self._wake()
+
+    def _flush_dirty(self) -> None:
+        with self._wake_lock:
+            dirty, self._dirty = self._dirty, set()
+        for conn in dirty:
+            if not conn.closed:
+                self._pump_out(conn)
+
+    def _pump_out(self, conn: _Conn) -> None:
+        outbuf = conn.outbuf
+        with conn.lock:
+            while conn.outbox:
+                outbuf += conn.outbox.popleft()
+        while outbuf:
+            try:
+                sent = conn.sock.send(outbuf)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            if sent == 0:
+                break
+            del outbuf[:sent]
+        # Backpressure with hysteresis: a slow reader stops being read
+        # once its outbound buffer passes the cap, resumes below half.
+        if conn.read_paused:
+            if len(outbuf) < self.max_buffered_bytes // 2:
+                conn.read_paused = False
+        elif len(outbuf) > self.max_buffered_bytes:
+            conn.read_paused = True
+        self._update_mask(conn)
+
+    def _update_mask(self, conn: _Conn) -> None:
+        mask = 0
+        if not conn.read_paused:
+            mask |= _READ
+        if conn.outbuf or conn.outbox:
+            mask |= _WRITE
+        if mask == 0:
+            mask = _WRITE  # paused reader with a drained buffer: next
+            # pump resumes reads; keep the registration valid meanwhile.
+        if mask != conn.mask:
+            try:
+                self._selector.modify(conn.sock, mask, conn)
+                conn.mask = mask
+            except (KeyError, ValueError, OSError):
+                pass
+
+    # -- strand scheduling --------------------------------------------------
+
+    def _enqueue_task(self, conn: _Conn, thunk) -> None:
+        """Queue *thunk* on the connection's strand (FIFO per conn)."""
+        with conn.lock:
+            if conn.closed:
+                return
+            conn.pending.append(thunk)
+            if conn.scheduled:
+                return
+            conn.scheduled = True
+        self._tasks.put(conn)
+
+    def _worker_loop(self) -> None:
+        while True:
+            conn = self._tasks.get()
+            if conn is None:
+                return
+            with conn.lock:
+                thunk = conn.pending.popleft() if conn.pending else None
+            if thunk is not None:
+                try:
+                    thunk()
+                except Exception:  # noqa: BLE001 — a worker must survive
+                    pass
+            requeue = False
+            with conn.lock:
+                if conn.pending:
+                    requeue = True
+                else:
+                    conn.scheduled = False
+            if requeue:
+                self._tasks.put(conn)
+
+    # -- request handling (workers) -----------------------------------------
+
+    def _count_op(self, op) -> None:
+        with self._counts_lock:
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
+
+    def _handle_request(self, conn: _Conn, request: dict, blobs) -> None:
+        cid = request.pop("cid", None)
+        trace_ctx = request.pop("trace", None)
+        op = request.get("op")
+        self._count_op(op)
+        span = None
+        if self._tracer is not None and trace_ctx is not None:
+            span = self._tracer.start_span(
+                f"server.{op}", parent=trace_ctx, site=self.broker.name
+            )
+        out_blobs: list = []
+        try:
+            result, out_blobs = execute_op(self.broker, request, blobs)
+            response = {"ok": True, "result": result}
+        except Exception as exc:  # noqa: BLE001 — all errors go to the client
+            out_blobs = []
+            if span is not None:
+                span.set_attr("error", type(exc).__name__)
+            response = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+        if span is not None:
+            span.finish()
+        self._respond(conn, cid, response, out_blobs)
+
+    def _respond(self, conn: _Conn, cid, response: dict, out_blobs) -> None:
+        if cid is not None:
+            response["cid"] = cid
+        with self._counts_lock:
+            self.requests_served += 1
+        try:
+            buffers = encode_frame(response, out_blobs)
+        except Exception:  # noqa: BLE001 — unencodable response: drop it
+            return
+        self._queue_output(conn, buffers)
+
+    # -- long-poll parking (reactor thread) ---------------------------------
+
+    def _begin_parkable_fetch(self, conn: _Conn, request: dict, blobs) -> None:
+        cid = request.pop("cid", None)
+        trace_ctx = request.pop("trace", None)
+        op = request.get("op")
+        self._count_op(op)
+        span = None
+        if self._tracer is not None and trace_ctx is not None:
+            # The span covers the full park, like the old side thread did.
+            span = self._tracer.start_span(
+                f"server.{op}", parent=trace_ctx, site=self.broker.name
+            )
+        entry = _ParkedFetch(conn, op, cid, span, request)
+        try:
+            entry.log = self.broker.partition_log(entry.topic, entry.partition)
+            records, satisfied = entry.log.poll_fetch(
+                entry.offset, entry.max_records, entry.min_bytes
+            )
+        except Exception as exc:  # noqa: BLE001
+            self._finish_parked(entry, error=exc)
+            return
+        if satisfied:
+            self._finish_parked(entry, records=records)
+            return
+        # Park: waiter first, then re-probe, so an append racing the park
+        # can never be missed (it either lands before the probe or sets
+        # the waker after registration).
+        entry.deadline = time.monotonic() + float(request.get("timeout"))
+        key = (entry.topic, entry.partition)
+        bucket = self._parked.setdefault(key, [])
+        bucket.append(entry)
+        if key not in self._wakers:
+            waker = _PartitionWaker(self, key)
+            self._wakers[key] = waker
+            entry.log.register_waiter(waker)
+        heapq.heappush(self._deadlines, (entry.deadline, next(self._park_seq), entry))
+        try:
+            records, satisfied = entry.log.poll_fetch(
+                entry.offset, entry.max_records, entry.min_bytes
+            )
+        except Exception as exc:  # noqa: BLE001
+            self._unpark(entry)
+            self._finish_parked(entry, error=exc)
+            return
+        if satisfied:
+            self._unpark(entry)
+            self._finish_parked(entry, records=records)
+            return
+        entry.log.note_long_poll_parked()
+
+    def _unpark(self, entry: _ParkedFetch) -> None:
+        entry.done = True
+        key = (entry.topic, entry.partition)
+        bucket = self._parked.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(entry)
+        except ValueError:
+            pass
+        if not bucket:
+            del self._parked[key]
+            waker = self._wakers.pop(key, None)
+            if waker is not None and entry.log is not None:
+                entry.log.unregister_waiter(waker)
+
+    def _finish_parked(self, entry: _ParkedFetch, records=None, error=None) -> None:
+        """Complete a (possibly never-parked) long-poll via the strand."""
+        self._enqueue_task(
+            entry.conn, partial(self._complete_fetch, entry, records, error)
+        )
+
+    def _complete_fetch(self, entry: _ParkedFetch, records, error) -> None:
+        out_blobs: list = []
+        if error is None:
+            try:
+                result, out_blobs = format_fetch(entry.op, records or [])
+                response = {"ok": True, "result": result}
+            except Exception as exc:  # noqa: BLE001
+                error = exc
+        if error is not None:
+            out_blobs = []
+            if entry.span is not None:
+                entry.span.set_attr("error", type(error).__name__)
+            response = {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+        if entry.span is not None:
+            entry.span.finish()
+        self._respond(entry.conn, entry.cid, response, out_blobs)
+
+    def _process_wakes(self) -> None:
+        with self._wake_lock:
+            if not self._pending_wakes:
+                return
+            keys, self._pending_wakes = self._pending_wakes, set()
+        for key in keys:
+            bucket = self._parked.get(key)
+            if not bucket:
+                continue
+            for entry in list(bucket):
+                try:
+                    records, satisfied = entry.log.poll_fetch(
+                        entry.offset, entry.max_records, entry.min_bytes
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    self._unpark(entry)
+                    self._finish_parked(entry, error=exc)
+                    continue
+                if satisfied:
+                    self._unpark(entry)
+                    self._finish_parked(entry, records=records)
+
+    def _process_deadlines(self) -> None:
+        heap = self._deadlines
+        now = time.monotonic()
+        while heap and heap[0][0] <= now:
+            _, _, entry = heapq.heappop(heap)
+            if entry.done:
+                continue
+            self._unpark(entry)
+            try:
+                # Deadline contract: return whatever is available, even
+                # if the min_bytes threshold never filled (possibly []).
+                records, _ = entry.log.poll_fetch(
+                    entry.offset, entry.max_records, entry.min_bytes
+                )
+            except Exception as exc:  # noqa: BLE001
+                self._finish_parked(entry, error=exc)
+                continue
+            self._finish_parked(entry, records=records)

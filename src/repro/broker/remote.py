@@ -22,12 +22,14 @@ can have many requests in flight and responses may return out of order
 On high-RTT links this is the difference between one round-trip per
 request and one round-trip per *window* of requests.
 
-Server side: :class:`BrokerServer` wraps any in-process
-:class:`~repro.broker.broker.Broker`, one thread per connection.
-Blocking (long-poll) fetches are handed to side threads that park on
-the partition's condition variable and respond whenever data lands;
-everything else is dispatched inline, preserving the connection's
-request order for appends (idempotent sequence numbers stay valid).
+Server side: :class:`BrokerServer` is the ``selectors``-based reactor
+from :mod:`repro.broker.reactor` — one event-loop thread multiplexing
+every client socket, a small worker pool for op dispatch, and long-poll
+fetches parked as loop state instead of side threads.
+:class:`ThreadedBrokerServer` is the previous one-thread-per-connection
+implementation, kept as the benchmark baseline the reactor is gated
+against; both share the framing and op table in
+:mod:`repro.broker.wire`, so they are wire-identical.
 
 Client side: :class:`RemoteBroker` implements the same data-path surface
 (`append`, `append_many`, `fetch`, offsets, commits, coordinator
@@ -42,10 +44,8 @@ them.
 
 from __future__ import annotations
 
-import base64
 import json
 import socket
-import struct
 import threading
 import time
 
@@ -59,10 +59,22 @@ from repro.broker.errors import (
     UnknownMemberError,
 )
 from repro.broker.message import BatchMetadata, Record, RecordMetadata
+from repro.broker.reactor import ReactorBrokerServer
+from repro.broker.wire import (
+    LEN as _LEN,
+    MAX_FRAME,
+    b64 as _b64,
+    execute_op,
+    recv_frame as _recv_frame,
+    send_frame as _send_frame,
+    sendall_vectored as _sendall_vectored,
+    unb64 as _unb64,
+)
 from repro.util.validation import ValidationError
 
-_LEN = struct.Struct(">I")
-MAX_FRAME = 64 * 1024 * 1024
+#: The reactor is the default server; the threaded implementation below
+#: remains as the baseline the connection-scale benchmark compares against.
+BrokerServer = ReactorBrokerServer
 
 
 class RemoteBrokerError(BrokerError):
@@ -105,117 +117,15 @@ def _raise_wire_error(name: str, message: str):
     raise RemoteBrokerError(text, error_name=name)
 
 
-def _send_frame(sock: socket.socket, payload: dict, blobs=()) -> None:
-    if blobs:
-        payload = dict(payload)
-        payload["nblobs"] = len(blobs)
-    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(data) > MAX_FRAME:
-        raise ValidationError(f"frame too large: {len(data)} bytes")
-    buffers = [_LEN.pack(len(data)), data]
-    for blob in blobs:
-        if len(blob) > MAX_FRAME:
-            raise ValidationError(f"blob too large: {len(blob)} bytes")
-        buffers.append(_LEN.pack(len(blob)))
-        buffers.append(blob)
-    _sendall_vectored(sock, buffers)
+class ThreadedBrokerServer:
+    """Serves an in-process broker over TCP (one thread per client).
 
-
-#: The kernel caps sendmsg at IOV_MAX iovec entries (1024 on Linux);
-#: exceeding it fails with EMSGSIZE, so large batches go out in slices.
-_IOV_MAX = min(getattr(socket, "IOV_MAX", 1024), 1024)
-
-
-def _sendall_vectored(sock: socket.socket, buffers: list) -> None:
-    """Send all buffers without concatenating them into one big copy."""
-    if not hasattr(sock, "sendmsg"):
-        sock.sendall(b"".join(buffers))
-        return
-    views = [memoryview(b) for b in buffers if len(b)]
-    while views:
-        sent = sock.sendmsg(views[:_IOV_MAX])
-        while sent:
-            if len(views[0]) <= sent:
-                sent -= len(views[0])
-                views.pop(0)
-            else:
-                views[0] = views[0][sent:]
-                sent = 0
-
-
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    while n > 0:
-        chunk = sock.recv(min(n, 65536))
-        if not chunk:
-            raise ConnectionError("peer closed the connection")
-        chunks.append(chunk)
-        n -= len(chunk)
-    return b"".join(chunks)
-
-
-def _recv_frame(sock: socket.socket) -> tuple[dict, list[bytes]]:
-    """Receive one frame; returns (json payload, binary blobs)."""
-    (length,) = _LEN.unpack(_recv_exact(sock, 4))
-    if length > MAX_FRAME:
-        raise ConnectionError(f"oversized frame: {length}")
-    payload = json.loads(_recv_exact(sock, length).decode("utf-8"))
-    blobs: list[bytes] = []
-    for _ in range(int(payload.pop("nblobs", 0))):
-        (blob_len,) = _LEN.unpack(_recv_exact(sock, 4))
-        if blob_len > MAX_FRAME:
-            raise ConnectionError(f"oversized blob: {blob_len}")
-        blobs.append(_recv_exact(sock, blob_len))
-    return payload, blobs
-
-
-def _b64(data: bytes | None) -> str | None:
-    return None if data is None else base64.b64encode(data).decode("ascii")
-
-
-def _unb64(data: str | None) -> bytes | None:
-    return None if data is None else base64.b64decode(data)
-
-
-def _record_to_wire(record: Record) -> dict:
-    return {
-        "topic": record.topic,
-        "partition": record.partition,
-        "offset": record.offset,
-        "value": _b64(record.value),
-        "key": _b64(record.key),
-        "headers": record.headers,
-        "produce_ts": record.produce_ts,
-        "append_ts": record.append_ts,
-    }
-
-
-def _record_from_wire(obj: dict) -> Record:
-    return Record(
-        topic=obj["topic"],
-        partition=obj["partition"],
-        offset=obj["offset"],
-        value=_unb64(obj["value"]) or b"",
-        key=_unb64(obj.get("key")),
-        headers=obj.get("headers") or {},
-        produce_ts=obj.get("produce_ts", 0.0),
-        append_ts=obj.get("append_ts", 0.0),
-    )
-
-
-def _record_meta_to_wire(record: Record) -> dict:
-    """Record metadata for ``fetch_batch``: the value travels as a blob."""
-    return {
-        "offset": record.offset,
-        "key": _b64(record.key),
-        "headers": record.headers,
-        "produce_ts": record.produce_ts,
-        "append_ts": record.append_ts,
-    }
-
-
-class BrokerServer:
-    """Serves an in-process broker over TCP (one thread per client)."""
+    The pre-reactor server: an accept thread, one handler thread per
+    connection, and one side thread per parked long-poll fetch. Kept as
+    the baseline the connection-scale benchmark gates the reactor
+    against; production code should use :class:`BrokerServer` (the
+    reactor), which this class is wire-compatible with.
+    """
 
     def __init__(
         self,
@@ -249,7 +159,7 @@ class BrokerServer:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def start(self) -> "BrokerServer":
+    def start(self) -> "ThreadedBrokerServer":
         if self._accept_thread is not None:
             raise RuntimeError("server already started")
         self._accept_thread = threading.Thread(
@@ -268,7 +178,7 @@ class BrokerServer:
             self._accept_thread.join(timeout=5)
             self._accept_thread = None
 
-    def __enter__(self) -> "BrokerServer":
+    def __enter__(self) -> "ThreadedBrokerServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
@@ -277,6 +187,14 @@ class BrokerServer:
     @property
     def address(self) -> tuple:
         return (self.host, self.port)
+
+    def metrics(self) -> dict:
+        """Connection-level gauges (subset of the reactor's surface)."""
+        with self._counts_lock:
+            return {
+                "requests_served": self.requests_served,
+                "connections_served": self.connections_served,
+            }
 
     # -- serving --------------------------------------------------------------
 
@@ -371,139 +289,9 @@ class BrokerServer:
 
     def _dispatch(self, request: dict, blobs: list[bytes]):
         op = request.get("op")
-        broker = self.broker
         with self._counts_lock:
             self.op_counts[op] = self.op_counts.get(op, 0) + 1
-        if op == "create_topic":
-            topic = broker.create_topic(
-                request["topic"],
-                num_partitions=request.get("num_partitions", 1),
-                exist_ok=request.get("exist_ok", False),
-            )
-            return {"partitions": topic.num_partitions}, ()
-        if op == "num_partitions":
-            return broker.topic(request["topic"]).num_partitions, ()
-        if op == "list_topics":
-            return broker.list_topics(), ()
-        if op == "append":
-            md = broker.append(
-                request["topic"],
-                request["partition"],
-                _unb64(request["value"]) or b"",
-                key=_unb64(request.get("key")),
-                headers=request.get("headers"),
-                produce_ts=request.get("produce_ts"),
-                producer_id=request.get("producer_id"),
-                producer_epoch=request.get("producer_epoch", 0),
-                sequence=request.get("sequence"),
-            )
-            return {"offset": md.offset}, ()
-        if op == "append_batch":
-            # Values arrive as the frame's binary blobs — no base64.
-            keys = request.get("keys")
-            md = broker.append_many(
-                request["topic"],
-                request["partition"],
-                blobs,
-                keys=None if keys is None else [_unb64(k) for k in keys],
-                headers=request.get("headers"),
-                produce_ts=request.get("produce_ts"),
-                producer_id=request.get("producer_id"),
-                producer_epoch=request.get("producer_epoch", 0),
-                base_sequence=request.get("base_sequence"),
-            )
-            return {"base_offset": md.base_offset, "count": md.count}, ()
-        if op == "register_producer":
-            pid, epoch = broker.register_producer(request["client_id"])
-            return {"producer_id": pid, "epoch": epoch}, ()
-        if op == "fetch":
-            records = broker.fetch(
-                request["topic"],
-                request["partition"],
-                request["offset"],
-                max_records=request.get("max_records", 64),
-                timeout=request.get("timeout", 0.0),
-                min_bytes=request.get("min_bytes", 1),
-            )
-            return [_record_to_wire(r) for r in records], ()
-        if op == "fetch_batch":
-            # Record values leave as binary blobs, metadata as JSON.
-            records = broker.fetch(
-                request["topic"],
-                request["partition"],
-                request["offset"],
-                max_records=request.get("max_records", 64),
-                timeout=request.get("timeout", 0.0),
-                min_bytes=request.get("min_bytes", 1),
-            )
-            meta = [_record_meta_to_wire(r) for r in records]
-            return meta, [r.value for r in records]
-        if op == "earliest_offset":
-            return broker.earliest_offset(request["topic"], request["partition"]), ()
-        if op == "latest_offset":
-            return broker.latest_offset(request["topic"], request["partition"]), ()
-        if op == "commit_offset":
-            broker.commit_offset(
-                request["group"], request["topic"], request["partition"], request["offset"]
-            )
-            return None, ()
-        if op == "committed_offset":
-            return (
-                broker.committed_offset(
-                    request["group"], request["topic"], request["partition"]
-                ),
-                (),
-            )
-        if op == "group_join":
-            kwargs = {}
-            if request.get("session_timeout_ms") is not None:
-                kwargs["session_timeout_ms"] = request["session_timeout_ms"]
-            return (
-                broker.coordinator.join(
-                    request["group"], request["member"], request["topics"], **kwargs
-                ),
-                (),
-            )
-        if op == "group_heartbeat":
-            return (
-                broker.coordinator.heartbeat(request["group"], request["member"]),
-                (),
-            )
-        if op == "group_leave":
-            broker.coordinator.leave(request["group"], request["member"])
-            return None, ()
-        if op == "group_assignment":
-            generation, assignment = broker.coordinator.assignment(
-                request["group"], request["member"]
-            )
-            return {"generation": generation, "assignment": assignment}, ()
-        if op == "group_generation":
-            return broker.coordinator.generation(request["group"]), ()
-        if op == "group_ids":
-            return broker.coordinator.group_ids(), ()
-        if op == "group_members":
-            return broker.coordinator.members(request["group"]), ()
-        if op == "committed_offsets":
-            return (
-                [[t, p, off] for (t, p), off in broker.committed_offsets(request["group"]).items()],
-                (),
-            )
-        if op == "consumer_lag":
-            return (
-                [[t, p, lag] for (t, p), lag in broker.consumer_lag(request["group"]).items()],
-                (),
-            )
-        if op == "partition_depths":
-            return (
-                [
-                    [t, p, d["depth"], d["end_offset"], d["bytes"]]
-                    for (t, p), d in broker.partition_depths().items()
-                ],
-                (),
-            )
-        if op == "stats":
-            return broker.stats(), ()
-        raise ValidationError(f"unknown op {op!r}")
+        return execute_op(self.broker, request, blobs)
 
 
 class _RemoteCoordinator:

@@ -1,0 +1,393 @@
+"""Wire framing and op dispatch shared by the broker servers and client.
+
+Protocol: length-prefixed JSON frames (4-byte big-endian length, then a
+UTF-8 JSON object). A frame may additionally carry *binary blobs*: when
+the JSON object has an ``"nblobs": k`` field, the frame is followed by
+``k`` length-prefixed raw byte strings. The batched data-path ops
+(``append_batch`` / ``fetch_batch``) move record payloads as blobs —
+one socket round-trip per batch and no base64 (which inflates payloads
+by ~33% and burns CPU on both ends). Small fields (keys, headers,
+offsets) stay base64-in-JSON for debuggability.
+
+Two decode styles share the same format:
+
+* :func:`recv_frame` — blocking, for the threaded client/server paths
+  (one ``recv`` loop per frame on a blocking socket).
+* :class:`FrameDecoder` — incremental, for the reactor server: bytes are
+  fed in whatever chunks the event loop reads and complete frames pop
+  out; partial frames cost no re-parsing (the decoder remembers exactly
+  how many bytes it still needs).
+
+:func:`execute_op` is the single server-side op table, shared by the
+reactor server and the legacy threaded server so both speak an
+identical wire schema.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+
+from repro.broker.message import Record
+from repro.util.validation import ValidationError
+
+LEN = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024
+
+#: The kernel caps sendmsg at IOV_MAX iovec entries (1024 on Linux);
+#: exceeding it fails with EMSGSIZE, so large batches go out in slices.
+IOV_MAX = min(getattr(socket, "IOV_MAX", 1024), 1024)
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def encode_frame(payload: dict, blobs=()) -> list:
+    """Encode one frame as a list of buffers (no concatenation copy)."""
+    if blobs:
+        payload = dict(payload)
+        payload["nblobs"] = len(blobs)
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME:
+        raise ValidationError(f"frame too large: {len(data)} bytes")
+    buffers = [LEN.pack(len(data)), data]
+    for blob in blobs:
+        if len(blob) > MAX_FRAME:
+            raise ValidationError(f"blob too large: {len(blob)} bytes")
+        buffers.append(LEN.pack(len(blob)))
+        buffers.append(blob)
+    return buffers
+
+
+def send_frame(sock: socket.socket, payload: dict, blobs=()) -> None:
+    sendall_vectored(sock, encode_frame(payload, blobs))
+
+
+def sendall_vectored(sock: socket.socket, buffers: list) -> None:
+    """Send all buffers without concatenating them into one big copy."""
+    if not hasattr(sock, "sendmsg"):
+        sock.sendall(b"".join(buffers))
+        return
+    views = [memoryview(b) for b in buffers if len(b)]
+    while views:
+        sent = sock.sendmsg(views[:IOV_MAX])
+        while sent:
+            if len(views[0]) <= sent:
+                sent -= len(views[0])
+                views.pop(0)
+            else:
+                views[0] = views[0][sent:]
+                sent = 0
+
+
+# -- blocking decode ---------------------------------------------------------
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n > 0:
+        chunk = sock.recv(min(n, 65536))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, list[bytes]]:
+    """Receive one frame (blocking); returns (json payload, binary blobs)."""
+    (length,) = LEN.unpack(recv_exact(sock, 4))
+    if length > MAX_FRAME:
+        raise ConnectionError(f"oversized frame: {length}")
+    payload = json.loads(recv_exact(sock, length).decode("utf-8"))
+    blobs: list[bytes] = []
+    for _ in range(int(payload.pop("nblobs", 0))):
+        (blob_len,) = LEN.unpack(recv_exact(sock, 4))
+        if blob_len > MAX_FRAME:
+            raise ConnectionError(f"oversized blob: {blob_len}")
+        blobs.append(recv_exact(sock, blob_len))
+    return payload, blobs
+
+
+class FrameDecoder:
+    """Incremental frame assembly for non-blocking sockets.
+
+    Feed raw chunks with :meth:`feed`; pull complete ``(payload, blobs)``
+    frames with :meth:`next_frame` until it returns ``None``. The decoder
+    is a four-state machine (payload length → payload body → blob length
+    → blob body), so a frame arriving in many small reads is parsed
+    exactly once — no rescanning, no quadratic reassembly.
+
+    Raises :class:`ConnectionError` on protocol violations (oversized
+    frame/blob, undecodable JSON); the caller should drop the connection,
+    matching the blocking path's behavior.
+    """
+
+    __slots__ = ("_buf", "_state", "_need", "_payload", "_blobs", "_nblobs")
+
+    _WANT_LEN, _WANT_PAYLOAD, _WANT_BLOB_LEN, _WANT_BLOB = range(4)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._state = self._WANT_LEN
+        self._need = 4
+        self._payload: dict | None = None
+        self._blobs: list[bytes] = []
+        self._nblobs = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held for a not-yet-complete frame (memory accounting)."""
+        return len(self._buf)
+
+    def feed(self, data) -> None:
+        self._buf += data
+
+    def _take(self, n: int) -> bytes:
+        out = bytes(self._buf[:n])
+        del self._buf[:n]
+        return out
+
+    def next_frame(self) -> tuple[dict, list[bytes]] | None:
+        buf = self._buf
+        while len(buf) >= self._need:
+            state = self._state
+            if state == self._WANT_LEN:
+                (length,) = LEN.unpack_from(buf)
+                del buf[:4]
+                if length > MAX_FRAME:
+                    raise ConnectionError(f"oversized frame: {length}")
+                self._need = length
+                self._state = self._WANT_PAYLOAD
+            elif state == self._WANT_PAYLOAD:
+                try:
+                    payload = json.loads(self._take(self._need).decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    raise ConnectionError(f"undecodable frame: {exc}") from exc
+                self._nblobs = int(payload.pop("nblobs", 0))
+                self._payload = payload
+                self._blobs = []
+                if self._nblobs <= 0:
+                    self._state = self._WANT_LEN
+                    self._need = 4
+                    self._payload = None
+                    return payload, []
+                self._state = self._WANT_BLOB_LEN
+                self._need = 4
+            elif state == self._WANT_BLOB_LEN:
+                (blob_len,) = LEN.unpack_from(buf)
+                del buf[:4]
+                if blob_len > MAX_FRAME:
+                    raise ConnectionError(f"oversized blob: {blob_len}")
+                self._need = blob_len
+                self._state = self._WANT_BLOB
+            else:  # _WANT_BLOB
+                self._blobs.append(self._take(self._need))
+                if len(self._blobs) == self._nblobs:
+                    payload, blobs = self._payload, self._blobs
+                    self._payload, self._blobs = None, []
+                    self._state = self._WANT_LEN
+                    self._need = 4
+                    return payload, blobs
+                self._state = self._WANT_BLOB_LEN
+                self._need = 4
+        return None
+
+
+# -- value encoding ----------------------------------------------------------
+
+
+def b64(data: bytes | None) -> str | None:
+    return None if data is None else base64.b64encode(data).decode("ascii")
+
+
+def unb64(data: str | None) -> bytes | None:
+    return None if data is None else base64.b64decode(data)
+
+
+def record_to_wire(record: Record) -> dict:
+    return {
+        "topic": record.topic,
+        "partition": record.partition,
+        "offset": record.offset,
+        "value": b64(record.value),
+        "key": b64(record.key),
+        "headers": record.headers,
+        "produce_ts": record.produce_ts,
+        "append_ts": record.append_ts,
+    }
+
+
+def record_from_wire(obj: dict) -> Record:
+    return Record(
+        topic=obj["topic"],
+        partition=obj["partition"],
+        offset=obj["offset"],
+        value=unb64(obj["value"]) or b"",
+        key=unb64(obj.get("key")),
+        headers=obj.get("headers") or {},
+        produce_ts=obj.get("produce_ts", 0.0),
+        append_ts=obj.get("append_ts", 0.0),
+    )
+
+
+def record_meta_to_wire(record: Record) -> dict:
+    """Record metadata for ``fetch_batch``: the value travels as a blob."""
+    return {
+        "offset": record.offset,
+        "key": b64(record.key),
+        "headers": record.headers,
+        "produce_ts": record.produce_ts,
+        "append_ts": record.append_ts,
+    }
+
+
+def format_fetch(op: str, records) -> tuple:
+    """(result, out_blobs) for a fetch-style op's records."""
+    if op == "fetch_batch":
+        return [record_meta_to_wire(r) for r in records], [r.value for r in records]
+    return [record_to_wire(r) for r in records], ()
+
+
+# -- server-side op table ----------------------------------------------------
+
+
+def execute_op(broker, request: dict, blobs: list) -> tuple:
+    """Dispatch one decoded request against *broker*.
+
+    Returns ``(result, out_blobs)``; raises whatever the broker raises
+    (the caller maps exceptions onto wire error responses). Both broker
+    servers route every op through this table, so the wire schema cannot
+    drift between them.
+    """
+    op = request.get("op")
+    if op == "create_topic":
+        topic = broker.create_topic(
+            request["topic"],
+            num_partitions=request.get("num_partitions", 1),
+            exist_ok=request.get("exist_ok", False),
+        )
+        return {"partitions": topic.num_partitions}, ()
+    if op == "num_partitions":
+        return broker.topic(request["topic"]).num_partitions, ()
+    if op == "list_topics":
+        return broker.list_topics(), ()
+    if op == "append":
+        md = broker.append(
+            request["topic"],
+            request["partition"],
+            unb64(request["value"]) or b"",
+            key=unb64(request.get("key")),
+            headers=request.get("headers"),
+            produce_ts=request.get("produce_ts"),
+            producer_id=request.get("producer_id"),
+            producer_epoch=request.get("producer_epoch", 0),
+            sequence=request.get("sequence"),
+        )
+        return {"offset": md.offset}, ()
+    if op == "append_batch":
+        # Values arrive as the frame's binary blobs — no base64.
+        keys = request.get("keys")
+        md = broker.append_many(
+            request["topic"],
+            request["partition"],
+            blobs,
+            keys=None if keys is None else [unb64(k) for k in keys],
+            headers=request.get("headers"),
+            produce_ts=request.get("produce_ts"),
+            producer_id=request.get("producer_id"),
+            producer_epoch=request.get("producer_epoch", 0),
+            base_sequence=request.get("base_sequence"),
+        )
+        return {"base_offset": md.base_offset, "count": md.count}, ()
+    if op == "register_producer":
+        pid, epoch = broker.register_producer(request["client_id"])
+        return {"producer_id": pid, "epoch": epoch}, ()
+    if op in ("fetch", "fetch_batch"):
+        records = broker.fetch(
+            request["topic"],
+            request["partition"],
+            request["offset"],
+            max_records=request.get("max_records", 64),
+            timeout=request.get("timeout", 0.0),
+            min_bytes=request.get("min_bytes", 1),
+        )
+        return format_fetch(op, records)
+    if op == "earliest_offset":
+        return broker.earliest_offset(request["topic"], request["partition"]), ()
+    if op == "latest_offset":
+        return broker.latest_offset(request["topic"], request["partition"]), ()
+    if op == "commit_offset":
+        broker.commit_offset(
+            request["group"], request["topic"], request["partition"], request["offset"]
+        )
+        return None, ()
+    if op == "committed_offset":
+        return (
+            broker.committed_offset(
+                request["group"], request["topic"], request["partition"]
+            ),
+            (),
+        )
+    if op == "group_join":
+        kwargs = {}
+        if request.get("session_timeout_ms") is not None:
+            kwargs["session_timeout_ms"] = request["session_timeout_ms"]
+        return (
+            broker.coordinator.join(
+                request["group"], request["member"], request["topics"], **kwargs
+            ),
+            (),
+        )
+    if op == "group_heartbeat":
+        return (
+            broker.coordinator.heartbeat(request["group"], request["member"]),
+            (),
+        )
+    if op == "group_leave":
+        broker.coordinator.leave(request["group"], request["member"])
+        return None, ()
+    if op == "group_assignment":
+        generation, assignment = broker.coordinator.assignment(
+            request["group"], request["member"]
+        )
+        return {"generation": generation, "assignment": assignment}, ()
+    if op == "group_generation":
+        return broker.coordinator.generation(request["group"]), ()
+    if op == "group_ids":
+        return broker.coordinator.group_ids(), ()
+    if op == "group_members":
+        return broker.coordinator.members(request["group"]), ()
+    if op == "committed_offsets":
+        return (
+            [[t, p, off] for (t, p), off in broker.committed_offsets(request["group"]).items()],
+            (),
+        )
+    if op == "consumer_lag":
+        return (
+            [[t, p, lag] for (t, p), lag in broker.consumer_lag(request["group"]).items()],
+            (),
+        )
+    if op == "partition_depths":
+        return (
+            [
+                [t, p, d["depth"], d["end_offset"], d["bytes"]]
+                for (t, p), d in broker.partition_depths().items()
+            ],
+            (),
+        )
+    if op == "stats":
+        return broker.stats(), ()
+    raise ValidationError(f"unknown op {op!r}")
+
+
+def is_parkable(request: dict) -> bool:
+    """Requests that may legitimately block server-side (long-polls)."""
+    if request.get("op") not in ("fetch", "fetch_batch"):
+        return False
+    try:
+        return float(request.get("timeout") or 0.0) > 0
+    except (TypeError, ValueError):
+        return False

@@ -35,6 +35,13 @@ class MetricsCollector:
         #: ``process_end`` stamps feed a live end-to-end latency
         #: histogram, so percentiles are available mid-run.
         self._registry = registry
+        # Per-collector instrument caches: the registry's name->instrument
+        # lookup takes the registry lock, which is pure overhead when the
+        # same counters are bumped on every message. A racy double-create
+        # is harmless — the registry dedups by name.
+        self._counter_cache: dict = {}
+        self._gauge_cache: dict = {}
+        self._e2e_hist = None
         self._lock = threading.Lock()
 
     # -- traces ----------------------------------------------------------
@@ -101,11 +108,15 @@ class MetricsCollector:
 
     def _observe_latencies(self, traces, end_ts: float) -> None:
         """Feed live latency histograms from completed message traces."""
-        e2e = self._registry.histogram("pipeline_e2e_latency_s")
+        e2e = self._e2e_hist
+        if e2e is None:
+            e2e = self._e2e_hist = self._registry.histogram("pipeline_e2e_latency_s")
+        latencies = []
         for trace in traces:
             start = trace.at("produce")
             if start is not None and end_ts >= start:
-                e2e.observe(end_ts - start)
+                latencies.append(end_ts - start)
+        e2e.observe_many(latencies)
 
     def trace(self, message_id: str) -> MessageTrace | None:
         with self._lock:
@@ -128,7 +139,10 @@ class MetricsCollector:
         with self._lock:
             self._counters[name] += value
         if self._registry is not None and value >= 0:
-            self._registry.counter(name).inc(value)
+            counter = self._counter_cache.get(name)
+            if counter is None:
+                counter = self._counter_cache[name] = self._registry.counter(name)
+            counter.inc(value)
 
     def record_max(self, name: str, value: float) -> None:
         """High-watermark gauge: keep the largest value reported.
@@ -144,7 +158,10 @@ class MetricsCollector:
             if current is None or value > current:
                 self._gauges[name] = float(value)
         if self._registry is not None:
-            self._registry.gauge(name).set_max(value)
+            gauge = self._gauge_cache.get(name)
+            if gauge is None:
+                gauge = self._gauge_cache[name] = self._registry.gauge(name)
+            gauge.set_max(value)
 
     def counter(self, name: str) -> float:
         with self._lock:

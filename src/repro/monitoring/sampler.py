@@ -12,7 +12,9 @@ and clients expose:
 * group membership size,
 * prefetch buffer bytes/records (:meth:`Consumer.stats`),
 * pipelined-connection in-flight request count
-  (:attr:`RemoteBroker.requests_in_flight`).
+  (:attr:`RemoteBroker.requests_in_flight`),
+* broker-server connection gauges — ``connections_active``, parked
+  long-polls, and reactor loop lag (:meth:`ReactorBrokerServer.metrics`).
 
 Series export as JSONL (one sample round per line) and, through an
 attached :class:`~repro.monitoring.instruments.MetricsRegistry`, as
@@ -68,6 +70,9 @@ class TelemetrySampler:
         self._thread: threading.Thread | None = None
         self.sample_rounds = 0
         self.source_errors = 0
+        #: Ticks the background loop skipped because sampling overran the
+        #: interval (absolute schedule: late rounds don't compound).
+        self.ticks_skipped = 0
 
     # -- sources ---------------------------------------------------------
 
@@ -144,6 +149,33 @@ class TelemetrySampler:
 
         self.add_source(f"remote:{name}", _sample)
 
+    def watch_server(self, server) -> None:
+        """Sample a broker server's connection-level gauges.
+
+        Works with any server exposing a ``metrics()`` dict (the reactor
+        server's ``connections_active`` / ``parked_fetches`` /
+        ``reactor_loop_lag_s``); missing keys are simply not sampled, so
+        the threaded baseline server can be watched too.
+        """
+        name = getattr(getattr(server, "broker", None), "name", None) or "server"
+
+        def _sample() -> dict:
+            metrics = server.metrics()
+            out: dict[str, float] = {}
+            for key in (
+                "connections_active",
+                "parked_fetches",
+                "reactor_loop_lag_s",
+                "requests_served",
+                "connections_served",
+            ):
+                value = metrics.get(key)
+                if value is not None:
+                    out[f"server.{name}.{key}"] = float(value)
+            return out
+
+        self.add_source(f"server:{name}", _sample)
+
     # -- sampling --------------------------------------------------------
 
     def sample_now(self) -> dict:
@@ -171,8 +203,21 @@ class TelemetrySampler:
         return values
 
     def _run(self) -> None:
-        while not self._stop.wait(self.interval_s):
+        # Absolute schedule: each tick is t0 + k*interval, so a slow
+        # sample round delays the NEXT round but does not push every
+        # subsequent one later (the drift a relative `wait(interval)`
+        # loop accumulates). Rounds the loop can no longer make are
+        # skipped — counted, not crammed in back-to-back.
+        interval = self.interval_s
+        next_tick = time.monotonic() + interval
+        while not self._stop.wait(max(0.0, next_tick - time.monotonic())):
             self.sample_now()
+            next_tick += interval
+            now = time.monotonic()
+            if next_tick <= now:
+                missed = int((now - next_tick) // interval) + 1
+                self.ticks_skipped += missed
+                next_tick += missed * interval
 
     def start(self) -> "TelemetrySampler":
         if self._thread is not None:

@@ -49,7 +49,7 @@ class Span:
         "site",
         "start",
         "end",
-        "attrs",
+        "_attrs",
         "_tracer",
     )
 
@@ -71,7 +71,20 @@ class Span:
         self.site = site
         self.start = time.monotonic() if start is None else float(start)
         self.end: float | None = None
-        self.attrs: dict = {}
+        # Allocated on first use: most spans on the data path carry no
+        # attributes, and the empty-dict churn showed up in the enabled-
+        # telemetry overhead benchmark.
+        self._attrs: dict | None = None
+
+    @property
+    def attrs(self) -> dict:
+        if self._attrs is None:
+            self._attrs = {}
+        return self._attrs
+
+    @attrs.setter
+    def attrs(self, value: dict) -> None:
+        self._attrs = value
 
     # -- lifecycle -------------------------------------------------------
 
@@ -86,7 +99,9 @@ class Span:
         return True
 
     def set_attr(self, key: str, value) -> "Span":
-        self.attrs[key] = value
+        if self._attrs is None:
+            self._attrs = {}
+        self._attrs[key] = value
         return self
 
     def finish(self, end: float | None = None) -> None:
@@ -120,7 +135,7 @@ class Span:
             "site": self.site,
             "start": self.start,
             "end": self.end,
-            "attrs": dict(self.attrs),
+            "attrs": dict(self._attrs) if self._attrs else {},
         }
 
     @classmethod
@@ -216,7 +231,11 @@ class Tracer:
         self._seq = itertools.count(1)
         self._spans: list[Span] = []
         self._dropped = 0
-        self._sampled_out = 0
+        # Lock-free sampled-out counter: next() on an itertools.count is
+        # a single C call, so the sampled-out fast path pays no lock —
+        # the whole point of sampling is that unsampled traffic is free.
+        self._sampled_out = itertools.count()
+        self._sampled_out_base = 0
         self._lock = threading.Lock()
 
     # -- span creation ---------------------------------------------------
@@ -224,11 +243,15 @@ class Tracer:
     def _new_id(self) -> str:
         return f"{self._prefix}-{next(self._seq):x}"
 
+    def _sampled_out_total(self) -> int:
+        # itertools.count has no non-consuming read; its pickle form
+        # carries the next value, which is exactly the increment count.
+        return self._sampled_out.__reduce__()[1][0] - self._sampled_out_base
+
     def start_trace(self, name: str, site: str = "", start: float | None = None):
         """Start a new root span, applying the sampling decision."""
         if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
-            with self._lock:
-                self._sampled_out += 1
+            next(self._sampled_out)
             return NOOP_SPAN
         trace_id = self._new_id()
         return Span(self, trace_id, self._new_id(), "", name, site=site, start=start)
@@ -291,6 +314,65 @@ class Tracer:
                 return
             self._spans.append(span)
 
+    def record_hops(
+        self,
+        name: str,
+        hops,
+        site: str = "",
+        start: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        """Record a batch of already-finished leaf spans in one pass.
+
+        *hops* is an iterable of ``(context, attrs)`` pairs: *context* is
+        a propagated ``"trace_id:span_id"`` string (pairs with an
+        unparsable context are skipped) and *attrs* an attribute dict or
+        ``None``. Every span gets the same *name*, *site*, *start* and
+        *end* — the shape of the broker-append and consumer-poll hops,
+        where a whole poll/append batch shares one timestamp anyway.
+
+        This is the data path's bulk alternative to
+        ``start_span(...).finish()`` per record: the retention lock is
+        taken once per batch instead of once per span, which is most of
+        what the enabled-telemetry overhead gate measures.
+        """
+        end = time.monotonic() if end is None else float(end)
+        start = end if start is None else float(start)
+        spans: list[Span] = []
+        prefix, seq = self._prefix, self._seq
+        new = Span.__new__
+        for ctx, attrs in hops:
+            # Inlined parse_context + Span construction: this loop runs
+            # once per record on the consume path, so it skips the
+            # constructor's clock check and the helper-call overhead.
+            if not ctx:
+                continue
+            trace_id, sep, parent_id = ctx.partition(":")
+            if not sep or not trace_id or not parent_id:
+                continue
+            span = new(Span)
+            span._tracer = None
+            span.trace_id = trace_id
+            span.span_id = f"{prefix}-{next(seq):x}"
+            span.parent_id = parent_id
+            span.name = name
+            span.site = site
+            span.start = start
+            span.end = end
+            span._attrs = attrs or None
+            spans.append(span)
+        if not spans:
+            return
+        with self._lock:
+            room = self.max_spans - len(self._spans)
+            if room >= len(spans):
+                self._spans.extend(spans)
+            elif room > 0:
+                self._spans.extend(spans[:room])
+                self._dropped += len(spans) - room
+            else:
+                self._dropped += len(spans)
+
     def spans(self, trace_id: str | None = None) -> list[Span]:
         with self._lock:
             out = list(self._spans)
@@ -335,14 +417,14 @@ class Tracer:
             return {
                 "spans_retained": len(self._spans),
                 "spans_dropped": self._dropped,
-                "traces_sampled_out": self._sampled_out,
+                "traces_sampled_out": self._sampled_out_total(),
             }
 
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
             self._dropped = 0
-            self._sampled_out = 0
+            self._sampled_out_base = self._sampled_out.__reduce__()[1][0]
 
 
 def parse_context(context: str) -> tuple[str, str] | None:

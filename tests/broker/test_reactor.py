@@ -1,0 +1,287 @@
+"""Tests for the reactor broker server: frame decoding, non-blocking
+fetch probes, threadless long-poll parking, and deterministic shutdown."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.broker import Broker
+from repro.broker.errors import OffsetOutOfRangeError
+from repro.broker.partition import PartitionLog
+from repro.broker.reactor import ReactorBrokerServer
+from repro.broker.remote import BrokerServer, RemoteBroker, ThreadedBrokerServer
+from repro.broker.wire import (
+    LEN,
+    FrameDecoder,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def server():
+    with ReactorBrokerServer() as srv:
+        yield srv
+
+
+def _connect(server) -> socket.socket:
+    sock = socket.create_connection((server.host, server.port), timeout=10)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_reassembly(self):
+        wire = b"".join(encode_frame({"op": "stats", "cid": 7}))
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(wire)):
+            decoder.feed(wire[i : i + 1])
+            frame = decoder.next_frame()
+            if frame is not None:
+                frames.append(frame)
+                assert i == len(wire) - 1  # only the last byte completes it
+        assert frames == [({"op": "stats", "cid": 7}, [])]
+        assert decoder.buffered_bytes == 0
+
+    def test_multiple_frames_in_one_feed(self):
+        wire = b"".join(encode_frame({"n": 1})) + b"".join(encode_frame({"n": 2}))
+        decoder = FrameDecoder()
+        decoder.feed(wire)
+        assert decoder.next_frame() == ({"n": 1}, [])
+        assert decoder.next_frame() == ({"n": 2}, [])
+        assert decoder.next_frame() is None
+
+    def test_blobs_roundtrip(self):
+        blobs = [bytes(range(256)), b"", b"x" * 10_000]
+        wire = b"".join(encode_frame({"op": "append_batch"}, blobs))
+        decoder = FrameDecoder()
+        # Split mid-blob to exercise the partial-blob state.
+        decoder.feed(wire[:300])
+        assert decoder.next_frame() is None
+        decoder.feed(wire[300:])
+        payload, got = decoder.next_frame()
+        assert payload["op"] == "append_batch"
+        assert got == blobs
+
+    def test_oversized_frame_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(LEN.pack(2**31))
+        with pytest.raises(ConnectionError):
+            decoder.next_frame()
+
+    def test_garbage_payload_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(LEN.pack(4) + b"\xff\xfe\xfd\xfc")
+        with pytest.raises(ConnectionError):
+            decoder.next_frame()
+
+
+class TestPollFetch:
+    def _log(self) -> PartitionLog:
+        return PartitionLog("t", 0)
+
+    def test_empty_log_unsatisfied(self):
+        batch, satisfied = self._log().poll_fetch(0)
+        assert batch == [] and not satisfied
+
+    def test_single_record_satisfies_default(self):
+        log = self._log()
+        log.append(b"hello")
+        batch, satisfied = log.poll_fetch(0)
+        assert [r.value for r in batch] == [b"hello"] and satisfied
+
+    def test_min_bytes_threshold(self):
+        log = self._log()
+        log.append(b"xx")
+        batch, satisfied = log.poll_fetch(0, min_bytes=100)
+        assert len(batch) == 1 and not satisfied
+        log.append(b"y" * 200)
+        _, satisfied = log.poll_fetch(0, min_bytes=100)
+        assert satisfied
+
+    def test_full_batch_satisfies_despite_min_bytes(self):
+        log = self._log()
+        for _ in range(3):
+            log.append(b"z")
+        _, satisfied = log.poll_fetch(0, max_records=3, min_bytes=10**9)
+        assert satisfied
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(OffsetOutOfRangeError):
+            self._log().poll_fetch(5)
+
+
+class TestReactorWirePath:
+    def test_default_server_is_the_reactor(self):
+        assert BrokerServer is ReactorBrokerServer
+
+    def test_roundtrip_and_counters(self, server):
+        with RemoteBroker(server.host, server.port) as remote:
+            remote.create_topic("t", 1)
+            md = remote.append("t", 0, b"payload", key=b"k")
+            assert md.offset == 0
+            [record] = remote.fetch("t", 0, 0)
+            assert record.value == b"payload"
+        assert server.connections_served >= 1
+        assert server.requests_served >= 3
+        assert server.op_counts.get("append") == 1
+
+    def test_long_poll_parks_without_a_thread(self, server):
+        server.broker.create_topic("t", 1)
+        threads_before = threading.active_count()
+        sock = _connect(server)
+        try:
+            send_frame(
+                sock,
+                {"op": "fetch", "topic": "t", "partition": 0, "offset": 0,
+                 "timeout": 30.0, "cid": 1},
+            )
+            assert _wait_until(lambda: server.parked_fetches == 1)
+            # Parked as reactor state: no thread was spawned for it, and
+            # the broker-level counter sees it while it is parked.
+            assert threading.active_count() == threads_before
+            assert server.broker.stats()["long_polls_parked"] >= 1
+            assert server.metrics()["parked_fetches"] == 1
+            server.broker.append("t", 0, b"wake")
+            response, _ = recv_frame(sock)
+            assert response["ok"] and response["cid"] == 1
+            assert len(response["result"]) == 1
+            assert server.parked_fetches == 0
+        finally:
+            sock.close()
+
+    def test_long_poll_deadline_returns_empty(self, server):
+        server.broker.create_topic("t", 1)
+        sock = _connect(server)
+        try:
+            t0 = time.monotonic()
+            send_frame(
+                sock,
+                {"op": "fetch", "topic": "t", "partition": 0, "offset": 0,
+                 "timeout": 0.2, "cid": 9},
+            )
+            sock.settimeout(5)
+            response, _ = recv_frame(sock)
+            assert response["ok"] and response["result"] == []
+            assert time.monotonic() - t0 >= 0.15
+        finally:
+            sock.close()
+
+    def test_parked_fetch_does_not_block_pipelined_requests(self, server):
+        server.broker.create_topic("t", 1)
+        sock = _connect(server)
+        try:
+            send_frame(
+                sock,
+                {"op": "fetch", "topic": "t", "partition": 0, "offset": 0,
+                 "timeout": 30.0, "cid": 1},
+            )
+            assert _wait_until(lambda: server.parked_fetches == 1)
+            # The same connection's append must get through — it is also
+            # the append that wakes the parked fetch.
+            send_frame(
+                sock,
+                {"op": "append", "topic": "t", "partition": 0,
+                 "value": "d2FrZQ==", "cid": 2},
+            )
+            sock.settimeout(5)
+            by_cid = {}
+            for _ in range(2):
+                response, _ = recv_frame(sock)
+                by_cid[response["cid"]] = response
+            assert by_cid[2]["ok"] and by_cid[2]["result"]["offset"] == 0
+            assert by_cid[1]["ok"] and len(by_cid[1]["result"]) == 1
+        finally:
+            sock.close()
+
+    def test_connection_gauges(self, server):
+        assert server.connections_active == 0
+        socks = [_connect(server) for _ in range(3)]
+        try:
+            for sock in socks:  # force the accept to have happened
+                send_frame(sock, {"op": "list_topics"})
+                recv_frame(sock)
+            assert server.connections_active == 3
+            metrics = server.metrics()
+            assert metrics["connections_active"] == 3
+            assert metrics["parked_fetches"] == 0
+            assert metrics["reactor_loop_lag_s"] >= 0.0
+        finally:
+            for sock in socks:
+                sock.close()
+        assert _wait_until(lambda: server.connections_active == 0)
+
+    def test_unknown_op_answered_not_dropped(self, server):
+        sock = _connect(server)
+        try:
+            send_frame(sock, {"op": "definitely_not_an_op", "cid": 3})
+            sock.settimeout(5)
+            response, _ = recv_frame(sock)
+            assert not response["ok"] and response["cid"] == 3
+            assert "unknown op" in response["message"]
+        finally:
+            sock.close()
+
+
+class TestDeterministicStop:
+    def test_stop_leaks_no_threads(self):
+        before = set(threading.enumerate())
+        server = ReactorBrokerServer(num_workers=3).start()
+        server.broker.create_topic("t", 1)
+        socks = [_connect(server) for _ in range(4)]
+        try:
+            # One connection parks a long-poll that would outlive stop().
+            send_frame(
+                socks[0],
+                {"op": "fetch", "topic": "t", "partition": 0, "offset": 0,
+                 "timeout": 60.0},
+            )
+            assert _wait_until(lambda: server.parked_fetches == 1)
+            server.stop()
+            leaked = [
+                t for t in set(threading.enumerate()) - before if t.is_alive()
+            ]
+            assert leaked == []
+            # Clients observe EOF/reset, not a hang.
+            for sock in socks:
+                sock.settimeout(2)
+                try:
+                    assert sock.recv(1) == b""
+                except OSError:
+                    pass
+        finally:
+            for sock in socks:
+                sock.close()
+
+    def test_stop_without_start(self):
+        server = ReactorBrokerServer()
+        server.stop()  # no thread ever ran; must not raise or hang
+
+    def test_stop_is_idempotent(self):
+        server = ReactorBrokerServer().start()
+        server.stop()
+        server.stop()
+
+
+class TestThreadedBaseline:
+    def test_threaded_server_still_serves(self):
+        with ThreadedBrokerServer() as srv:
+            with RemoteBroker(srv.host, srv.port) as remote:
+                remote.create_topic("t", 1)
+                remote.append("t", 0, b"x")
+                [record] = remote.fetch("t", 0, 0)
+                assert record.value == b"x"
+            assert srv.metrics()["requests_served"] >= 3

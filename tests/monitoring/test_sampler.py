@@ -124,6 +124,48 @@ class TestWatchBroker:
         assert sampler.sample_now()["consumer_lag.g.t.0"] == 0
 
 
+class TestWatchServer:
+    def test_server_gauges_reach_metrics_endpoint(self):
+        from repro.broker.remote import BrokerServer, RemoteBroker
+
+        broker = Broker(name="edge")
+        with BrokerServer(broker) as srv:
+            with RemoteBroker(srv.host, srv.port) as remote:
+                remote.create_topic("t", 1)
+                reg = MetricsRegistry()
+                sampler = TelemetrySampler(registry=reg)
+                sampler.watch_server(srv)
+                values = sampler.sample_now()
+                assert values["server.edge.connections_active"] == 1
+                assert values["server.edge.parked_fetches"] == 0
+                assert values["server.edge.reactor_loop_lag_s"] >= 0.0
+                assert values["server.edge.requests_served"] >= 1
+                http = serve_exposition(reg)
+                try:
+                    host, port = http.server_address[:2]
+                    body = urllib.request.urlopen(
+                        f"http://{host}:{port}/metrics", timeout=5
+                    ).read().decode()
+                    assert "repro_server_edge_connections_active 1" in body
+                    assert "repro_server_edge_parked_fetches 0" in body
+                finally:
+                    http.shutdown()
+
+    def test_threaded_server_subset_sampled(self):
+        from repro.broker.remote import RemoteBroker, ThreadedBrokerServer
+
+        with ThreadedBrokerServer(Broker(name="base")) as srv:
+            with RemoteBroker(srv.host, srv.port) as remote:
+                remote.list_topics()
+                sampler = TelemetrySampler()
+                sampler.watch_server(srv)
+                values = sampler.sample_now()
+                assert values["server.base.requests_served"] >= 1
+                # The threaded baseline has no reactor gauges — the
+                # sampler just records the subset it exposes.
+                assert "server.base.connections_active" not in values
+
+
 class TestBackgroundThread:
     def test_start_stop_takes_final_sample(self):
         sampler = TelemetrySampler(interval_s=0.02)
@@ -150,6 +192,28 @@ class TestBackgroundThread:
         with TelemetrySampler(interval_s=0.05) as sampler:
             assert sampler.running
         assert not sampler.running
+
+    def test_absolute_schedule_skips_missed_ticks(self):
+        # A source slower than the interval must not queue up make-up
+        # rounds: the absolute schedule skips the ticks it can no longer
+        # make and counts them.
+        sampler = TelemetrySampler(interval_s=0.02)
+        sampler.add_source("slow", lambda: time.sleep(0.07) or {"x": 1})
+        sampler.start()
+        time.sleep(0.3)
+        sampler.stop(final_sample=False)
+        assert sampler.ticks_skipped >= 1
+        # Rounds ~ elapsed / source_duration, nowhere near elapsed / interval.
+        assert sampler.sample_rounds <= 8
+
+    def test_fast_sources_skip_nothing(self):
+        sampler = TelemetrySampler(interval_s=0.02)
+        sampler.add_source("fast", lambda: {"x": 1})
+        sampler.start()
+        time.sleep(0.15)
+        sampler.stop(final_sample=False)
+        assert sampler.sample_rounds >= 3
+        assert sampler.ticks_skipped == 0
 
 
 class TestJsonlExport:
