@@ -46,6 +46,7 @@ with ``pytest -m bench benchmarks/bench_guard.py``. Set
 
 import gc
 import json
+import multiprocessing
 import os
 import resource
 import socket
@@ -53,6 +54,7 @@ import sys
 import threading
 import time
 import tracemalloc
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -75,6 +77,7 @@ ROBUSTNESS_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_robustness.js
 REACTOR_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_reactor.json"
 PREFETCH_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_prefetch.json"
 TELEMETRY_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_telemetry.json"
+MULTICORE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_multicore.json"
 #: Sampler time series from the fully-enabled telemetry round, uploaded
 #: by CI next to the BENCH_*.json artifacts.
 TELEMETRY_JSONL = Path(__file__).parent / "artifacts" / "telemetry.jsonl"
@@ -951,6 +954,198 @@ def test_robustness_guard():
     assert not failures, "; ".join(failures) + f"; see {ROBUSTNESS_ARTIFACT}"
 
 
+# ---------------------------------------------------------------------------
+# Multi-core shard guard
+# ---------------------------------------------------------------------------
+# The sharded broker exists to buy CPU parallelism: N worker processes,
+# each owning a disjoint slice of the partition space. This guard drives
+# a CPU-bound produce+consume workload — every record is CRC32-stamped on
+# the way out and re-verified on the way back, with telemetry sampling
+# running — from *client processes* (client threads would serialise
+# behind the GIL and hide any server-side scaling) and checks two gates:
+#
+# - scaling: 4 shards sustain >= MIN_MULTICORE_SPEEDUP x the aggregate
+#   throughput of 1 shard. Gated only on runners with >= 4 cores; below
+#   that the kernel timeslices the shards over the same cores and the
+#   ratio is noise (the artifact still records the measured value, with
+#   ``gated: false``).
+# - no toll on the small case: a one-shard ClusterBrokerSupervisor stays
+#   within MAX_SINGLE_SHARD_REGRESSION of a plain ReactorBrokerServer on
+#   the same workload — the ownership checks and metadata hop must be
+#   near-free. Interleaved pairs, cleanest pair wins (same rationale as
+#   the reactor guard: a one-sided scheduler hiccup should not page).
+
+MC_PARTITIONS = 8
+MC_CLIENTS = 4
+MC_BATCH = 16
+MC_BATCHES = 4 if FAST else 8
+MC_PAYLOAD = 2048 if FAST else 8192
+#: Not reduced in FAST mode: the regression metric takes the cleanest of
+#: the interleaved pairs, and a single pair is dominated by scheduler
+#: noise (client processes, shard processes and the sampler all compete
+#: for the same cores).
+MC_PAIRS = 3
+MIN_MULTICORE_SPEEDUP = 2.0
+MAX_SINGLE_SHARD_REGRESSION = 0.10
+
+
+def _mc_client_main(index: int, bootstrap: list, out_queue) -> None:
+    """One bench client (runs in its own process).
+
+    Produces CRC-stamped batches to its own slice of the partition
+    space, consumes them back, and re-verifies every checksum. Works
+    unchanged against a sharded cluster or a plain single broker:
+    ``Producer(bootstrap=...)`` probes the endpoint and picks the
+    matching client.
+    """
+    mine = [p for p in range(MC_PARTITIONS) if p % MC_CLIENTS == index]
+    payload = bytes(MC_PAYLOAD)
+    producer = Producer(bootstrap=bootstrap, client_id=f"mc-{index}", retries=5)
+    try:
+        sent = dict.fromkeys(mine, 0)
+        for batch in range(MC_BATCHES):
+            for p in mine:
+                records = [
+                    payload + (f"{index}:{batch}:{i}").encode()
+                    for i in range(MC_BATCH)
+                ]
+                sent[p] += sum(zlib.crc32(r) for r in records)
+                producer.send_many("mc", records, partition=p)
+        consumer = Consumer(producer.broker)
+        consumer.assign([("mc", p) for p in mine])
+        expect = MC_BATCHES * MC_BATCH * len(mine)
+        got = dict.fromkeys(mine, 0)
+        count = 0
+        deadline = time.monotonic() + 60.0
+        while count < expect and time.monotonic() < deadline:
+            for record in consumer.poll(max_records=64, timeout=1.0):
+                got[record.partition] += zlib.crc32(record.value)
+                count += 1
+        out_queue.put((index, count, count == expect and got == sent))
+    finally:
+        producer.close()
+
+
+def _mc_rate(bootstrap: list) -> float:
+    """Aggregate records/s across MC_CLIENTS concurrent client processes."""
+    ctx = multiprocessing.get_context()
+    out = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_mc_client_main, args=(i, bootstrap, out), daemon=True
+        )
+        for i in range(MC_CLIENTS)
+    ]
+    t0 = time.perf_counter()
+    for proc in procs:
+        proc.start()
+    reports = [out.get(timeout=120.0) for _ in procs]
+    elapsed = time.perf_counter() - t0
+    for proc in procs:
+        proc.join(10.0)
+    bad = [index for index, _, ok in reports if not ok]
+    if bad:
+        raise RuntimeError(f"multicore bench clients {bad} failed CRC verification")
+    return sum(count for _, count, _ in reports) / elapsed
+
+
+def _mc_cluster_rate(num_shards: int) -> float:
+    from repro.broker import ClusterBroker, ClusterBrokerSupervisor
+    from repro.monitoring import MetricsRegistry, TelemetrySampler
+
+    with ClusterBrokerSupervisor(
+        num_shards=num_shards, topics=[("mc", MC_PARTITIONS)]
+    ) as supervisor:
+        handle = ClusterBroker(supervisor.bootstrap)
+        sampler = TelemetrySampler(registry=MetricsRegistry(), interval_s=0.25)
+        sampler.watch_cluster(handle)
+        sampler.start()
+        try:
+            return _mc_rate(supervisor.bootstrap)
+        finally:
+            sampler.stop()
+            handle.close()
+
+
+def _mc_plain_rate() -> float:
+    from repro.monitoring import MetricsRegistry, TelemetrySampler
+
+    broker = Broker()
+    broker.create_topic("mc", MC_PARTITIONS)
+    server = ReactorBrokerServer(broker)
+    server.start()
+    # Telemetry parity with the cluster leg: sample the lone server too.
+    sampler = TelemetrySampler(registry=MetricsRegistry(), interval_s=0.25)
+    sampler.watch_server(server)
+    sampler.start()
+    try:
+        return _mc_rate([(server.host, server.port)])
+    finally:
+        sampler.stop()
+        server.stop()
+
+
+def run_multicore_guard() -> dict:
+    """Measure, persist the artifact, and return the results."""
+    cores = os.cpu_count() or 1
+    scale_pairs = []
+    for _ in range(MC_PAIRS):
+        one = _mc_cluster_rate(1)
+        four = _mc_cluster_rate(4)
+        scale_pairs.append((one, four))
+    speedup = max(four / one for one, four in scale_pairs)
+    regression_pairs = []
+    for _ in range(MC_PAIRS):
+        base = _mc_plain_rate()
+        shard = _mc_cluster_rate(1)
+        regression_pairs.append((base, shard))
+    regression = min(
+        max(0.0, 1.0 - shard / base) for base, shard in regression_pairs
+    )
+    results = {
+        "cpu_count": cores,
+        "gated": cores >= 4,
+        "clients": MC_CLIENTS,
+        "partitions": MC_PARTITIONS,
+        "records_per_trial": MC_PARTITIONS * MC_BATCHES * MC_BATCH,
+        "payload_bytes": MC_PAYLOAD,
+        "one_shard_rates": [round(one, 1) for one, _ in scale_pairs],
+        "four_shard_rates": [round(four, 1) for _, four in scale_pairs],
+        "four_shard_speedup": round(speedup, 3),
+        "plain_server_rates": [round(b, 1) for b, _ in regression_pairs],
+        "single_shard_rates": [round(s, 1) for _, s in regression_pairs],
+        "single_shard_regression": round(regression, 4),
+        "fast_mode": FAST,
+    }
+    MULTICORE_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    MULTICORE_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_multicore(results: dict) -> list:
+    failures = []
+    if results["gated"] and results["four_shard_speedup"] < MIN_MULTICORE_SPEEDUP:
+        failures.append(
+            f"4-shard aggregate speedup {results['four_shard_speedup']}x < "
+            f"required {MIN_MULTICORE_SPEEDUP}x on a "
+            f"{results['cpu_count']}-core runner"
+        )
+    if results["single_shard_regression"] > MAX_SINGLE_SHARD_REGRESSION:
+        failures.append(
+            f"single-shard cluster throughput regressed "
+            f"{results['single_shard_regression']:.1%} vs the plain reactor "
+            f"server (allowed {MAX_SINGLE_SHARD_REGRESSION:.0%})"
+        )
+    return failures
+
+
+@pytest.mark.bench
+def test_multicore_guard():
+    results = run_multicore_guard()
+    failures = _check_multicore(results)
+    assert not failures, "; ".join(failures) + f"; see {MULTICORE_ARTIFACT}"
+
+
 @pytest.mark.bench
 def test_batched_fast_path_guard():
     results = run_guard()
@@ -1066,6 +1261,23 @@ def main() -> int:
             f"{reactor['threads_added']} extra threads, in-proc regression "
             f"{reactor['inproc_regression']:.1%}, WAN regression "
             f"{reactor['wan_regression']:.1%}"
+        )
+
+    multicore = run_multicore_guard()
+    for key, value in multicore.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {MULTICORE_ARTIFACT}]")
+    multicore_failures = _check_multicore(multicore)
+    for failure in multicore_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    if not multicore_failures:
+        gate = "gated" if multicore["gated"] else "ungated (<4 cores)"
+        print(
+            f"OK: 4-shard speedup {multicore['four_shard_speedup']}x "
+            f"({gate}), single-shard regression "
+            f"{multicore['single_shard_regression']:.1%} <= "
+            f"{MAX_SINGLE_SHARD_REGRESSION:.0%}"
         )
     return status
 

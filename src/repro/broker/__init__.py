@@ -23,6 +23,7 @@ from repro.broker.errors import (
     BrokerTimeoutError,
     DisconnectedError,
     FatalError,
+    NotOwnerError,
     OffsetOutOfRangeError,
     OutOfOrderSequenceError,
     ProducerFencedError,
@@ -51,8 +52,27 @@ from repro.broker.remote import (
     RemoteRetriableError,
     ThreadedBrokerServer,
 )
+from repro.broker.metadata import (
+    ClusterMetadata,
+    coordinator_shard,
+    shard_for_partition,
+)
+from repro.broker.cluster import (
+    ClusterBroker,
+    ClusterBrokerSupervisor,
+    ShardBroker,
+    connect_bootstrap,
+)
 
 __all__ = [
+    "ClusterBroker",
+    "ClusterBrokerSupervisor",
+    "ClusterMetadata",
+    "NotOwnerError",
+    "ShardBroker",
+    "connect_bootstrap",
+    "coordinator_shard",
+    "shard_for_partition",
     "BrokerServer",
     "ThreadedBrokerServer",
     "RemoteBroker",

@@ -1,0 +1,1164 @@
+"""Multi-core broker: sharded partition ownership across processes.
+
+Python's GIL means one broker process time-slices one core no matter how
+deep the fast path gets. This module escapes it the way Kafka scales a
+cluster — by *ownership*, not by locking: partitions are hashed across N
+worker **processes** (each running its own
+:class:`~repro.broker.reactor.ReactorBrokerServer` event loop on its own
+port), every ``(topic, partition)`` pair has exactly one owner, and
+clients route per partition. Three pieces:
+
+- :class:`ShardBroker` — a :class:`~repro.broker.broker.Broker` that
+  knows which slice of the partition space it owns and answers
+  :class:`~repro.broker.errors.NotOwnerError` for the rest *before*
+  touching any state, so a rejected op is always safe to retry against
+  the true owner. Group coordination is ownership-guarded the same way:
+  each group id hashes to one *coordinator shard* that holds the group's
+  members, generations, and committed offsets.
+- :class:`ClusterBrokerSupervisor` — spawns the worker processes, hands
+  each the cluster address map + epoch over a control pipe, respawns
+  dead shards on their original port (bumping the epoch), and tears the
+  whole thing down deterministically.
+- :class:`ClusterBroker` — the cluster-aware client: bootstraps metadata
+  from any shard (``describe_cluster``), keeps one pipelined
+  :class:`~repro.broker.remote.RemoteBroker` per shard, routes every
+  partition-affine op to its owner and every group-affine op to its
+  coordinator, and on ``NotOwnerError`` or connection loss refreshes
+  metadata with capped backoff — replaying only idempotent ops, exactly
+  the rules the single-connection client already follows.
+
+Ownership is a *rule* (:mod:`repro.broker.metadata`), so the metadata
+payload is O(shards) and newly created topics need no epoch bump. With
+``num_shards=1`` everything degenerates to today's single-process
+behavior, which is also how old single-broker clients stay compatible:
+a plain :class:`RemoteBroker` pointed at one shard works unchanged.
+
+This is ROADMAP item 1's skeleton: a partition→process map is a
+partition→broker map in miniature, and ``NotOwnerError`` is
+``NotLeaderError`` without replication.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from multiprocessing.connection import wait as connection_wait
+
+from repro.broker.broker import Broker
+from repro.broker.errors import (
+    BrokerError,
+    BrokerTimeoutError,
+    DisconnectedError,
+    NotOwnerError,
+)
+from repro.broker.group import GroupCoordinator
+from repro.broker.metadata import (
+    ClusterMetadata,
+    coordinator_shard,
+    shard_for_partition,
+)
+from repro.broker.reactor import ReactorBrokerServer
+from repro.broker.remote import (
+    RemoteBroker,
+    RemoteBrokerError,
+    RemoteRetriableError,
+)
+from repro.util.validation import ValidationError
+
+
+# -- the shard-side broker ---------------------------------------------------
+
+
+class ShardBroker(Broker):
+    """A broker that owns a deterministic slice of the partition space.
+
+    Partition-affine ops (``append``/``append_many``/``fetch``/offsets/
+    ``partition_log`` — the last one covers the reactor's long-poll
+    parking path) check ownership *first* and raise
+    :class:`NotOwnerError` before any state is read or written; group-
+    affine ops (coordination, commits) check the group's coordinator
+    shard the same way via the coordinator's guard hook. Topics are
+    created on every shard with their full partition set — unowned
+    partition logs simply stay empty — so rebalance computations and
+    partition counts need no cross-shard calls.
+
+    Idempotent-producer ids are strided (``shard + k * num_shards``) so
+    producers registered on different shards can never collide; with one
+    shard this reduces to the plain broker's dense numbering.
+    """
+
+    def __init__(
+        self,
+        shard_index: int = 0,
+        num_shards: int = 1,
+        name: str | None = None,
+        auto_create_topics: bool = False,
+        tracer=None,
+    ) -> None:
+        if not 0 <= shard_index < num_shards:
+            raise ValidationError(
+                f"shard_index {shard_index} out of range for {num_shards} shards"
+            )
+        super().__init__(
+            name=name or f"shard-{shard_index}",
+            auto_create_topics=auto_create_topics,
+            tracer=tracer,
+        )
+        self.shard_index = int(shard_index)
+        self.num_shards = int(num_shards)
+        self._cluster_meta = ClusterMetadata(epoch=0, shards=())
+        self._server = None
+        # Replace the base coordinator with one whose every group-scoped
+        # entry point re-checks coordinator ownership.
+        self._coordinator = GroupCoordinator(self, guard=self._check_group_owner)
+
+    # -- cluster wiring ------------------------------------------------------
+
+    def set_cluster(self, addresses, epoch: int) -> None:
+        """Install the shard address map (called by the supervisor)."""
+        meta = ClusterMetadata(
+            epoch=int(epoch), shards=tuple((str(h), int(p)) for h, p in addresses)
+        )
+        if meta.num_shards != self.num_shards:
+            raise ValidationError(
+                f"cluster map has {meta.num_shards} shards, broker expects "
+                f"{self.num_shards}"
+            )
+        self._cluster_meta = meta
+
+    def attach_server(self, server) -> None:
+        """Both broker servers call this on start(); keeps a handle so
+        the reactor's gauges can be served over the wire."""
+        self._server = server
+
+    @property
+    def cluster_epoch(self) -> int:
+        return self._cluster_meta.epoch
+
+    # -- ownership guards ----------------------------------------------------
+
+    def owns(self, topic: str, partition: int) -> bool:
+        return (
+            shard_for_partition(topic, partition, self.num_shards)
+            == self.shard_index
+        )
+
+    def _check_owner(self, topic: str, partition: int) -> None:
+        owner = shard_for_partition(topic, partition, self.num_shards)
+        if owner != self.shard_index:
+            raise NotOwnerError(
+                f"partition {topic}/{partition}",
+                owner,
+                self.shard_index,
+                self._cluster_meta.epoch,
+            )
+
+    def _check_group_owner(self, group: str) -> None:
+        owner = coordinator_shard(group, self.num_shards)
+        if owner != self.shard_index:
+            raise NotOwnerError(
+                f"group {group!r}", owner, self.shard_index, self._cluster_meta.epoch
+            )
+
+    # -- partition-affine surface --------------------------------------------
+
+    def append(self, topic, partition, value, **kwargs):
+        self._check_owner(topic, partition)
+        return super().append(topic, partition, value, **kwargs)
+
+    def append_many(self, topic, partition, values, **kwargs):
+        self._check_owner(topic, partition)
+        return super().append_many(topic, partition, values, **kwargs)
+
+    def fetch(self, topic, partition, offset, **kwargs):
+        self._check_owner(topic, partition)
+        return super().fetch(topic, partition, offset, **kwargs)
+
+    def partition_log(self, topic, partition):
+        # The reactor's long-poll parking goes through here, so a parked
+        # fetch for a foreign partition is rejected up front too.
+        self._check_owner(topic, partition)
+        return super().partition_log(topic, partition)
+
+    def earliest_offset(self, topic, partition):
+        self._check_owner(topic, partition)
+        return super().earliest_offset(topic, partition)
+
+    def latest_offset(self, topic, partition):
+        self._check_owner(topic, partition)
+        return super().latest_offset(topic, partition)
+
+    def partition_depths(self) -> dict:
+        """Only the partitions this shard owns (unowned logs are empty
+        placeholders); a cluster-wide view is the union over shards."""
+        return {
+            tp: d for tp, d in super().partition_depths().items() if self.owns(*tp)
+        }
+
+    # -- group-affine surface ------------------------------------------------
+
+    def commit_offset(self, group, topic, partition, offset) -> None:
+        # Commits are group-affine (Kafka's __consumer_offsets rule): the
+        # coordinator shard owns a group's offsets even for partitions
+        # whose *data* lives elsewhere.
+        self._check_group_owner(group)
+        super().commit_offset(group, topic, partition, offset)
+
+    def committed_offset(self, group, topic, partition):
+        self._check_group_owner(group)
+        return super().committed_offset(group, topic, partition)
+
+    def committed_offsets(self, group=None) -> dict:
+        if group is not None:
+            self._check_group_owner(group)
+        return super().committed_offsets(group)
+
+    def consumer_lag(self, group) -> dict:
+        """Lag for the partitions this shard owns; the cluster client
+        merges committed offsets with cluster-wide depths for the rest."""
+        self._check_group_owner(group)
+        return {tp: lag for tp, lag in super().consumer_lag(group).items() if self.owns(*tp)}
+
+    # -- idempotent producers ------------------------------------------------
+
+    def register_producer(self, client_id: str) -> tuple[int, int]:
+        with self._producers_lock:
+            pid = self._producer_ids.get(client_id)
+            if pid is None:
+                # Strided ids: globally unique without coordination.
+                pid = self.shard_index + self.num_shards * len(self._producer_ids)
+                self._producer_ids[client_id] = pid
+                self._producer_epochs[pid] = 0
+            else:
+                self._producer_epochs[pid] += 1
+            return pid, self._producer_epochs[pid]
+
+    # -- cluster wire ops ----------------------------------------------------
+
+    def describe_cluster(self) -> dict:
+        meta = self._cluster_meta
+        if meta.num_shards == 0:
+            raise ValidationError("cluster metadata not initialised on this shard")
+        out = meta.to_wire()
+        out["shard"] = self.shard_index
+        return out
+
+    def find_coordinator(self, group: str) -> dict:
+        meta = self._cluster_meta
+        idx = coordinator_shard(group, self.num_shards)
+        host, port = meta.shards[idx] if idx < meta.num_shards else (None, None)
+        return {"shard": idx, "host": host, "port": port, "epoch": meta.epoch}
+
+    def server_metrics(self) -> dict:
+        out = {
+            "shard": self.shard_index,
+            "num_shards": self.num_shards,
+            "epoch": self._cluster_meta.epoch,
+        }
+        if self._server is not None:
+            out.update(self._server.metrics())
+        return out
+
+
+# -- the worker process ------------------------------------------------------
+
+
+def _shard_worker_main(
+    index: int,
+    num_shards: int,
+    host: str,
+    port: int,
+    topics,
+    control_conn,
+    opts: dict,
+) -> None:
+    """Entry point of one shard process (module-level: picklable).
+
+    Two-phase startup: bind (ephemeral or respawn-pinned port), report
+    the bound address on *control_conn*, then block for the full cluster
+    map on the same pipe before serving — so no shard ever answers
+    ``describe_cluster`` with a partial address list. Afterwards the
+    control pipe carries epoch bumps and the stop signal; EOF (parent
+    gone) also stops, so an orphaned worker exits instead of lingering.
+
+    All parent<->worker traffic rides the per-worker pipe on purpose: a
+    shared multiprocessing.Queue dies with its writers — a SIGKILLed
+    shard can take the queue's shared write-lock to the grave, wedging
+    every later sender — while a killed worker can only ever corrupt its
+    *own* pipe, and its respawn gets a fresh one.
+    """
+    broker = ShardBroker(shard_index=index, num_shards=num_shards)
+    for name, partitions in topics:
+        broker.create_topic(name, num_partitions=partitions, exist_ok=True)
+    deadline = time.monotonic() + opts.get("bind_timeout", 5.0)
+    while True:
+        try:
+            server = ReactorBrokerServer(
+                broker,
+                host=host,
+                port=port,
+                num_workers=opts.get("num_workers", 4),
+            )
+            break
+        except OSError as exc:
+            # A respawn can race the dying process's port; retry briefly.
+            if time.monotonic() >= deadline:
+                control_conn.send(("error", index, f"bind failed: {exc}"))
+                return
+            time.sleep(0.05)
+    control_conn.send(("bound", index, server.host, server.port))
+    try:
+        msg = control_conn.recv()
+    except (EOFError, OSError):
+        return
+    if msg[0] != "cluster":
+        return
+    broker.set_cluster(msg[1], msg[2])
+    server.start()
+    try:
+        while True:
+            try:
+                msg = control_conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] in ("cluster", "epoch"):
+                broker.set_cluster(msg[1], msg[2])
+            elif msg[0] == "stop":
+                break
+    finally:
+        # Drains parked long-polls (clients see EOF, not a hang) and
+        # joins the reactor + worker threads before the process exits.
+        server.stop()
+        try:
+            control_conn.close()
+        except OSError:
+            pass
+
+
+class ClusterBrokerSupervisor:
+    """Spawns and supervises N shard processes on one host.
+
+    Startup is two-phase: every worker binds and reports its address,
+    then the supervisor broadcasts the complete map (epoch 1) and the
+    workers begin serving. With ``restart=True`` a monitor thread
+    respawns any shard that dies on its *original* port and broadcasts a
+    bumped epoch — in-memory log/group state on the dead shard is lost
+    (replication is ROADMAP item 1), but clients reconnect and resume.
+
+    ``stop()`` signals every worker over its control pipe (each worker's
+    ``server.stop()`` drains parked long-polls and joins its threads),
+    joins every process, and escalates terminate → kill for stragglers,
+    so no orphaned processes or sockets survive it.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        host: str = "127.0.0.1",
+        topics=None,
+        restart: bool = False,
+        num_workers: int = 4,
+        start_timeout: float = 30.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.host = host
+        self.topics = [(str(n), int(p)) for n, p in (topics or [])]
+        self.restart = bool(restart)
+        self.num_workers = int(num_workers)
+        self.start_timeout = float(start_timeout)
+        self.epoch = 0
+        #: Shards respawned by the monitor thread (chaos accounting).
+        self.restarts = 0
+        self._ctx = multiprocessing.get_context()
+        self._procs: list = [None] * self.num_shards
+        self._pipes: list = [None] * self.num_shards
+        self._addresses: list = [None] * self.num_shards
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, index: int, port: int):
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                index,
+                self.num_shards,
+                self.host,
+                port,
+                self.topics,
+                child_conn,
+                {"num_workers": self.num_workers},
+            ),
+            name=f"broker-shard-{index}",
+            daemon=True,  # orphan safety net: workers die with the parent
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _await_bound(self, expect: set, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while expect:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"shards {sorted(expect)} did not bind within {timeout:.0f}s"
+                )
+            pipes = {self._pipes[index]: index for index in expect}
+            for pipe in connection_wait(list(pipes), timeout=remaining):
+                index = pipes[pipe]
+                try:
+                    msg = pipe.recv()
+                except (EOFError, OSError):
+                    raise RuntimeError(
+                        f"shard {index} exited before binding"
+                    ) from None
+                if msg[0] == "error":
+                    raise RuntimeError(
+                        f"shard {msg[1]} failed to start: {msg[2]}"
+                    )
+                _, _, host, port = msg
+                self._addresses[index] = (host, port)
+                expect.discard(index)
+
+    def _broadcast(self, tag: str) -> None:
+        payload = (tag, list(self._addresses), self.epoch)
+        for pipe in self._pipes:
+            if pipe is None:
+                continue
+            try:
+                pipe.send(payload)
+            except (BrokenPipeError, OSError):
+                pass  # dead shard; the monitor (if any) will respawn it
+
+    def start(self) -> "ClusterBrokerSupervisor":
+        if self._started:
+            raise RuntimeError("supervisor already started")
+        self._started = True
+        self._stopping.clear()
+        for index in range(self.num_shards):
+            self._procs[index], self._pipes[index] = self._spawn(index, port=0)
+        try:
+            self._await_bound(set(range(self.num_shards)), self.start_timeout)
+        except Exception:
+            self._teardown()
+            raise
+        self.epoch = 1
+        self._broadcast("cluster")
+        if self.restart:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="cluster-monitor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(0.05):
+            for index in range(self.num_shards):
+                proc = self._procs[index]
+                if proc is None or proc.is_alive() or self._stopping.is_set():
+                    continue
+                with self._lock:
+                    if self._stopping.is_set():
+                        return
+                    proc.join(timeout=0)
+                    old_pipe = self._pipes[index]
+                    if old_pipe is not None:
+                        try:
+                            old_pipe.close()
+                        except OSError:
+                            pass
+                    # Same port: clients that never noticed the crash
+                    # keep a valid address; ones that did simply redial.
+                    _, port = self._addresses[index]
+                    self._procs[index], self._pipes[index] = self._spawn(index, port)
+                    try:
+                        self._await_bound({index}, self.start_timeout)
+                    except RuntimeError:
+                        continue  # next tick tries again
+                    self.epoch += 1
+                    self.restarts += 1
+                    self._broadcast("cluster")
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+            self._monitor = None
+        with self._lock:
+            self._teardown()
+        self._started = False
+
+    def _teardown(self) -> None:
+        for pipe in self._pipes:
+            if pipe is None:
+                continue
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 10.0
+        for escalate in (None, "terminate", "kill"):
+            for proc in self._procs:
+                if proc is None or not proc.is_alive():
+                    continue
+                if escalate is not None:
+                    getattr(proc, escalate)()
+                proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for index, proc in enumerate(self._procs):
+            if proc is not None:
+                proc.join(timeout=1.0)
+                self._procs[index] = None
+        for index, pipe in enumerate(self._pipes):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass
+                self._pipes[index] = None
+
+    def __enter__(self) -> "ClusterBrokerSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- introspection / chaos -----------------------------------------------
+
+    @property
+    def addresses(self) -> list:
+        return [addr for addr in self._addresses if addr is not None]
+
+    @property
+    def bootstrap(self) -> list:
+        """Alias clients pass straight to :class:`ClusterBroker`."""
+        return self.addresses
+
+    def describe_cluster(self) -> dict:
+        return ClusterMetadata(self.epoch, tuple(self.addresses)).to_wire()
+
+    def is_alive(self, index: int) -> bool:
+        proc = self._procs[index]
+        return proc is not None and proc.is_alive()
+
+    def kill_shard(self, index: int) -> int:
+        """SIGKILL one shard (chaos testing); returns the dead pid."""
+        proc = self._procs[index]
+        if proc is None or proc.pid is None:
+            raise ValidationError(f"shard {index} is not running")
+        pid = proc.pid
+        os.kill(pid, signal.SIGKILL)
+        proc.join(timeout=10)
+        return pid
+
+
+# -- the cluster-aware client ------------------------------------------------
+
+
+class _ClusterCoordinator:
+    """Routes each group's coordination to its coordinator shard."""
+
+    def __init__(self, cluster: "ClusterBroker") -> None:
+        self._cluster = cluster
+
+    def join(self, group_id, member_id, topics, strategy=None, session_timeout_ms=None):
+        if strategy is not None:
+            raise ValidationError("remote coordinator uses the server's strategy")
+        topics = list(topics)
+        return self._cluster._group_invoke(
+            group_id,
+            lambda r: r.coordinator.join(
+                group_id, member_id, topics, session_timeout_ms=session_timeout_ms
+            ),
+        )
+
+    def leave(self, group_id, member_id):
+        self._cluster._group_invoke(
+            group_id, lambda r: r.coordinator.leave(group_id, member_id)
+        )
+
+    def heartbeat(self, group_id, member_id):
+        return self._cluster._group_invoke(
+            group_id, lambda r: r.coordinator.heartbeat(group_id, member_id)
+        )
+
+    def assignment(self, group_id, member_id):
+        return self._cluster._group_invoke(
+            group_id, lambda r: r.coordinator.assignment(group_id, member_id)
+        )
+
+    def generation(self, group_id):
+        return self._cluster._group_invoke(
+            group_id, lambda r: r.coordinator.generation(group_id)
+        )
+
+    def group_ids(self):
+        """Union over every shard (each only knows the groups it hosts)."""
+        ids: set[str] = set()
+        for remote in self._cluster._live_remotes():
+            try:
+                ids.update(remote.coordinator.group_ids())
+            except (BrokerError, ConnectionError, OSError):
+                continue
+        return sorted(ids)
+
+    def members(self, group_id):
+        return self._cluster._group_invoke(
+            group_id, lambda r: r.coordinator.members(group_id)
+        )
+
+    def group_topics(self, group_id):
+        return self._cluster._group_invoke(
+            group_id, lambda r: r.coordinator.group_topics(group_id)
+        )
+
+    def committed_offsets(self, group_id):
+        return self._cluster._group_invoke(
+            group_id, lambda r: r.coordinator.committed_offsets(group_id)
+        )
+
+
+class ClusterBroker:
+    """Cluster-aware client: one pipelined connection per shard, ops
+    routed by the same ownership rule the shards enforce.
+
+    Presents the same broker surface as :class:`RemoteBroker`, so
+    :class:`~repro.broker.producer.Producer` and
+    :class:`~repro.broker.consumer.Consumer` work against it unchanged.
+    On :class:`NotOwnerError` (always raised before the op applied —
+    safe for every op) or connection loss (safe only for idempotent
+    ops), the client refreshes metadata with capped exponential backoff
+    and re-routes; the per-shard connections' correlation-id pipelining,
+    deadlines, and replay rules are :class:`RemoteBroker`'s, reused
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        bootstrap,
+        connect_timeout: float = 5.0,
+        op_timeout: float = 10.0,
+        max_attempts: int = 3,
+        reconnect_backoff_ms: float = 50.0,
+        max_in_flight_requests: int = 5,
+        link=None,
+        tracer=None,
+        metadata: ClusterMetadata | None = None,
+    ) -> None:
+        bootstrap = [(str(h), int(p)) for h, p in bootstrap]
+        if not bootstrap:
+            raise ValidationError("bootstrap needs at least one (host, port) address")
+        self._bootstrap = bootstrap
+        self.connect_timeout = float(connect_timeout)
+        self.op_timeout = float(op_timeout)
+        self.max_attempts = max(1, int(max_attempts))
+        self.reconnect_backoff_ms = float(reconnect_backoff_ms)
+        self._max_backoff_s = 2.0
+        self.link = link
+        self._tracer = tracer
+        self.max_in_flight_requests = int(max_in_flight_requests)
+        self.name = f"cluster://{bootstrap[0][0]}:{bootstrap[0][1]}"
+        self.coordinator = _ClusterCoordinator(self)
+        #: Successful metadata refreshes (bootstrap + re-routes).
+        self.metadata_refreshes = 0
+        self._fault_injector = None
+        self._remotes: dict[tuple, RemoteBroker] = {}
+        self._remotes_lock = threading.Lock()
+        self._closed = False
+        self._meta: ClusterMetadata | None = metadata
+        if self._meta is None:
+            self.refresh_metadata()
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def metadata(self) -> ClusterMetadata:
+        return self._meta
+
+    @property
+    def num_shards(self) -> int:
+        return self._meta.num_shards
+
+    @property
+    def epoch(self) -> int:
+        return self._meta.epoch
+
+    def describe_cluster(self) -> dict:
+        return self._meta.to_wire()
+
+    def find_coordinator(self, group: str) -> dict:
+        meta = self._meta
+        idx = meta.coordinator_index(group)
+        host, port = meta.shards[idx]
+        return {"shard": idx, "host": host, "port": port, "epoch": meta.epoch}
+
+    def refresh_metadata(self) -> ClusterMetadata:
+        """Re-fetch the shard map from any responsive shard.
+
+        Walks current shards first, then the bootstrap list; accepts only
+        maps at least as new as the one held (epochs never go backwards).
+        When nobody answers, the stale map is kept — the bounded retry
+        loops above this decide when to give up.
+        """
+        candidates: list[tuple] = []
+        meta = self._meta
+        if meta is not None:
+            candidates.extend(meta.shards)
+        for addr in self._bootstrap:
+            if addr not in candidates:
+                candidates.append(addr)
+        last_exc: Exception | None = None
+        for addr in candidates:
+            try:
+                fresh = ClusterMetadata.from_wire(
+                    self._remote(addr).describe_cluster()
+                )
+            except (BrokerError, ConnectionError, OSError) as exc:
+                last_exc = exc
+                continue
+            if meta is None or fresh.epoch >= meta.epoch:
+                self._meta = fresh
+                self.metadata_refreshes += 1
+                return fresh
+        if meta is not None:
+            return meta
+        raise DisconnectedError(
+            f"could not bootstrap cluster metadata from {candidates}: {last_exc}"
+        ) from last_exc
+
+    # -- connections ---------------------------------------------------------
+
+    def _remote(self, address: tuple) -> RemoteBroker:
+        with self._remotes_lock:
+            if self._closed:
+                raise DisconnectedError(f"{self.name} is closed")
+            remote = self._remotes.get(address)
+        if remote is not None:
+            return remote
+        host, port = address
+        remote = RemoteBroker(
+            host,
+            port,
+            connect_timeout=self.connect_timeout,
+            op_timeout=self.op_timeout,
+            max_attempts=self.max_attempts,
+            reconnect_backoff_ms=self.reconnect_backoff_ms,
+            max_in_flight_requests=self.max_in_flight_requests,
+            link=self.link,
+            tracer=self._tracer,
+        )
+        remote.fault_injector = self._fault_injector
+        with self._remotes_lock:
+            if self._closed:
+                remote.close()
+                raise DisconnectedError(f"{self.name} is closed")
+            existing = self._remotes.setdefault(address, remote)
+        if existing is not remote:
+            remote.close()
+        return existing
+
+    def _live_remotes(self):
+        """Connected shard handles, skipping addresses that refuse."""
+        for addr in self._meta.shards:
+            try:
+                yield self._remote(addr)
+            except (ConnectionError, OSError):
+                continue
+
+    @property
+    def fault_injector(self):
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self._fault_injector = injector
+        with self._remotes_lock:
+            remotes = list(self._remotes.values())
+        for remote in remotes:
+            remote.fault_injector = injector
+
+    def close(self) -> None:
+        with self._remotes_lock:
+            self._closed = True
+            remotes, self._remotes = list(self._remotes.values()), {}
+        for remote in remotes:
+            remote.close()
+
+    def __enter__(self) -> "ClusterBroker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- routing core --------------------------------------------------------
+
+    def _invoke(self, pick, fn, replayable: bool = True):
+        """Route one op: pick a shard from the current map, run it, and
+        on NotOwner / connection loss refresh metadata and re-route.
+
+        A ``NotOwnerError`` is always retried (the shard rejected the op
+        before applying it); transport failures are retried only for
+        replayable ops — the same rule :class:`RemoteBroker` applies to
+        its own reconnects.
+        """
+        last_exc: Exception | None = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                time.sleep(
+                    min(
+                        self.reconnect_backoff_ms / 1000.0 * (2 ** (attempt - 1)),
+                        self._max_backoff_s,
+                    )
+                )
+            try:
+                remote = self._remote(pick(self._meta))
+            except (ConnectionError, OSError) as exc:
+                last_exc = exc
+                self.refresh_metadata()
+                continue
+            try:
+                return fn(remote)
+            except RemoteRetriableError as exc:
+                if exc.error_name != "NotOwnerError":
+                    raise
+                last_exc = exc
+                self.refresh_metadata()
+                continue
+            except (DisconnectedError, BrokerTimeoutError) as exc:
+                last_exc = exc
+                if not replayable:
+                    raise
+                self.refresh_metadata()
+                continue
+        if isinstance(last_exc, BrokerError):
+            raise last_exc
+        raise DisconnectedError(
+            f"op failed after {self.max_attempts} routed attempts on "
+            f"{self.name}: {last_exc}"
+        ) from last_exc
+
+    def _partition_invoke(self, topic, partition, fn, replayable: bool = True):
+        return self._invoke(lambda m: m.owner(topic, partition), fn, replayable)
+
+    def _group_invoke(self, group, fn):
+        # Group ops (joins, heartbeats, commits) are all replayable:
+        # joins/commits are idempotent upserts, heartbeats are reads.
+        return self._invoke(lambda m: m.coordinator(group), fn)
+
+    def _any_invoke(self, fn):
+        """Run *fn* against any responsive shard (topic metadata, etc.)."""
+        last_exc: Exception | None = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                time.sleep(
+                    min(
+                        self.reconnect_backoff_ms / 1000.0 * (2 ** (attempt - 1)),
+                        self._max_backoff_s,
+                    )
+                )
+            for addr in self._meta.shards:
+                try:
+                    return fn(self._remote(addr))
+                except (
+                    RemoteRetriableError,
+                    DisconnectedError,
+                    BrokerTimeoutError,
+                    ConnectionError,
+                    OSError,
+                ) as exc:
+                    last_exc = exc
+                    continue
+            self.refresh_metadata()
+        raise DisconnectedError(
+            f"no shard answered after {self.max_attempts} sweeps on "
+            f"{self.name}: {last_exc}"
+        ) from last_exc
+
+    # -- broker surface used by Producer/Consumer -----------------------------
+
+    def create_topic(self, name: str, num_partitions: int = 1, exist_ok: bool = False):
+        """Create the topic on *every* shard (full partition set each —
+        ownership is enforced per op, not per log)."""
+        out = None
+        for index, addr in enumerate(self._meta.shards):
+            topic = self._remote(addr).create_topic(
+                name,
+                num_partitions=num_partitions,
+                # Only the first shard honours the caller's exist_ok so a
+                # duplicate create fails exactly once, like one broker.
+                exist_ok=exist_ok if index == 0 else True,
+            )
+            out = out if out is not None else topic
+        return out
+
+    def topic(self, name: str):
+        return self._any_invoke(lambda r: r.topic(name))
+
+    def list_topics(self) -> list:
+        return self._any_invoke(lambda r: r.list_topics())
+
+    def register_producer(self, client_id: str) -> tuple[int, int]:
+        # Producer registration is hashed like a group id so the same
+        # client id always re-registers (and epoch-fences) on one shard.
+        return self._invoke(
+            lambda m: m.coordinator(client_id),
+            lambda r: r.register_producer(client_id),
+        )
+
+    def append(
+        self,
+        topic,
+        partition,
+        value,
+        key=None,
+        headers=None,
+        produce_ts=None,
+        producer_id=None,
+        producer_epoch=0,
+        sequence=None,
+    ):
+        return self._partition_invoke(
+            topic,
+            partition,
+            lambda r: r.append(
+                topic,
+                partition,
+                value,
+                key=key,
+                headers=headers,
+                produce_ts=produce_ts,
+                producer_id=producer_id,
+                producer_epoch=producer_epoch,
+                sequence=sequence,
+            ),
+            replayable=producer_id is not None,
+        )
+
+    def append_many(
+        self,
+        topic,
+        partition,
+        values,
+        keys=None,
+        headers=None,
+        produce_ts=None,
+        producer_id=None,
+        producer_epoch=0,
+        base_sequence=None,
+    ):
+        values = list(values)
+        return self._partition_invoke(
+            topic,
+            partition,
+            lambda r: r.append_many(
+                topic,
+                partition,
+                values,
+                keys=keys,
+                headers=headers,
+                produce_ts=produce_ts,
+                producer_id=producer_id,
+                producer_epoch=producer_epoch,
+                base_sequence=base_sequence,
+            ),
+            replayable=producer_id is not None,
+        )
+
+    def fetch(self, topic, partition, offset, max_records=64, timeout=0.0, min_bytes=1):
+        return self._partition_invoke(
+            topic,
+            partition,
+            lambda r: r.fetch(
+                topic,
+                partition,
+                offset,
+                max_records=max_records,
+                timeout=timeout,
+                min_bytes=min_bytes,
+            ),
+        )
+
+    def earliest_offset(self, topic, partition):
+        return self._partition_invoke(
+            topic, partition, lambda r: r.earliest_offset(topic, partition)
+        )
+
+    def latest_offset(self, topic, partition):
+        return self._partition_invoke(
+            topic, partition, lambda r: r.latest_offset(topic, partition)
+        )
+
+    def commit_offset(self, group, topic, partition, offset):
+        self._group_invoke(
+            group, lambda r: r.commit_offset(group, topic, partition, offset)
+        )
+
+    def committed_offset(self, group, topic, partition):
+        return self._group_invoke(
+            group, lambda r: r.committed_offset(group, topic, partition)
+        )
+
+    def committed_offsets(self, group):
+        return self.coordinator.committed_offsets(group)
+
+    def consumer_lag(self, group) -> dict:
+        """Cluster-wide lag: committed offsets from the group's
+        coordinator shard merged with every shard's partition depths
+        (no single shard sees both sides for foreign partitions)."""
+        committed = self.committed_offsets(group)
+        topics = self.coordinator.group_topics(group)
+        depths = self.partition_depths()
+        partitions = set(committed)
+        for tp in depths:
+            if tp[0] in topics:
+                partitions.add(tp)
+        lag: dict[tuple, int] = {}
+        for tp in partitions:
+            depth = depths.get(tp)
+            if depth is None:
+                continue
+            base = committed.get(tp)
+            if base is None:
+                base = depth["end_offset"] - depth["depth"]
+            lag[tp] = max(0, depth["end_offset"] - base)
+        return lag
+
+    def partition_depths(self) -> dict:
+        """Union of every responsive shard's owned-partition depths."""
+        out: dict[tuple, dict] = {}
+        for remote in self._live_remotes():
+            try:
+                out.update(remote.partition_depths())
+            except (BrokerError, ConnectionError, OSError):
+                continue
+        return out
+
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    def requests_in_flight(self) -> int:
+        with self._remotes_lock:
+            remotes = list(self._remotes.values())
+        return sum(r.requests_in_flight for r in remotes)
+
+    @property
+    def requests_sent(self) -> int:
+        with self._remotes_lock:
+            remotes = list(self._remotes.values())
+        return sum(r.requests_sent for r in remotes)
+
+    def shard_metrics(self) -> dict:
+        """``{shard_index: server_metrics}`` for every responsive shard;
+        dead shards are simply absent (the sampler counts them)."""
+        out: dict[int, dict] = {}
+        for index, addr in enumerate(self._meta.shards):
+            try:
+                out[index] = self._remote(addr).server_metrics()
+            except (BrokerError, ConnectionError, OSError):
+                continue
+        return out
+
+    def stats(self) -> dict:
+        """Per-shard stats merged: counters summed, topics unioned."""
+        merged: dict = {
+            "broker": self.name,
+            "epoch": self._meta.epoch,
+            "shards": {},
+            "topics": {},
+            "duplicates_dropped": 0,
+            "long_polls_parked": 0,
+            "members_evicted": 0,
+        }
+        for index, addr in enumerate(self._meta.shards):
+            try:
+                stats = self._remote(addr).stats()
+            except (BrokerError, ConnectionError, OSError):
+                continue
+            merged["shards"][index] = stats.get("broker")
+            for key in ("duplicates_dropped", "long_polls_parked", "members_evicted"):
+                merged[key] += stats.get(key, 0)
+            for name, topic in stats.get("topics", {}).items():
+                agg = merged["topics"].setdefault(
+                    name,
+                    {
+                        "partitions": topic["partitions"],
+                        "records_in": 0,
+                        "bytes_in": 0,
+                        "bytes_retained": 0,
+                        "duplicates_dropped": 0,
+                        "long_polls_parked": 0,
+                    },
+                )
+                for key in (
+                    "records_in",
+                    "bytes_in",
+                    "bytes_retained",
+                    "duplicates_dropped",
+                    "long_polls_parked",
+                ):
+                    agg[key] += topic.get(key, 0)
+        return merged
+
+    def __repr__(self) -> str:
+        meta = self._meta
+        shards = meta.num_shards if meta is not None else 0
+        return f"ClusterBroker({self.name!r}, shards={shards})"
+
+
+# -- bootstrap ---------------------------------------------------------------
+
+
+def connect_bootstrap(addresses, **kwargs):
+    """Connect to whatever is listening at *addresses*.
+
+    Tries each address in order, skipping ones that are down (the
+    fall-through producers/consumers use for their ``bootstrap=`` lists).
+    If the responder speaks ``describe_cluster`` the result is a
+    :class:`ClusterBroker` over the full shard map; a plain single
+    broker (which answers ``unknown op``) yields an ordinary
+    :class:`RemoteBroker` — old deployments keep working with the same
+    entry point. *kwargs* are forwarded to the client constructor.
+    """
+    addresses = [(str(h), int(p)) for h, p in addresses]
+    if not addresses:
+        raise ValidationError("bootstrap needs at least one (host, port) address")
+    last_exc: Exception | None = None
+    for host, port in addresses:
+        try:
+            probe = RemoteBroker(host, port, **kwargs)
+        except (ConnectionError, OSError) as exc:
+            last_exc = exc
+            continue
+        try:
+            described = probe.describe_cluster()
+        except RemoteBrokerError as exc:
+            if exc.error_name == "ValidationError":
+                # A plain broker: no cluster ops, use it directly.
+                return probe
+            probe.close()
+            last_exc = exc
+            continue
+        except (DisconnectedError, BrokerTimeoutError, ConnectionError, OSError) as exc:
+            probe.close()
+            last_exc = exc
+            continue
+        probe.close()
+        return ClusterBroker(
+            addresses,
+            metadata=ClusterMetadata.from_wire(described),
+            **kwargs,
+        )
+    raise DisconnectedError(
+        f"no broker reachable at any of {addresses}: {last_exc}"
+    ) from last_exc

@@ -316,7 +316,7 @@ class Consumer:
 
     def __init__(
         self,
-        broker: Broker,
+        broker: Broker | None = None,
         group_id: str | None = None,
         serde: Serde | None = None,
         auto_offset_reset: str = "earliest",
@@ -328,6 +328,7 @@ class Consumer:
         fetch_max_wait_ms: float = 500.0,
         tracer=None,
         trace_site: str = "",
+        bootstrap=None,
     ) -> None:
         if auto_offset_reset not in ("earliest", "latest"):
             raise ValidationError(
@@ -339,6 +340,16 @@ class Consumer:
         check_positive("fetch_max_buffer_bytes", fetch_max_buffer_bytes)
         check_positive("fetch_min_bytes", fetch_min_bytes)
         check_non_negative("fetch_max_wait_ms", fetch_max_wait_ms)
+        if (broker is None) == (bootstrap is None):
+            raise ValidationError("provide exactly one of broker= or bootstrap=")
+        # A bootstrap list connects to whatever answers first — a sharded
+        # cluster or a plain single broker — and the consumer owns (and
+        # closes) the resulting client handle.
+        self._owns_broker = bootstrap is not None
+        if bootstrap is not None:
+            from repro.broker.cluster import connect_bootstrap
+
+            broker = connect_bootstrap(bootstrap)
         self._broker = broker
         self._serde = serde or BytesSerde()
         self.group_id = group_id
@@ -745,6 +756,10 @@ class Consumer:
         if self.group_id is not None and self._subscribed_topics:
             self._broker.coordinator.leave(self.group_id, self.client_id)
         self._closed = True
+        if self._owns_broker:
+            close = getattr(self._broker, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "Consumer":
         return self

@@ -73,6 +73,26 @@ class UnknownMemberError(RetriableError):
         self.member_id = member_id
 
 
+class NotOwnerError(RetriableError):
+    """The addressed shard does not own the partition (or group).
+
+    Raised before the operation touches any state, so a retry against
+    the true owner is always safe. Clients should refresh cluster
+    metadata (``describe_cluster``) and re-route; the carried ``epoch``
+    lets them discard responses from maps older than what they hold.
+    """
+
+    def __init__(self, resource: str, owner_shard: int, shard: int, epoch: int) -> None:
+        super().__init__(
+            f"{resource} is owned by shard {owner_shard}, not shard {shard} "
+            f"(cluster epoch {epoch})"
+        )
+        self.resource = resource
+        self.owner_shard = owner_shard
+        self.shard = shard
+        self.epoch = epoch
+
+
 def is_retriable(exc: BaseException) -> bool:
     """True when *exc* marks a transient condition worth retrying."""
     if isinstance(exc, RetriableError):

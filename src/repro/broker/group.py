@@ -113,9 +113,15 @@ class GroupCoordinator:
     to detect stale assignments, even across group destruction.
     """
 
-    def __init__(self, broker, session_timeout_ms: float = 0.0) -> None:
+    def __init__(self, broker, session_timeout_ms: float = 0.0, guard=None) -> None:
         check_non_negative("session_timeout_ms", session_timeout_ms)
         self._broker = broker
+        #: Optional ``guard(group_id)`` hook invoked on every group-scoped
+        #: entry point. Shard brokers install one that raises
+        #: :class:`~repro.broker.errors.NotOwnerError` for groups whose
+        #: coordinator hashes to a different shard, so group state can
+        #: never split across processes.
+        self._guard = guard
         self._groups: dict[str, _GroupState] = {}
         #: group_id -> highest generation ever reached (survives deletion).
         self._epochs: dict[str, int] = {}
@@ -134,6 +140,7 @@ class GroupCoordinator:
         session_timeout_ms: float | None = None,
     ) -> int:
         """Add *member_id* to the group; returns the new generation."""
+        self._check_guard(group_id)
         if not topics:
             raise ValidationError("a consumer must subscribe to at least one topic")
         if session_timeout_ms is not None:
@@ -160,7 +167,12 @@ class GroupCoordinator:
             self._rebalance(state)
             return state.generation
 
+    def _check_guard(self, group_id: str) -> None:
+        if self._guard is not None:
+            self._guard(group_id)
+
     def leave(self, group_id: str, member_id: str) -> None:
+        self._check_guard(group_id)
         with self._lock:
             state = self._groups.get(group_id)
             if state is None or member_id not in state.members:
@@ -184,6 +196,7 @@ class GroupCoordinator:
         (or never joined) — the consumer must re-join and re-fetch its
         assignment.
         """
+        self._check_guard(group_id)
         with self._lock:
             self._sweep_locked(group_id)
             state = self._groups.get(group_id)
@@ -259,6 +272,7 @@ class GroupCoordinator:
 
     def assignment(self, group_id: str, member_id: str) -> tuple[int, list[tuple]]:
         """Return ``(generation, [(topic, partition), ...])`` for a member."""
+        self._check_guard(group_id)
         with self._lock:
             self._sweep_locked(group_id)
             state = self._groups.get(group_id)
@@ -267,12 +281,14 @@ class GroupCoordinator:
             return (state.generation, list(state.assignment.get(member_id, [])))
 
     def generation(self, group_id: str) -> int:
+        self._check_guard(group_id)
         with self._lock:
             self._sweep_locked(group_id)
             state = self._groups.get(group_id)
             return state.generation if state else 0
 
     def members(self, group_id: str) -> list[str]:
+        self._check_guard(group_id)
         with self._lock:
             self._sweep_locked(group_id)
             state = self._groups.get(group_id)
@@ -287,6 +303,7 @@ class GroupCoordinator:
 
     def group_topics(self, group_id: str) -> list[str]:
         """Union of the topics the group's members subscribe to."""
+        self._check_guard(group_id)
         with self._lock:
             self._sweep_locked(group_id)
             state = self._groups.get(group_id)
@@ -301,10 +318,12 @@ class GroupCoordinator:
         them to a group so the telemetry sampler (and lag computations)
         need not know the store's key layout.
         """
+        self._check_guard(group_id)
         return self._broker.committed_offsets(group_id)
 
     def describe(self, group_id: str) -> dict:
         """Full group snapshot for monitoring."""
+        self._check_guard(group_id)
         with self._lock:
             self._sweep_locked(group_id)
             state = self._groups.get(group_id)

@@ -1,0 +1,81 @@
+"""Cluster metadata: who owns which partition, and which epoch says so.
+
+Ownership is a *rule*, not a table: a ``(topic, partition)`` pair hashes
+deterministically onto one of ``num_shards`` slots, and the metadata
+only has to carry the shard address list plus an epoch. That keeps the
+``describe_cluster`` payload O(shards) instead of O(partitions), and —
+more importantly — means dynamically created topics need no metadata
+push: every client and every shard derives the same owner from the same
+rule the moment the topic exists.
+
+The epoch increments whenever the supervisor changes the address list
+(today: respawning a dead shard). Clients treat a response carrying a
+newer epoch as authoritative and refuse to go backwards, mirroring the
+producer-epoch fencing the broker already does for idempotent writes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+
+def shard_for_partition(topic: str, partition: int, num_shards: int) -> int:
+    """Deterministic owner slot for one ``(topic, partition)`` pair.
+
+    Adding the partition index *after* hashing the topic spreads a
+    topic's partitions across consecutive shards, so a single hot topic
+    with >= num_shards partitions uses every core.
+    """
+    if num_shards <= 1:
+        return 0
+    return (zlib.crc32(topic.encode("utf-8")) + partition) % num_shards
+
+
+def coordinator_shard(group_id: str, num_shards: int) -> int:
+    """Deterministic coordinator slot for a consumer group (or producer id).
+
+    All group-scoped state (members, generations, committed offsets)
+    lives on this one shard, so heartbeats and commits for a group never
+    race across processes.
+    """
+    if num_shards <= 1:
+        return 0
+    return zlib.crc32(group_id.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class ClusterMetadata:
+    """An epoch-stamped shard address list with ownership accessors."""
+
+    epoch: int
+    shards: tuple[tuple[str, int], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def owner_index(self, topic: str, partition: int) -> int:
+        return shard_for_partition(topic, partition, len(self.shards))
+
+    def owner(self, topic: str, partition: int) -> tuple[str, int]:
+        return self.shards[self.owner_index(topic, partition)]
+
+    def coordinator_index(self, group_id: str) -> int:
+        return coordinator_shard(group_id, len(self.shards))
+
+    def coordinator(self, group_id: str) -> tuple[str, int]:
+        return self.shards[self.coordinator_index(group_id)]
+
+    def to_wire(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "shards": [[host, port] for host, port in self.shards],
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "ClusterMetadata":
+        return cls(
+            epoch=int(obj["epoch"]),
+            shards=tuple((str(h), int(p)) for h, p in obj["shards"]),
+        )

@@ -110,7 +110,7 @@ class Producer:
 
     def __init__(
         self,
-        broker: Broker,
+        broker: Broker | None = None,
         serde: Serde | None = None,
         partitioner: Partitioner | None = None,
         client_id: str | None = None,
@@ -120,11 +120,22 @@ class Producer:
         enable_idempotence: bool | None = None,
         tracer=None,
         trace_site: str = "",
+        bootstrap=None,
     ) -> None:
         if acks not in (0, 1):
             raise ValidationError(f"acks must be 0 or 1, got {acks!r}")
         check_non_negative("retries", retries)
         check_non_negative("retry_backoff_ms", retry_backoff_ms)
+        if (broker is None) == (bootstrap is None):
+            raise ValidationError("provide exactly one of broker= or bootstrap=")
+        # A bootstrap list connects to whatever answers first — a sharded
+        # cluster or a plain single broker — and the producer owns (and
+        # closes) the resulting client handle.
+        self._owns_broker = bootstrap is not None
+        if bootstrap is not None:
+            from repro.broker.cluster import connect_bootstrap
+
+            broker = connect_bootstrap(bootstrap)
         self._broker = broker
         self._serde = serde or BytesSerde()
         self._partitioner = partitioner or KeyHashPartitioner()
@@ -371,6 +382,10 @@ class Producer:
             self.flush()
         finally:
             self._closed = True
+            if self._owns_broker:
+                close = getattr(self._broker, "close", None)
+                if close is not None:
+                    close()
 
     def __enter__(self) -> "Producer":
         return self

@@ -204,6 +204,11 @@ class ReactorBrokerServer:
     def start(self) -> "ReactorBrokerServer":
         if self._reactor_thread is not None:
             raise RuntimeError("server already started")
+        # Shard brokers keep a handle on their server so the reactor's
+        # gauges can be served over the wire (``server_metrics``).
+        attach = getattr(self.broker, "attach_server", None)
+        if attach is not None:
+            attach(self)
         self._stopping = False
         self._listener.setblocking(False)
         self._wake_r, self._wake_w = socket.socketpair()

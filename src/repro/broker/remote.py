@@ -102,6 +102,7 @@ _RETRIABLE_WIRE = {
     "DisconnectedError",
     "UnknownMemberError",
     "RebalanceInProgressError",
+    "NotOwnerError",
     "ConnectionError",
     "TimeoutError",
 }
@@ -162,6 +163,11 @@ class ThreadedBrokerServer:
     def start(self) -> "ThreadedBrokerServer":
         if self._accept_thread is not None:
             raise RuntimeError("server already started")
+        # Shard brokers want a handle on their server (to serve
+        # ``server_metrics`` over the wire); plain brokers have no hook.
+        attach = getattr(self.broker, "attach_server", None)
+        if attach is not None:
+            attach(self)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"broker-server:{self.port}", daemon=True
         )
@@ -343,6 +349,9 @@ class _RemoteCoordinator:
             for t, p, off in self._remote._call("committed_offsets", group=group_id)
         }
 
+    def group_topics(self, group_id):
+        return set(self._remote._call("group_topics", group=group_id))
+
 
 class _RemoteTopic:
     def __init__(self, name: str, num_partitions: int) -> None:
@@ -425,6 +434,13 @@ class _Connection:
             pend.event.set()
 
     def close(self) -> None:
+        # shutdown() before close(): closing alone does not wake a reader
+        # thread blocked in recv(), which would leave RemoteBroker.close()
+        # burning its full join timeout per connection.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self.sock.close()
         except OSError:
@@ -877,3 +893,17 @@ class RemoteBroker:
 
     def stats(self) -> dict:
         return self._call("stats")
+
+    # -- cluster surface (sharded brokers only) -------------------------------
+
+    def describe_cluster(self) -> dict:
+        """Shard address map + epoch; ``unknown op`` on a plain broker."""
+        return self._call("describe_cluster")
+
+    def find_coordinator(self, group: str) -> dict:
+        """Which shard coordinates *group*; ``unknown op`` on a plain broker."""
+        return self._call("find_coordinator", group=group)
+
+    def server_metrics(self) -> dict:
+        """The serving process's reactor gauges (sharded brokers only)."""
+        return self._call("server_metrics")

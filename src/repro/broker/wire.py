@@ -380,6 +380,26 @@ def execute_op(broker, request: dict, blobs: list) -> tuple:
         )
     if op == "stats":
         return broker.stats(), ()
+    if op == "group_topics":
+        return sorted(broker.coordinator.group_topics(request["group"])), ()
+    if op == "describe_cluster":
+        # Only shard brokers carry cluster metadata; a plain broker
+        # answers "unknown op" so old single-broker clients (and the
+        # bootstrap probe) can tell the two apart.
+        describe = getattr(broker, "describe_cluster", None)
+        if describe is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return describe(), ()
+    if op == "find_coordinator":
+        find = getattr(broker, "find_coordinator", None)
+        if find is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return find(request["group"]), ()
+    if op == "server_metrics":
+        metrics = getattr(broker, "server_metrics", None)
+        if metrics is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return metrics(), ()
     raise ValidationError(f"unknown op {op!r}")
 
 

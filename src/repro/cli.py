@@ -134,29 +134,60 @@ def cmd_model(args: argparse.Namespace) -> int:
             print("error: pilot acquisition failed", file=sys.stderr)
             return 1
         registry, tracer, sampler = _make_telemetry(args)
-        pipeline = EdgeToCloudPipeline(
-            pilot_edge=edge,
-            pilot_cloud_processing=cloud,
-            produce_function_handler=make_block_producer(
-                points=args.points, features=args.features, clusters=25
-            ),
-            process_cloud_function_handler=_model_processor(model),
-            config=PipelineConfig(
-                num_devices=args.devices,
-                messages_per_device=args.messages,
-                max_duration=args.max_duration,
-            ),
-            registry=registry,
-            tracer=tracer,
-            sampler=sampler,
-        )
-        result = pipeline.run()
+        supervisor, broker = _make_cluster(args, sampler)
+        try:
+            pipeline = EdgeToCloudPipeline(
+                pilot_edge=edge,
+                pilot_cloud_processing=cloud,
+                produce_function_handler=make_block_producer(
+                    points=args.points, features=args.features, clusters=25
+                ),
+                process_cloud_function_handler=_model_processor(model),
+                config=PipelineConfig(
+                    num_devices=args.devices,
+                    messages_per_device=args.messages,
+                    max_duration=args.max_duration,
+                ),
+                broker=broker,
+                registry=registry,
+                tracer=tracer,
+                sampler=sampler,
+            )
+            result = pipeline.run()
+        finally:
+            if broker is not None:
+                broker.close()
+            if supervisor is not None:
+                supervisor.stop()
         if registry is not None:
             _dump_telemetry(args, registry, tracer, sampler)
         _print_report(result, args.json)
         return 0 if result.completed else 1
     finally:
         service.close()
+
+
+def _make_cluster(args: argparse.Namespace, sampler):
+    """(supervisor, cluster broker) when ``--broker-workers N`` (N > 0).
+
+    Spawns N shard processes and hands the pipeline a cluster-aware
+    client; with the flag absent/0 the pipeline keeps its in-process
+    broker and nothing extra runs.
+    """
+    workers = getattr(args, "broker_workers", 0) or 0
+    if workers <= 0:
+        return None, None
+    from repro.broker import ClusterBroker, ClusterBrokerSupervisor
+
+    supervisor = ClusterBrokerSupervisor(
+        num_shards=workers,
+        topics=[("pilot-edge-data", args.devices)],
+        restart=True,
+    ).start()
+    broker = ClusterBroker(supervisor.bootstrap)
+    if sampler is not None:
+        sampler.watch_cluster(broker)
+    return supervisor, broker
 
 
 def cmd_geo(args: argparse.Namespace) -> int:
@@ -248,16 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="telemetry sampling period in seconds",
         )
 
+    def broker_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--broker-workers",
+            type=int,
+            default=0,
+            metavar="N",
+            help="shard the broker across N worker processes (multi-core "
+            "scaling); 0 keeps the in-process broker",
+        )
+
     p_base = sub.add_parser("baseline", help="pass-through pipeline run (Fig. 2 point)")
     common(p_base, with_model=False)
     p_base.add_argument("--max-duration", type=float, default=600.0)
     telemetry_opts(p_base)
+    broker_opts(p_base)
     p_base.set_defaults(func=cmd_baseline)
 
     p_model = sub.add_parser("model", help="ML workload run (Fig. 3 point)")
     common(p_model, with_model=True)
     p_model.add_argument("--max-duration", type=float, default=600.0)
     telemetry_opts(p_model)
+    broker_opts(p_model)
     p_model.set_defaults(func=cmd_model)
 
     p_geo = sub.add_parser("geo", help="simulated geographic run (Fig. 3 geo point)")

@@ -43,12 +43,13 @@ class FaultInjected(ConnectionError):
 
 @dataclass
 class _Rule:
-    kind: str  # "drop" | "delay" | "kill" | "pause"
+    kind: str  # "drop" | "delay" | "kill" | "pause" | "call"
     op: str | None = None  # op-name filter; None matches every op
     remaining: int = 1  # uses left; negative = unlimited
     seconds: float = 0.0  # delay length / pause deadline horizon
     probability: float = 1.0  # applied per matching call (seeded RNG)
     until: float = 0.0  # monotonic deadline for "pause" rules
+    callback: object = None  # side effect for "call" rules
 
     def matches(self, op: str) -> bool:
         return self.op is None or self.op == op
@@ -96,6 +97,25 @@ class FaultInjector:
             self._rules.append(_Rule("kill", op=op, remaining=1))
         return self
 
+    def call_after(self, fn, n: int = 1, op: str | None = None) -> "FaultInjector":
+        """Run ``fn()`` when the *n*-th matching operation fires.
+
+        The callback runs in the operating thread *before* the request
+        proceeds, so chaos plans can trigger an environmental failure —
+        e.g. SIGKILL a shard process — at a deterministic point in the
+        client's op stream rather than on a wall-clock timer. The op
+        itself is not failed; whatever ``fn`` broke fails it naturally.
+        """
+        check_non_negative("n", n)
+        with self._lock:
+            if n > 1:
+                # Skip the first n-1 matches with an inert countdown rule.
+                self._rules.append(
+                    _Rule("call", op=op, remaining=n - 1, callback=None)
+                )
+            self._rules.append(_Rule("call", op=op, remaining=1, callback=fn))
+        return self
+
     def pause(self, seconds: float, op: str | None = None) -> "FaultInjector":
         """Stall every matching operation until *seconds* from now."""
         check_non_negative("seconds", seconds)
@@ -141,15 +161,21 @@ class FaultInjector:
                     continue
                 if rule.remaining > 0:
                     rule.remaining -= 1
-                self.fired[rule.kind] = self.fired.get(rule.kind, 0) + 1
+                # Countdown placeholders for call_after(n) skip matches
+                # without running anything; they are not fired faults.
+                if rule.kind != "call" or rule.callback is not None:
+                    self.fired[rule.kind] = self.fired.get(rule.kind, 0) + 1
                 return rule
         return None
 
     def _apply(self, op: str, sock: socket.socket | None = None) -> None:
-        rule = self._take(op, ("pause", "delay", "kill", "drop"))
+        rule = self._take(op, ("pause", "delay", "kill", "drop", "call"))
         if rule is None:
             return
-        if rule.kind == "pause":
+        if rule.kind == "call":
+            if rule.callback is not None:
+                rule.callback()
+        elif rule.kind == "pause":
             remaining = rule.until - time.monotonic()
             if remaining > 0:
                 time.sleep(remaining)

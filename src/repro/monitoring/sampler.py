@@ -176,6 +176,42 @@ class TelemetrySampler:
 
         self.add_source(f"server:{name}", _sample)
 
+    def watch_cluster(self, cluster, name: str = "cluster") -> None:
+        """Sample a sharded broker's per-shard server gauges.
+
+        *cluster* is anything exposing ``shard_metrics() ->
+        {shard_index: metrics}`` (a
+        :class:`~repro.broker.cluster.ClusterBroker`). Each shard's
+        ``connections_active`` / ``parked_fetches`` /
+        ``reactor_loop_lag_s`` land under shard-labeled series
+        (``cluster.shard0.parked_fetches``, ...), plus ``shards_up`` /
+        ``shards_total`` so a dead shard is visible as a gap *and* a
+        level drop. Mirrored into the registry like every source, so the
+        ``/metrics`` exposition covers all shards.
+        """
+
+        def _sample() -> dict:
+            out: dict[str, float] = {}
+            per_shard = cluster.shard_metrics()
+            for index, metrics in per_shard.items():
+                for key in (
+                    "connections_active",
+                    "parked_fetches",
+                    "reactor_loop_lag_s",
+                    "requests_served",
+                    "connections_served",
+                ):
+                    value = metrics.get(key)
+                    if value is not None:
+                        out[f"{name}.shard{index}.{key}"] = float(value)
+            out[f"{name}.shards_up"] = float(len(per_shard))
+            total = getattr(cluster, "num_shards", None)
+            if total is not None:
+                out[f"{name}.shards_total"] = float(total)
+            return out
+
+        self.add_source(f"cluster:{name}", _sample)
+
     # -- sampling --------------------------------------------------------
 
     def sample_now(self) -> dict:

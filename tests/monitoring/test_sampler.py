@@ -166,6 +166,79 @@ class TestWatchServer:
                 assert "server.base.connections_active" not in values
 
 
+class TestWatchCluster:
+    def test_shard_labeled_series_and_fleet_gauges(self):
+        class FakeCluster:
+            """Shape of ClusterBroker.shard_metrics(): one shard (index
+            1) is unreachable this round, so it has no entry."""
+
+            num_shards = 3
+
+            def shard_metrics(self):
+                return {
+                    0: {
+                        "connections_active": 2,
+                        "parked_fetches": 1,
+                        "reactor_loop_lag_s": 0.001,
+                        "requests_served": 7,
+                    },
+                    2: {"connections_active": 1, "requests_served": 3},
+                }
+
+        reg = MetricsRegistry()
+        sampler = TelemetrySampler(registry=reg)
+        sampler.watch_cluster(FakeCluster())
+        values = sampler.sample_now()
+        assert values["cluster.shard0.connections_active"] == 2.0
+        assert values["cluster.shard0.parked_fetches"] == 1.0
+        assert values["cluster.shard0.reactor_loop_lag_s"] == 0.001
+        assert values["cluster.shard2.requests_served"] == 3.0
+        # The dead shard leaves a gap, not zeros, and the fleet gauges
+        # record the level drop alongside it.
+        assert not any(k.startswith("cluster.shard1.") for k in values)
+        assert values["cluster.shards_up"] == 2.0
+        assert values["cluster.shards_total"] == 3.0
+        # Mirrored into the registry so /metrics covers every shard.
+        text = reg.to_prometheus()
+        assert "repro_cluster_shard0_connections_active 2" in text
+        assert "repro_cluster_shard2_requests_served 3" in text
+        assert "repro_cluster_shards_up 2" in text
+        assert "repro_cluster_shards_total 3" in text
+
+    def test_custom_name_prefixes_series(self):
+        class FakeCluster:
+            num_shards = 1
+
+            def shard_metrics(self):
+                return {0: {"connections_active": 0}}
+
+        sampler = TelemetrySampler()
+        sampler.watch_cluster(FakeCluster(), name="edge-cluster")
+        values = sampler.sample_now()
+        assert values["edge-cluster.shard0.connections_active"] == 0.0
+        assert values["edge-cluster.shards_up"] == 1.0
+
+    def test_live_cluster_sampled_end_to_end(self):
+        from repro.broker import ClusterBroker, ClusterBrokerSupervisor
+
+        with ClusterBrokerSupervisor(
+            num_shards=2, topics=[("t", 2)]
+        ) as supervisor:
+            with ClusterBroker(supervisor.bootstrap) as cluster:
+                sampler = TelemetrySampler()
+                sampler.watch_cluster(cluster)
+                values = sampler.sample_now()
+                assert values["cluster.shards_up"] == 2.0
+                assert values["cluster.shards_total"] == 2.0
+                # The sampling call itself holds a connection to each
+                # shard while its metrics are read.
+                for index in (0, 1):
+                    assert (
+                        values[f"cluster.shard{index}.connections_active"]
+                        >= 1
+                    )
+
+
 class TestBackgroundThread:
     def test_start_stop_takes_final_sample(self):
         sampler = TelemetrySampler(interval_s=0.02)
