@@ -78,6 +78,7 @@ REACTOR_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_reactor.json"
 PREFETCH_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_prefetch.json"
 TELEMETRY_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_telemetry.json"
 MULTICORE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_multicore.json"
+REPLICATION_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_replication.json"
 #: Sampler time series from the fully-enabled telemetry round, uploaded
 #: by CI next to the BENCH_*.json artifacts.
 TELEMETRY_JSONL = Path(__file__).parent / "artifacts" / "telemetry.jsonl"
@@ -1146,6 +1147,189 @@ def test_multicore_guard():
     assert not failures, "; ".join(failures) + f"; see {MULTICORE_ARTIFACT}"
 
 
+# --------------------------------------------------------------------------
+# replication guard: the acks=leader fast path stays fast, failover is fast
+# --------------------------------------------------------------------------
+# Replication buys durability, and its price must stay bounded on the
+# path nobody asked to slow down: with acks=leader (the default), the
+# leader acks before followers catch up, so the only cost is the async
+# replicator stealing cycles. Two gates:
+#
+# - overhead: a replication_factor=2 cluster sustains acks=leader
+#   produce throughput within MAX_REPLICATION_OVERHEAD of the same
+#   cluster at replication_factor=1. Interleaved pairs, cleanest pair
+#   wins (same rationale as the reactor guard).
+# - failover MTTR: after the leader of a partition holding acks="all"
+#   records is SIGKILLed, a fresh acks="all" send to that partition
+#   succeeds within MAX_FAILOVER_MTTR_S — election, client re-route and
+#   respawn included — and every previously acked record is still
+#   readable (zero loss, recorded in the artifact as a hard boolean).
+
+REP_PARTITIONS = 4
+REP_BATCH = 16
+REP_BATCHES = 4 if FAST else 8
+REP_PAYLOAD = 2048 if FAST else 8192
+#: Not reduced in FAST mode, same reasoning as MC_PAIRS: the overhead
+#: metric takes the cleanest interleaved pair and one pair is noise.
+REP_PAIRS = 3
+REP_SEED_RECORDS = 16
+MAX_REPLICATION_OVERHEAD = 0.25
+MAX_FAILOVER_MTTR_S = 10.0
+
+
+def _rep_produce_rate(replication_factor: int) -> float:
+    """acks=leader produce records/s against a 2-shard cluster."""
+    from repro.broker import ClusterBrokerSupervisor
+
+    with ClusterBrokerSupervisor(
+        num_shards=2,
+        topics=[("rep", REP_PARTITIONS)],
+        replication_factor=replication_factor,
+    ) as supervisor:
+        payload = bytes(REP_PAYLOAD)
+        producer = Producer(
+            bootstrap=supervisor.bootstrap, client_id="rep-bench", retries=5
+        )
+        try:
+            # Warm the connections (and the replica links) out of band.
+            for p in range(REP_PARTITIONS):
+                producer.send_many("rep", [payload], partition=p)
+            count = 0
+            t0 = time.perf_counter()
+            for batch in range(REP_BATCHES):
+                for p in range(REP_PARTITIONS):
+                    records = [
+                        payload + f"{batch}:{i}".encode()
+                        for i in range(REP_BATCH)
+                    ]
+                    producer.send_many("rep", records, partition=p)
+                    count += REP_BATCH
+            elapsed = time.perf_counter() - t0
+        finally:
+            producer.close()
+        return count / elapsed
+
+
+def _rep_failover_mttr() -> tuple:
+    """(mttr_s, zero_loss) for a leader SIGKILL under acks="all" load."""
+    from repro.broker import (
+        ClusterBroker,
+        ClusterBrokerSupervisor,
+        shard_for_partition,
+    )
+    from repro.broker.errors import BrokerError
+
+    with ClusterBrokerSupervisor(
+        num_shards=2,
+        topics=[("rep", 2)],
+        restart=True,
+        replication_factor=2,
+    ) as supervisor:
+        doomed = shard_for_partition("rep", 0, 2)
+        broker = ClusterBroker(supervisor.bootstrap)
+        producer = Producer(
+            broker,
+            client_id="rep-mttr",
+            acks="all",
+            retries=30,
+            retry_backoff_ms=25.0,
+        )
+        try:
+            seed = [f"seed:{i}".encode() for i in range(REP_SEED_RECORDS)]
+            # Fully replicated before the kill — acks="all" guarantees it.
+            producer.send_many("rep", seed, partition=0)
+
+            supervisor.kill_shard(doomed)
+            t0 = time.perf_counter()
+            deadline = t0 + 3 * MAX_FAILOVER_MTTR_S
+            while True:
+                try:
+                    producer.send("rep", b"post-failover", partition=0)
+                    break
+                except (BrokerError, ConnectionError, OSError):
+                    if time.perf_counter() >= deadline:
+                        raise
+                    time.sleep(0.02)
+            mttr = time.perf_counter() - t0
+
+            consumer = Consumer(broker)
+            consumer.assign([("rep", 0)])
+            got: list[bytes] = []
+            fetch_deadline = time.monotonic() + 30.0
+            while (
+                len(got) < REP_SEED_RECORDS + 1
+                and time.monotonic() < fetch_deadline
+            ):
+                try:
+                    got.extend(
+                        r.value
+                        for r in consumer.poll(max_records=64, timeout=0.5)
+                    )
+                except (BrokerError, ConnectionError, OSError):
+                    time.sleep(0.05)
+            zero_loss = got[:REP_SEED_RECORDS] == seed and len(got) == (
+                REP_SEED_RECORDS + 1
+            )
+        finally:
+            producer.close()
+            broker.close()
+        return mttr, zero_loss
+
+
+def run_replication_guard() -> dict:
+    """Measure, persist the artifact, and return the results."""
+    pairs = []
+    for _ in range(REP_PAIRS):
+        base = _rep_produce_rate(1)
+        replicated = _rep_produce_rate(2)
+        pairs.append((base, replicated))
+    overhead = min(
+        max(0.0, 1.0 - replicated / base) for base, replicated in pairs
+    )
+    mttr, zero_loss = _rep_failover_mttr()
+    results = {
+        "partitions": REP_PARTITIONS,
+        "records_per_trial": REP_PARTITIONS * REP_BATCHES * REP_BATCH,
+        "payload_bytes": REP_PAYLOAD,
+        "unreplicated_rates": [round(b, 1) for b, _ in pairs],
+        "replicated_rates": [round(r, 1) for _, r in pairs],
+        "replication_overhead": round(overhead, 4),
+        "failover_mttr_s": round(mttr, 4),
+        "failover_zero_loss": zero_loss,
+        "fast_mode": FAST,
+    }
+    REPLICATION_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    REPLICATION_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_replication(results: dict) -> list:
+    failures = []
+    if results["replication_overhead"] > MAX_REPLICATION_OVERHEAD:
+        failures.append(
+            f"replication_factor=2 cut acks=leader produce throughput by "
+            f"{results['replication_overhead']:.1%} (allowed "
+            f"{MAX_REPLICATION_OVERHEAD:.0%})"
+        )
+    if results["failover_mttr_s"] > MAX_FAILOVER_MTTR_S:
+        failures.append(
+            f"leader failover took {results['failover_mttr_s']}s before "
+            f"acks=all sends resumed (allowed {MAX_FAILOVER_MTTR_S}s)"
+        )
+    if not results["failover_zero_loss"]:
+        failures.append(
+            "acknowledged records went missing across the leader failover"
+        )
+    return failures
+
+
+@pytest.mark.bench
+def test_replication_guard():
+    results = run_replication_guard()
+    failures = _check_replication(results)
+    assert not failures, "; ".join(failures) + f"; see {REPLICATION_ARTIFACT}"
+
+
 @pytest.mark.bench
 def test_batched_fast_path_guard():
     results = run_guard()
@@ -1278,6 +1462,23 @@ def main() -> int:
             f"({gate}), single-shard regression "
             f"{multicore['single_shard_regression']:.1%} <= "
             f"{MAX_SINGLE_SHARD_REGRESSION:.0%}"
+        )
+
+    replication = run_replication_guard()
+    for key, value in replication.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {REPLICATION_ARTIFACT}]")
+    replication_failures = _check_replication(replication)
+    for failure in replication_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    if not replication_failures:
+        print(
+            f"OK: replication overhead "
+            f"{replication['replication_overhead']:.1%} <= "
+            f"{MAX_REPLICATION_OVERHEAD:.0%}, failover MTTR "
+            f"{replication['failover_mttr_s']}s <= {MAX_FAILOVER_MTTR_S}s, "
+            f"zero acked loss"
         )
     return status
 

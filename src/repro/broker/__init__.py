@@ -23,12 +23,14 @@ from repro.broker.errors import (
     BrokerTimeoutError,
     DisconnectedError,
     FatalError,
+    NotEnoughReplicasError,
     NotOwnerError,
     OffsetOutOfRangeError,
     OutOfOrderSequenceError,
     ProducerFencedError,
     RebalanceInProgressError,
     RetriableError,
+    StaleLeaderEpochError,
     UnknownMemberError,
     UnknownPartitionError,
     UnknownTopicError,
@@ -55,6 +57,7 @@ from repro.broker.remote import (
 from repro.broker.metadata import (
     ClusterMetadata,
     coordinator_shard,
+    replica_indices,
     shard_for_partition,
 )
 from repro.broker.cluster import (
@@ -68,10 +71,13 @@ __all__ = [
     "ClusterBroker",
     "ClusterBrokerSupervisor",
     "ClusterMetadata",
+    "NotEnoughReplicasError",
     "NotOwnerError",
     "ShardBroker",
+    "StaleLeaderEpochError",
     "connect_bootstrap",
     "coordinator_shard",
+    "replica_indices",
     "shard_for_partition",
     "BrokerServer",
     "ThreadedBrokerServer",

@@ -145,8 +145,16 @@ class Broker:
         producer_id: int | None = None,
         producer_epoch: int = 0,
         sequence: int | None = None,
+        acks: str | None = None,
     ) -> RecordMetadata:
-        """Append a record; returns its metadata (offset assignment)."""
+        """Append a record; returns its metadata (offset assignment).
+
+        ``acks`` is accepted for surface uniformity: an unreplicated
+        broker acknowledges at append time regardless (``"all"`` and
+        ``"leader"`` coincide when the leader is the only replica), so
+        the knob only changes behavior on a replicated
+        :class:`~repro.broker.cluster.ShardBroker`.
+        """
         self._check_producer_epoch(producer_id, producer_epoch)
         log = self.topic(topic).partition(partition)
         start = time.monotonic() if self.tracer is not None else 0.0
@@ -174,6 +182,7 @@ class Broker:
         producer_id: int | None = None,
         producer_epoch: int = 0,
         base_sequence: int | None = None,
+        acks: str | None = None,
     ) -> BatchMetadata:
         """Append a batch to one partition under a single log lock.
 
@@ -181,7 +190,8 @@ class Broker:
         Returns one :class:`BatchMetadata` for the whole batch (offsets
         within a batch are contiguous). With idempotent-producer fields a
         replayed batch acks with its original offsets and is not
-        re-appended.
+        re-appended. ``acks`` only changes behavior on a replicated
+        shard (see :meth:`append`).
         """
         self._check_producer_epoch(producer_id, producer_epoch)
         log = self.topic(topic).partition(partition)

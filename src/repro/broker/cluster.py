@@ -52,12 +52,15 @@ from repro.broker.errors import (
     BrokerError,
     BrokerTimeoutError,
     DisconnectedError,
+    NotEnoughReplicasError,
     NotOwnerError,
+    StaleLeaderEpochError,
 )
 from repro.broker.group import GroupCoordinator
 from repro.broker.metadata import (
     ClusterMetadata,
     coordinator_shard,
+    replica_indices,
     shard_for_partition,
 )
 from repro.broker.reactor import ReactorBrokerServer
@@ -97,10 +100,15 @@ class ShardBroker(Broker):
         name: str | None = None,
         auto_create_topics: bool = False,
         tracer=None,
+        replication_factor: int = 1,
     ) -> None:
         if not 0 <= shard_index < num_shards:
             raise ValidationError(
                 f"shard_index {shard_index} out of range for {num_shards} shards"
+            )
+        if replication_factor < 1:
+            raise ValidationError(
+                f"replication_factor must be >= 1, got {replication_factor}"
             )
         super().__init__(
             name=name or f"shard-{shard_index}",
@@ -109,18 +117,36 @@ class ShardBroker(Broker):
         )
         self.shard_index = int(shard_index)
         self.num_shards = int(num_shards)
+        self.replication_factor = int(replication_factor)
+        #: How long an ``acks="all"`` append may wait for the high-
+        #: watermark before :class:`NotEnoughReplicasError` (retriable).
+        self.acks_timeout_s = 5.0
+        #: Optional :class:`~repro.faults.FaultInjector` whose
+        #: ``on_replication`` hook the replicator consults per push.
+        self.fault_injector = None
         self._cluster_meta = ClusterMetadata(epoch=0, shards=())
         self._server = None
+        self._replicator: _ShardReplicator | None = None
         # Replace the base coordinator with one whose every group-scoped
         # entry point re-checks coordinator ownership.
         self._coordinator = GroupCoordinator(self, guard=self._check_group_owner)
 
     # -- cluster wiring ------------------------------------------------------
 
-    def set_cluster(self, addresses, epoch: int) -> None:
-        """Install the shard address map (called by the supervisor)."""
+    def set_cluster(self, addresses, epoch: int, leaders=()) -> None:
+        """Install the shard address map (called by the supervisor).
+
+        *leaders* is the failover override table —
+        ``(topic, partition, shard, partition_epoch)`` tuples for
+        partitions whose leadership moved off the hash slot.
+        """
         meta = ClusterMetadata(
-            epoch=int(epoch), shards=tuple((str(h), int(p)) for h, p in addresses)
+            epoch=int(epoch),
+            shards=tuple((str(h), int(p)) for h, p in addresses),
+            replication_factor=self.replication_factor,
+            leaders=tuple(
+                (str(t), int(p), int(s), int(e)) for t, p, s, e in leaders
+            ),
         )
         if meta.num_shards != self.num_shards:
             raise ValidationError(
@@ -128,6 +154,9 @@ class ShardBroker(Broker):
                 f"{self.num_shards}"
             )
         self._cluster_meta = meta
+        rep = self._replicator
+        if rep is not None:
+            rep.wake()
 
     def attach_server(self, server) -> None:
         """Both broker servers call this on start(); keeps a handle so
@@ -140,18 +169,46 @@ class ShardBroker(Broker):
 
     # -- ownership guards ----------------------------------------------------
 
-    def owns(self, topic: str, partition: int) -> bool:
-        return (
-            shard_for_partition(topic, partition, self.num_shards)
-            == self.shard_index
+    def _leader_index(self, topic: str, partition: int) -> int:
+        """The shard currently leading one partition.
+
+        Uses the installed metadata's override table when it matches this
+        cluster's shape (so failover elections take effect the moment the
+        supervisor broadcasts them); falls back to the hash rule before
+        ``set_cluster`` has run.
+        """
+        meta = self._cluster_meta
+        if meta.num_shards == self.num_shards:
+            return meta.leader_index(topic, partition)
+        return shard_for_partition(topic, partition, self.num_shards)
+
+    def _replica_indices(self, topic: str, partition: int) -> tuple[int, ...]:
+        meta = self._cluster_meta
+        if meta.num_shards == self.num_shards:
+            return meta.replica_indices(topic, partition)
+        return replica_indices(
+            topic, partition, self.num_shards, self.replication_factor
         )
 
+    def owns(self, topic: str, partition: int) -> bool:
+        return self._leader_index(topic, partition) == self.shard_index
+
     def _check_owner(self, topic: str, partition: int) -> None:
-        owner = shard_for_partition(topic, partition, self.num_shards)
+        owner = self._leader_index(topic, partition)
         if owner != self.shard_index:
             raise NotOwnerError(
                 f"partition {topic}/{partition}",
                 owner,
+                self.shard_index,
+                self._cluster_meta.epoch,
+            )
+
+    def _check_replica(self, topic: str, partition: int) -> None:
+        indices = self._replica_indices(topic, partition)
+        if self.shard_index not in indices:
+            raise NotOwnerError(
+                f"replica {topic}/{partition}",
+                indices[0],
                 self.shard_index,
                 self._cluster_meta.epoch,
             )
@@ -167,11 +224,48 @@ class ShardBroker(Broker):
 
     def append(self, topic, partition, value, **kwargs):
         self._check_owner(topic, partition)
-        return super().append(topic, partition, value, **kwargs)
+        acks = kwargs.pop("acks", None)
+        md = super().append(topic, partition, value, **kwargs)
+        self._after_append(topic, partition, md.offset + 1, acks)
+        return md
 
     def append_many(self, topic, partition, values, **kwargs):
         self._check_owner(topic, partition)
-        return super().append_many(topic, partition, values, **kwargs)
+        acks = kwargs.pop("acks", None)
+        md = super().append_many(topic, partition, values, **kwargs)
+        self._after_append(topic, partition, md.base_offset + md.count, acks)
+        return md
+
+    def _after_append(self, topic, partition, end_offset: int, acks) -> None:
+        """Replication hand-off for one acknowledged append.
+
+        For ``acks="all"``, wakes the replicator (so the batch ships on
+        the next pump cycle instead of the next poll tick) and blocks
+        until the partition's high-watermark covers *end_offset* — i.e.
+        every in-sync replica holds the records. A stalled ISR surfaces
+        as the retriable :class:`NotEnoughReplicasError` rather than an
+        indefinite hang. ``acks=leader`` appends deliberately do *not*
+        wake the pump: nobody is waiting, and letting the timer batch
+        them (interval_s of records per push) keeps the leader's fast
+        path within a few percent of an unreplicated shard instead of
+        paying a synchronous replica RPC per client append.
+        """
+        rep = self._replicator
+        if rep is None:
+            return
+        if acks != "all":
+            return
+        log = Broker.partition_log(self, topic, partition)
+        # Arm the visibility fence before waiting: before the pump's
+        # first cycle touches this partition the fence is down and the
+        # wait would trivially pass, acknowledging records no replica
+        # holds (monotonic, so a no-op once armed).
+        log.set_high_watermark(0)
+        rep.wake()
+        if not log.wait_for_high_watermark(end_offset, self.acks_timeout_s):
+            raise NotEnoughReplicasError(
+                topic, partition, end_offset, self.acks_timeout_s
+            )
 
     def fetch(self, topic, partition, offset, **kwargs):
         self._check_owner(topic, partition)
@@ -189,14 +283,28 @@ class ShardBroker(Broker):
 
     def latest_offset(self, topic, partition):
         self._check_owner(topic, partition)
+        if self._replicator is not None:
+            # Consumers must not chase offsets past what the ISR holds.
+            return Broker.partition_log(self, topic, partition).high_watermark
         return super().latest_offset(topic, partition)
 
     def partition_depths(self) -> dict:
         """Only the partitions this shard owns (unowned logs are empty
-        placeholders); a cluster-wide view is the union over shards."""
-        return {
+        placeholders); a cluster-wide view is the union over shards.
+        On a replicated shard the end offset is the high-watermark, so
+        depth accounting matches what consumers can actually fetch."""
+        out = {
             tp: d for tp, d in super().partition_depths().items() if self.owns(*tp)
         }
+        if self._replicator is not None:
+            for (topic, partition), depth in out.items():
+                hwm = Broker.partition_log(self, topic, partition).high_watermark
+                if hwm < depth["end_offset"]:
+                    depth["depth"] = max(
+                        0, depth["depth"] - (depth["end_offset"] - hwm)
+                    )
+                    depth["end_offset"] = hwm
+        return out
 
     # -- group-affine surface ------------------------------------------------
 
@@ -236,6 +344,94 @@ class ShardBroker(Broker):
                 self._producer_epochs[pid] += 1
             return pid, self._producer_epochs[pid]
 
+    # -- replication surface (leader <-> follower) ---------------------------
+
+    def start_replication(self) -> None:
+        """Start the leader-side replication pump (no-op unreplicated)."""
+        if self.replication_factor <= 1 or self.num_shards <= 1:
+            return
+        if self._replicator is None:
+            self._replicator = _ShardReplicator(self)
+            self._replicator.start()
+
+    def stop_replication(self) -> None:
+        rep, self._replicator = self._replicator, None
+        if rep is not None:
+            rep.stop()
+
+    @property
+    def replicating(self) -> bool:
+        return self._replicator is not None
+
+    def replicate_append(
+        self,
+        topic,
+        partition,
+        *,
+        base_offset,
+        records,
+        leader=0,
+        leader_epoch=0,
+        high_watermark=0,
+        producers=None,
+    ) -> dict:
+        """Follower-side: install a leader's batch at exact offsets.
+
+        Bypasses the leader guard (a follower by definition does not own
+        the partition) but still requires membership in the replica set.
+        A stale leader — one deposed by an election this follower has
+        already heard about — is fenced by the partition epoch. A gap
+        (``base_offset`` past our log end) is refused so the leader
+        re-syncs from our actual end; an overlap means our log diverged
+        (we were the old leader, or the leader truncated) and the
+        leader's view wins: we truncate back to ``base_offset`` first.
+        """
+        self._check_replica(topic, partition)
+        known = self._cluster_meta.partition_epoch(topic, partition)
+        if leader_epoch < known:
+            raise StaleLeaderEpochError(
+                f"{topic}/{partition}", int(leader_epoch), known
+            )
+        log = Broker.partition_log(self, topic, partition)
+        end = log.latest_offset
+        base_offset = int(base_offset)
+        if base_offset > end:
+            return {"accepted": False, "log_end": end, "hwm": log.high_watermark}
+        if base_offset < end:
+            log.truncate_to(base_offset)
+        if records:
+            accepted, end = log.install_replica_batch(base_offset, records)
+            if not accepted:
+                return {"accepted": False, "log_end": end, "hwm": log.high_watermark}
+            if producers:
+                # Producer dedup state rides with the data so idempotence
+                # survives a failover to this replica.
+                log.install_producer_state(producers)
+        hwm = log.set_high_watermark(min(int(high_watermark), log.latest_offset))
+        return {"accepted": True, "log_end": log.latest_offset, "hwm": hwm}
+
+    def replica_ack(self, topic, partition) -> dict:
+        """A replica's progress for one partition (leader probe + election)."""
+        self._check_replica(topic, partition)
+        log = Broker.partition_log(self, topic, partition)
+        return {
+            "log_end": log.latest_offset,
+            "hwm": log.high_watermark,
+            "epoch": self._cluster_meta.partition_epoch(topic, partition),
+        }
+
+    def replication_status(self) -> dict:
+        """ISR / lag / high-watermark state for partitions this shard leads."""
+        out = {
+            "shard": self.shard_index,
+            "replication_factor": self.replication_factor,
+            "partitions": [],
+        }
+        rep = self._replicator
+        if rep is not None:
+            out["partitions"] = rep.status()
+        return out
+
     # -- cluster wire ops ----------------------------------------------------
 
     def describe_cluster(self) -> dict:
@@ -260,6 +456,287 @@ class ShardBroker(Broker):
         }
         if self._server is not None:
             out.update(self._server.metrics())
+        return out
+
+
+# -- the replication pump ----------------------------------------------------
+
+
+class _ShardReplicator:
+    """Leader-side replication pump: one background thread per shard.
+
+    Every cycle it walks the partitions this shard currently leads and,
+    per follower replica, pushes the records past the follower's last
+    acknowledged offset over the same pipelined wire protocol clients
+    use (``replicate_append``). Ack progress feeds two derived states:
+
+    - the **ISR** — a follower joins once it acks within
+      ``max_lag_records`` of the leader's log end, and is evicted when it
+      has not acked for ``isr_timeout_s`` (covering both dead processes
+      and partitioned links; :meth:`FaultInjector.on_replication` can
+      sever a link deterministically for tests);
+    - the **high-watermark** — the minimum acked offset across the ISR
+      (leader log end when the ISR has shrunk to the leader alone, the
+      Kafka rule), installed into the partition log so consumers and
+      ``acks="all"`` producers only ever see ISR-covered records.
+
+    The pump is edge-triggered by appends (``wake``) and level-polled at
+    ``interval_s`` otherwise, so replication latency stays well under a
+    producer round-trip without busy-spinning an idle shard.
+    """
+
+    def __init__(
+        self,
+        broker: "ShardBroker",
+        interval_s: float = 0.02,
+        max_lag_records: int = 256,
+        isr_timeout_s: float = 2.0,
+    ) -> None:
+        self._broker = broker
+        self.interval_s = float(interval_s)
+        self.max_lag_records = int(max_lag_records)
+        self.isr_timeout_s = float(isr_timeout_s)
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._remotes: dict[int, RemoteBroker] = {}
+        # (topic, partition) -> {follower_index: progress dict}; guarded
+        # by _lock only for *structural* changes (status() snapshots).
+        self._progress: dict = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"replicator-{self._broker.shard_index}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for index in list(self._remotes):
+            self._drop_remote(index)
+
+    def wake(self) -> None:
+        self._wake.set()
+
+    def _run(self) -> None:
+        while not self._stopping.is_set():
+            self._wake.wait(self.interval_s)
+            self._wake.clear()
+            if self._stopping.is_set():
+                return
+            try:
+                self._tick()
+            except Exception:
+                # The pump must survive anything one cycle throws
+                # (metadata mid-swap, topic deleted underneath it);
+                # the next cycle re-reads the world and recovers.
+                continue
+
+    # -- follower connections ------------------------------------------------
+
+    def _remote(self, index: int, meta: ClusterMetadata) -> RemoteBroker:
+        remote = self._remotes.get(index)
+        if remote is not None:
+            return remote
+        host, port = meta.shards[index]
+        # Tight budgets: a slow follower must stall one pump cycle,
+        # never wedge the leader (ISR eviction handles the rest).
+        remote = RemoteBroker(
+            host,
+            port,
+            connect_timeout=0.5,
+            op_timeout=2.0,
+            max_attempts=1,
+            max_in_flight_requests=1,
+        )
+        self._remotes[index] = remote
+        return remote
+
+    def _drop_remote(self, index: int) -> None:
+        remote = self._remotes.pop(index, None)
+        if remote is not None:
+            try:
+                remote.close()
+            except Exception:
+                pass
+
+    # -- the pump ------------------------------------------------------------
+
+    def _tick(self) -> None:
+        broker = self._broker
+        meta = broker._cluster_meta
+        if meta.num_shards != broker.num_shards:
+            return
+        led = set()
+        for name in broker.list_topics():
+            topic = broker.topic(name)
+            for partition in range(topic.num_partitions):
+                if broker._leader_index(name, partition) != broker.shard_index:
+                    continue
+                led.add((name, partition))
+                self._pump_partition(name, partition, meta)
+        # Drop progress for partitions whose leadership moved away, so a
+        # deposed leader's stale ISR never reappears in status().
+        with self._lock:
+            for tp in [tp for tp in self._progress if tp not in led]:
+                del self._progress[tp]
+
+    def _pump_partition(self, name: str, partition: int, meta) -> None:
+        broker = self._broker
+        log = Broker.partition_log(broker, name, partition)
+        followers = [
+            i
+            for i in broker._replica_indices(name, partition)
+            if i != broker.shard_index
+        ]
+        if not followers:
+            log.set_high_watermark(log.latest_offset)
+            return
+        with self._lock:
+            progress = self._progress.setdefault((name, partition), {})
+        epoch = meta.partition_epoch(name, partition)
+        leader_end = log.latest_offset
+        now = time.monotonic()
+        for index in followers:
+            with self._lock:
+                state = progress.setdefault(
+                    index, {"acked": None, "last_good": now, "in_isr": False}
+                )
+            try:
+                injector = broker.fault_injector
+                if injector is not None:
+                    on_replication = getattr(injector, "on_replication", None)
+                    if on_replication is not None:
+                        on_replication(broker.shard_index, index)
+                remote = self._remote(index, meta)
+                if state["acked"] is None:
+                    # First contact: resume from the follower's log end,
+                    # capped at our *high-watermark* — below it every
+                    # replica's content is identical by the ISR
+                    # invariant, above it the follower's suffix may
+                    # diverge (it could be a deposed leader), so the
+                    # first push re-sends from there and truncates the
+                    # follower's divergent tail.
+                    ack = remote.replica_ack(name, partition)
+                    state["acked"] = min(int(ack["log_end"]), log.high_watermark)
+                if state["acked"] < leader_end:
+                    records, _, visible = log.replication_slice(state["acked"])
+                    response = remote.replicate_append(
+                        name,
+                        partition,
+                        base_offset=state["acked"],
+                        records=records,
+                        leader=broker.shard_index,
+                        leader_epoch=epoch,
+                        high_watermark=visible,
+                        producers=log.producer_snapshot() if records else None,
+                    )
+                    if response.get("accepted"):
+                        state["acked"] = int(response["log_end"])
+                    else:
+                        # Gap or divergence: re-anchor on the follower's
+                        # reported end and retry next cycle.
+                        state["acked"] = min(
+                            int(response.get("log_end", 0)), leader_end
+                        )
+                elif now - state["last_good"] >= self.interval_s:
+                    # Caught up: empty push keeps the follower's
+                    # high-watermark (and our liveness view) fresh.
+                    # Rate-limited to the timer interval so a burst of
+                    # ``acks="all"`` wake-ups does not turn every
+                    # caught-up partition into a heartbeat RPC per
+                    # client append.
+                    remote.replicate_append(
+                        name,
+                        partition,
+                        base_offset=state["acked"],
+                        records=[],
+                        leader=broker.shard_index,
+                        leader_epoch=epoch,
+                        high_watermark=log.high_watermark,
+                    )
+                else:
+                    continue
+                state["last_good"] = now
+                if (
+                    not state["in_isr"]
+                    and leader_end - state["acked"] <= self.max_lag_records
+                ):
+                    state["in_isr"] = True
+            except Exception:
+                # Unreachable / refused / link-partitioned follower: a
+                # fresh connection is cheap, a wedged one is not.
+                self._drop_remote(index)
+                if state["in_isr"] and now - state["last_good"] > self.isr_timeout_s:
+                    state["in_isr"] = False
+        # Kafka's rule: the high-watermark is the ISR's minimum acked
+        # offset; with every follower evicted the ISR is the leader
+        # alone and the watermark tracks its log end. One refinement
+        # closes a startup hole: a follower that has never joined the
+        # ISR (or just lost membership) still *holds* the watermark for
+        # an isr_timeout_s grace window, so ``acks="all"`` cannot ack
+        # records that exist nowhere but on a leader whose replicas
+        # simply have not caught up yet. Only a follower that stays
+        # unresponsive past the window is written off.
+        floor = []
+        for state in progress.values():
+            if state["in_isr"] and state["acked"] is not None:
+                floor.append(state["acked"])
+            elif not state["in_isr"] and now - state["last_good"] <= self.isr_timeout_s:
+                floor.append(state["acked"] or 0)
+        log.set_high_watermark(min([leader_end] + floor) if floor else leader_end)
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> list:
+        broker = self._broker
+        meta = broker._cluster_meta
+        out = []
+        with self._lock:
+            snapshot = [
+                (tp, [(i, dict(state)) for i, state in progress.items()])
+                for tp, progress in self._progress.items()
+            ]
+        for (name, partition), entries in sorted(snapshot):
+            log = Broker.partition_log(broker, name, partition)
+            leader_end = log.latest_offset
+            followers = []
+            isr = [broker.shard_index]
+            for index, state in sorted(entries):
+                acked = state["acked"]
+                followers.append(
+                    {
+                        "shard": index,
+                        "acked": acked,
+                        "lag": leader_end - acked if acked is not None else leader_end,
+                        "in_isr": state["in_isr"],
+                    }
+                )
+                if state["in_isr"]:
+                    isr.append(index)
+            expected = len(broker._replica_indices(name, partition))
+            out.append(
+                {
+                    "topic": name,
+                    "partition": partition,
+                    "leader": broker.shard_index,
+                    "epoch": meta.partition_epoch(name, partition),
+                    "log_end": leader_end,
+                    "high_watermark": log.high_watermark,
+                    "isr": sorted(isr),
+                    "followers": followers,
+                    "under_replicated": len(isr) < expected,
+                }
+            )
         return out
 
 
@@ -290,7 +767,11 @@ def _shard_worker_main(
     every later sender — while a killed worker can only ever corrupt its
     *own* pipe, and its respawn gets a fresh one.
     """
-    broker = ShardBroker(shard_index=index, num_shards=num_shards)
+    broker = ShardBroker(
+        shard_index=index,
+        num_shards=num_shards,
+        replication_factor=opts.get("replication_factor", 1),
+    )
     for name, partitions in topics:
         broker.create_topic(name, num_partitions=partitions, exist_ok=True)
     deadline = time.monotonic() + opts.get("bind_timeout", 5.0)
@@ -316,8 +797,9 @@ def _shard_worker_main(
         return
     if msg[0] != "cluster":
         return
-    broker.set_cluster(msg[1], msg[2])
+    broker.set_cluster(msg[1], msg[2], leaders=msg[3] if len(msg) > 3 else ())
     server.start()
+    broker.start_replication()
     try:
         while True:
             try:
@@ -325,12 +807,15 @@ def _shard_worker_main(
             except (EOFError, OSError):
                 break
             if msg[0] in ("cluster", "epoch"):
-                broker.set_cluster(msg[1], msg[2])
+                broker.set_cluster(
+                    msg[1], msg[2], leaders=msg[3] if len(msg) > 3 else ()
+                )
             elif msg[0] == "stop":
                 break
     finally:
         # Drains parked long-polls (clients see EOF, not a hang) and
         # joins the reactor + worker threads before the process exits.
+        broker.stop_replication()
         server.stop()
         try:
             control_conn.close()
@@ -362,23 +847,36 @@ class ClusterBrokerSupervisor:
         restart: bool = False,
         num_workers: int = 4,
         start_timeout: float = 30.0,
+        replication_factor: int = 1,
     ) -> None:
         if num_shards < 1:
             raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+        if not 1 <= replication_factor <= num_shards:
+            raise ValidationError(
+                f"replication_factor must be in [1, {num_shards}], "
+                f"got {replication_factor}"
+            )
         self.num_shards = int(num_shards)
         self.host = host
         self.topics = [(str(n), int(p)) for n, p in (topics or [])]
         self.restart = bool(restart)
         self.num_workers = int(num_workers)
         self.start_timeout = float(start_timeout)
+        self.replication_factor = int(replication_factor)
         self.epoch = 0
         #: Shards respawned by the monitor thread (chaos accounting).
         self.restarts = 0
+        #: Leader elections performed after shard deaths (chaos accounting).
+        self.elections = 0
+        # (topic, partition) -> (leader shard, partition epoch): the
+        # failover override table, empty while every hash slot is alive.
+        self._leaders: dict = {}
         self._ctx = multiprocessing.get_context()
         self._procs: list = [None] * self.num_shards
         self._pipes: list = [None] * self.num_shards
         self._addresses: list = [None] * self.num_shards
         self._lock = threading.Lock()
+        self._stop_lock = threading.Lock()
         self._stopping = threading.Event()
         self._monitor: threading.Thread | None = None
         self._started = False
@@ -396,7 +894,10 @@ class ClusterBrokerSupervisor:
                 port,
                 self.topics,
                 child_conn,
-                {"num_workers": self.num_workers},
+                {
+                    "num_workers": self.num_workers,
+                    "replication_factor": self.replication_factor,
+                },
             ),
             name=f"broker-shard-{index}",
             daemon=True,  # orphan safety net: workers die with the parent
@@ -430,8 +931,13 @@ class ClusterBrokerSupervisor:
                 self._addresses[index] = (host, port)
                 expect.discard(index)
 
+    def _leaders_wire(self) -> list:
+        return [
+            [t, p, s, e] for (t, p), (s, e) in sorted(self._leaders.items())
+        ]
+
     def _broadcast(self, tag: str) -> None:
-        payload = (tag, list(self._addresses), self.epoch)
+        payload = (tag, list(self._addresses), self.epoch, self._leaders_wire())
         for pipe in self._pipes:
             if pipe is None:
                 continue
@@ -477,6 +983,15 @@ class ClusterBrokerSupervisor:
                             old_pipe.close()
                         except OSError:
                             pass
+                    # Failover before respawn: move leadership for the
+                    # dead shard's partitions onto their most-caught-up
+                    # surviving replica and broadcast immediately, so
+                    # clients resume against the new leader while the
+                    # replacement process is still starting (this is the
+                    # failover MTTR the bench guard bounds).
+                    if self.replication_factor > 1 and self._elect_leaders(index):
+                        self.epoch += 1
+                        self._broadcast("cluster")
                     # Same port: clients that never noticed the crash
                     # keep a valid address; ones that did simply redial.
                     _, port = self._addresses[index]
@@ -485,20 +1000,92 @@ class ClusterBrokerSupervisor:
                         self._await_bound({index}, self.start_timeout)
                     except RuntimeError:
                         continue  # next tick tries again
+                    if self._stopping.is_set():
+                        # stop() raced the respawn; it owns teardown of
+                        # the fresh worker — do not re-advertise it.
+                        return
                     self.epoch += 1
                     self.restarts += 1
+                    # The respawned shard receives the override table in
+                    # this broadcast, so it rejoins as a *follower* for
+                    # any partition it used to lead and re-syncs from the
+                    # elected leader (truncating divergence).
                     self._broadcast("cluster")
 
+    def _elect_leaders(self, dead_index: int) -> bool:
+        """Re-home leadership for every partition *dead_index* led.
+
+        The winner is the surviving replica with the longest log — by the
+        ISR invariant (the high-watermark never passes the slowest ISR
+        member) it holds every record any ``acks="all"`` producer was
+        ever acknowledged for, so election never loses acked data. Each
+        moved partition's epoch is bumped to fence late pushes from the
+        deposed leader. Only partitions of supervisor-declared topics are
+        governed; dynamically created topics are unreplicated.
+        """
+        changed = False
+        remotes: dict[int, RemoteBroker] = {}
+        try:
+            for name, partitions in self.topics:
+                for partition in range(partitions):
+                    replicas = replica_indices(
+                        name, partition, self.num_shards, self.replication_factor
+                    )
+                    current, part_epoch = self._leaders.get(
+                        (name, partition), (replicas[0], 0)
+                    )
+                    if current != dead_index:
+                        continue
+                    best, best_end = None, -1
+                    for idx in replicas:
+                        if idx == dead_index or not self.is_alive(idx):
+                            continue
+                        try:
+                            remote = remotes.get(idx)
+                            if remote is None:
+                                host, port = self._addresses[idx]
+                                remote = remotes[idx] = RemoteBroker(
+                                    host,
+                                    port,
+                                    connect_timeout=1.0,
+                                    op_timeout=2.0,
+                                    max_attempts=1,
+                                )
+                            end = int(remote.replica_ack(name, partition)["log_end"])
+                        except (BrokerError, ConnectionError, OSError):
+                            continue
+                        if end > best_end:
+                            best, best_end = idx, end
+                    if best is None:
+                        continue  # no live replica; respawn restores the slot
+                    self._leaders[(name, partition)] = (best, part_epoch + 1)
+                    self.elections += 1
+                    changed = True
+        finally:
+            for remote in remotes.values():
+                try:
+                    remote.close()
+                except Exception:
+                    pass
+        return changed
+
     def stop(self) -> None:
-        if not self._started:
-            return
-        self._stopping.set()
-        if self._monitor is not None:
-            self._monitor.join(timeout=10)
-            self._monitor = None
+        # Serialised against concurrent stop() calls, and hands the
+        # monitor a stop signal *before* joining it so an in-flight
+        # respawn finishes (or aborts) under its own lock — teardown then
+        # sweeps whatever set of processes actually exists.
+        with self._stop_lock:
+            if not self._started:
+                return
+            self._started = False
+            self._stopping.set()
+            monitor, self._monitor = self._monitor, None
+        if monitor is not None:
+            # A respawn can legitimately take up to start_timeout inside
+            # _await_bound; joining shorter than that leaks the thread.
+            monitor.join(timeout=self.start_timeout + 10)
         with self._lock:
             self._teardown()
-        self._started = False
 
     def _teardown(self) -> None:
         for pipe in self._pipes:
@@ -546,7 +1133,21 @@ class ClusterBrokerSupervisor:
         return self.addresses
 
     def describe_cluster(self) -> dict:
-        return ClusterMetadata(self.epoch, tuple(self.addresses)).to_wire()
+        return ClusterMetadata(
+            self.epoch,
+            tuple(self.addresses),
+            replication_factor=self.replication_factor,
+            leaders=tuple(
+                (t, p, s, e) for (t, p), (s, e) in sorted(self._leaders.items())
+            ),
+        ).to_wire()
+
+    def partition_leader(self, topic: str, partition: int) -> int:
+        """The shard currently leading one partition (override or hash)."""
+        entry = self._leaders.get((topic, partition))
+        if entry is not None:
+            return entry[0]
+        return shard_for_partition(topic, partition, self.num_shards)
 
     def is_alive(self, index: int) -> bool:
         proc = self._procs[index]
@@ -927,6 +1528,7 @@ class ClusterBroker:
         producer_id=None,
         producer_epoch=0,
         sequence=None,
+        acks=None,
     ):
         return self._partition_invoke(
             topic,
@@ -941,6 +1543,7 @@ class ClusterBroker:
                 producer_id=producer_id,
                 producer_epoch=producer_epoch,
                 sequence=sequence,
+                acks=acks,
             ),
             replayable=producer_id is not None,
         )
@@ -956,6 +1559,7 @@ class ClusterBroker:
         producer_id=None,
         producer_epoch=0,
         base_sequence=None,
+        acks=None,
     ):
         values = list(values)
         return self._partition_invoke(
@@ -971,6 +1575,7 @@ class ClusterBroker:
                 producer_id=producer_id,
                 producer_epoch=producer_epoch,
                 base_sequence=base_sequence,
+                acks=acks,
             ),
             replayable=producer_id is not None,
         )
@@ -1057,6 +1662,20 @@ class ClusterBroker:
         with self._remotes_lock:
             remotes = list(self._remotes.values())
         return sum(r.requests_sent for r in remotes)
+
+    def replication_status(self) -> dict:
+        """Union of every responsive shard's led-partition ISR state."""
+        out: dict = {"replication_factor": 1, "partitions": []}
+        for remote in self._live_remotes():
+            try:
+                status = remote.replication_status()
+            except (BrokerError, ConnectionError, OSError):
+                continue
+            out["replication_factor"] = max(
+                out["replication_factor"], status.get("replication_factor", 1)
+            )
+            out["partitions"].extend(status.get("partitions", ()))
+        return out
 
     def shard_metrics(self) -> dict:
         """``{shard_index: server_metrics}`` for every responsive shard;

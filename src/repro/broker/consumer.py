@@ -239,7 +239,9 @@ class _Prefetcher:
                 if failed:
                     self.fetch_errors += 1
                     # Transient (reconnecting transport, truncated offset
-                    # being re-resolved): back off briefly, then retry.
+                    # being re-resolved, or a replicated partition mid-
+                    # failover — the cluster client re-routes to the new
+                    # leader underneath us): back off briefly, then retry.
                     self._cond.wait(0.05)
                     continue
                 if batch:

@@ -93,6 +93,43 @@ class NotOwnerError(RetriableError):
         self.epoch = epoch
 
 
+class NotEnoughReplicasError(RetriableError):
+    """An ``acks=all`` append timed out waiting for the high-watermark.
+
+    The record *is* in the leader's log; what failed is the durability
+    guarantee — not enough in-sync replicas acknowledged it in time.
+    Retriable: the idempotent-producer dedup window absorbs the replay,
+    so a retry either finds the batch already replicated (and acks with
+    the original offsets) or re-waits for the ISR to catch up.
+    """
+
+    def __init__(self, topic: str, partition: int, offset: int, timeout: float) -> None:
+        super().__init__(
+            f"{topic}/{partition}: high-watermark did not reach {offset} "
+            f"within {timeout:.1f}s (not enough in-sync replicas)"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.offset = offset
+        self.timeout = timeout
+
+
+class StaleLeaderEpochError(FatalError):
+    """A replication request carried a leader epoch older than the
+    follower's. The sender was deposed by an election; retrying with the
+    same epoch can never succeed — it must refresh cluster metadata and
+    stand down (zombie-leader fencing, the cluster-level analogue of
+    :class:`ProducerFencedError`)."""
+
+    def __init__(self, resource: str, epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"{resource}: leader epoch {epoch} fenced by epoch {current_epoch}"
+        )
+        self.resource = resource
+        self.epoch = epoch
+        self.current_epoch = current_epoch
+
+
 def is_retriable(exc: BaseException) -> bool:
     """True when *exc* marks a transient condition worth retrying."""
     if isinstance(exc, RetriableError):

@@ -8,10 +8,21 @@ more importantly — means dynamically created topics need no metadata
 push: every client and every shard derives the same owner from the same
 rule the moment the topic exists.
 
-The epoch increments whenever the supervisor changes the address list
-(today: respawning a dead shard). Clients treat a response carrying a
-newer epoch as authoritative and refuse to go backwards, mirroring the
-producer-epoch fencing the broker already does for idempotent writes.
+Replication layers on the same rule: a partition's *replica set* is the
+``replication_factor`` consecutive slots starting at its hash slot, and
+its **leader** defaults to the hash slot itself. The only table the
+metadata ever carries is the exception list — ``leaders`` holds one
+``(topic, partition, shard, partition_epoch)`` override per partition
+whose leadership moved off its hash slot (a failover election), so the
+payload stays O(shards + elections), not O(partitions).
+
+The epoch increments whenever the supervisor changes the address list or
+the leader overrides (respawning a dead shard, electing a new leader).
+Clients treat a response carrying a newer epoch as authoritative and
+refuse to go backwards, mirroring the producer-epoch fencing the broker
+already does for idempotent writes; the per-partition ``partition_epoch``
+additionally fences a deposed leader's replication traffic
+(:class:`~repro.broker.errors.StaleLeaderEpochError`).
 """
 
 from __future__ import annotations
@@ -32,6 +43,24 @@ def shard_for_partition(topic: str, partition: int, num_shards: int) -> int:
     return (zlib.crc32(topic.encode("utf-8")) + partition) % num_shards
 
 
+def replica_indices(
+    topic: str, partition: int, num_shards: int, replication_factor: int
+) -> tuple[int, ...]:
+    """The shard slots holding copies of one partition, preferred first.
+
+    The hash slot leads the list (it is the default leader); the
+    remaining ``replication_factor - 1`` followers are the consecutive
+    slots after it, wrapped — the same consecutive-slot rule Kafka's
+    default assignor uses, so a topic's replica load spreads evenly.
+    Capped at ``num_shards`` distinct slots.
+    """
+    if num_shards <= 1:
+        return (0,)
+    first = shard_for_partition(topic, partition, num_shards)
+    count = max(1, min(int(replication_factor), num_shards))
+    return tuple((first + k) % num_shards for k in range(count))
+
+
 def coordinator_shard(group_id: str, num_shards: int) -> int:
     """Deterministic coordinator slot for a consumer group (or producer id).
 
@@ -46,17 +75,52 @@ def coordinator_shard(group_id: str, num_shards: int) -> int:
 
 @dataclass(frozen=True)
 class ClusterMetadata:
-    """An epoch-stamped shard address list with ownership accessors."""
+    """An epoch-stamped shard address list with ownership accessors.
+
+    ``leaders`` is the failover override table: tuples of
+    ``(topic, partition, shard, partition_epoch)`` for partitions whose
+    leader is no longer their hash slot. Empty in a healthy cluster.
+    """
 
     epoch: int
     shards: tuple[tuple[str, int], ...]
+    replication_factor: int = 1
+    leaders: tuple[tuple[str, int, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Frozen dataclass: the derived lookup table rides alongside the
+        # fields (it is not itself a field, so equality stays field-wise).
+        object.__setattr__(
+            self,
+            "_leader_map",
+            {(t, p): (s, e) for t, p, s, e in self.leaders},
+        )
 
     @property
     def num_shards(self) -> int:
         return len(self.shards)
 
-    def owner_index(self, topic: str, partition: int) -> int:
+    def leader_index(self, topic: str, partition: int) -> int:
+        """The shard currently leading (serving) one partition."""
+        entry = self._leader_map.get((topic, partition))
+        if entry is not None:
+            return entry[0]
         return shard_for_partition(topic, partition, len(self.shards))
+
+    def partition_epoch(self, topic: str, partition: int) -> int:
+        """Leader-election generation for one partition (0 = never moved)."""
+        entry = self._leader_map.get((topic, partition))
+        return entry[1] if entry is not None else 0
+
+    def replica_indices(self, topic: str, partition: int) -> tuple[int, ...]:
+        return replica_indices(
+            topic, partition, len(self.shards), self.replication_factor
+        )
+
+    def owner_index(self, topic: str, partition: int) -> int:
+        # Routing targets the *leader*: with no overrides this is the
+        # plain hash slot, so pre-replication behavior is unchanged.
+        return self.leader_index(topic, partition)
 
     def owner(self, topic: str, partition: int) -> tuple[str, int]:
         return self.shards[self.owner_index(topic, partition)]
@@ -68,14 +132,26 @@ class ClusterMetadata:
         return self.shards[self.coordinator_index(group_id)]
 
     def to_wire(self) -> dict:
-        return {
+        out = {
             "epoch": self.epoch,
             "shards": [[host, port] for host, port in self.shards],
         }
+        # Only stamp the replication fields when they carry information,
+        # so unreplicated clusters keep the exact pre-replication schema.
+        if self.replication_factor != 1:
+            out["replication_factor"] = self.replication_factor
+        if self.leaders:
+            out["leaders"] = [list(entry) for entry in self.leaders]
+        return out
 
     @classmethod
     def from_wire(cls, obj: dict) -> "ClusterMetadata":
         return cls(
             epoch=int(obj["epoch"]),
             shards=tuple((str(h), int(p)) for h, p in obj["shards"]),
+            replication_factor=int(obj.get("replication_factor", 1)),
+            leaders=tuple(
+                (str(t), int(p), int(s), int(e))
+                for t, p, s, e in obj.get("leaders", ())
+            ),
         )

@@ -117,6 +117,13 @@ class PartitionLog:
         #: append wakes it, versus a client-side poll loop paying one
         #: round-trip per probe).
         self.long_polls_parked = 0
+        # High-watermark: the replication visibility fence. ``None``
+        # disables it entirely (the unreplicated fast path: consumers see
+        # up to the log end, exactly the pre-replication behavior). When
+        # set, fetches only return records below it — records above are
+        # appended but not yet acknowledged by the full in-sync replica
+        # set, so exposing them could un-deliver data on failover.
+        self._hwm: int | None = None
 
     # -- write path ---------------------------------------------------------
 
@@ -334,6 +341,148 @@ class PartitionLog:
             for event in self._waiters:
                 event.set()
 
+    # -- replication: high-watermark, truncation, state transfer -------------
+
+    def _visible_end(self) -> int:
+        """First offset consumers may NOT see (caller holds the lock)."""
+        if self._hwm is None:
+            return self._next_offset
+        return min(self._hwm, self._next_offset)
+
+    @property
+    def high_watermark(self) -> int:
+        """Highest consumer-visible end offset.
+
+        Equals :attr:`latest_offset` while replication is disabled; once
+        a leader enables the fence it trails the log end by whatever the
+        slowest in-sync replica has not yet acknowledged.
+        """
+        with self._lock:
+            return self._visible_end()
+
+    def set_high_watermark(self, offset: int) -> int:
+        """Install (and enable) the visibility fence; returns the new value.
+
+        Clamped to the log end and monotonic — a stale advance can never
+        rewind visibility (truncation is the only path that lowers it).
+        Advancing wakes parked fetches and registered waiters: records
+        between the old and new fence just became consumable even though
+        no local append happened.
+        """
+        check_non_negative("offset", offset)
+        with self._lock:
+            new = min(int(offset), self._next_offset)
+            if self._hwm is None or new > self._hwm:
+                self._hwm = new
+                self._notify()
+            return self._hwm
+
+    def wait_for_high_watermark(self, offset: int, timeout: float) -> bool:
+        """Block until the visible end reaches *offset* (acks=all waits).
+
+        True when visibility caught up; False at the deadline. Returns
+        immediately while replication is disabled (the log end *is* the
+        visible end).
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._visible_end() < offset:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._data_available.wait(remaining)
+            return True
+
+    def truncate_to(self, offset: int) -> int:
+        """Drop every record at ``offset`` and above; returns the count.
+
+        A rejoining follower truncates its log to the new leader's
+        high-watermark before re-syncing: records it appended beyond it
+        were never ISR-acknowledged and may not exist on the elected
+        leader, so keeping them would fork the log.
+        """
+        check_non_negative("offset", offset)
+        removed = 0
+        with self._lock:
+            while self._records and self._records[-1].offset >= offset:
+                evicted = self._records.pop()
+                self._bytes -= evicted.size
+                removed += 1
+            self._next_offset = max(offset, self._base_offset)
+            if not self._records:
+                self._base_offset = self._next_offset
+            if self._hwm is not None and self._hwm > self._next_offset:
+                self._hwm = self._next_offset
+        return removed
+
+    def replication_slice(self, offset: int, max_records: int = 512) -> tuple:
+        """One consistent snapshot for a leader→follower push.
+
+        Returns ``(records, log_end, high_watermark)`` under a single
+        lock acquisition, so the batch, the end offset it extends toward,
+        and the fence it carries can never disagree. Reads the raw log —
+        replication must ship records *above* the high-watermark; that is
+        the whole point of shipping them.
+        """
+        with self._lock:
+            records = self._slice_at_offset(offset, int(max_records))
+            return records, self._next_offset, self._visible_end()
+
+    def install_replica_batch(self, base_offset: int, records) -> tuple[bool, int]:
+        """Follower-side install of a replicated batch at exact offsets.
+
+        Accepts only a batch that starts precisely at the log end
+        (``(True, new_end)``); anything else returns ``(False, end)`` so
+        the leader can re-anchor at the follower's actual progress —
+        divergence below the end is the *caller's* job to resolve via
+        :meth:`truncate_to` first. Bypasses sequence checking: the leader
+        already deduplicated, and its producer-state snapshot travels
+        separately (:meth:`install_producer_state`).
+        """
+        with self._lock:
+            if base_offset != self._next_offset:
+                return False, self._next_offset
+            added_bytes = 0
+            for record in records:
+                self._records.append(record)
+                added_bytes += record.size
+            if records:
+                self._next_offset = records[-1].offset + 1
+                self._bytes += added_bytes
+                self.total_appended += len(records)
+                self.total_bytes_in += added_bytes
+                self._enforce_retention()
+                self._notify()
+            return True, self._next_offset
+
+    def producer_snapshot(self) -> dict:
+        """Wire-able snapshot of the idempotence state (dedup windows).
+
+        Replicated alongside batches so a newly elected leader can keep
+        deduplicating producer retries that the old leader already
+        appended — without this, every failover would turn at-least-once
+        retries into visible duplicates.
+        """
+        with self._lock:
+            return {
+                str(pid): {
+                    "epoch": state.epoch,
+                    "last_sequence": state.last_sequence,
+                    "recent": [list(entry) for entry in state.recent],
+                }
+                for pid, state in self._producers.items()
+            }
+
+    def install_producer_state(self, snapshot: dict) -> None:
+        """Install a leader's producer-state snapshot (follower side)."""
+        with self._lock:
+            for pid_str, data in snapshot.items():
+                state = _ProducerState(int(data["epoch"]))
+                state.last_sequence = int(data["last_sequence"])
+                for seq, offset, n in data.get("recent", ()):
+                    state.recent.append((int(seq), int(offset), int(n)))
+                self._producers[int(pid_str)] = state
+
     def _enforce_retention(self) -> None:
         if self.retention_bytes > 0:
             while self._bytes > self.retention_bytes and len(self._records) > 1:
@@ -466,6 +615,11 @@ class PartitionLog:
                         self._records, offset, key=lambda r: r.offset
                     )
                 batch = self._slice(start, int(max_records))
+                if self._hwm is not None and batch:
+                    # Replication fence: records past the high-watermark
+                    # exist but are not ISR-acknowledged yet — invisible.
+                    visible = self._visible_end()
+                    batch = [r for r in batch if r.offset < visible]
                 if batch and (
                     min_bytes <= 1
                     or len(batch) >= int(max_records)
@@ -510,6 +664,9 @@ class PartitionLog:
                     self._records, offset, key=lambda r: r.offset
                 )
             batch = self._slice(start, int(max_records))
+            if self._hwm is not None and batch:
+                visible = self._visible_end()
+                batch = [r for r in batch if r.offset < visible]
             satisfied = bool(batch) and (
                 min_bytes <= 1
                 or len(batch) >= int(max_records)

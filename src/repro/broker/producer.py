@@ -89,10 +89,13 @@ class Producer:
 
     Delivery knobs (Kafka-shaped):
 
-    - ``acks=1`` (default): the send blocks for the broker ack; failures
-      raise (after any retries). ``acks=0``: fire-and-forget — transport
-      failures are swallowed (counted in ``sends_failed``) and ``None``
-      is returned.
+    - ``acks=1`` (default, alias ``"leader"``): the send blocks for the
+      leader's ack; failures raise (after any retries). ``acks=0``:
+      fire-and-forget — transport failures are swallowed (counted in
+      ``sends_failed``) and ``None`` is returned. ``acks="all"``: the
+      broker additionally holds the ack until every in-sync replica
+      holds the records (high-watermark advance) — on an unreplicated
+      broker this coincides with ``acks=1``.
     - ``retries``: transient failures (``RetriableError``,
       ``ConnectionError``, timeouts) are retried up to this many times
       with exponential backoff and jitter starting at
@@ -114,7 +117,7 @@ class Producer:
         serde: Serde | None = None,
         partitioner: Partitioner | None = None,
         client_id: str | None = None,
-        acks: int = 1,
+        acks: int | str = 1,
         retries: int = 0,
         retry_backoff_ms: float = 100.0,
         enable_idempotence: bool | None = None,
@@ -122,8 +125,10 @@ class Producer:
         trace_site: str = "",
         bootstrap=None,
     ) -> None:
-        if acks not in (0, 1):
-            raise ValidationError(f"acks must be 0 or 1, got {acks!r}")
+        if acks not in (0, 1, "leader", "all"):
+            raise ValidationError(
+                f"acks must be 0, 1, 'leader' or 'all', got {acks!r}"
+            )
         check_non_negative("retries", retries)
         check_non_negative("retry_backoff_ms", retry_backoff_ms)
         if (broker is None) == (bootstrap is None):
@@ -140,7 +145,11 @@ class Producer:
         self._serde = serde or BytesSerde()
         self._partitioner = partitioner or KeyHashPartitioner()
         self.client_id = client_id or new_id("producer")
-        self.acks = int(acks)
+        self.acks = acks if isinstance(acks, str) else int(acks)
+        # What rides to the broker: only "all" changes broker behavior
+        # (0/1/"leader" all ack at the leader), and omitting the field
+        # keeps the wire schema old servers already understand.
+        self._wire_acks = "all" if self.acks == "all" else None
         self.retries = int(retries)
         self.retry_backoff_ms = float(retry_backoff_ms)
         self.idempotent = (
@@ -276,6 +285,9 @@ class Producer:
             sequence = self._next_sequence(topic, partition, 1)
         else:
             sequence = None
+        # Stamp acks only when it changes broker behavior, so brokers
+        # (and broker-shaped proxies) without the knob stay compatible.
+        extra = {} if self._wire_acks is None else {"acks": self._wire_acks}
         try:
             md = self._call_with_retries(
                 lambda: self._broker.append(
@@ -288,6 +300,7 @@ class Producer:
                     producer_id=self._pid,
                     producer_epoch=self._epoch,
                     sequence=sequence,
+                    **extra,
                 )
             )
         except Exception as exc:
@@ -336,6 +349,7 @@ class Producer:
             base_sequence = self._next_sequence(topic, partition, len(payloads))
         else:
             base_sequence = None
+        extra = {} if self._wire_acks is None else {"acks": self._wire_acks}
         try:
             md = self._call_with_retries(
                 lambda: self._broker.append_many(
@@ -348,6 +362,7 @@ class Producer:
                     producer_id=self._pid,
                     producer_epoch=self._epoch,
                     base_sequence=base_sequence,
+                    **extra,
                 )
             )
         except Exception as exc:

@@ -103,10 +103,16 @@ _RETRIABLE_WIRE = {
     "UnknownMemberError",
     "RebalanceInProgressError",
     "NotOwnerError",
+    "NotEnoughReplicasError",
     "ConnectionError",
     "TimeoutError",
 }
-_FATAL_WIRE = {"FatalError", "ProducerFencedError", "OutOfOrderSequenceError"}
+_FATAL_WIRE = {
+    "FatalError",
+    "ProducerFencedError",
+    "OutOfOrderSequenceError",
+    "StaleLeaderEpochError",
+}
 
 
 def _raise_wire_error(name: str, message: str):
@@ -777,9 +783,9 @@ class RemoteBroker:
         producer_id=None,
         producer_epoch=0,
         sequence=None,
+        acks=None,
     ):
-        out = self._call(
-            "append",
+        kwargs = dict(
             topic=topic,
             partition=partition,
             value=_b64(value),
@@ -790,6 +796,11 @@ class RemoteBroker:
             producer_epoch=producer_epoch,
             sequence=sequence,
         )
+        if acks is not None:
+            # Only stamped when non-default, so frames to pre-replication
+            # servers keep the exact old schema.
+            kwargs["acks"] = acks
+        out = self._call("append", **kwargs)
         return RecordMetadata(topic=topic, partition=partition, offset=out["offset"])
 
     def append_many(
@@ -803,12 +814,11 @@ class RemoteBroker:
         producer_id=None,
         producer_epoch=0,
         base_sequence=None,
+        acks=None,
     ):
         """Batched append: one socket round-trip, values as binary blobs."""
         values = list(values)
-        out = self._call(
-            "append_batch",
-            _blobs=values,
+        kwargs = dict(
             topic=topic,
             partition=partition,
             keys=None if keys is None else [_b64(k) for k in keys],
@@ -818,6 +828,9 @@ class RemoteBroker:
             producer_epoch=producer_epoch,
             base_sequence=base_sequence,
         )
+        if acks is not None:
+            kwargs["acks"] = acks
+        out = self._call("append_batch", _blobs=values, **kwargs)
         return BatchMetadata(
             topic=topic,
             partition=partition,
@@ -907,3 +920,57 @@ class RemoteBroker:
     def server_metrics(self) -> dict:
         """The serving process's reactor gauges (sharded brokers only)."""
         return self._call("server_metrics")
+
+    # -- replication surface (replicated shards only) --------------------------
+
+    def replicate_append(
+        self,
+        topic,
+        partition,
+        *,
+        base_offset,
+        records,
+        leader,
+        leader_epoch,
+        high_watermark,
+        producers=None,
+    ):
+        """Leader->follower push of a contiguous batch starting at *base_offset*.
+
+        Record values travel as binary blobs; everything else (offsets,
+        keys, timestamps) rides in the JSON frame so the follower can
+        reconstruct the records byte-identically at the same offsets.
+        """
+        metas = []
+        values = []
+        for rec in records:
+            metas.append(
+                {
+                    "offset": rec.offset,
+                    "key": _b64(rec.key),
+                    "headers": rec.headers or None,
+                    "produce_ts": rec.produce_ts,
+                    "append_ts": rec.append_ts,
+                }
+            )
+            values.append(rec.value)
+        kwargs = dict(
+            topic=topic,
+            partition=partition,
+            base_offset=base_offset,
+            records=metas,
+            leader=leader,
+            leader_epoch=leader_epoch,
+            hwm=high_watermark,
+        )
+        if producers is not None:
+            kwargs["producers"] = producers
+        return self._call("replicate_append", _blobs=values, **kwargs)
+
+    def replica_ack(self, topic, partition) -> dict:
+        """A follower's replication progress for one partition."""
+        return self._call("replica_ack", topic=topic, partition=partition)
+
+    def replication_status(self) -> dict:
+        """ISR / high-watermark state for every partition this shard leads."""
+        return self._call("replication_status")

@@ -285,6 +285,7 @@ def execute_op(broker, request: dict, blobs: list) -> tuple:
             producer_id=request.get("producer_id"),
             producer_epoch=request.get("producer_epoch", 0),
             sequence=request.get("sequence"),
+            acks=request.get("acks"),
         )
         return {"offset": md.offset}, ()
     if op == "append_batch":
@@ -300,6 +301,7 @@ def execute_op(broker, request: dict, blobs: list) -> tuple:
             producer_id=request.get("producer_id"),
             producer_epoch=request.get("producer_epoch", 0),
             base_sequence=request.get("base_sequence"),
+            acks=request.get("acks"),
         )
         return {"base_offset": md.base_offset, "count": md.count}, ()
     if op == "register_producer":
@@ -400,6 +402,52 @@ def execute_op(broker, request: dict, blobs: list) -> tuple:
         if metrics is None:
             raise ValidationError(f"unknown op {op!r}")
         return metrics(), ()
+    if op == "replicate_append":
+        # Leader → follower batch push. Values travel as blobs (like
+        # fetch_batch, the format this mirrors); offsets are preserved
+        # exactly — a replica log is a byte-for-byte copy of the
+        # leader's, not a re-append.
+        handler = getattr(broker, "replicate_append", None)
+        if handler is None:
+            raise ValidationError(f"unknown op {op!r}")
+        topic = request["topic"]
+        partition = request["partition"]
+        records = [
+            Record(
+                topic=topic,
+                partition=partition,
+                offset=m["offset"],
+                value=blobs[i],
+                key=unb64(m.get("key")),
+                headers=m.get("headers") or {},
+                produce_ts=m.get("produce_ts", 0.0),
+                append_ts=m.get("append_ts", 0.0),
+            )
+            for i, m in enumerate(request.get("records", ()))
+        ]
+        return (
+            handler(
+                topic,
+                partition,
+                base_offset=request["base_offset"],
+                records=records,
+                leader=request.get("leader", 0),
+                leader_epoch=request.get("leader_epoch", 0),
+                high_watermark=request.get("hwm", 0),
+                producers=request.get("producers"),
+            ),
+            (),
+        )
+    if op == "replica_ack":
+        handler = getattr(broker, "replica_ack", None)
+        if handler is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return handler(request["topic"], request["partition"]), ()
+    if op == "replication_status":
+        handler = getattr(broker, "replication_status", None)
+        if handler is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return handler(), ()
     raise ValidationError(f"unknown op {op!r}")
 
 

@@ -179,10 +179,12 @@ def _make_cluster(args: argparse.Namespace, sampler):
         return None, None
     from repro.broker import ClusterBroker, ClusterBrokerSupervisor
 
+    replication = getattr(args, "replication_factor", 1) or 1
     supervisor = ClusterBrokerSupervisor(
         num_shards=workers,
         topics=[("pilot-edge-data", args.devices)],
         restart=True,
+        replication_factor=min(replication, workers),
     ).start()
     broker = ClusterBroker(supervisor.bootstrap)
     if sampler is not None:
@@ -287,6 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="shard the broker across N worker processes (multi-core "
             "scaling); 0 keeps the in-process broker",
+        )
+        p.add_argument(
+            "--replication-factor",
+            type=int,
+            default=1,
+            metavar="R",
+            help="replicate each partition across R shards with leader "
+            "election on failure (capped at --broker-workers); 1 "
+            "disables replication",
         )
 
     p_base = sub.add_parser("baseline", help="pass-through pipeline run (Fig. 2 point)")

@@ -10,7 +10,10 @@ matches a channel/op, carries a budget of uses, and applies one effect:
   in-flight request dies and the client must reconnect (a server crash
   or NAT timeout),
 - ``pause`` — every matching operation stalls until a deadline passes
-  (a broker GC pause / overload window).
+  (a broker GC pause / overload window),
+- ``link`` — inter-shard replication traffic between one pair of shards
+  is dropped until healed (a partitioned network link), so ISR eviction
+  can be exercised without killing any process.
 
 Rules are evaluated first-match per call and consumed deterministically;
 probabilistic rules draw from a seeded RNG so a plan with randomness is
@@ -125,6 +128,34 @@ class FaultInjector:
             )
         return self
 
+    @staticmethod
+    def _link_key(shard_a: int, shard_b: int) -> str:
+        a, b = sorted((int(shard_a), int(shard_b)))
+        return f"link:{a}:{b}"
+
+    def partition_link(self, shard_a: int, shard_b: int) -> "FaultInjector":
+        """Sever the replication link between two shards (both directions).
+
+        Every :meth:`on_replication` push between the pair fails with
+        :class:`FaultInjected` until :meth:`heal_link` — the leader's ISR
+        tracking sees a follower that is alive but unreachable, exactly
+        the failure mode process kills cannot produce.
+        """
+        with self._lock:
+            self._rules.append(
+                _Rule("link", op=self._link_key(shard_a, shard_b), remaining=-1)
+            )
+        return self
+
+    def heal_link(self, shard_a: int, shard_b: int) -> "FaultInjector":
+        """Remove every link fault between the pair (traffic resumes)."""
+        key = self._link_key(shard_a, shard_b)
+        with self._lock:
+            self._rules = [
+                r for r in self._rules if not (r.kind == "link" and r.op == key)
+            ]
+        return self
+
     def clear(self) -> None:
         with self._lock:
             self._rules.clear()
@@ -206,6 +237,14 @@ class FaultInjector:
     def on_transfer(self, link) -> None:
         """netem :class:`~repro.netem.link.Link` hook: runs per transfer."""
         self._apply("transfer")
+
+    def on_replication(self, src_shard: int, dst_shard: int) -> None:
+        """Replicator hook: runs before each leader->follower push."""
+        rule = self._take(self._link_key(src_shard, dst_shard), ("link",))
+        if rule is not None:
+            raise FaultInjected(
+                f"injected link partition between shards {src_shard} and {dst_shard}"
+            )
 
 
 class FaultyBroker:

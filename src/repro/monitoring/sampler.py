@@ -186,8 +186,12 @@ class TelemetrySampler:
         ``reactor_loop_lag_s`` land under shard-labeled series
         (``cluster.shard0.parked_fetches``, ...), plus ``shards_up`` /
         ``shards_total`` so a dead shard is visible as a gap *and* a
-        level drop. Mirrored into the registry like every source, so the
-        ``/metrics`` exposition covers all shards.
+        level drop. On a replicated cluster (``replication_status``)
+        each led partition additionally reports ``isr_size`` and
+        ``replica_lag`` (worst follower), plus the cluster-wide
+        ``under_replicated_partitions`` count — the standard Kafka
+        health gauge. Mirrored into the registry like every source, so
+        the ``/metrics`` exposition covers all shards.
         """
 
         def _sample() -> dict:
@@ -208,6 +212,23 @@ class TelemetrySampler:
             total = getattr(cluster, "num_shards", None)
             if total is not None:
                 out[f"{name}.shards_total"] = float(total)
+            replication = getattr(cluster, "replication_status", None)
+            if replication is not None:
+                status = replication()
+                if status.get("replication_factor", 1) > 1:
+                    under = 0
+                    for part in status.get("partitions", ()):
+                        topic, p = part["topic"], part["partition"]
+                        out[f"{name}.isr_size.{topic}.{p}"] = float(
+                            len(part.get("isr", ()))
+                        )
+                        lags = [
+                            f["lag"] for f in part.get("followers", ())
+                        ] or [0]
+                        out[f"{name}.replica_lag.{topic}.{p}"] = float(max(lags))
+                        if part.get("under_replicated"):
+                            under += 1
+                    out[f"{name}.under_replicated_partitions"] = float(under)
             return out
 
         self.add_source(f"cluster:{name}", _sample)

@@ -401,6 +401,54 @@ class TestSupervisorLifecycle:
         supervisor.stop()
         supervisor.stop()
 
+    def test_concurrent_stop_from_two_threads_is_race_safe(self):
+        """Two threads racing into stop() must not double-tear-down:
+        exactly one wins the teardown, both return, nothing leaks."""
+        before = set(threading.enumerate())
+        supervisor = ClusterBrokerSupervisor(
+            num_shards=2, topics=[("t", 2)], restart=True
+        ).start()
+        errors: list[BaseException] = []
+
+        def stopper() -> None:
+            try:
+                supervisor.stop()
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [threading.Thread(target=stopper) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(not t.is_alive() for t in threads)
+        assert errors == []
+        assert multiprocessing.active_children() == []
+        leaked = [
+            t for t in set(threading.enumerate()) - before if t.is_alive()
+        ]
+        assert leaked == []
+
+    def test_stop_during_respawn_leaks_nothing(self):
+        """stop() issued while the monitor is mid-respawn must still win:
+        the freshly spawned worker is torn down too, even if it came up
+        after the stop flag was raised."""
+        before = set(threading.enumerate())
+        supervisor = ClusterBrokerSupervisor(
+            num_shards=2, topics=[("t", 2)], restart=True
+        ).start()
+        supervisor.kill_shard(1)
+        # No wait: stop() races the monitor's death-detection + respawn.
+        supervisor.stop()
+        assert multiprocessing.active_children() == []
+        leaked = [
+            t for t in set(threading.enumerate()) - before if t.is_alive()
+        ]
+        assert leaked == []
+        # A second stop after the race stays a no-op.
+        supervisor.stop()
+        assert multiprocessing.active_children() == []
+
     def test_restart_respawns_dead_shard_and_bumps_epoch(self):
         with ClusterBrokerSupervisor(
             num_shards=2, topics=[("t", 2)], restart=True

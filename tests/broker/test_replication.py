@@ -1,0 +1,342 @@
+"""In-process replication tests: leaders, followers, ISR, high-watermark.
+
+A miniature cluster — N :class:`ShardBroker` instances each behind a
+:class:`ReactorBrokerServer` in *this* process — exercises the
+replication pump deterministically: the fault injector's
+``partition_link`` severs leader→follower traffic without killing
+anything, so ISR eviction, acks=all timeouts, and readmission are
+observable without multiprocess chaos (that lives in
+``tests/integration/test_failover_chaos.py``).
+"""
+
+import time
+
+import pytest
+
+from repro.broker import (
+    Broker,
+    ClusterBroker,
+    ClusterMetadata,
+    NotEnoughReplicasError,
+    Producer,
+    ShardBroker,
+    StaleLeaderEpochError,
+    replica_indices,
+    shard_for_partition,
+)
+from repro.broker.errors import is_retriable
+from repro.broker.reactor import ReactorBrokerServer
+from repro.faults import FaultInjected, FaultInjector
+
+TOPIC = "t"
+PARTITIONS = 2
+
+
+def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class _MiniCluster:
+    """N replicated shards, servers and replication pumps running."""
+
+    def __init__(self, num_shards: int = 2, replication_factor: int = 2):
+        self.brokers = []
+        self.servers = []
+        for index in range(num_shards):
+            broker = ShardBroker(
+                shard_index=index,
+                num_shards=num_shards,
+                replication_factor=replication_factor,
+            )
+            broker.create_topic(TOPIC, num_partitions=PARTITIONS, exist_ok=True)
+            server = ReactorBrokerServer(
+                broker, host="127.0.0.1", port=0, num_workers=2
+            )
+            server.start()
+            self.brokers.append(broker)
+            self.servers.append(server)
+        self.addresses = [(s.host, s.port) for s in self.servers]
+        for broker in self.brokers:
+            broker.set_cluster(self.addresses, 1)
+            broker.start_replication()
+
+    def leader_of(self, partition: int) -> ShardBroker:
+        return self.brokers[shard_for_partition(TOPIC, partition, len(self.brokers))]
+
+    def follower_of(self, partition: int) -> ShardBroker:
+        leader = shard_for_partition(TOPIC, partition, len(self.brokers))
+        followers = [
+            i
+            for i in replica_indices(
+                TOPIC, partition, len(self.brokers), self.brokers[0].replication_factor
+            )
+            if i != leader
+        ]
+        return self.brokers[followers[0]]
+
+    def log(self, broker: ShardBroker, partition: int):
+        # Base-class access: follower logs are guarded on the shard surface.
+        return Broker.partition_log(broker, TOPIC, partition)
+
+    def isr_of(self, partition: int) -> list:
+        for part in self.leader_of(partition).replication_status()["partitions"]:
+            if part["partition"] == partition:
+                return part["isr"]
+        return []
+
+    def close(self):
+        for broker in self.brokers:
+            broker.stop_replication()
+        for server in self.servers:
+            server.stop()
+
+
+@pytest.fixture()
+def mini():
+    cluster = _MiniCluster()
+    yield cluster
+    cluster.close()
+
+
+class TestReplicaAssignment:
+    def test_consecutive_slots_capped_at_num_shards(self):
+        assert replica_indices("a", 0, 1, 3) == (0,)
+        first = shard_for_partition("a", 0, 4)
+        assert replica_indices("a", 0, 4, 2) == (first, (first + 1) % 4)
+        assert len(set(replica_indices("a", 0, 3, 5))) == 3
+
+    def test_leader_defaults_to_hash_slot(self):
+        meta = ClusterMetadata(
+            epoch=1, shards=(("h", 1), ("h", 2)), replication_factor=2
+        )
+        assert meta.leader_index("a", 0) == shard_for_partition("a", 0, 2)
+        assert meta.partition_epoch("a", 0) == 0
+
+    def test_leader_override_and_wire_roundtrip(self):
+        meta = ClusterMetadata(
+            epoch=3,
+            shards=(("h", 1), ("h", 2)),
+            replication_factor=2,
+            leaders=(("a", 0, 1, 2),),
+        )
+        assert meta.leader_index("a", 0) == 1
+        assert meta.partition_epoch("a", 0) == 2
+        again = ClusterMetadata.from_wire(meta.to_wire())
+        assert again == meta
+
+    def test_unreplicated_wire_schema_unchanged(self):
+        meta = ClusterMetadata(epoch=1, shards=(("h", 1),))
+        wire = meta.to_wire()
+        assert "replication_factor" not in wire
+        assert "leaders" not in wire
+
+
+class TestHighWatermarkGating:
+    def test_records_replicate_and_become_visible(self, mini):
+        leader = mini.leader_of(0)
+        leader.append_many(TOPIC, 0, [b"a", b"b", b"c"], acks="all")
+        follower_log = mini.log(mini.follower_of(0), 0)
+        assert follower_log.latest_offset == 3
+        assert follower_log.high_watermark == 3 or _wait_until(
+            lambda: follower_log.high_watermark == 3
+        )
+        assert [r.value for r in leader.fetch(TOPIC, 0, 0, max_records=10)] == [
+            b"a",
+            b"b",
+            b"c",
+        ]
+
+    def test_unreplicated_records_stay_invisible_until_link_heals(self, mini):
+        leader = mini.leader_of(0)
+        injector = FaultInjector()
+        leader.append_many(TOPIC, 0, [b"seed"], acks="all")
+        assert _wait_until(lambda: len(mini.isr_of(0)) == 2)
+        # Hold membership: only the link drops, nobody gets evicted.
+        leader._replicator.isr_timeout_s = 60.0
+        leader.fault_injector = injector
+        injector.partition_link(0, 1)
+        leader.append_many(TOPIC, 0, [b"dark1", b"dark2"])  # leader-acked
+        assert mini.log(leader, 0).latest_offset == 3
+        # Consumers see only ISR-covered records: nothing past the seed.
+        assert leader.latest_offset(TOPIC, 0) == 1
+        assert leader.fetch(TOPIC, 0, 1, max_records=10) == []
+        injector.heal_link(0, 1)
+        assert _wait_until(lambda: leader.latest_offset(TOPIC, 0) == 3)
+        assert [r.value for r in leader.fetch(TOPIC, 0, 1, max_records=10)] == [
+            b"dark1",
+            b"dark2",
+        ]
+
+    def test_acks_all_times_out_retriably_when_isr_stalls(self, mini):
+        leader = mini.leader_of(0)
+        leader.append_many(TOPIC, 0, [b"seed"], acks="all")
+        assert _wait_until(lambda: len(mini.isr_of(0)) == 2)
+        leader._replicator.isr_timeout_s = 60.0
+        leader.acks_timeout_s = 0.3
+        injector = FaultInjector()
+        leader.fault_injector = injector
+        injector.partition_link(0, 1)
+        with pytest.raises(NotEnoughReplicasError) as excinfo:
+            leader.append_many(TOPIC, 0, [b"stuck"], acks="all")
+        assert is_retriable(excinfo.value)
+
+    def test_partition_depths_report_visible_end(self, mini):
+        leader = mini.leader_of(0)
+        leader.append_many(TOPIC, 0, [b"seed"], acks="all")
+        assert _wait_until(lambda: len(mini.isr_of(0)) == 2)
+        leader._replicator.isr_timeout_s = 60.0
+        injector = FaultInjector()
+        leader.fault_injector = injector
+        injector.partition_link(0, 1)
+        leader.append_many(TOPIC, 0, [b"dark"])
+        depths = leader.partition_depths()[(TOPIC, 0)]
+        assert depths["end_offset"] == 1
+        assert depths["depth"] == 1
+
+
+class TestIsrEviction:
+    def test_link_partition_evicts_then_readmits(self, mini):
+        leader = mini.leader_of(0)
+        leader.append_many(TOPIC, 0, [b"seed"], acks="all")
+        assert _wait_until(lambda: len(mini.isr_of(0)) == 2)
+        leader._replicator.isr_timeout_s = 0.2
+        leader.acks_timeout_s = 10.0
+        injector = FaultInjector()
+        leader.fault_injector = injector
+        injector.partition_link(0, 1)
+        assert _wait_until(lambda: mini.isr_of(0) == [leader.shard_index])
+
+        def doomed_partition():
+            for part in leader.replication_status()["partitions"]:
+                if part["partition"] == 0:
+                    return part
+            return None
+
+        assert doomed_partition()["under_replicated"] is True
+        assert injector.fired.get("link", 0) > 0
+        # With the follower written off, the ISR is the leader alone and
+        # acks=all makes progress again (Kafka's shrink-to-leader rule).
+        leader.append_many(TOPIC, 0, [b"alone"], acks="all")
+        assert leader.latest_offset(TOPIC, 0) == 2
+        injector.heal_link(0, 1)
+        assert _wait_until(lambda: len(mini.isr_of(0)) == 2)
+        assert _wait_until(
+            lambda: mini.log(mini.follower_of(0), 0).latest_offset == 2
+        )
+        assert doomed_partition()["under_replicated"] is False
+
+
+class TestFollowerResync:
+    def test_diverged_follower_truncates_to_leader(self, mini):
+        leader = mini.leader_of(0)
+        follower = mini.follower_of(0)
+        # Let the pump establish the ISR (arming the watermark fence),
+        # then stop it so divergence survives long enough to matter.
+        assert _wait_until(lambda: len(mini.isr_of(0)) == 2)
+        leader.stop_replication()
+        mini.log(follower, 0).append_many([b"junk1", b"junk2", b"junk3"])
+        leader.append_many(TOPIC, 0, [b"real1", b"real2"])
+        leader.start_replication()
+        follower_log = mini.log(follower, 0)
+        assert _wait_until(
+            lambda: [r.value for r in follower_log.fetch(0, max_records=10)]
+            == [b"real1", b"real2"]
+        )
+        assert follower_log.latest_offset == 2
+
+    def test_stale_leader_epoch_is_fenced(self, mini):
+        leader = mini.leader_of(0)
+        follower = mini.follower_of(0)
+        overrides = [(TOPIC, 0, follower.shard_index, 1)]
+        for broker in mini.brokers:
+            broker.set_cluster(mini.addresses, 2, leaders=overrides)
+        with pytest.raises(StaleLeaderEpochError):
+            follower.replicate_append(
+                TOPIC,
+                0,
+                base_offset=0,
+                records=[],
+                leader=leader.shard_index,
+                leader_epoch=0,
+                high_watermark=0,
+            )
+
+    def test_producer_dedup_survives_leader_change(self, mini):
+        old_leader = mini.leader_of(0)
+        new_leader = mini.follower_of(0)
+        pid, epoch = old_leader.register_producer("failover-producer")
+        md = old_leader.append_many(
+            TOPIC,
+            0,
+            [b"a", b"b"],
+            producer_id=pid,
+            producer_epoch=epoch,
+            base_sequence=0,
+            acks="all",
+        )
+        assert _wait_until(
+            lambda: mini.log(new_leader, 0).latest_offset == 2
+        )
+        # Leadership moves; the retried batch must dedup on the new
+        # leader because the dedup window replicated with the data.
+        overrides = [(TOPIC, 0, new_leader.shard_index, 1)]
+        for broker in mini.brokers:
+            broker.set_cluster(mini.addresses, 2, leaders=overrides)
+        replay = new_leader.append_many(
+            TOPIC,
+            0,
+            [b"a", b"b"],
+            producer_id=pid,
+            producer_epoch=epoch,
+            base_sequence=0,
+        )
+        assert replay.base_offset == md.base_offset
+        assert mini.log(new_leader, 0).latest_offset == 2
+
+
+class TestClusterClientSurface:
+    def test_acks_all_via_wire_and_status_merge(self, mini):
+        client = ClusterBroker(mini.addresses)
+        try:
+            producer = Producer(client, acks="all", retries=3)
+            for partition in range(PARTITIONS):
+                producer.send_many(
+                    TOPIC, [b"r1", b"r2"], partition=partition
+                )
+            status = client.replication_status()
+            assert status["replication_factor"] == 2
+            seen = {p["partition"] for p in status["partitions"]}
+            assert seen == set(range(PARTITIONS))
+            for part in status["partitions"]:
+                assert part["isr"] == [0, 1]
+                assert part["high_watermark"] == 2
+        finally:
+            client.close()
+
+    def test_invalid_acks_rejected(self):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            Producer(Broker(), acks="quorum")
+
+
+class TestPartitionLinkRules:
+    def test_link_rules_are_symmetric_and_healable(self):
+        injector = FaultInjector()
+        injector.partition_link(1, 0)
+        with pytest.raises(FaultInjected):
+            injector.on_replication(0, 1)
+        with pytest.raises(FaultInjected):
+            injector.on_replication(1, 0)
+        # Unrelated pairs are untouched, and the rule never runs dry.
+        injector.on_replication(0, 2)
+        with pytest.raises(FaultInjected):
+            injector.on_replication(0, 1)
+        injector.heal_link(0, 1)
+        injector.on_replication(0, 1)
+        assert injector.fired["link"] == 3

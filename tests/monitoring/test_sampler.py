@@ -205,6 +205,70 @@ class TestWatchCluster:
         assert "repro_cluster_shards_up 2" in text
         assert "repro_cluster_shards_total 3" in text
 
+    def test_replicated_cluster_reports_isr_and_lag_gauges(self):
+        class FakeReplicatedCluster:
+            num_shards = 2
+
+            def shard_metrics(self):
+                return {
+                    0: {"connections_active": 1},
+                    1: {"connections_active": 1},
+                }
+
+            def replication_status(self):
+                return {
+                    "replication_factor": 2,
+                    "partitions": [
+                        {
+                            "topic": "t", "partition": 0, "leader": 0,
+                            "isr": [0, 1], "under_replicated": False,
+                            "followers": [
+                                {"shard": 1, "acked": 7, "lag": 0,
+                                 "in_isr": True},
+                            ],
+                        },
+                        {
+                            "topic": "t", "partition": 1, "leader": 1,
+                            "isr": [1], "under_replicated": True,
+                            "followers": [
+                                {"shard": 0, "acked": 2, "lag": 5,
+                                 "in_isr": False},
+                            ],
+                        },
+                    ],
+                }
+
+        reg = MetricsRegistry()
+        sampler = TelemetrySampler(registry=reg)
+        sampler.watch_cluster(FakeReplicatedCluster())
+        values = sampler.sample_now()
+        assert values["cluster.isr_size.t.0"] == 2.0
+        assert values["cluster.isr_size.t.1"] == 1.0
+        assert values["cluster.replica_lag.t.0"] == 0.0
+        assert values["cluster.replica_lag.t.1"] == 5.0
+        assert values["cluster.under_replicated_partitions"] == 1.0
+        # Exposed on /metrics alongside the shard gauges.
+        text = reg.to_prometheus()
+        assert "repro_cluster_isr_size_t_0 2" in text
+        assert "repro_cluster_replica_lag_t_1 5" in text
+        assert "repro_cluster_under_replicated_partitions 1" in text
+
+    def test_unreplicated_cluster_skips_replication_gauges(self):
+        class FakeCluster:
+            num_shards = 1
+
+            def shard_metrics(self):
+                return {0: {"connections_active": 0}}
+
+            def replication_status(self):
+                return {"replication_factor": 1, "partitions": []}
+
+        sampler = TelemetrySampler()
+        sampler.watch_cluster(FakeCluster())
+        values = sampler.sample_now()
+        assert not any("isr_size" in k for k in values)
+        assert "cluster.under_replicated_partitions" not in values
+
     def test_custom_name_prefixes_series(self):
         class FakeCluster:
             num_shards = 1
