@@ -31,6 +31,15 @@ prefetching consumer, writing ``benchmarks/artifacts/BENCH_prefetch.json``
 ``MIN_PREFETCH_WAN_SPEEDUP``x under RTT, while costing at most
 ``MAX_PREFETCH_INPROC_REGRESSION`` on the zero-RTT in-proc pipeline.
 
+The storage guard (``BENCH_storage.json``) covers the durable
+segment-backed partition logs: group-commit batching must hold durable
+produce within ``MIN_DURABLE_RATIO`` of the in-memory deque, steady-
+state mmap fetch of sealed segments within
+``MAX_MMAP_FETCH_REGRESSION`` of the deque fetch, a SIGKILLed rf=1
+shard must replay every fsync-acked record from its own segment files,
+and boot recovery must scan only the active segment regardless of
+total log size.
+
 The reactor guard (``BENCH_reactor.json``) covers the event-loop server:
 1k+ concurrent mixed-role clients on one reactor with zero extra threads
 and flat per-connection memory, plus interleaved drain-rate pairs
@@ -49,8 +58,10 @@ import json
 import multiprocessing
 import os
 import resource
+import shutil
 import socket
 import sys
+import tempfile
 import threading
 import time
 import tracemalloc
@@ -79,6 +90,7 @@ PREFETCH_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_prefetch.json"
 TELEMETRY_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_telemetry.json"
 MULTICORE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_multicore.json"
 REPLICATION_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_replication.json"
+STORAGE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_storage.json"
 #: Sampler time series from the fully-enabled telemetry round, uploaded
 #: by CI next to the BENCH_*.json artifacts.
 TELEMETRY_JSONL = Path(__file__).parent / "artifacts" / "telemetry.jsonl"
@@ -1330,6 +1342,387 @@ def test_replication_guard():
     assert not failures, "; ".join(failures) + f"; see {REPLICATION_ARTIFACT}"
 
 
+# -- durable segment-backed log guard (BENCH_storage.json) -------------------
+#
+# Four legs for the storage engine under ``repro/broker/storage/``:
+#
+# 1. Durable produce: group-commit batching must keep the default
+#    durable mode (background write+fsync on the flush window) within
+#    ``MIN_DURABLE_RATIO`` of the in-memory deque on the cleanest of
+#    interleaved pairs. The opt-in ``fsync_acks`` rate (every ack waits
+#    for its fsync) is reported alongside for context, ungated — it is
+#    disk-latency-bound by design.
+# 2. mmap fetch: steady-state reads of sealed segments (zero-copy
+#    ``memoryview`` values off the page cache, decode-cached batches)
+#    must stay within ``MAX_MMAP_FETCH_REGRESSION`` of the in-memory
+#    deque fetch on the cleanest pair.
+# 3. SIGKILL recovery: a 1-shard, rf=1 cluster (no peer to resync from)
+#    is killed holding fsync-acked records; the respawned worker must
+#    serve every acked record back *from its own segment files* —
+#    proven by the storage recovery counters, not just the fetch.
+# 4. Recovery linearity: boot scans only the active segment. A log
+#    with many sealed segments must reopen scanning exactly the active
+#    file's bytes, independent of total log size.
+
+STORAGE_VALUE_BYTES = 1024
+STORAGE_BATCH = 64
+STORAGE_BATCHES = 96 if FAST else 192
+STORAGE_PAIRS = 4 if FAST else 6
+STORAGE_FETCH_TOTAL = 2048 if FAST else 4096
+STORAGE_FETCH_MAX_RECORDS = 512
+STORAGE_FETCH_SEGMENT_BYTES = 256 * 1024
+STORAGE_KILL_ROUNDS = 4 if FAST else 6
+STORAGE_KILL_BATCH = 16
+STORAGE_LINEAR_SEGMENTS = 8
+MIN_DURABLE_RATIO = 0.5
+MAX_MMAP_FETCH_REGRESSION = 0.10
+
+
+def _storage_produce_pair() -> tuple:
+    """(in_memory_rate, durable_rate, counters) for one interleaved pair."""
+    from repro.broker.partition import PartitionLog
+    from repro.broker.storage import StorageConfig
+
+    payload = b"\xa5" * STORAGE_VALUE_BYTES
+    batch = [payload] * STORAGE_BATCH
+
+    def sweep(log):
+        t0 = time.perf_counter()
+        for _ in range(STORAGE_BATCHES):
+            log.append_many(batch)
+        return STORAGE_BATCHES * STORAGE_BATCH / (time.perf_counter() - t0)
+
+    mem = PartitionLog("bench", 0)
+    tmp = tempfile.mkdtemp(prefix="bench-storage-")
+    durable = PartitionLog(
+        "bench",
+        0,
+        log_dir=tmp,
+        storage=StorageConfig(flush_ms=5.0, segment_bytes=1 << 30),
+    )
+    try:
+        # Warm both paths (allocator, flusher thread spin-up).
+        for log in (mem, durable):
+            for _ in range(8):
+                log.append_many(batch)
+        mem_rate = sweep(mem)
+        durable_rate = sweep(durable)
+        store = durable.storage
+        store.wait_durable(store.next_offset, timeout=30.0)
+        counters = dict(store.counters)
+    finally:
+        durable.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+    return mem_rate, durable_rate, counters
+
+
+def _storage_fsync_acks_rate() -> float:
+    """records/s when every produce ack waits for its group-commit fsync."""
+    from repro.broker.partition import PartitionLog
+    from repro.broker.storage import StorageConfig
+
+    payload = b"\xa5" * STORAGE_VALUE_BYTES
+    batch = [payload] * STORAGE_BATCH
+    tmp = tempfile.mkdtemp(prefix="bench-storage-sync-")
+    log = PartitionLog(
+        "bench",
+        0,
+        log_dir=tmp,
+        storage=StorageConfig(
+            fsync_acks=True, flush_ms=2.0, segment_bytes=1 << 30
+        ),
+    )
+    try:
+        for _ in range(4):
+            log.append_many(batch)
+        batches = max(8, STORAGE_BATCHES // 8)
+        t0 = time.perf_counter()
+        for _ in range(batches):
+            log.append_many(batch)
+        elapsed = time.perf_counter() - t0
+        return batches * STORAGE_BATCH / elapsed
+    finally:
+        log.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _storage_fetch_rates() -> dict:
+    """Steady-state sealed-mmap fetch vs deque fetch, interleaved pairs."""
+    from repro.broker.partition import PartitionLog
+    from repro.broker.storage import StorageConfig
+
+    payload = b"\xa5" * STORAGE_VALUE_BYTES
+    batch = [payload] * STORAGE_BATCH
+    tmp = tempfile.mkdtemp(prefix="bench-storage-fetch-")
+    durable = PartitionLog(
+        "bench",
+        0,
+        log_dir=tmp,
+        storage=StorageConfig(
+            flush_ms=5.0, segment_bytes=STORAGE_FETCH_SEGMENT_BYTES
+        ),
+    )
+    mem = PartitionLog("bench", 0)
+    try:
+        for _ in range(STORAGE_FETCH_TOTAL // STORAGE_BATCH):
+            durable.append_many(batch)
+            mem.append_many(batch)
+        durable.storage.flush()
+        # One more append so the deque evicts everything just sealed —
+        # the sweep below must be served off the mmap, not the tail.
+        durable.append_many([payload] * 4)
+        limit = STORAGE_FETCH_TOTAL - STORAGE_FETCH_MAX_RECORDS
+
+        def sweep(log):
+            t0 = time.perf_counter()
+            count = 0
+            offset = 0
+            while offset < limit:
+                records = log.fetch(
+                    offset, max_records=STORAGE_FETCH_MAX_RECORDS
+                )
+                count += len(records)
+                offset += len(records)
+            return count / (time.perf_counter() - t0)
+
+        probe = durable.fetch(0, max_records=1)
+        zero_copy = isinstance(probe[0].value, memoryview)
+        sweep(durable)  # warm: decode once, fill the batch cache
+        sweep(mem)
+        pairs = []
+        for _ in range(STORAGE_PAIRS):
+            deque_rate = sweep(mem)
+            mmap_rate = sweep(durable)
+            pairs.append((deque_rate, mmap_rate))
+        regression = min(
+            max(0.0, 1.0 - mmap_rate / deque_rate)
+            for deque_rate, mmap_rate in pairs
+        )
+        counters = durable.storage.counters
+        lookups = (
+            counters["decode_cache_hits"] + counters["decode_cache_misses"]
+        )
+        return {
+            "deque_fetch_rates": [round(d, 1) for d, _ in pairs],
+            "mmap_fetch_rates": [round(m, 1) for _, m in pairs],
+            "mmap_fetch_regression": round(regression, 4),
+            "mmap_zero_copy": zero_copy,
+            "decode_cache_hit_rate": round(
+                counters["decode_cache_hits"] / lookups, 4
+            )
+            if lookups
+            else 0.0,
+        }
+    finally:
+        durable.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _storage_kill_recovery() -> dict:
+    """SIGKILL a 1-shard durable cluster; acked records must come back
+    from its segment files (rf=1: there is no peer to copy from)."""
+    from repro.broker import ClusterBroker, ClusterBrokerSupervisor
+    from repro.broker.errors import RetriableError
+    from repro.broker.storage import StorageConfig
+
+    total = STORAGE_KILL_ROUNDS * STORAGE_KILL_BATCH
+    tmp = tempfile.mkdtemp(prefix="bench-storage-kill-")
+    try:
+        with ClusterBrokerSupervisor(
+            num_shards=1,
+            topics=[("t", 1)],
+            restart=True,
+            log_dir=tmp,
+            storage=StorageConfig(fsync_acks=True, flush_ms=5.0),
+        ) as supervisor:
+            client = ClusterBroker(supervisor.bootstrap)
+            producer = Producer(client, client_id="bench-storage-kill")
+
+            def shard_stats() -> dict:
+                host, port = supervisor.addresses[0]
+                remote = RemoteBroker(host, port)
+                try:
+                    return remote.stats()
+                finally:
+                    remote.close()
+
+            expected = []
+            try:
+                for round_no in range(STORAGE_KILL_ROUNDS):
+                    values = [
+                        f"{round_no}:{i}".encode()
+                        for i in range(STORAGE_KILL_BATCH)
+                    ]
+                    producer.send_many("t", values, partition=0)
+                    expected.extend(values)
+
+                supervisor.kill_shard(0)
+                deadline = time.monotonic() + 60.0
+                while supervisor.restarts < 1 and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                while time.monotonic() < deadline:
+                    try:
+                        if shard_stats()["topics"]["t"]["records_in"] >= total:
+                            break
+                    except (RetriableError, ConnectionError, OSError):
+                        pass
+                    time.sleep(0.05)
+                stats = shard_stats()
+                records = client.fetch("t", 0, 0, max_records=total * 2)
+                intact = [bytes(r.value) for r in records] == expected
+                recovered = stats["storage"]["recovered_records"]
+                return {
+                    "acked_records": total,
+                    "recovered_records": recovered,
+                    "recovery_scan_bytes": stats["storage"][
+                        "recovery_scan_bytes"
+                    ],
+                    "zero_acked_loss_from_disk": bool(
+                        intact and recovered >= total
+                    ),
+                }
+            finally:
+                producer.close()
+                client.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _storage_recovery_linearity() -> dict:
+    """Reopen a many-segment log; boot must scan only the active file."""
+    from repro.broker.message import Record
+    from repro.broker.storage import SegmentStore, StorageConfig
+
+    config = StorageConfig(
+        segment_bytes=64 * 1024, flush_ms=60_000.0, flush_bytes=1 << 30
+    )
+    payload = b"\xa5" * STORAGE_VALUE_BYTES
+    tmp = tempfile.mkdtemp(prefix="bench-storage-linear-")
+    directory = os.path.join(tmp, "t-0")
+
+    def records_at(offset: int, count: int) -> list:
+        return [
+            Record("t", 0, offset + i, payload, None, {}, 0.0, 0.0)
+            for i in range(count)
+        ]
+
+    store = SegmentStore(directory, "t", 0, config=config)
+    try:
+        offset = 0
+        # Each flushed batch overflows segment_bytes, so every flush
+        # seals a segment — the log ends up dominated by sealed files.
+        for _ in range(STORAGE_LINEAR_SEGMENTS):
+            store.append_batch(records_at(offset, STORAGE_BATCH))
+            offset += STORAGE_BATCH
+            store.flush()
+        # A small unsealed tail so the active segment is non-empty.
+        store.append_batch(records_at(offset, 8))
+    finally:
+        store.close()  # flushes the tail
+
+    reopened = SegmentStore(directory, "t", 0, config=config)
+    try:
+        stats = reopened.stats()
+        return {
+            "sealed_segments": stats["sealed_segments"],
+            "log_bytes": reopened.size_bytes,
+            "active_bytes": stats["active_bytes"],
+            "recovery_scan_bytes": reopened.recovered.scan_bytes,
+            "recovery_truncated_bytes": reopened.recovered.truncated_bytes,
+        }
+    finally:
+        reopened.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_storage_guard() -> dict:
+    """Measure, persist the artifact, and return the results."""
+    pairs = []
+    counters: dict = {}
+    for _ in range(STORAGE_PAIRS):
+        mem_rate, durable_rate, counters = _storage_produce_pair()
+        pairs.append((mem_rate, durable_rate))
+    produce_regression = min(
+        max(0.0, 1.0 - durable / mem) for mem, durable in pairs
+    )
+    fsync_acks_rate = _storage_fsync_acks_rate()
+    fetch = _storage_fetch_rates()
+    recovery = _storage_kill_recovery()
+    linearity = _storage_recovery_linearity()
+    results = {
+        "value_bytes": STORAGE_VALUE_BYTES,
+        "batch_records": STORAGE_BATCH,
+        "in_memory_produce_rates": [round(m, 1) for m, _ in pairs],
+        "durable_produce_rates": [round(d, 1) for _, d in pairs],
+        "durable_produce_regression": round(produce_regression, 4),
+        "durable_fsyncs": counters.get("fsyncs", 0),
+        "durable_appended_batches": counters.get("appended_batches", 0),
+        "fsync_acks_produce_rate": round(fsync_acks_rate, 1),
+        **fetch,
+        **recovery,
+        **linearity,
+        "fast_mode": FAST,
+    }
+    STORAGE_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    STORAGE_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_storage(results: dict) -> list:
+    failures = []
+    if results["durable_produce_regression"] > 1.0 - MIN_DURABLE_RATIO:
+        failures.append(
+            f"durable produce fell to "
+            f"{1.0 - results['durable_produce_regression']:.2f}x the "
+            f"in-memory log (required >= {MIN_DURABLE_RATIO}x on the "
+            f"cleanest pair)"
+        )
+    if not results["mmap_zero_copy"]:
+        failures.append(
+            "sealed-segment fetch returned materialized bytes instead of "
+            "zero-copy memoryview slices"
+        )
+    if results["mmap_fetch_regression"] > MAX_MMAP_FETCH_REGRESSION:
+        failures.append(
+            f"mmap fetch of sealed segments ran "
+            f"{results['mmap_fetch_regression']:.1%} behind the deque "
+            f"fetch (allowed {MAX_MMAP_FETCH_REGRESSION:.0%})"
+        )
+    if not results["zero_acked_loss_from_disk"]:
+        failures.append(
+            "fsync-acked records did not all come back from the killed "
+            "shard's segment files"
+        )
+    if results["recovered_records"] < results["acked_records"]:
+        failures.append(
+            f"disk recovery replayed {results['recovered_records']} of "
+            f"{results['acked_records']} acked records"
+        )
+    if results["recovery_scan_bytes"] > results["active_bytes"]:
+        failures.append(
+            f"boot scanned {results['recovery_scan_bytes']} bytes for a "
+            f"{results['active_bytes']}-byte active segment — recovery is "
+            f"no longer linear in the active segment"
+        )
+    if (
+        results["sealed_segments"] >= 4
+        and results["recovery_scan_bytes"] * 2 > results["log_bytes"]
+    ):
+        failures.append(
+            f"boot scan covered {results['recovery_scan_bytes']} of "
+            f"{results['log_bytes']} log bytes — recovery cost is "
+            f"tracking total log size"
+        )
+    return failures
+
+
+@pytest.mark.bench
+def test_storage_guard():
+    results = run_storage_guard()
+    failures = _check_storage(results)
+    assert not failures, "; ".join(failures) + f"; see {STORAGE_ARTIFACT}"
+
+
 @pytest.mark.bench
 def test_batched_fast_path_guard():
     results = run_guard()
@@ -1479,6 +1872,26 @@ def main() -> int:
             f"{MAX_REPLICATION_OVERHEAD:.0%}, failover MTTR "
             f"{replication['failover_mttr_s']}s <= {MAX_FAILOVER_MTTR_S}s, "
             f"zero acked loss"
+        )
+
+    storage = run_storage_guard()
+    for key, value in storage.items():
+        print(f"{key:>24}: {value}")
+    print(f"[artifact: {STORAGE_ARTIFACT}]")
+    storage_failures = _check_storage(storage)
+    for failure in storage_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    if not storage_failures:
+        print(
+            f"OK: durable produce at "
+            f"{1.0 - storage['durable_produce_regression']:.2f}x in-memory "
+            f"(>= {MIN_DURABLE_RATIO}x), mmap fetch regression "
+            f"{storage['mmap_fetch_regression']:.1%} <= "
+            f"{MAX_MMAP_FETCH_REGRESSION:.0%}, SIGKILL recovery replayed "
+            f"{storage['recovered_records']} acked records from disk, "
+            f"boot scanned {storage['recovery_scan_bytes']} bytes of a "
+            f"{storage['log_bytes']}-byte log"
         )
     return status
 

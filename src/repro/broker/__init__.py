@@ -66,6 +66,15 @@ from repro.broker.cluster import (
     ShardBroker,
     connect_bootstrap,
 )
+from repro.broker.storage import (
+    GroupCommitFlusher,
+    LogStorageManager,
+    PilotDataOffloader,
+    SegmentStore,
+    StorageConfig,
+    StorageError,
+    TornWriteError,
+)
 
 __all__ = [
     "ClusterBroker",
@@ -124,4 +133,11 @@ __all__ = [
     "create_broker",
     "available_plugins",
     "MqttStyleBroker",
+    "GroupCommitFlusher",
+    "LogStorageManager",
+    "PilotDataOffloader",
+    "SegmentStore",
+    "StorageConfig",
+    "StorageError",
+    "TornWriteError",
 ]

@@ -16,9 +16,10 @@ from repro.broker.errors import ProducerFencedError, TopicExistsError, UnknownTo
 from repro.broker.group import GroupCoordinator
 from repro.broker.message import BatchMetadata, Record, RecordMetadata
 from repro.broker.partition import PartitionLog
+from repro.broker.storage.log import LogStorageManager
 from repro.broker.topic import Topic
 from repro.util.ids import new_id
-from repro.util.validation import check_non_negative, check_positive
+from repro.util.validation import ValidationError, check_non_negative, check_positive
 
 
 class Broker:
@@ -32,6 +33,15 @@ class Broker:
         When true, producing to a missing topic creates it with one
         partition — convenient in examples, disabled in the benchmarks
         where partition counts are explicit.
+    log_dir:
+        When set, every partition log is durable: segment files under
+        ``{log_dir}/{topic}-{partition}/`` with group-commit fsync
+        batching, mmap reads of sealed segments, and crash recovery on
+        the next boot. All partitions share one flusher thread.
+    storage:
+        Optional :class:`~repro.broker.storage.log.StorageConfig` tuning
+        the durable backend (requires *log_dir*), or a prebuilt
+        :class:`~repro.broker.storage.log.LogStorageManager` to share.
     """
 
     def __init__(
@@ -39,9 +49,23 @@ class Broker:
         name: str | None = None,
         auto_create_topics: bool = False,
         tracer=None,
+        log_dir: str | None = None,
+        storage=None,
     ) -> None:
         self.name = name or new_id("broker")
         self.auto_create_topics = bool(auto_create_topics)
+        self._storage: LogStorageManager | None = None
+        self._owns_storage = False
+        if isinstance(storage, LogStorageManager):
+            self._storage = storage
+        elif log_dir is not None:
+            self._storage = LogStorageManager(log_dir, config=storage)
+            self._owns_storage = True
+        elif storage is not None:
+            raise ValidationError(
+                "storage requires log_dir (StorageConfig) or must be a "
+                "LogStorageManager"
+            )
         #: Optional :class:`repro.monitoring.Tracer`; when set, appends of
         #: records carrying a propagated trace context record a
         #: ``broker.append`` span (the broker leg of the message's tree).
@@ -75,7 +99,12 @@ class Broker:
                 if exist_ok:
                     return self._topics[name]
                 raise TopicExistsError(name)
-            topic = Topic(name, num_partitions, retention_bytes=retention_bytes)
+            topic = Topic(
+                name,
+                num_partitions,
+                retention_bytes=retention_bytes,
+                storage=self._storage,
+            )
             self._topics[name] = topic
             return topic
 
@@ -84,6 +113,10 @@ class Broker:
             if name not in self._topics:
                 raise UnknownTopicError(name)
             del self._topics[name]
+        if self._storage is not None:
+            # Close (but keep on disk) the topic's stores; a re-created
+            # topic with the same name resumes from the files.
+            self._storage.drop_topic(name)
 
     def topic(self, name: str) -> Topic:
         with self._lock:
@@ -368,13 +401,30 @@ class Broker:
                     "duplicates_dropped": topic.duplicates_dropped,
                     "long_polls_parked": topic.long_polls_parked,
                 }
-        return {
+        out = {
             "broker": self.name,
             "topics": topics,
             "duplicates_dropped": sum(t["duplicates_dropped"] for t in topics.values()),
             "long_polls_parked": sum(t["long_polls_parked"] for t in topics.values()),
             "members_evicted": self._coordinator.members_evicted,
         }
+        if self._storage is not None:
+            out["storage"] = self._storage.stats()
+        return out
+
+    @property
+    def storage(self) -> LogStorageManager | None:
+        """The durable-log manager, or ``None`` on an in-memory broker."""
+        return self._storage
+
+    def close(self) -> None:
+        """Flush and release durable storage (no-op for in-memory brokers).
+
+        Safe to call repeatedly; a shared (caller-provided) manager is
+        left running for its other owners.
+        """
+        if self._storage is not None and self._owns_storage:
+            self._storage.close()
 
     def __repr__(self) -> str:
         return f"Broker({self.name!r}, topics={len(self._topics)})"

@@ -101,6 +101,8 @@ class ShardBroker(Broker):
         auto_create_topics: bool = False,
         tracer=None,
         replication_factor: int = 1,
+        log_dir: str | None = None,
+        storage=None,
     ) -> None:
         if not 0 <= shard_index < num_shards:
             raise ValidationError(
@@ -114,6 +116,8 @@ class ShardBroker(Broker):
             name=name or f"shard-{shard_index}",
             auto_create_topics=auto_create_topics,
             tracer=tracer,
+            log_dir=log_dir,
+            storage=storage,
         )
         self.shard_index = int(shard_index)
         self.num_shards = int(num_shards)
@@ -771,7 +775,14 @@ def _shard_worker_main(
         shard_index=index,
         num_shards=num_shards,
         replication_factor=opts.get("replication_factor", 1),
+        log_dir=opts.get("log_dir"),
+        storage=opts.get("storage"),
     )
+    # With a log_dir, create_topic opens the segment stores and runs
+    # crash recovery NOW — before the cluster map arrives and replication
+    # starts — so a respawned shard rejoins the ISR with its durable log
+    # (offsets, records, producer dedup state) already restored from
+    # disk, and the leader only streams the delta.
     for name, partitions in topics:
         broker.create_topic(name, num_partitions=partitions, exist_ok=True)
     deadline = time.monotonic() + opts.get("bind_timeout", 5.0)
@@ -817,6 +828,7 @@ def _shard_worker_main(
         # joins the reactor + worker threads before the process exits.
         broker.stop_replication()
         server.stop()
+        broker.close()  # final flush + producer snapshots to disk
         try:
             control_conn.close()
         except OSError:
@@ -848,6 +860,8 @@ class ClusterBrokerSupervisor:
         num_workers: int = 4,
         start_timeout: float = 30.0,
         replication_factor: int = 1,
+        log_dir: str | None = None,
+        storage=None,
     ) -> None:
         if num_shards < 1:
             raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
@@ -863,6 +877,13 @@ class ClusterBrokerSupervisor:
         self.num_workers = int(num_workers)
         self.start_timeout = float(start_timeout)
         self.replication_factor = int(replication_factor)
+        #: Root for durable shard logs; each shard gets its own subtree
+        #: (``{log_dir}/shard-{index}``) that a respawn on the same index
+        #: recovers from — the disk survives the SIGKILL even though the
+        #: process does not. ``storage`` is an optional StorageConfig
+        #: (picklable, shipped to the workers).
+        self.log_dir = log_dir
+        self.storage = storage
         self.epoch = 0
         #: Shards respawned by the monitor thread (chaos accounting).
         self.restarts = 0
@@ -897,6 +918,12 @@ class ClusterBrokerSupervisor:
                 {
                     "num_workers": self.num_workers,
                     "replication_factor": self.replication_factor,
+                    "log_dir": (
+                        os.path.join(self.log_dir, f"shard-{index}")
+                        if self.log_dir
+                        else None
+                    ),
+                    "storage": self.storage,
                 },
             ),
             name=f"broker-shard-{index}",

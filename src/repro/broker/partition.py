@@ -18,6 +18,15 @@ lock acquisition and a single notification — the produce fast path.
 Fetches on *dense* logs (no compaction gaps: exactly one record per
 offset in ``[base, next)``) translate offsets to positions with direct
 index arithmetic; only compacted logs fall back to binary search.
+
+Durability: with ``log_dir`` (or a shared ``storage`` manager) set, the
+log gains a :class:`~repro.broker.storage.log.SegmentStore` backend.
+Every append is mirrored into the store's group-commit queue; the deque
+then holds only the *active segment's* records (the hot tail — evicted
+below the store's sealed boundary), and reads below that boundary are
+served zero-copy from memory-mapped sealed segments. A restart rebuilds
+the tail, offsets, and producer-dedup state from disk. The deque-only
+mode is unchanged and remains the default.
 """
 
 from __future__ import annotations
@@ -34,11 +43,23 @@ from repro.broker.errors import (
     ProducerFencedError,
 )
 from repro.broker.message import Record
+from repro.broker.storage.log import (
+    GroupCommitFlusher,
+    LogStorageManager,
+    SegmentStore,
+    StorageConfig,
+    StorageError,
+)
 from repro.util.validation import ValidationError, check_non_negative, check_positive
 
 #: Recent-batch window per producer (Kafka caches the last 5 batches):
 #: a retried batch older than this window is a protocol violation.
 _DEDUP_WINDOW = 5
+
+#: Upper bound on an fsync-acked append's wait for its group commit; a
+#: healthy flusher retires the queue within one flush interval, so
+#: hitting this means the disk (or an injected fault) wedged the store.
+_FSYNC_ACK_TIMEOUT = 30.0
 
 
 class _ProducerState:
@@ -80,6 +101,20 @@ class PartitionLog:
     retention_seconds:
         Records older than this (by append time) are dropped on the next
         append or explicit :meth:`enforce_retention` call (0 = unlimited).
+        On a durable log, both policies drop whole sealed *segments*
+        (the active segment is never dropped), so enforcement is at
+        segment granularity and ``retention_bytes`` counts on-disk file
+        bytes (framing included).
+    storage:
+        Durable backend selector: a
+        :class:`~repro.broker.storage.log.LogStorageManager` (the
+        broker-level form — stores share one flusher thread), a
+        :class:`~repro.broker.storage.log.StorageConfig` (used with
+        *log_dir*), or ``None`` for the in-memory deque (default).
+    log_dir:
+        Standalone durable form: the log owns a private store (and
+        flusher) rooted at ``{log_dir}/{topic}-{partition}``. Ignored
+        when *storage* is a manager.
     """
 
     def __init__(
@@ -88,6 +123,8 @@ class PartitionLog:
         partition: int,
         retention_bytes: int = 0,
         retention_seconds: float = 0.0,
+        log_dir: str | None = None,
+        storage=None,
     ) -> None:
         check_non_negative("partition", partition)
         check_non_negative("retention_bytes", retention_bytes)
@@ -97,7 +134,8 @@ class PartitionLog:
         self.retention_bytes = int(retention_bytes)
         self.retention_seconds = float(retention_seconds)
         self._records: deque[Record] = deque()
-        self._base_offset = 0  # offset of _records[0]
+        self._base_offset = 0  # earliest fetchable offset
+        self._mem_base = 0  # offset of _records[0] (== _base_offset in-memory)
         self._next_offset = 0
         self._bytes = 0
         self._lock = threading.Lock()
@@ -124,6 +162,74 @@ class PartitionLog:
         # appended but not yet acknowledged by the full in-sync replica
         # set, so exposing them could un-deliver data on failover.
         self._hwm: int | None = None
+        # Durable backend (None = deque-only). _owned_flusher is set when
+        # this log created a private flusher (log_dir form) and must stop
+        # it on close; manager-provided stores share the manager's.
+        self._store: SegmentStore | None = None
+        self._owned_flusher: GroupCommitFlusher | None = None
+        self._fsync_acks = False
+        if isinstance(storage, LogStorageManager):
+            self._store = storage.open(topic, partition)
+        elif log_dir is not None:
+            config = storage if isinstance(storage, StorageConfig) else StorageConfig()
+            self._owned_flusher = GroupCommitFlusher(config.flush_ms)
+            self._store = SegmentStore(
+                f"{log_dir}/{topic}-{partition}",
+                topic,
+                partition,
+                config=config,
+                flusher=self._owned_flusher,
+            )
+        elif storage is not None:
+            raise ValidationError(
+                "storage must be a LogStorageManager, or a StorageConfig "
+                "combined with log_dir"
+            )
+        if self._store is not None:
+            self._fsync_acks = self._store.config.fsync_acks
+            self._recover_from_store()
+
+    def _recover_from_store(self) -> None:
+        """Adopt the store's boot-time recovery: the active segment's
+        records become the hot tail, offsets and producer dedup windows
+        resume where the disk left them."""
+        recovered = self._store.recovered
+        self._records.extend(recovered.records)
+        self._mem_base = (
+            recovered.records[0].offset
+            if recovered.records
+            else recovered.next_offset
+        )
+        self._base_offset = recovered.base_offset
+        self._next_offset = recovered.next_offset
+        self._bytes = sum(r.size for r in recovered.records)
+        self.total_appended = len(recovered.records)
+        self.total_bytes_in = self._bytes
+        for pid_str, data in recovered.producer_snapshot.items():
+            state = _ProducerState(int(data["epoch"]))
+            state.last_sequence = int(data["last_sequence"])
+            for seq, offset, n in data.get("recent", ()):
+                state.recent.append((int(seq), int(offset), int(n)))
+            self._producers[int(pid_str)] = state
+        # A restart may find retention already exceeded (e.g. the cap was
+        # lowered, or eviction raced the crash): sweep immediately.
+        if self.retention_bytes or self.retention_seconds:
+            _, new_base = self._store.enforce_retention(
+                self.retention_bytes, self.retention_seconds
+            )
+            self._base_offset = max(self._base_offset, new_base)
+
+    @property
+    def storage(self) -> SegmentStore | None:
+        """The durable backend, or ``None`` on a deque-only log."""
+        return self._store
+
+    def close(self) -> None:
+        """Flush and release the durable backend (no-op when in-memory)."""
+        if self._store is not None:
+            self._store.close()
+        if self._owned_flusher is not None:
+            self._owned_flusher.stop()
 
     # -- write path ---------------------------------------------------------
 
@@ -218,9 +324,44 @@ class PartitionLog:
             self._bytes += record.size
             self.total_appended += 1
             self.total_bytes_in += record.size
+            if self._store is not None:
+                self._store.append_batch(
+                    (record,),
+                    producer_id=producer_id if sequence is not None else None,
+                    producer_epoch=producer_epoch,
+                    base_sequence=sequence,
+                )
+                self._evict_flushed_locked()
             self._enforce_retention()
             self._notify()
+        if self._fsync_acks:
+            # Outside the log lock so concurrent producers pile into the
+            # same group commit instead of serializing on one fsync each.
+            self._wait_durable(record.offset + 1)
         return record
+
+    def _wait_durable(self, offset: int) -> None:
+        if not self._store.wait_durable(offset, _FSYNC_ACK_TIMEOUT):
+            raise StorageError(
+                f"{self.topic}/{self.partition}: fsync ack timed out at "
+                f"offset {offset}"
+            )
+
+    def _evict_flushed_locked(self) -> None:
+        """Drop deque records the store has sealed (caller holds the lock).
+
+        Memory-only: the bytes live in sealed segments and are served by
+        mmap from here on. The deque shrinks to the active segment, so
+        resident memory tracks ``segment_bytes``, not the log size.
+        """
+        active_base = self._store.active_base
+        records = self._records
+        if not records or records[0].offset >= active_base:
+            return
+        while records and records[0].offset < active_base:
+            evicted = records.popleft()
+            self._bytes -= evicted.size
+        self._mem_base = records[0].offset if records else self._next_offset
 
     def _record_at(self, offset: int) -> Record | None:
         """The retained record at *offset*, if any (caller holds the lock)."""
@@ -330,8 +471,18 @@ class PartitionLog:
             self._bytes += bytes_added
             self.total_appended += n
             self.total_bytes_in += bytes_added
+            if self._store is not None:
+                self._store.append_batch(
+                    records,
+                    producer_id=producer_id if base_sequence is not None else None,
+                    producer_epoch=producer_epoch,
+                    base_sequence=base_sequence,
+                )
+                self._evict_flushed_locked()
             self._enforce_retention()
             self._notify()
+        if self._fsync_acks:
+            self._wait_durable(offset + n)
         return records
 
     def _notify(self) -> None:
@@ -404,6 +555,8 @@ class PartitionLog:
         check_non_negative("offset", offset)
         removed = 0
         with self._lock:
+            if self._store is not None:
+                return self._truncate_durable_locked(offset)
             while self._records and self._records[-1].offset >= offset:
                 evicted = self._records.pop()
                 self._bytes -= evicted.size
@@ -411,8 +564,40 @@ class PartitionLog:
             self._next_offset = max(offset, self._base_offset)
             if not self._records:
                 self._base_offset = self._next_offset
+                self._mem_base = self._next_offset
             if self._hwm is not None and self._hwm > self._next_offset:
                 self._hwm = self._next_offset
+        return removed
+
+    def _truncate_durable_locked(self, offset: int) -> int:
+        """Truncate disk + deque together (caller holds the lock).
+
+        The store flushes pending data first, cuts the files, and — when
+        the cut unwound into sealed segments — hands back the surviving
+        records of the segment that becomes the new active one, which
+        replace the deque wholesale (the old tail is gone from disk).
+        """
+        offset = max(offset, self._base_offset)
+        old_next = self._next_offset
+        if offset >= old_next:
+            return 0
+        removed = old_next - offset
+        survivors = self._store.truncate_to(offset)
+        if survivors is None:
+            # Cut stayed in the active segment: the deque tail covers it.
+            while self._records and self._records[-1].offset >= offset:
+                evicted = self._records.pop()
+                self._bytes -= evicted.size
+        else:
+            self._records = deque(survivors)
+            self._bytes = sum(r.size for r in survivors)
+        self._next_offset = self._store.next_offset
+        self._base_offset = self._store.earliest_offset
+        self._mem_base = (
+            self._records[0].offset if self._records else self._next_offset
+        )
+        if self._hwm is not None and self._hwm > self._next_offset:
+            self._hwm = self._next_offset
         return removed
 
     def replication_slice(self, offset: int, max_records: int = 512) -> tuple:
@@ -451,6 +636,12 @@ class PartitionLog:
                 self._bytes += added_bytes
                 self.total_appended += len(records)
                 self.total_bytes_in += added_bytes
+                if self._store is not None:
+                    # No producer identity: the leader already
+                    # deduplicated; dedup state arrives via
+                    # install_producer_state alongside the batch.
+                    self._store.append_batch(records)
+                    self._evict_flushed_locked()
                 self._enforce_retention()
                 self._notify()
             return True, self._next_offset
@@ -482,8 +673,21 @@ class PartitionLog:
                 for seq, offset, n in data.get("recent", ()):
                     state.recent.append((int(seq), int(offset), int(n)))
                 self._producers[int(pid_str)] = state
+            if self._store is not None:
+                # Replica installs carry no per-batch producer ids, so
+                # the store's recovery mirror must track the pushed
+                # snapshot or a restarted follower forgets its windows.
+                self._store.save_producer_snapshot(snapshot)
 
     def _enforce_retention(self) -> None:
+        if self._store is not None:
+            if self.retention_bytes or self.retention_seconds:
+                _, new_base = self._store.enforce_retention(
+                    self.retention_bytes, self.retention_seconds
+                )
+                if new_base > self._base_offset:
+                    self._base_offset = new_base
+            return
         if self.retention_bytes > 0:
             while self._bytes > self.retention_bytes and len(self._records) > 1:
                 self._evict_head()
@@ -500,6 +704,7 @@ class PartitionLog:
         self._base_offset = (
             self._records[0].offset if self._records else self._next_offset
         )
+        self._mem_base = self._base_offset
 
     def enforce_retention(self) -> None:
         """Apply retention policies now (normally piggybacked on append)."""
@@ -514,6 +719,10 @@ class PartitionLog:
         compacted log has offset gaps. Returns the number of records
         removed.
         """
+        if self._store is not None:
+            raise ValidationError(
+                "compaction is not supported on durable (segment-backed) logs"
+            )
         with self._lock:
             latest_for_key: dict = {}
             for record in self._records:
@@ -547,10 +756,12 @@ class PartitionLog:
     # -- read path ------------------------------------------------------------
 
     def _is_dense(self) -> bool:
-        # Dense = exactly one record per offset in [base, next): positions
-        # map to offsets by plain arithmetic. Compaction breaks density
-        # until eviction catches the head back up.
-        return len(self._records) == self._next_offset - self._base_offset
+        # Dense = exactly one record per offset in [mem_base, next):
+        # positions map to offsets by plain arithmetic. Compaction breaks
+        # density until eviction catches the head back up. (On a durable
+        # log the deque holds only [mem_base, next) — the active-segment
+        # tail — and is always dense.)
+        return len(self._records) == self._next_offset - self._mem_base
 
     def _slice(self, start: int, count: int) -> list[Record]:
         """Positional slice of the deque (caller holds the lock)."""
@@ -566,16 +777,33 @@ class PartitionLog:
         records = self._records
         return [records[i] for i in range(start, stop)]
 
-    def _slice_at_offset(self, offset: int, count: int) -> list[Record]:
-        """Retained records in ``[offset, offset+count)`` (lock held)."""
-        if offset >= self._next_offset:
-            return []
-        offset = max(offset, self._base_offset)
+    def _mem_slice(self, offset: int, count: int) -> list[Record]:
+        """Deque records in ``[offset, offset+count)`` (lock held)."""
+        offset = max(offset, self._mem_base)
         if self._is_dense():
-            start = offset - self._base_offset
+            start = offset - self._mem_base
         else:
             start = bisect.bisect_left(self._records, offset, key=lambda r: r.offset)
         return self._slice(start, count)
+
+    def _slice_at_offset(self, offset: int, count: int) -> list[Record]:
+        """Retained records in ``[offset, offset+count)`` (lock held).
+
+        On a durable log, offsets below the deque's head come off the
+        sealed segments' mmaps (zero-copy) and the batch continues
+        seamlessly into the in-memory tail — sealed segments always end
+        exactly where the active segment (= the deque) begins.
+        """
+        if offset >= self._next_offset:
+            return []
+        offset = max(offset, self._base_offset)
+        if self._store is not None and offset < self._mem_base:
+            disk = self._store.read(offset, count)
+            if len(disk) >= count:
+                return disk
+            resume = disk[-1].offset + 1 if disk else self._mem_base
+            return disk + self._mem_slice(resume, count - len(disk))
+        return self._mem_slice(offset, count)
 
     def fetch(
         self,
@@ -606,15 +834,7 @@ class PartitionLog:
                     raise OffsetOutOfRangeError(
                         self.topic, self.partition, offset, self._base_offset, self._next_offset
                     )
-                if self._is_dense():
-                    start = offset - self._base_offset
-                else:
-                    # Compaction gaps: positions no longer track offsets,
-                    # fall back to binary search.
-                    start = bisect.bisect_left(
-                        self._records, offset, key=lambda r: r.offset
-                    )
-                batch = self._slice(start, int(max_records))
+                batch = self._slice_at_offset(offset, int(max_records))
                 if self._hwm is not None and batch:
                     # Replication fence: records past the high-watermark
                     # exist but are not ISR-acknowledged yet — invisible.
@@ -657,13 +877,7 @@ class PartitionLog:
                 raise OffsetOutOfRangeError(
                     self.topic, self.partition, offset, self._base_offset, self._next_offset
                 )
-            if self._is_dense():
-                start = offset - self._base_offset
-            else:
-                start = bisect.bisect_left(
-                    self._records, offset, key=lambda r: r.offset
-                )
-            batch = self._slice(start, int(max_records))
+            batch = self._slice_at_offset(offset, int(max_records))
             if self._hwm is not None and batch:
                 visible = self._visible_end()
                 batch = [r for r in batch if r.offset < visible]
@@ -690,6 +904,13 @@ class PartitionLog:
         Returns ``None`` when every retained record is older — the
         consumer should then start at :attr:`latest_offset`.
         """
+        if self._store is not None:
+            # Sealed records are strictly older than the deque tail, so a
+            # sealed hit (found via batch headers, at most one decode) is
+            # the earliest answer; miss = continue into the tail below.
+            sealed = self._store.offset_for_time(timestamp)
+            if sealed is not None:
+                return sealed
         with self._lock:
             idx = bisect.bisect_left(
                 self._records, timestamp, key=lambda r: r.append_ts
@@ -713,10 +934,19 @@ class PartitionLog:
 
     @property
     def size_bytes(self) -> int:
+        """Retained payload bytes (in-memory) or on-disk log footprint
+        including batch framing (durable) — the size retention acts on."""
+        if self._store is not None:
+            return self._store.size_bytes
         with self._lock:
             return self._bytes
 
     def __len__(self) -> int:
+        if self._store is not None:
+            # Durable logs are dense (no compaction), so the retained
+            # count is pure offset arithmetic — no disk touched.
+            with self._lock:
+                return self._next_offset - self._base_offset
         with self._lock:
             return len(self._records)
 

@@ -1,0 +1,38 @@
+"""Durable segment-backed storage for partition logs.
+
+See :mod:`repro.broker.storage.log` for the engine (group-commit
+flusher + mmap segment reads + CRC-truncated recovery) and
+:mod:`repro.broker.storage.segment` for the on-disk batch format.
+"""
+
+from repro.broker.storage.log import (
+    GroupCommitFlusher,
+    LogStorageManager,
+    RecoveryResult,
+    SegmentStore,
+    StorageConfig,
+    StorageError,
+    TornWriteError,
+)
+from repro.broker.storage.segment import (
+    decode_batch,
+    encode_batch,
+    scan_batches,
+    segment_filename,
+)
+from repro.broker.storage.tiering import PilotDataOffloader
+
+__all__ = [
+    "GroupCommitFlusher",
+    "LogStorageManager",
+    "PilotDataOffloader",
+    "RecoveryResult",
+    "SegmentStore",
+    "StorageConfig",
+    "StorageError",
+    "TornWriteError",
+    "decode_batch",
+    "encode_batch",
+    "scan_batches",
+    "segment_filename",
+]

@@ -1,0 +1,1263 @@
+"""Segment-backed durable log store with group-commit and mmap reads.
+
+The write path is Kafka's: appends park their records in an in-memory
+*pending* queue (paying only exact-size arithmetic on the ack path); a
+single :class:`GroupCommitFlusher` thread wakes every ``flush_ms`` (or
+immediately when ``flush_bytes`` of data or a durability waiter is
+pending) and retires the whole queue — encoding each batch (CRC
+included) into writev-ready buffer lists right before one ``writev`` +
+one ``fsync`` — so N concurrent producers pay one serialization pass
+and one disk sync between them, not one each. With ``fsync_acks=True`` an append blocks until its batch
+is on disk (group-committed with everything else in the window); with
+the default ``False`` the ack is in-memory and the fsync happens on the
+flush timer, bounding the loss window to one flush interval — the
+replicated deployment covers that window via ``acks="all"``.
+
+The read path: *sealed* (rolled) segments are memory-mapped, and batch
+decoding returns records whose values are ``memoryview`` slices of the
+mapping — fetches of cold data come straight off the OS page cache with
+zero copies and zero syscalls. The hot tail (the active segment) is
+never read from disk at all: :class:`~repro.broker.partition.PartitionLog`
+keeps those records in its in-memory deque and only consults the store
+for offsets below the active segment's base.
+
+Recovery scans **only the active segment** (CRC-verifying every batch,
+truncating at the first torn/corrupt one); sealed segments are trusted
+by construction — they were fsynced and renamed into immutability at
+roll time — and their sparse indexes are rebuilt lazily if missing, so
+boot cost is linear in the active segment size, not the log size.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import threading
+import time
+from bisect import bisect_right
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.broker.storage.segment import (
+    build_sparse_index,
+    decode_batch,
+    encode_batch,
+    encoded_batch_size,
+    read_batch_info,
+    read_index_file,
+    scan_batches,
+    segment_filename,
+    write_index_file,
+    INDEX_SUFFIX,
+    LOG_SUFFIX,
+)
+from repro.util.validation import check_non_negative, check_positive
+
+#: Producer dedup window replayed into snapshots (mirrors
+#: ``partition._DEDUP_WINDOW`` — kept local to avoid a circular import).
+_DEDUP_WINDOW = 5
+
+#: Producer-state snapshot file (JSON, atomically replaced).
+SNAPSHOT_FILE = "producer.snap"
+
+#: writev is capped at IOV_MAX buffers per call; stay safely below it.
+_IOV_CHUNK = 512
+
+
+class StorageError(RuntimeError):
+    """The store is unusable (closed, or a previous flush failed)."""
+
+
+class TornWriteError(StorageError):
+    """An injected torn write: the flush died mid-batch (crash stand-in)."""
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Knobs of the on-disk log backend.
+
+    ``segment_bytes`` bounds both roll size and recovery cost (recovery
+    scans one active segment); ``flush_ms``/``flush_bytes`` set the
+    group-commit window; ``fsync_acks`` makes appends block until their
+    batch is fsynced (single-node durability) instead of relying on the
+    background window + replication. ``decode_cache_records`` bounds the
+    per-partition LRU of decoded sealed batches (0 disables it): hot
+    sealed ranges — replays, lagging consumers, fan-out groups — decode
+    once instead of per fetch.
+    """
+
+    segment_bytes: int = 32 * 1024 * 1024
+    segment_seconds: float = 0.0  # 0 = roll by size only
+    flush_ms: float = 50.0
+    flush_bytes: int = 1024 * 1024
+    fsync_acks: bool = False
+    index_interval_bytes: int = 4096
+    decode_cache_records: int = 16384
+
+    def __post_init__(self) -> None:
+        check_positive("segment_bytes", self.segment_bytes)
+        check_non_negative("segment_seconds", self.segment_seconds)
+        check_positive("flush_ms", self.flush_ms)
+        check_positive("flush_bytes", self.flush_bytes)
+        check_positive("index_interval_bytes", self.index_interval_bytes)
+        check_non_negative("decode_cache_records", self.decode_cache_records)
+
+
+class RecoveryResult(NamedTuple):
+    """What a boot-time scan reconstructed."""
+
+    records: list  # active-segment records (the hot tail, for the deque)
+    base_offset: int  # earliest retained offset across all segments
+    next_offset: int  # offset the next append will get
+    producer_snapshot: dict  # wire-format idempotence state
+    scan_bytes: int  # bytes CRC-scanned (active segment only)
+    truncated_bytes: int  # torn tail dropped by the CRC scan
+    segments: int  # sealed segments adopted without scanning
+
+
+class GroupCommitFlusher:
+    """One background thread amortizing ``write``+``fsync`` across stores.
+
+    Stores enqueue themselves via :meth:`request`; the thread collects a
+    window's worth (``flush_ms``, cut short by *urgent* requests) and
+    flushes each dirty store once. One flusher serves every partition of
+    a broker, so a broker-wide burst costs one fsync per partition per
+    window regardless of producer count.
+    """
+
+    def __init__(self, flush_ms: float = 50.0) -> None:
+        check_positive("flush_ms", flush_ms)
+        self._interval = flush_ms / 1000.0
+        self._cond = threading.Condition()
+        self._dirty: set = set()
+        self._urgent = False
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="log-flusher", daemon=True
+            )
+            self._thread.start()
+
+    def request(self, store, urgent: bool = False) -> None:
+        """Mark *store* dirty; *urgent* skips the group-commit window."""
+        with self._cond:
+            if self._stopping:
+                raise StorageError("flusher is stopped")
+            self._ensure_thread()
+            self._dirty.add(store)
+            if urgent:
+                self._urgent = True
+            self._cond.notify()
+
+    def _run(self) -> None:
+        cond = self._cond
+        while True:
+            with cond:
+                while not self._dirty and not self._stopping:
+                    cond.wait()
+                if self._stopping and not self._dirty:
+                    return
+                if not self._urgent and not self._stopping:
+                    # The group-commit window: let concurrent appends
+                    # pile into pending so one fsync covers them all.
+                    cond.wait(self._interval)
+                stores = list(self._dirty)
+                self._dirty.clear()
+                self._urgent = False
+            for store in stores:
+                try:
+                    store.flush()
+                except StorageError:
+                    pass  # the store marked itself failed; waiters see it
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+
+class _DecodeCache:
+    """Record-count-bounded LRU of decoded sealed batches.
+
+    Decoding a batch off the mmap costs ~1µs of struct/object work per
+    record; the deque (hot tail) pays none of that because its records
+    are born decoded. This cache gives re-read sealed data the same
+    property: the first fetch decodes, every later fetch of the batch —
+    another consumer in the group, a replay, a lagging follower — is a
+    dict hit. Values inside cached records stay zero-copy
+    ``memoryview`` slices (they pin their segment's mapping, which is
+    why the cache is cleared whenever segments are unwound or evicted).
+    """
+
+    __slots__ = ("capacity", "_entries", "_records", "_lock", "counters")
+
+    def __init__(self, capacity_records: int, counters: dict) -> None:
+        self.capacity = capacity_records
+        self._entries: OrderedDict = OrderedDict()
+        self._records = 0
+        self._lock = threading.Lock()
+        self.counters = counters
+
+    def get(self, key) -> list | None:
+        if not self.capacity:
+            return None
+        with self._lock:
+            records = self._entries.get(key)
+            if records is None:
+                self.counters["decode_cache_misses"] += 1
+                return None
+            self._entries.move_to_end(key)
+            self.counters["decode_cache_hits"] += 1
+            return records
+
+    def put(self, key, records: list) -> None:
+        if not self.capacity or not records:
+            return
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = records
+            self._records += len(records)
+            while self._records > self.capacity and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._records -= len(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._records = 0
+
+
+class _SealedSegment:
+    """An immutable, memory-mapped segment of the log."""
+
+    __slots__ = (
+        "base",
+        "end",
+        "size",
+        "path",
+        "index_path",
+        "last_write_ts",
+        "_mmap",
+        "_view",
+        "_dense",
+        "_open_lock",
+    )
+
+    def __init__(self, path: str, base: int, end: int, size: int,
+                 last_write_ts: float, batches: list | None = None):
+        self.path = path
+        self.index_path = path[: -len(LOG_SUFFIX)] + INDEX_SUFFIX
+        self.base = base
+        self.end = end
+        self.size = size
+        #: Monotonic timestamp of the newest record (age retention).
+        self.last_write_ts = last_write_ts
+        self._mmap = None
+        self._view = None
+        #: Dense ``[(base_offset, file_pos)]`` for every batch — handed
+        #: over for free at roll time, or rebuilt by one lazy header
+        #: scan for segments adopted at boot. Lets a read jump straight
+        #: to its batch (and, on a decode-cache hit, skip parsing the
+        #: batch header entirely).
+        self._dense = batches
+        self._open_lock = threading.Lock()
+
+    def open_map(self):
+        with self._open_lock:
+            if self._view is None:
+                with open(self.path, "rb") as fh:
+                    self._mmap = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                self._view = memoryview(self._mmap)
+            return self._view
+
+    def dense_index(self, interval_bytes: int, counters: dict) -> list:
+        """Dense per-batch positions, built by one header scan if absent.
+
+        The scan also restores a missing/corrupt on-disk sparse index
+        (the crash-recovery story for index files: they are pure caches,
+        rebuilt from the segment itself).
+        """
+        with self._open_lock:
+            if self._dense is not None:
+                return self._dense
+        view = self.open_map()
+        dense = [
+            (info.base_offset, info.pos)
+            for info in scan_batches(view, 0, self.size)
+        ]
+        if read_index_file(self.index_path) is None:
+            counters["index_rebuilds"] = counters.get("index_rebuilds", 0) + 1
+            try:
+                write_index_file(
+                    self.index_path, build_sparse_index(dense, interval_bytes)
+                )
+            except OSError:
+                pass  # cache only; serve from memory regardless
+        with self._open_lock:
+            self._dense = dense
+        return dense
+
+    def read(self, offset: int, max_count: int, topic: str, partition: int,
+             interval_bytes: int, counters: dict, cache=None) -> list:
+        """Records in ``[offset, offset+max_count)`` held by this segment."""
+        dense = self._dense
+        if dense is None:
+            dense = self.dense_index(interval_bytes, counters)
+        # (offset,) sorts before (offset, pos): lands on the first batch
+        # whose base is >= offset, step back to the one containing it.
+        i = bisect_right(dense, (offset,)) - 1
+        if i < 0:
+            i = 0
+        n = len(dense)
+        end_cap = offset + max_count
+        seg_base = self.base
+        get = cache.get if cache is not None else None
+        view = None
+        out: list = []
+        while i < n:
+            base, pos = dense[i]
+            if base >= end_cap:
+                break
+            records = get((seg_base, pos)) if get is not None else None
+            if records is None:
+                if view is None:
+                    view = self.open_map()
+                info = read_batch_info(view, pos, self.size)
+                if info is None:
+                    break
+                records = decode_batch(view, info, topic, partition)
+                if cache is not None:
+                    cache.put((seg_base, pos), records)
+            if base + len(records) <= offset:
+                i += 1
+                continue
+            if base < offset:
+                records = records[offset - base :]
+            out.extend(records)
+            if len(out) >= max_count:
+                del out[max_count:]
+                break
+            i += 1
+        return out
+
+    def close(self) -> None:
+        with self._open_lock:
+            view, self._view = self._view, None
+            mapped, self._mmap = self._mmap, None
+        try:
+            if view is not None:
+                view.release()
+            if mapped is not None:
+                mapped.close()
+        except (BufferError, ValueError):
+            # Zero-copy views are still in flight; the mapping dies with
+            # its last reference instead.
+            pass
+
+
+class _PendingBatch(NamedTuple):
+    """An appended-but-unflushed batch.
+
+    Holds the *records*, not their encoding: the flusher encodes (CRC
+    included) right before the ``writev``, so the producer's ack path
+    pays only size arithmetic — serialization is amortized into the
+    group-commit window alongside the fsync.
+    """
+
+    base: int
+    end: int
+    nbytes: int  # exact encoded size (encoded_batch_size)
+    records: list
+    producer_id: int | None
+    producer_epoch: int
+    base_sequence: int | None
+    write_ts: float
+
+    def encode(self) -> list:
+        buffers, nbytes = encode_batch(
+            self.records,
+            self.producer_id,
+            self.producer_epoch,
+            self.base_sequence,
+            self.write_ts,
+        )
+        if nbytes != self.nbytes:
+            raise StorageError(
+                f"encoded batch size {nbytes} != accounted {self.nbytes}"
+            )
+        return buffers
+
+
+class _MirrorState:
+    """Store-side replica of a producer's dedup window (flushed data only)."""
+
+    __slots__ = ("epoch", "last_sequence", "recent")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.last_sequence = -1
+        self.recent: deque = deque(maxlen=_DEDUP_WINDOW)
+
+
+class SegmentStore:
+    """Durable backend for one partition: segments + group-commit + mmap.
+
+    The store never takes the owning :class:`PartitionLog`'s lock — the
+    log calls in (holding its lock) and the flusher thread only ever
+    takes store locks, so the lock order is strictly log → store.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        topic: str,
+        partition: int,
+        config: StorageConfig | None = None,
+        flusher: GroupCommitFlusher | None = None,
+    ) -> None:
+        self.topic = topic
+        self.partition = int(partition)
+        self.config = config or StorageConfig()
+        self.directory = directory
+        self._flusher = flusher
+        #: Optional :class:`repro.faults.FaultInjector`; its ``on_flush``
+        #: hook can tear a flush mid-batch (crash-recovery tests).
+        self.fault_injector = None
+        #: Optional callback ``(topic, partition, base, end, path, size)``
+        #: invoked with the file still on disk before a retention-evicted
+        #: segment is unlinked — the tiered-offload hook.
+        self.on_evict = None
+        # _lock guards in-memory state; _io_lock serializes file mutation
+        # (flush/roll/truncate). _io_lock is taken first, never while
+        # holding _lock.
+        self._lock = threading.Lock()
+        self._flush_cond = threading.Condition(self._lock)
+        self._io_lock = threading.RLock()
+        self._sealed: list[_SealedSegment] = []
+        self._pending: list[_PendingBatch] = []
+        self._pending_bytes = 0
+        self._mirror: dict[int, _MirrorState] = {}
+        self._snapshot_as_of = 0
+        self._failed: BaseException | None = None
+        self._closed = False
+        self.counters: dict = {
+            "appended_batches": 0,
+            "flushes": 0,
+            "fsyncs": 0,
+            "flushed_bytes": 0,
+            "segments_sealed": 0,
+            "segments_deleted": 0,
+            "segments_offloaded": 0,
+            "index_rebuilds": 0,
+            "truncations": 0,
+            "torn_writes": 0,
+            "recovered_records": 0,
+            "recovered_batches": 0,
+            "recovery_scan_bytes": 0,
+            "decode_cache_hits": 0,
+            "decode_cache_misses": 0,
+        }
+        self._decode_cache = _DecodeCache(
+            self.config.decode_cache_records, self.counters
+        )
+        self._active_fd = -1
+        self._active_path = ""
+        self._active_base = 0
+        self._active_size = 0  # flushed bytes in the active file
+        self._active_batches: list = []  # (base_offset, file_pos) per batch
+        self._active_opened = time.monotonic()
+        self._last_write_ts = time.monotonic()
+        self._base_offset = 0
+        self._end_offset = 0  # next offset (includes pending)
+        self._flushed_offset = 0  # durable end
+        self.recovered = self._recover()
+
+    # -- boot-time recovery --------------------------------------------------
+
+    def _recover(self) -> RecoveryResult:
+        os.makedirs(self.directory, exist_ok=True)
+        logs = sorted(
+            f for f in os.listdir(self.directory) if f.endswith(LOG_SUFFIX)
+        )
+        now_mono = time.monotonic()
+        now_wall = time.time()
+        for name in logs[:-1]:
+            # Sealed segments are adopted without scanning: their length
+            # and offset range follow from the file sizes and the next
+            # segment's base offset (segments are dense). Ages survive
+            # the restart via mtime (monotonic clocks do not).
+            path = os.path.join(self.directory, name)
+            base = int(name[: -len(LOG_SUFFIX)])
+            stat = os.stat(path)
+            seg = _SealedSegment(path, base, 0, stat.st_size,
+                                 now_mono - max(0.0, now_wall - stat.st_mtime))
+            self._sealed.append(seg)
+        active_name = logs[-1] if logs else segment_filename(0)
+        active_path = os.path.join(self.directory, active_name)
+        active_base = int(active_name[: -len(LOG_SUFFIX)])
+        for i, seg in enumerate(self._sealed):
+            seg.end = (
+                self._sealed[i + 1].base if i + 1 < len(self._sealed) else active_base
+            )
+            seg.open_map()
+
+        # The active segment is the only file a crash can have torn:
+        # CRC-scan it, truncate at the first bad batch, and rebuild the
+        # dense batch index + the hot-tail records from the valid prefix.
+        records: list = []
+        batches: list = []
+        valid_end = 0
+        file_size = 0
+        next_offset = active_base
+        producer_batches: list = []
+        if os.path.exists(active_path):
+            with open(active_path, "rb") as fh:
+                data = fh.read()
+            file_size = len(data)
+            for info in scan_batches(data, 0, file_size, verify_crc=True):
+                batches.append((info.base_offset, info.pos))
+                records.extend(
+                    decode_batch(data, info, self.topic, self.partition, copy=True)
+                )
+                if info.producer_id >= 0:
+                    producer_batches.append(info)
+                valid_end = info.end_pos
+                next_offset = info.end_offset
+            if valid_end < file_size:
+                os.truncate(active_path, valid_end)
+
+        snapshot_as_of, mirror = self._load_snapshot(active_base)
+        for info in producer_batches:
+            if info.base_offset >= snapshot_as_of:
+                self._mirror_apply(
+                    mirror,
+                    info.producer_id,
+                    info.producer_epoch,
+                    info.base_sequence,
+                    info.base_offset,
+                    info.count,
+                )
+        self._mirror = mirror
+
+        self._active_fd = os.open(
+            active_path, os.O_CREAT | os.O_RDWR | os.O_APPEND, 0o644
+        )
+        self._active_path = active_path
+        self._active_base = active_base
+        self._active_size = valid_end
+        self._active_batches = batches
+        self._base_offset = self._sealed[0].base if self._sealed else active_base
+        self._end_offset = next_offset
+        self._flushed_offset = next_offset
+        self.counters["recovered_records"] = len(records)
+        self.counters["recovered_batches"] = len(batches)
+        self.counters["recovery_scan_bytes"] = file_size
+        return RecoveryResult(
+            records=records,
+            base_offset=self._base_offset,
+            next_offset=next_offset,
+            producer_snapshot=self._mirror_snapshot_locked(),
+            scan_bytes=file_size,
+            truncated_bytes=file_size - valid_end,
+            segments=len(self._sealed),
+        )
+
+    def _load_snapshot(self, default_as_of: int) -> tuple[int, dict]:
+        path = os.path.join(self.directory, SNAPSHOT_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return default_as_of, {}
+        mirror: dict[int, _MirrorState] = {}
+        for pid_str, entry in data.get("producers", {}).items():
+            state = _MirrorState(int(entry["epoch"]))
+            state.last_sequence = int(entry["last_sequence"])
+            for seq, offset, n in entry.get("recent", ()):
+                state.recent.append((int(seq), int(offset), int(n)))
+            mirror[int(pid_str)] = state
+        return int(data.get("as_of", default_as_of)), mirror
+
+    # -- producer-state mirror ----------------------------------------------
+
+    @staticmethod
+    def _mirror_apply(mirror, pid, epoch, base_seq, base_offset, count) -> None:
+        state = mirror.get(pid)
+        if state is None or epoch > state.epoch:
+            state = _MirrorState(epoch)
+            state.last_sequence = base_seq - 1
+            mirror[pid] = state
+        elif epoch < state.epoch:
+            return
+        if base_seq + count - 1 > state.last_sequence:
+            state.last_sequence = base_seq + count - 1
+            state.recent.append((base_seq, base_offset, count))
+
+    def _mirror_snapshot_locked(self) -> dict:
+        return {
+            str(pid): {
+                "epoch": state.epoch,
+                "last_sequence": state.last_sequence,
+                "recent": [list(entry) for entry in state.recent],
+            }
+            for pid, state in self._mirror.items()
+        }
+
+    def _write_snapshot(self, snapshot: dict, as_of: int) -> None:
+        """Best-effort (no fsync) snapshot write; recovery replays the
+        active segment on top, so a lost snapshot only costs replay of
+        batches it already covered."""
+        path = os.path.join(self.directory, SNAPSHOT_FILE)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"as_of": as_of, "producers": snapshot}, fh)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def save_producer_snapshot(self, snapshot: dict) -> None:
+        """Adopt a full snapshot pushed by replication.
+
+        Replica installs carry no per-batch producer ids (the leader
+        deduplicated), so the pushed snapshot is a follower's only
+        source of dedup state across a restart. Snapshots arrive with
+        *every* replicated batch, so this only updates the in-memory
+        mirror — the file is written at roll/close time (a crash loses
+        at most the window since the last roll, and the leader re-pushes
+        on the first post-restart batch anyway).
+        """
+        mirror: dict[int, _MirrorState] = {}
+        for pid_str, entry in snapshot.items():
+            state = _MirrorState(int(entry["epoch"]))
+            state.last_sequence = int(entry["last_sequence"])
+            for seq, offset, n in entry.get("recent", ()):
+                state.recent.append((int(seq), int(offset), int(n)))
+            mirror[int(pid_str)] = state
+        with self._lock:
+            self._mirror = mirror
+
+    # -- write path ----------------------------------------------------------
+
+    def append_batch(
+        self,
+        records,
+        producer_id: int | None = None,
+        producer_epoch: int = 0,
+        base_sequence: int | None = None,
+    ) -> int:
+        """Enqueue an encoded batch; returns its end offset.
+
+        Does not block on disk — the flusher retires the queue. Call
+        :meth:`wait_durable` (or configure ``fsync_acks`` at the
+        :class:`PartitionLog` layer) for commit-before-ack semantics.
+        """
+        if not records:
+            return self._end_offset
+        now = time.monotonic()
+        nbytes = encoded_batch_size(records)
+        with self._lock:
+            self._raise_if_unusable()
+            batch = _PendingBatch(
+                records[0].offset,
+                records[-1].offset + 1,
+                nbytes,
+                list(records),
+                producer_id,
+                producer_epoch,
+                base_sequence,
+                now,
+            )
+            self._pending.append(batch)
+            self._pending_bytes += nbytes
+            self._end_offset = batch.end
+            self.counters["appended_batches"] += 1
+            urgent = (
+                self._pending_bytes >= self.config.flush_bytes
+                or self.config.fsync_acks
+            )
+        if self._flusher is not None:
+            self._flusher.request(self, urgent=urgent)
+        return batch.end
+
+    def wait_durable(self, offset: int, timeout: float) -> bool:
+        """Block until everything below *offset* is written + fsynced."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._flushed_offset < offset:
+                self._raise_if_unusable()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._flush_cond.wait(remaining)
+            return True
+
+    def _raise_if_unusable(self) -> None:
+        if self._failed is not None:
+            raise StorageError(
+                f"store {self.topic}/{self.partition} failed: {self._failed}"
+            ) from self._failed
+        if self._closed:
+            raise StorageError(f"store {self.topic}/{self.partition} is closed")
+
+    def flush(self) -> int:
+        """Write + fsync every pending batch (one sync for the window)."""
+        with self._io_lock:
+            return self._flush_io()
+
+    def _flush_io(self) -> int:
+        # Caller holds _io_lock.
+        with self._lock:
+            if self._closed or self._failed is not None:
+                return self._flushed_offset
+            pending = self._pending
+            if not pending:
+                flushed = self._flushed_offset
+                age_roll = (
+                    self.config.segment_seconds > 0
+                    and self._active_size > 0
+                    and time.monotonic() - self._active_opened
+                    >= self.config.segment_seconds
+                )
+                if not age_roll:
+                    return flushed
+                pending = []
+            else:
+                self._pending = []
+                self._pending_bytes = 0
+        try:
+            if pending:
+                injector = self.fault_injector
+                if injector is not None and injector.on_flush(
+                    f"{self.topic}/{self.partition}"
+                ):
+                    self._torn_write(pending)
+                buffers: list = []
+                for batch in pending:
+                    buffers.extend(batch.encode())
+                self._write_buffers(buffers)
+                os.fsync(self._active_fd)
+        except TornWriteError:
+            raise
+        except BaseException as exc:
+            with self._lock:
+                self._failed = exc
+                self._flush_cond.notify_all()
+            raise StorageError(f"flush failed: {exc}") from exc
+        with self._lock:
+            if pending:
+                pos = self._active_size
+                for batch in pending:
+                    self._active_batches.append((batch.base, pos))
+                    pos += batch.nbytes
+                    if batch.producer_id is not None and batch.base_sequence is not None:
+                        self._mirror_apply(
+                            self._mirror,
+                            batch.producer_id,
+                            batch.producer_epoch,
+                            batch.base_sequence,
+                            batch.base,
+                            batch.end - batch.base,
+                        )
+                self._active_size = pos
+                self._flushed_offset = pending[-1].end
+                self._last_write_ts = pending[-1].write_ts
+                self.counters["flushes"] += 1
+                self.counters["fsyncs"] += 1
+                self.counters["flushed_bytes"] += sum(b.nbytes for b in pending)
+                self._flush_cond.notify_all()
+            flushed = self._flushed_offset
+        self._maybe_roll_io()
+        return flushed
+
+    def _write_buffers(self, buffers: list) -> None:
+        fd = self._active_fd
+        for i in range(0, len(buffers), _IOV_CHUNK):
+            chunk = buffers[i : i + _IOV_CHUNK]
+            expected = sum(len(b) for b in chunk)
+            written = os.writev(fd, chunk)
+            if written != expected:
+                # Partial writev on a regular file is ENOSPC territory,
+                # but handle it: fall back to a joined tail write.
+                tail = b"".join(bytes(b) for b in chunk)[written:]
+                os.write(fd, tail)
+
+    def _torn_write(self, pending: list) -> None:
+        """Injected crash: persist all but half of the final batch, then die."""
+        buffers: list = []
+        for batch in pending[:-1]:
+            buffers.extend(batch.encode())
+        last = b"".join(bytes(b) for b in pending[-1].encode())
+        buffers.append(last[: len(last) // 2])
+        self._write_buffers(buffers)
+        os.fsync(self._active_fd)
+        exc = TornWriteError(
+            f"injected torn write on {self.topic}/{self.partition}"
+        )
+        with self._lock:
+            self._failed = exc
+            self.counters["torn_writes"] += 1
+            self._flush_cond.notify_all()
+        raise exc
+
+    # -- segment roll --------------------------------------------------------
+
+    def _maybe_roll_io(self) -> None:
+        # Caller holds _io_lock; pending has just been flushed.
+        with self._lock:
+            if self._active_size <= 0:
+                return
+            size_due = self._active_size >= self.config.segment_bytes
+            age_due = (
+                self.config.segment_seconds > 0
+                and time.monotonic() - self._active_opened
+                >= self.config.segment_seconds
+            )
+            if not size_due and not age_due:
+                return
+            base = self._active_base
+            end = self._flushed_offset
+            size = self._active_size
+            batches = list(self._active_batches)
+            snapshot = self._mirror_snapshot_locked()
+            last_ts = self._last_write_ts
+        # Seal: the file is complete and fsynced; freeze a sparse index
+        # and the producer snapshot next to it, then swap in a fresh
+        # active segment. Readers flip from the deque to the mmap only
+        # after the sealed entry is published under the lock.
+        os.close(self._active_fd)
+        seg = _SealedSegment(self._active_path, base, end, size, last_ts,
+                             batches=batches)
+        try:
+            write_index_file(
+                seg.index_path,
+                build_sparse_index(batches, self.config.index_interval_bytes),
+            )
+        except OSError:
+            pass
+        self._write_snapshot(snapshot, end)
+        seg.open_map()
+        new_path = os.path.join(self.directory, segment_filename(end))
+        new_fd = os.open(new_path, os.O_CREAT | os.O_RDWR | os.O_APPEND, 0o644)
+        with self._lock:
+            self._sealed.append(seg)
+            self._active_fd = new_fd
+            self._active_path = new_path
+            self._active_base = end
+            self._active_size = 0
+            self._active_batches = []
+            self._active_opened = time.monotonic()
+            self._snapshot_as_of = end
+            self.counters["segments_sealed"] += 1
+
+    # -- read path -----------------------------------------------------------
+
+    @property
+    def active_base(self) -> int:
+        """Base offset of the active segment = first offset NOT served
+        from mmap. The partition log keeps ``[active_base, end)`` in
+        memory and evicts below it."""
+        with self._lock:
+            return self._active_base
+
+    @property
+    def earliest_offset(self) -> int:
+        with self._lock:
+            return self._base_offset
+
+    @property
+    def next_offset(self) -> int:
+        with self._lock:
+            return self._end_offset
+
+    @property
+    def flushed_offset(self) -> int:
+        with self._lock:
+            return self._flushed_offset
+
+    @property
+    def size_bytes(self) -> int:
+        """Total log footprint on disk (framing included) + pending."""
+        with self._lock:
+            return (
+                sum(seg.size for seg in self._sealed)
+                + self._active_size
+                + self._pending_bytes
+            )
+
+    def read(self, offset: int, max_count: int) -> list:
+        """Records from sealed segments (mmap, zero-copy), capped at the
+        active segment's base — the caller serves the rest from memory."""
+        with self._lock:
+            sealed = list(self._sealed)
+            active_base = self._active_base
+        if not sealed or offset >= active_base:
+            return []
+        i = bisect_right(sealed, offset, key=lambda s: s.base) - 1
+        if i < 0:
+            i = 0
+        out: list = []
+        interval = self.config.index_interval_bytes
+        while i < len(sealed) and len(out) < max_count:
+            seg = sealed[i]
+            if offset < seg.end:
+                records = seg.read(
+                    max(offset, seg.base),
+                    max_count - len(out),
+                    self.topic,
+                    self.partition,
+                    interval,
+                    self.counters,
+                    cache=self._decode_cache,
+                )
+                out.extend(records)
+                if records:
+                    offset = records[-1].offset + 1
+            i += 1
+        return out
+
+    def offset_for_time(self, timestamp: float) -> int | None:
+        """Earliest sealed-segment offset appended at/after *timestamp*.
+
+        Batch headers carry the flush time (``>=`` every contained
+        record's append time), so segments/batches wholly older than
+        *timestamp* are skipped from their headers alone; only the first
+        candidate batch is decoded. ``None`` = nothing sealed qualifies
+        (the caller continues the search in its in-memory tail).
+        """
+        with self._lock:
+            sealed = list(self._sealed)
+        for seg in sealed:
+            if seg.last_write_ts < timestamp:
+                continue
+            view = seg.open_map()
+            for info in scan_batches(view, 0, seg.size):
+                if info.write_ts < timestamp:
+                    continue
+                for record in decode_batch(view, info, self.topic, self.partition):
+                    if record.append_ts >= timestamp:
+                        return record.offset
+        return None
+
+    # -- truncation (follower resync) ---------------------------------------
+
+    def truncate_to(self, offset: int):
+        """Drop everything at/above *offset* from disk.
+
+        Returns ``None`` when the cut stayed at/above the active
+        segment's base (the caller's in-memory tail truncation
+        suffices), or the list of surviving records below the cut when
+        sealed segments had to be unwound — the caller replaces its
+        in-memory tail with them, since the unwound segment becomes the
+        new active one. Batches straddling the cut are rewritten from
+        their surviving prefix (re-encoded and re-flushed), reusing the
+        append primitives.
+        """
+        with self._io_lock:
+            self._flush_io()
+            with self._lock:
+                self._raise_if_unusable()
+                if offset >= self._end_offset:
+                    return None
+                self.counters["truncations"] += 1
+                active_base = self._active_base
+                for state in self._mirror.values():
+                    state.recent = deque(
+                        (entry for entry in state.recent if entry[1] < offset),
+                        maxlen=_DEDUP_WINDOW,
+                    )
+            if offset >= active_base:
+                self._truncate_active_io(offset)
+                return None
+            return self._unwind_sealed_io(offset)
+
+    def _truncate_active_io(self, offset: int) -> None:
+        # Find the first batch at/after the cut; the file is truncated at
+        # its position. A straddling batch (base < offset < end) is
+        # decoded from disk and its surviving prefix re-appended.
+        with self._lock:
+            batches = self._active_batches
+            cut_pos = self._active_size
+            keep: list = []
+            straddler = None
+            for j, (base, pos) in enumerate(batches):
+                batch_end = (
+                    batches[j + 1][1] if j + 1 < len(batches) else self._active_size
+                )
+                if base >= offset:
+                    cut_pos = min(cut_pos, pos)
+                    break
+                next_base = (
+                    batches[j + 1][0] if j + 1 < len(batches) else self._flushed_offset
+                )
+                if next_base > offset:
+                    straddler = (pos, batch_end - pos, base)
+                    cut_pos = pos
+                    break
+                keep.append((base, pos))
+            survivors: list = []
+            if straddler is not None:
+                pos, length, base = straddler
+                data = os.pread(self._active_fd, length, pos)
+                info = read_batch_info(data, 0, length)
+                if info is not None:
+                    survivors = decode_batch(
+                        data, info, self.topic, self.partition, copy=True
+                    )[: offset - base]
+            os.ftruncate(self._active_fd, cut_pos)
+            self._active_size = cut_pos
+            self._active_batches = keep
+            # Without a straddler the cut lands on a batch boundary, so
+            # exactly [base, offset) survives; with one, the file was cut
+            # below its surviving prefix, which is re-appended below.
+            new_end = straddler[2] if straddler is not None else min(
+                self._flushed_offset, offset
+            )
+            self._flushed_offset = new_end
+            self._end_offset = new_end
+        if survivors:
+            self.append_batch(survivors)
+            self._flush_io()
+
+    def _unwind_sealed_io(self, offset: int) -> list:
+        # Remove the active file and every sealed segment at/above the
+        # cut; the segment containing the cut is replayed into a fresh
+        # active segment (its surviving records re-encoded), putting the
+        # store back in the "tail lives in the active segment" invariant.
+        # The unwound segment's base offset will be written again with
+        # different content, so cached decodes must not outlive the cut.
+        self._decode_cache.clear()
+        os.close(self._active_fd)
+        try:
+            os.unlink(self._active_path)
+        except OSError:
+            pass
+        with self._lock:
+            keep: list = []
+            victims: list = []
+            reopen = None
+            for seg in self._sealed:
+                if seg.base >= offset:
+                    victims.append(seg)
+                elif seg.end > offset:
+                    reopen = seg
+                else:
+                    keep.append(seg)
+            self._sealed = keep
+        survivors: list = []
+        if reopen is not None:
+            view = reopen.open_map()
+            for info in scan_batches(view, 0, reopen.size):
+                if info.base_offset >= offset:
+                    break
+                batch = decode_batch(view, info, self.topic, self.partition, copy=True)
+                survivors.extend(batch[: max(0, offset - info.base_offset)])
+            victims.append(reopen)
+            new_base = reopen.base
+        else:
+            # The cut lands exactly on a segment boundary.
+            new_base = keep[-1].end if keep else offset
+        new_path = os.path.join(self.directory, segment_filename(new_base))
+        for seg in victims:
+            seg.close()
+            for path in (seg.path, seg.index_path):
+                if path != new_path:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+        fd = os.open(new_path, os.O_CREAT | os.O_RDWR | os.O_APPEND, 0o644)
+        os.ftruncate(fd, 0)
+        with self._lock:
+            self._active_fd = fd
+            self._active_path = new_path
+            self._active_base = new_base
+            self._active_size = 0
+            self._active_batches = []
+            self._active_opened = time.monotonic()
+            self._flushed_offset = new_base
+            self._end_offset = new_base
+            self._base_offset = keep[0].base if keep else new_base
+        if survivors:
+            self.append_batch(survivors)
+            self._flush_io()
+        return survivors
+
+    # -- retention + tiered offload -----------------------------------------
+
+    def enforce_retention(self, retention_bytes: int, retention_seconds: float) -> tuple:
+        """Drop (or offload) whole sealed segments per the retention caps.
+
+        The active segment is never dropped (Kafka's rule); granularity
+        is a whole segment, so size retention can overshoot by at most
+        one segment. Returns ``(bytes_dropped, new_base_offset)``.
+        """
+        if not retention_bytes and not retention_seconds:
+            return 0, self.earliest_offset
+        victims: list = []
+        with self._lock:
+            if not self._sealed:
+                return 0, self._base_offset
+            total = (
+                sum(seg.size for seg in self._sealed)
+                + self._active_size
+                + self._pending_bytes
+            )
+            cutoff = (
+                time.monotonic() - retention_seconds if retention_seconds > 0 else None
+            )
+            while self._sealed:
+                head = self._sealed[0]
+                if retention_bytes > 0 and total > retention_bytes:
+                    pass
+                elif cutoff is not None and head.last_write_ts < cutoff:
+                    pass
+                else:
+                    break
+                victims.append(head)
+                self._sealed.pop(0)
+                total -= head.size
+            self._base_offset = (
+                self._sealed[0].base if self._sealed else self._active_base
+            )
+            new_base = self._base_offset
+        dropped = 0
+        for seg in victims:
+            callback = self.on_evict
+            if callback is not None:
+                try:
+                    callback(self.topic, self.partition, seg.base, seg.end,
+                             seg.path, seg.size)
+                    self.counters["segments_offloaded"] += 1
+                except Exception:
+                    pass  # offload is best-effort; retention proceeds
+            seg.close()
+            for path in (seg.path, seg.index_path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            dropped += seg.size
+            self.counters["segments_deleted"] += 1
+        if victims:
+            # Cached records pin their segment's mapping via zero-copy
+            # views; drop them so evicted files can actually unmap.
+            self._decode_cache.clear()
+        return dropped, new_base
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush, snapshot, and release every file handle and mapping."""
+        with self._io_lock:
+            try:
+                self._flush_io()
+            except StorageError:
+                pass
+            with self._lock:
+                if self._closed:
+                    return
+                self._closed = True
+                snapshot = self._mirror_snapshot_locked()
+                as_of = self._flushed_offset
+                sealed = list(self._sealed)
+                fd = self._active_fd
+                self._flush_cond.notify_all()
+            if self._failed is None:
+                self._write_snapshot(snapshot, as_of)
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            self._decode_cache.clear()
+            for seg in sealed:
+                seg.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "topic": self.topic,
+                "partition": self.partition,
+                "base_offset": self._base_offset,
+                "next_offset": self._end_offset,
+                "flushed_offset": self._flushed_offset,
+                "active_base": self._active_base,
+                "active_bytes": self._active_size,
+                "pending_bytes": self._pending_bytes,
+                "sealed_segments": len(self._sealed),
+                **self.counters,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentStore({self.topic}/{self.partition}, "
+            f"dir={self.directory!r}, segments={len(self._sealed)}+active)"
+        )
+
+
+class LogStorageManager:
+    """Per-broker registry of stores sharing one group-commit flusher.
+
+    The broker creates one manager per ``log_dir``; every partition's
+    store lives under ``{root}/{topic}-{partition}/`` and shares the
+    manager's flusher thread, so the whole broker pays one flush loop.
+    """
+
+    def __init__(self, root: str, config: StorageConfig | None = None) -> None:
+        self.root = root
+        self.config = config or StorageConfig()
+        self.flusher = GroupCommitFlusher(self.config.flush_ms)
+        self._stores: dict[tuple, SegmentStore] = {}
+        self._lock = threading.Lock()
+
+    def open(self, topic: str, partition: int) -> SegmentStore:
+        key = (topic, int(partition))
+        with self._lock:
+            store = self._stores.get(key)
+            if store is None:
+                store = SegmentStore(
+                    os.path.join(self.root, f"{topic}-{partition}"),
+                    topic,
+                    partition,
+                    config=self.config,
+                    flusher=self.flusher,
+                )
+                self._stores[key] = store
+            return store
+
+    def drop_topic(self, topic: str) -> None:
+        """Close (but keep on disk) every store of *topic*."""
+        with self._lock:
+            victims = [s for (t, _), s in self._stores.items() if t == topic]
+            self._stores = {k: s for k, s in self._stores.items() if k[0] != topic}
+        for store in victims:
+            store.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            stores = list(self._stores.values())
+        totals: dict = {}
+        for store in stores:
+            for key, value in store.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        totals["stores"] = len(stores)
+        totals["size_bytes"] = sum(s.size_bytes for s in stores)
+        return totals
+
+    def close(self) -> None:
+        with self._lock:
+            stores = list(self._stores.values())
+            self._stores.clear()
+        for store in stores:
+            store.close()
+        self.flusher.stop()

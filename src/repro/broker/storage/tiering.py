@@ -1,0 +1,75 @@
+"""Tiered retention: evicted segments offload to the pilot-data layer.
+
+The continuum story from the paper: RasPi-class edge brokers keep a
+small hot log; when local retention evicts a sealed segment, the whole
+immutable file ships to a cloud-tier storage site as one pilot-data
+unit before it is unlinked. The broker's disk footprint stays bounded
+by ``retention_bytes`` while the full history accumulates at the
+cloud site (and can be fanned out further with
+:meth:`~repro.pilotdata.service.PilotDataService.replicate`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+
+class PilotDataOffloader:
+    """Segment-eviction callback shipping files into a PilotDataService.
+
+    Plug an instance into ``SegmentStore.on_evict`` (or pass it to the
+    broker's storage wiring). Each evicted segment becomes one data unit
+    named ``{prefix}/{topic}-{partition}/{base_offset}`` whose single
+    block encodes the raw segment bytes (data units carry 2-D float64
+    blocks, so the file is shipped as a ``(1, size)`` array of byte
+    values); :meth:`segment_bytes` turns a retrieved unit back into the
+    original file, still scannable with
+    :mod:`repro.broker.storage.segment`.
+    """
+
+    def __init__(self, service, site: str, prefix: str = "segments") -> None:
+        self.service = service
+        self.site = site
+        self.prefix = prefix
+        self.offloaded_segments = 0
+        self.offloaded_bytes = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, topic: str, partition: int, base: int, end: int,
+                 path: str, size: int) -> None:
+        with open(path, "rb") as fh:
+            data = fh.read()
+        name = f"{self.prefix}/{topic}-{partition}/{base:020d}"
+        block = np.frombuffer(data, dtype=np.uint8).astype(np.float64).reshape(1, -1)
+        self.service.put(
+            name,
+            [block],
+            site=self.site,
+            metadata={
+                "topic": topic,
+                "partition": partition,
+                "base_offset": base,
+                "end_offset": end,
+                "segment_bytes": size,
+                "source_file": os.path.basename(path),
+            },
+        )
+        with self._lock:
+            self.offloaded_segments += 1
+            self.offloaded_bytes += size
+
+    @staticmethod
+    def segment_bytes(unit) -> bytes:
+        """Decode an offloaded unit back into the original segment file."""
+        return np.asarray(unit.blocks[0][0], dtype=np.uint8).tobytes()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "site": self.site,
+                "offloaded_segments": self.offloaded_segments,
+                "offloaded_bytes": self.offloaded_bytes,
+            }

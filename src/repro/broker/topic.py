@@ -16,14 +16,24 @@ class Topic:
     pipeline at runtime).
     """
 
-    def __init__(self, name: str, num_partitions: int = 1, retention_bytes: int = 0) -> None:
+    def __init__(
+        self,
+        name: str,
+        num_partitions: int = 1,
+        retention_bytes: int = 0,
+        storage=None,
+    ) -> None:
         if not name or "/" in name:
             raise ValidationError(f"invalid topic name {name!r}")
         check_positive("num_partitions", num_partitions)
         self.name = name
         self.retention_bytes = int(retention_bytes)
+        #: Durable backend shared by every partition (a
+        #: :class:`~repro.broker.storage.log.LogStorageManager`) or
+        #: ``None`` for in-memory logs.
+        self.storage = storage
         self._partitions = [
-            PartitionLog(name, p, retention_bytes=retention_bytes)
+            PartitionLog(name, p, retention_bytes=retention_bytes, storage=storage)
             for p in range(int(num_partitions))
         ]
 
@@ -46,7 +56,12 @@ class Topic:
         start = len(self._partitions)
         for p in range(start, start + int(count)):
             self._partitions.append(
-                PartitionLog(self.name, p, retention_bytes=self.retention_bytes)
+                PartitionLog(
+                    self.name,
+                    p,
+                    retention_bytes=self.retention_bytes,
+                    storage=self.storage,
+                )
             )
 
     @property

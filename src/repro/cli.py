@@ -147,6 +147,8 @@ def cmd_model(args: argparse.Namespace) -> int:
                     num_devices=args.devices,
                     messages_per_device=args.messages,
                     max_duration=args.max_duration,
+                    log_dir=getattr(args, "log_dir", None),
+                    log_fsync_acks=getattr(args, "log_fsync_acks", False),
                 ),
                 broker=broker,
                 registry=registry,
@@ -180,11 +182,19 @@ def _make_cluster(args: argparse.Namespace, sampler):
     from repro.broker import ClusterBroker, ClusterBrokerSupervisor
 
     replication = getattr(args, "replication_factor", 1) or 1
+    log_dir = getattr(args, "log_dir", None)
+    storage = None
+    if log_dir and getattr(args, "log_fsync_acks", False):
+        from repro.broker.storage import StorageConfig
+
+        storage = StorageConfig(fsync_acks=True)
     supervisor = ClusterBrokerSupervisor(
         num_shards=workers,
         topics=[("pilot-edge-data", args.devices)],
         restart=True,
         replication_factor=min(replication, workers),
+        log_dir=log_dir,
+        storage=storage,
     ).start()
     broker = ClusterBroker(supervisor.bootstrap)
     if sampler is not None:
@@ -298,6 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="replicate each partition across R shards with leader "
             "election on failure (capped at --broker-workers); 1 "
             "disables replication",
+        )
+        p.add_argument(
+            "--log-dir",
+            metavar="DIR",
+            default=None,
+            help="durable partition logs: persist segment files under DIR "
+            "(per shard when combined with --broker-workers) and recover "
+            "them on restart; omit for in-memory logs",
+        )
+        p.add_argument(
+            "--log-fsync-acks",
+            action="store_true",
+            help="with --log-dir: block each produce ack until its batch "
+            "is group-commit fsynced (single-node durability); default "
+            "acks in memory and fsyncs on the flush timer",
         )
 
     p_base = sub.add_parser("baseline", help="pass-through pipeline run (Fig. 2 point)")

@@ -101,6 +101,27 @@ class PipelineConfig:
     #: Byte budget shared by all of one consumer's prefetch buffers;
     #: fetchers park (backpressure) when it is reached.
     fetch_max_buffer_bytes: int = 64 * 1024 * 1024
+    #: Durable partition logs: when set, the pipeline's broker persists
+    #: every partition as segment files under this directory and
+    #: recovers them on restart. None (default) keeps the in-memory
+    #: deque logs — the paper's configuration.
+    log_dir: str | None = None
+    #: Group-commit window (ms) for the durable log's shared flusher:
+    #: all appends arriving within it are retired by one write+fsync.
+    log_flush_ms: float = 50.0
+    #: Make appends block until their batch is fsynced (single-node
+    #: durability before the ack). Off by default: the ack is in-memory
+    #: and the flush timer bounds the loss window, which `acks="all"`
+    #: replication covers.
+    log_fsync_acks: bool = False
+    #: Roll segment files at this size; also bounds recovery cost (boot
+    #: scans only the active segment).
+    log_segment_bytes: int = 32 * 1024 * 1024
+    #: On-disk retention cap per partition (0 = unbounded). Whole sealed
+    #: segments are dropped oldest-first — the edge-tier half of the
+    #: tiered-storage story (pair with a PilotDataOffloader for the
+    #: cloud half).
+    log_retention_bytes: int = 0
 
     def __post_init__(self) -> None:
         check_positive("num_devices", self.num_devices)
@@ -123,6 +144,11 @@ class PipelineConfig:
         check_non_negative("fetch_max_wait_ms", self.fetch_max_wait_ms)
         check_non_negative("fetch_prefetch_batches", self.fetch_prefetch_batches)
         check_positive("fetch_max_buffer_bytes", self.fetch_max_buffer_bytes)
+        check_positive("log_flush_ms", self.log_flush_ms)
+        check_positive("log_segment_bytes", self.log_segment_bytes)
+        check_non_negative("log_retention_bytes", self.log_retention_bytes)
+        if self.log_fsync_acks and not self.log_dir:
+            raise ValidationError("log_fsync_acks requires log_dir")
         if not self.topic:
             raise ValidationError("topic must be non-empty")
 

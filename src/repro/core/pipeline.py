@@ -154,12 +154,28 @@ class EdgeToCloudPipeline:
         self._owns_sampler = False
         # The broker may be injected (e.g. a pilot-managed broker from
         # repro.pilot.frameworks.ManagedBroker); otherwise the pipeline
-        # manages a private one.
-        self._broker = (
-            broker
-            if broker is not None
-            else Broker(name=f"{self.run_id}-broker", tracer=tracer)
-        )
+        # manages a private one — durable (segment-backed, with crash
+        # recovery) when the config names a log_dir.
+        self._owns_broker = broker is None
+        if broker is not None:
+            self._broker = broker
+        else:
+            cfg = self.config
+            storage = None
+            if cfg.log_dir is not None:
+                from repro.broker.storage import StorageConfig
+
+                storage = StorageConfig(
+                    segment_bytes=cfg.log_segment_bytes,
+                    flush_ms=cfg.log_flush_ms,
+                    fsync_acks=cfg.log_fsync_acks,
+                )
+            self._broker = Broker(
+                name=f"{self.run_id}-broker",
+                tracer=tracer,
+                log_dir=cfg.log_dir,
+                storage=storage,
+            )
         self._collector = MetricsCollector(self.run_id, registry=registry)
         self._results = RingBuffer(self.config.keep_results)
         self._errors: list[str] = []
@@ -766,7 +782,14 @@ class EdgeToCloudPipeline:
             compression_ratio=getattr(self._edge_fn, "compression_ratio", 1.0),
         )
 
-        self._broker.create_topic(cfg.topic, num_partitions=cfg.num_devices, exist_ok=True)
+        # Remote/cluster broker proxies don't all accept retention_bytes;
+        # only thread it through when the config actually sets a cap.
+        topic_kwargs = {"exist_ok": True}
+        if cfg.log_retention_bytes:
+            topic_kwargs["retention_bytes"] = cfg.log_retention_bytes
+        self._broker.create_topic(
+            cfg.topic, num_partitions=cfg.num_devices, **topic_kwargs
+        )
 
         if self._sampler is not None:
             # Watch the run's broker (log depth, end offsets, group size,
@@ -861,6 +884,11 @@ class EdgeToCloudPipeline:
             # Consumers have committed and left by now, so the final
             # sample records the drained state: lag back to 0.
             self._sampler.stop(final_sample=True)
+
+        if self._owns_broker:
+            # Flush durable logs and write final producer snapshots; a
+            # no-op for in-memory brokers.
+            self._broker.close()
 
         report = ThroughputReport.from_collector(
             self._collector, sampler=self._sampler, tracer=self._tracer

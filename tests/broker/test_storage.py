@@ -1,0 +1,417 @@
+"""Durable segment-backed partition logs: codec, store, recovery, tiering."""
+
+import os
+
+import pytest
+
+from repro.broker import OffsetOutOfRangeError, PartitionLog
+from repro.broker.message import Record
+from repro.broker.storage import (
+    PilotDataOffloader,
+    SegmentStore,
+    StorageConfig,
+    StorageError,
+    TornWriteError,
+)
+from repro.broker.storage.segment import (
+    INDEX_SUFFIX,
+    decode_batch,
+    encode_batch,
+    read_batch_info,
+    scan_batches,
+)
+from repro.faults import FaultInjector
+from repro.pilotdata import PilotDataService
+from repro.util.validation import ValidationError
+
+# Slow flusher + no urgent-flush threshold: tests control flush timing
+# explicitly via store.flush(), so nothing races in the background.
+MANUAL = StorageConfig(
+    segment_bytes=100 * 1024 * 1024, flush_ms=60_000.0, flush_bytes=1 << 30
+)
+
+
+def make_records(base, values, topic="t", partition=0, key=None, headers=None):
+    return [
+        Record(topic, partition, base + i, v, key, dict(headers or {}), 1.0, 2.0)
+        for i, v in enumerate(values)
+    ]
+
+
+def make_store(tmp_path, name="t-0", config=MANUAL, topic="t", partition=0):
+    return SegmentStore(str(tmp_path / name), topic, partition, config=config)
+
+
+class TestSegmentCodec:
+    def test_roundtrip_preserves_records_and_metadata(self):
+        records = make_records(
+            7, [b"alpha", b"", b"gamma" * 100], key=b"k", headers={"h": 1}
+        )
+        buffers, nbytes = encode_batch(
+            records, producer_id=3, producer_epoch=2, base_sequence=40, write_ts=9.5
+        )
+        blob = b"".join(bytes(b) for b in buffers)
+        assert len(blob) == nbytes
+        info = read_batch_info(blob, 0, len(blob), verify_crc=True)
+        assert info is not None
+        assert (info.base_offset, info.count) == (7, 3)
+        assert (info.producer_id, info.producer_epoch, info.base_sequence) == (3, 2, 40)
+        assert info.write_ts == 9.5
+        out = decode_batch(blob, info, "t", 0)
+        assert [r.offset for r in out] == [7, 8, 9]
+        assert [bytes(r.value) for r in out] == [b"alpha", b"", b"gamma" * 100]
+        assert out[0].key == b"k" and out[0].headers == {"h": 1}
+        assert out[1].produce_ts == 1.0 and out[1].append_ts == 2.0
+
+    def test_scan_stops_at_torn_tail(self):
+        b1, _ = encode_batch(make_records(0, [b"one"]))
+        b2, _ = encode_batch(make_records(1, [b"two"]))
+        blob = b"".join(bytes(b) for b in b1) + b"".join(bytes(b) for b in b2)
+        torn = blob[:-3]  # body runs past EOF
+        infos = list(scan_batches(torn, 0, len(torn), verify_crc=True))
+        assert [i.base_offset for i in infos] == [0]
+
+    def test_crc_mismatch_detected(self):
+        buffers, nbytes = encode_batch(make_records(0, [b"payload"]))
+        blob = bytearray(b"".join(bytes(b) for b in buffers))
+        blob[-1] ^= 0xFF
+        assert read_batch_info(blob, 0, nbytes, verify_crc=True) is None
+        # Without CRC verification the framing still parses.
+        assert read_batch_info(blob, 0, nbytes) is not None
+
+
+class TestSegmentStore:
+    def test_append_flush_read_roundtrip(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append_batch(make_records(0, [b"a", b"b"]))
+        store.append_batch(make_records(2, [b"c"]))
+        assert store.next_offset == 3
+        assert store.flushed_offset == 0  # nothing flushed yet
+        store.flush()
+        assert store.flushed_offset == 3
+        # All data still in the active segment: reads come from the deque
+        # layer above, not the store.
+        assert store.read(0, 10) == []
+        store.close()
+
+    def test_roll_seals_and_mmap_read_is_zero_copy(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=256, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        store = make_store(tmp_path, config=config)
+        for i in range(6):
+            store.append_batch(make_records(i * 4, [b"x" * 50] * 4))
+            store.flush()
+        assert store.counters["segments_sealed"] >= 2
+        assert store.active_base > 0
+        out = store.read(0, store.active_base)
+        assert [r.offset for r in out] == list(range(store.active_base))
+        # Sealed reads are memoryview slices of the mapping (zero-copy).
+        assert isinstance(out[0].value, memoryview)
+        assert bytes(out[0].value) == b"x" * 50
+        store.close()
+
+    def test_wait_durable_blocks_until_flush(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append_batch(make_records(0, [b"v"]))
+        assert store.wait_durable(1, timeout=0.05) is False
+        store.flush()
+        assert store.wait_durable(1, timeout=0.05) is True
+        store.close()
+
+    def test_recovery_empty_active_segment(self, tmp_path):
+        store = make_store(tmp_path)
+        store.close()  # creates an empty active segment file
+        again = make_store(tmp_path)
+        assert again.recovered.next_offset == 0
+        assert again.recovered.records == []
+        assert again.recovered.scan_bytes == 0
+        again.close()
+
+    def test_recovery_truncates_crc_corrupt_tail(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append_batch(make_records(0, [b"good"] * 3))
+        store.flush()
+        store.append_batch(make_records(3, [b"bad"] * 2))
+        store.flush()
+        path = store._active_path
+        store.close()
+        # Corrupt the last byte: the final batch fails its CRC.
+        with open(path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        again = make_store(tmp_path)
+        assert again.recovered.next_offset == 3
+        assert [bytes(r.value) for r in again.recovered.records] == [b"good"] * 3
+        assert again.recovered.truncated_bytes > 0
+        # The file itself was truncated, so a further restart is clean.
+        assert os.path.getsize(path) == again.recovered.scan_bytes - again.recovered.truncated_bytes
+        again.close()
+
+    def test_recovery_rebuilds_missing_index(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=200, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        store = make_store(tmp_path, config=config)
+        for i in range(8):
+            store.append_batch(make_records(i * 2, [b"y" * 40] * 2))
+            store.flush()
+        sealed_before = store.counters["segments_sealed"]
+        assert sealed_before >= 2
+        directory = store.directory
+        store.close()
+        for name in os.listdir(directory):
+            if name.endswith(INDEX_SUFFIX):
+                os.unlink(os.path.join(directory, name))
+        again = make_store(tmp_path, config=config)
+        out = again.read(0, again.active_base)
+        assert [r.offset for r in out] == list(range(again.active_base))
+        assert again.counters["index_rebuilds"] >= 1
+        # The rebuilt indexes were written back for the next boot.
+        assert any(
+            name.endswith(INDEX_SUFFIX) for name in os.listdir(directory)
+        )
+        again.close()
+
+    def test_torn_write_injection_and_recovery(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append_batch(make_records(0, [b"acked"] * 2))
+        store.flush()
+        store.append_batch(make_records(2, [b"doomed"] * 2))
+        injector = FaultInjector()
+        injector.torn_write_next(op="t/0")
+        store.fault_injector = injector
+        with pytest.raises(TornWriteError):
+            store.flush()
+        assert injector.fired.get("torn") == 1
+        # The store is failed: appends and durability waits refuse.
+        with pytest.raises(StorageError):
+            store.append_batch(make_records(4, [b"z"]))
+        store.close()
+        again = make_store(tmp_path)
+        # The flushed batch survived; the torn one was CRC-truncated.
+        assert again.recovered.next_offset == 2
+        assert again.recovered.truncated_bytes > 0
+        assert [bytes(r.value) for r in again.recovered.records] == [b"acked"] * 2
+        again.close()
+
+    def test_truncate_within_active_segment(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append_batch(make_records(0, [b"a"] * 4))
+        store.append_batch(make_records(4, [b"b"] * 4))
+        store.flush()
+        assert store.truncate_to(6) is None  # mid-batch: prefix survives
+        assert store.next_offset == 6
+        store.append_batch(make_records(6, [b"c"]))
+        store.flush()
+        again_path = store.directory
+        store.close()
+        again = SegmentStore(again_path, "t", 0, config=MANUAL)
+        assert again.recovered.next_offset == 7
+        assert [bytes(r.value) for r in again.recovered.records] == (
+            [b"a"] * 4 + [b"b"] * 2 + [b"c"]
+        )
+        again.close()
+
+    def test_truncate_unwinds_sealed_segments(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=120, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        store = make_store(tmp_path, config=config)
+        for i in range(5):
+            store.append_batch(make_records(i * 2, [b"s" * 40] * 2))
+            store.flush()
+        assert store.active_base >= 4
+        survivors = store.truncate_to(3)
+        # The segment containing the cut was unwound: its records below
+        # the cut survive and become the new active segment's content.
+        assert survivors is not None
+        assert [r.offset for r in survivors] == [2]
+        assert store.next_offset == 3
+        store.append_batch(make_records(3, [b"new"]))
+        store.flush()
+        assert store.next_offset == 4
+        store.close()
+
+    def test_retention_drops_sealed_segments_and_offloads(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=150, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        store = make_store(tmp_path, config=config)
+        service = PilotDataService()
+        service.register_site("cloud", capacity_bytes=10**9)
+        offloader = PilotDataOffloader(service, "cloud")
+        store.on_evict = offloader
+        for i in range(10):
+            store.append_batch(make_records(i * 2, [b"r" * 40] * 2))
+            store.flush()
+        dropped, new_base = store.enforce_retention(300, 0.0)
+        assert dropped > 0 and new_base > 0
+        assert store.earliest_offset == new_base
+        assert store.counters["segments_deleted"] >= 1
+        assert offloader.offloaded_segments == store.counters["segments_offloaded"] > 0
+        # Each evicted segment became one pilot-data unit at the site,
+        # and its bytes decode back into a scannable segment file.
+        stats = service.stats()
+        assert stats["units"] == offloader.offloaded_segments
+        unit = service.get(f"segments/t-0/{0:020d}")
+        blob = PilotDataOffloader.segment_bytes(unit)
+        infos = list(scan_batches(blob, 0, len(blob), verify_crc=True))
+        assert infos and infos[0].base_offset == 0
+        store.close()
+
+
+class TestDurablePartitionLog:
+    def test_restart_preserves_log_and_offsets(self, tmp_path):
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=MANUAL)
+        log.append_many([b"m%d" % i for i in range(20)])
+        log.storage.flush()
+        log.close()
+        again = PartitionLog("t", 0, log_dir=str(tmp_path), storage=MANUAL)
+        assert again.latest_offset == 20
+        assert len(again) == 20
+        out = again.fetch(0, max_records=100)
+        assert [bytes(r.value) for r in out] == [b"m%d" % i for i in range(20)]
+        again.close()
+
+    def test_unflushed_tail_is_lost_but_flushed_prefix_survives(self, tmp_path):
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=MANUAL)
+        log.append_many([b"durable"] * 5)
+        log.storage.flush()
+        log.append_many([b"volatile"] * 5)
+        # Simulate a crash: discard the un-flushed tail before closing
+        # (close() would flush it; a SIGKILL does not).
+        store = log.storage
+        with store._lock:
+            store._pending = []
+            store._pending_bytes = 0
+        log.close()
+        again = PartitionLog("t", 0, log_dir=str(tmp_path), storage=MANUAL)
+        assert again.latest_offset == 5
+        assert [bytes(r.value) for r in again.fetch(0, 100)] == [b"durable"] * 5
+        again.close()
+
+    def test_fsync_acks_makes_append_durable_before_return(self, tmp_path):
+        config = StorageConfig(flush_ms=5.0, fsync_acks=True)
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        log.append_many([b"synced"] * 3)
+        # The ack implies the data is already on disk: no explicit flush.
+        assert log.storage.flushed_offset == 3
+        log.close()
+        again = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        assert again.latest_offset == 3
+        again.close()
+
+    def test_producer_dedup_survives_restart(self, tmp_path):
+        config = StorageConfig(flush_ms=5.0, fsync_acks=True)
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        first = log.append_many(
+            [b"v1", b"v2"], producer_id=7, producer_epoch=1, base_sequence=0
+        )
+        log.close()
+        again = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        # The retried batch must ack with its ORIGINAL offsets, not append.
+        replay = again.append_many(
+            [b"v1", b"v2"], producer_id=7, producer_epoch=1, base_sequence=0
+        )
+        assert [r.offset for r in replay] == [r.offset for r in first]
+        assert again.latest_offset == 2
+        assert again.duplicates_dropped == 2
+        again.close()
+
+    def test_fetch_merges_sealed_and_active(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=300, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        for i in range(10):
+            log.append_many([b"z" * 40] * 3)
+            log.storage.flush()
+        # One final append without a flush, so the deque eviction catches
+        # up with the last seal and the hot tail is non-empty.
+        log.append_many([b"z" * 40] * 3)
+        total = 33
+        assert log.storage.counters["segments_sealed"] >= 2
+        boundary = log.storage.active_base
+        assert 0 < boundary < total
+        out = log.fetch(0, max_records=100)
+        assert [r.offset for r in out] == list(range(total))
+        # Below the boundary: zero-copy views off the mmap; above: the
+        # deque's original bytes.
+        assert isinstance(out[0].value, memoryview)
+        assert isinstance(out[-1].value, bytes)
+        # The deque only holds the active tail (memory stays bounded).
+        assert log._records[0].offset == boundary
+        log.close()
+
+    def test_restart_with_retention_already_exceeded(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=200, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        for i in range(10):
+            log.append_many([b"w" * 50] * 2)
+            log.storage.flush()
+        end = log.latest_offset
+        log.close()
+        # Reopen with a cap the existing files already blow through.
+        again = PartitionLog(
+            "t", 0, retention_bytes=400, log_dir=str(tmp_path), storage=config
+        )
+        assert again.latest_offset == end
+        assert again.earliest_offset > 0
+        assert again.storage.counters["segments_deleted"] >= 1
+        out = again.fetch(again.earliest_offset, max_records=100)
+        assert [r.offset for r in out] == list(range(again.earliest_offset, end))
+        with pytest.raises(OffsetOutOfRangeError):
+            again.fetch(0, max_records=1)
+        again.close()
+
+    def test_truncate_durable_across_sealed(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=200, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        for i in range(8):
+            log.append_many([b"q" * 50] * 2)
+            log.storage.flush()
+        assert log.storage.active_base > 3
+        removed = log.truncate_to(3)
+        assert removed == 13
+        assert log.latest_offset == 3
+        assert [r.offset for r in log.fetch(0, 100)] == [0, 1, 2]
+        # Appends continue at the cut, and a restart agrees.
+        log.append_many([b"after"])
+        log.storage.flush()
+        log.close()
+        again = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        assert again.latest_offset == 4
+        assert bytes(again.fetch(3, 1)[0].value) == b"after"
+        again.close()
+
+    def test_compaction_refused_on_durable_logs(self, tmp_path):
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=MANUAL)
+        with pytest.raises(ValidationError):
+            log.compact()
+        log.close()
+
+    def test_offset_for_time_spans_sealed_segments(self, tmp_path):
+        config = StorageConfig(
+            segment_bytes=150, flush_ms=60_000.0, flush_bytes=1 << 30
+        )
+        log = PartitionLog("t", 0, log_dir=str(tmp_path), storage=config)
+        import time as _time
+
+        stamps = []
+        for i in range(6):
+            stamps.append(_time.monotonic())
+            log.append_many([b"ts" * 30] * 2)
+            log.storage.flush()
+        assert log.storage.counters["segments_sealed"] >= 1
+        # A timestamp just before batch i must land on offset 2*i even
+        # when that offset lives in a sealed segment.
+        assert log.offset_for_time(stamps[1]) == 2
+        assert log.offset_for_time(0.0) == 0
+        log.close()
