@@ -88,6 +88,15 @@ ROBUSTNESS_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_robustness.js
 REACTOR_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_reactor.json"
 PREFETCH_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_prefetch.json"
 TELEMETRY_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_telemetry.json"
+OBSERVABILITY_ARTIFACT = (
+    Path(__file__).parent / "artifacts" / "BENCH_observability.json"
+)
+#: Sample incident artifacts from the observability guard's 4-shard
+#: scrape leg, uploaded by CI next to the BENCH_*.json files.
+OBSERVABILITY_EVENTS_JSONL = Path(__file__).parent / "artifacts" / "events.jsonl"
+OBSERVABILITY_EXPOSITION = (
+    Path(__file__).parent / "artifacts" / "cluster_metrics.prom"
+)
 MULTICORE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_multicore.json"
 REPLICATION_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_replication.json"
 STORAGE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_storage.json"
@@ -1741,6 +1750,224 @@ def test_pipeline_consume_guard():
         f"per-message path ({results['batched_msgs_s']} vs "
         f"{results['per_message_msgs_s']} msgs/s); see {PIPELINE_ARTIFACT}"
     )
+
+
+# -- cluster observability guard (BENCH_observability.json) ------------------
+#
+# Two legs for the cluster-wide observability plane:
+#
+# - enabled-plane overhead: durable acks="all" produce throughput with
+#   FULL instrumentation on (per-shard registries, journals, tracers
+#   with a sampled traced producer, plus a live sampler scraping the
+#   federated aggregator) must stay within MAX_OBSERVABILITY_OVERHEAD
+#   of the same cluster with telemetry off. Interleaved pairs, cleanest
+#   pair wins (same rationale as the in-proc telemetry guard above).
+# - scrape latency: ONE aggregator scrape of a 4-shard cluster — four
+#   wire round-trips plus the counter sync and histogram merges — must
+#   complete within MAX_SCRAPE_MS, so scraping on the sampler tick can
+#   never stall the sampler. The same cluster exports the sample
+#   incident artifacts CI uploads (events.jsonl, merged exposition).
+
+OBS_PARTITIONS = 4
+OBS_BATCH = 16
+OBS_BATCHES = 4 if FAST else 8
+OBS_PAYLOAD = 2048
+#: Not reduced in FAST mode: the overhead metric takes the cleanest of
+#: the interleaved pairs, and a single pair is scheduler noise.
+OBS_PAIRS = 3
+OBS_SCRAPE_SHARDS = 4
+OBS_SCRAPE_ROUNDS = 5
+#: Production tracing is sampled; tracing 100% of records is a client
+#: decision with a client cost, not cluster instrumentation overhead.
+#: The shard-side plane (registries, journals, hop spans for sampled
+#: contexts, aggregator scrapes) stays fully enabled under this rate.
+OBS_TRACE_SAMPLE = 0.1
+MAX_OBSERVABILITY_OVERHEAD = 0.10
+MAX_SCRAPE_MS = 50.0
+
+
+def _obs_produce_rate(telemetry: bool) -> float:
+    """Durable acks="all" records/s on a 2-shard rf=2 cluster.
+
+    The enabled round runs the whole plane: shard registries + journals
+    + tracers, a sampled traced producer (so sampled records carry a
+    context and the leader/follower hop spans are recorded for them),
+    and a background sampler scraping the federated aggregator on its
+    tick.
+    """
+    from repro.broker import ClusterBroker, ClusterBrokerSupervisor
+    from repro.monitoring import TelemetrySampler, Tracer
+    from repro.monitoring.cluster import ClusterMetricsAggregator
+
+    tmp = tempfile.mkdtemp(prefix="bench-obs-")
+    try:
+        with ClusterBrokerSupervisor(
+            num_shards=2,
+            topics=[("obs", OBS_PARTITIONS)],
+            replication_factor=2,
+            log_dir=tmp,
+            telemetry=telemetry,
+            trace_sample=OBS_TRACE_SAMPLE if telemetry else 1.0,
+        ) as supervisor:
+            broker = ClusterBroker(supervisor.bootstrap)
+            producer = Producer(
+                broker,
+                client_id="obs-bench",
+                acks="all",
+                retries=5,
+                tracer=(
+                    Tracer("obs-bench", sample_rate=OBS_TRACE_SAMPLE)
+                    if telemetry
+                    else None
+                ),
+            )
+            sampler = None
+            try:
+                if telemetry:
+                    sampler = TelemetrySampler(interval_s=0.1)
+                    sampler.watch_cluster(broker)
+                    ClusterMetricsAggregator(broker).attach(sampler)
+                    sampler.start()
+                payload = bytes(OBS_PAYLOAD)
+                # Warm the connections and the replica links out of band.
+                for p in range(OBS_PARTITIONS):
+                    producer.send_many("obs", [payload], partition=p)
+                count = 0
+                t0 = time.perf_counter()
+                for batch in range(OBS_BATCHES):
+                    for p in range(OBS_PARTITIONS):
+                        records = [
+                            payload + f"{batch}:{i}".encode()
+                            for i in range(OBS_BATCH)
+                        ]
+                        producer.send_many("obs", records, partition=p)
+                        count += OBS_BATCH
+                elapsed = time.perf_counter() - t0
+            finally:
+                if sampler is not None:
+                    sampler.stop(final_sample=False)
+                producer.close()
+                broker.close()
+            return count / elapsed
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _obs_scrape_and_artifacts() -> dict:
+    """Scrape latency on a 4-shard cluster + the exported sample artifacts."""
+    from repro.broker import ClusterBroker, ClusterBrokerSupervisor
+    from repro.monitoring.cluster import (
+        ClusterEventCollector,
+        ClusterMetricsAggregator,
+    )
+
+    tmp = tempfile.mkdtemp(prefix="bench-obs-scrape-")
+    try:
+        with ClusterBrokerSupervisor(
+            num_shards=OBS_SCRAPE_SHARDS,
+            topics=[("obs", OBS_SCRAPE_SHARDS * 2)],
+            replication_factor=2,
+            log_dir=tmp,
+            telemetry=True,
+        ) as supervisor:
+            broker = ClusterBroker(supervisor.bootstrap)
+            producer = Producer(broker, client_id="obs-scrape", acks="all")
+            try:
+                payload = bytes(OBS_PAYLOAD)
+                for p in range(OBS_SCRAPE_SHARDS * 2):
+                    producer.send_many("obs", [payload] * OBS_BATCH, partition=p)
+
+                aggregator = ClusterMetricsAggregator(broker)
+                collector = ClusterEventCollector(
+                    cluster=broker, journals=[supervisor.events]
+                )
+                aggregator.scrape()  # warm the scrape connections
+                times = []
+                for _ in range(OBS_SCRAPE_ROUNDS):
+                    t0 = time.perf_counter()
+                    merged = aggregator.scrape()
+                    times.append(time.perf_counter() - t0)
+                collector.poll()
+
+                OBSERVABILITY_EVENTS_JSONL.parent.mkdir(
+                    parents=True, exist_ok=True
+                )
+                journal_events = collector.write_jsonl(
+                    OBSERVABILITY_EVENTS_JSONL
+                )
+                OBSERVABILITY_EXPOSITION.write_text(aggregator.to_prometheus())
+                return {
+                    "scrape_shards": len(
+                        [s for s in merged["shards"] if s != "local"]
+                    ),
+                    "scrape_ms": round(min(times) * 1e3, 3),
+                    "scrape_ms_all": [round(t * 1e3, 3) for t in times],
+                    "journal_events": journal_events,
+                    "merged_counters": len(merged["counters"]),
+                    "merged_histograms": len(merged["histograms"]),
+                }
+            finally:
+                producer.close()
+                broker.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_observability_guard() -> dict:
+    """Measure, persist the artifact, and return the results."""
+    pairs = []
+    for _ in range(OBS_PAIRS):
+        disabled = _obs_produce_rate(telemetry=False)
+        enabled = _obs_produce_rate(telemetry=True)
+        pairs.append((disabled, enabled))
+    overhead = min(
+        max(0.0, 1.0 - enabled / disabled) for disabled, enabled in pairs
+    )
+    scrape = _obs_scrape_and_artifacts()
+    results = {
+        "partitions": OBS_PARTITIONS,
+        "records_per_trial": OBS_PARTITIONS * OBS_BATCHES * OBS_BATCH,
+        "payload_bytes": OBS_PAYLOAD,
+        "disabled_rates": [round(d, 1) for d, _ in pairs],
+        "enabled_rates": [round(e, 1) for _, e in pairs],
+        "observability_overhead": round(overhead, 4),
+        **scrape,
+        "fast_mode": FAST,
+    }
+    OBSERVABILITY_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    OBSERVABILITY_ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_observability(results: dict) -> list:
+    failures = []
+    if results["observability_overhead"] > MAX_OBSERVABILITY_OVERHEAD:
+        failures.append(
+            f"full instrumentation cut durable acks=all produce "
+            f"throughput by {results['observability_overhead']:.1%} "
+            f"(allowed {MAX_OBSERVABILITY_OVERHEAD:.0%} on the cleanest "
+            f"pair)"
+        )
+    if results["scrape_shards"] < OBS_SCRAPE_SHARDS:
+        failures.append(
+            f"aggregator scraped {results['scrape_shards']} of "
+            f"{OBS_SCRAPE_SHARDS} shards"
+        )
+    if results["scrape_ms"] > MAX_SCRAPE_MS:
+        failures.append(
+            f"one {OBS_SCRAPE_SHARDS}-shard aggregator scrape took "
+            f"{results['scrape_ms']}ms (allowed {MAX_SCRAPE_MS}ms)"
+        )
+    if results["journal_events"] <= 0:
+        failures.append("the exported events.jsonl artifact is empty")
+    return failures
+
+
+@pytest.mark.bench
+def test_observability_guard():
+    results = run_observability_guard()
+    failures = _check_observability(results)
+    assert not failures, "; ".join(failures) + f"; see {OBSERVABILITY_ARTIFACT}"
 
 
 def main() -> int:

@@ -54,6 +54,7 @@ from repro.broker.errors import (
     DisconnectedError,
     NotEnoughReplicasError,
     NotOwnerError,
+    ProducerFencedError,
     StaleLeaderEpochError,
 )
 from repro.broker.group import GroupCoordinator
@@ -69,6 +70,9 @@ from repro.broker.remote import (
     RemoteBrokerError,
     RemoteRetriableError,
 )
+from repro.monitoring.events import EventJournal
+from repro.monitoring.instruments import MetricsRegistry
+from repro.monitoring.tracing import TRACE_HEADER, Tracer
 from repro.util.validation import ValidationError
 
 
@@ -103,6 +107,8 @@ class ShardBroker(Broker):
         replication_factor: int = 1,
         log_dir: str | None = None,
         storage=None,
+        telemetry: bool = False,
+        trace_sample: float = 1.0,
     ) -> None:
         if not 0 <= shard_index < num_shards:
             raise ValidationError(
@@ -122,6 +128,25 @@ class ShardBroker(Broker):
         self.shard_index = int(shard_index)
         self.num_shards = int(num_shards)
         self.replication_factor = int(replication_factor)
+        #: Whether the per-record instrumentation plane (registry +
+        #: tracer) is active. The control-plane journal below is NOT
+        #: gated on this: its emissions are per-election / per-boot /
+        #: per-stall, never per record, so it is always on — the events
+        #: are what an operator needs *after* an incident, when it is
+        #: too late to turn telemetry on.
+        self.telemetry = bool(telemetry)
+        self.events = EventJournal(origin=self.name)
+        self.registry = MetricsRegistry() if self.telemetry else None
+        if self.telemetry and self.tracer is None:
+            self.tracer = Tracer(
+                service=self.name, sample_rate=float(trace_sample)
+            )
+        if self._storage is not None:
+            # Stores open lazily at create_topic time, so every store —
+            # including ones whose boot recovery runs then — inherits
+            # the journal/registry hooks installed here.
+            self._storage.journal = self.events
+            self._storage.registry = self.registry
         #: How long an ``acks="all"`` append may wait for the high-
         #: watermark before :class:`NotEnoughReplicasError` (retriable).
         self.acks_timeout_s = 5.0
@@ -229,16 +254,34 @@ class ShardBroker(Broker):
     def append(self, topic, partition, value, **kwargs):
         self._check_owner(topic, partition)
         acks = kwargs.pop("acks", None)
-        md = super().append(topic, partition, value, **kwargs)
+        try:
+            md = super().append(topic, partition, value, **kwargs)
+        except ProducerFencedError as exc:
+            self._journal_fenced(topic, partition, exc)
+            raise
         self._after_append(topic, partition, md.offset + 1, acks)
         return md
 
     def append_many(self, topic, partition, values, **kwargs):
         self._check_owner(topic, partition)
         acks = kwargs.pop("acks", None)
-        md = super().append_many(topic, partition, values, **kwargs)
+        try:
+            md = super().append_many(topic, partition, values, **kwargs)
+        except ProducerFencedError as exc:
+            self._journal_fenced(topic, partition, exc)
+            raise
         self._after_append(topic, partition, md.base_offset + md.count, acks)
         return md
+
+    def _journal_fenced(self, topic, partition, exc: ProducerFencedError) -> None:
+        self.events.emit(
+            "producer_fenced",
+            topic=topic,
+            partition=int(partition),
+            producer_id=exc.producer_id,
+            epoch=exc.epoch,
+            current_epoch=exc.current_epoch,
+        )
 
     def _after_append(self, topic, partition, end_offset: int, acks) -> None:
         """Replication hand-off for one acknowledged append.
@@ -412,6 +455,20 @@ class ShardBroker(Broker):
                 # survives a failover to this replica.
                 log.install_producer_state(producers)
         hwm = log.set_high_watermark(min(int(high_watermark), log.latest_offset))
+        tracer = self.tracer
+        if tracer is not None and records:
+            # The producer's trace context rides in each record's
+            # headers (the same field the leader's append spans parent
+            # on), so the follower's install shows up in the SAME trace:
+            # the stitched tree reads produce → leader append →
+            # replica install → ack/hwm advance across two processes.
+            hops = [
+                (rec.headers.get(TRACE_HEADER), {"offset": rec.offset, "leader": int(leader)})
+                for rec in records
+                if rec.headers and rec.headers.get(TRACE_HEADER)
+            ]
+            if hops:
+                tracer.record_hops("replica.append", hops, site=self.name)
         return {"accepted": True, "log_end": log.latest_offset, "hwm": hwm}
 
     def replica_ack(self, topic, partition) -> dict:
@@ -462,6 +519,105 @@ class ShardBroker(Broker):
             out.update(self._server.metrics())
         return out
 
+    # -- observability wire ops ----------------------------------------------
+
+    def _sync_counter(self, name: str, total) -> None:
+        """Mirror a monotonic stats-dict total into a registry counter.
+
+        Incrementing by the positive delta keeps the instrument exact
+        while paying the mirroring cost at scrape time (once per
+        ``metrics_snapshot``) instead of on the hot path.
+        """
+        counter = self.registry.counter(name)
+        delta = float(total) - counter.value
+        if delta > 0:
+            counter.inc(delta)
+
+    def _sync_registry(self) -> None:
+        """Fold the ad-hoc stats dicts into typed instruments.
+
+        Storage recovery/flush counters, broker-level counters, and the
+        reactor's connection gauges only existed in ``stats()`` /
+        ``server_metrics()`` dicts; syncing them here puts them on the
+        ``/metrics`` surface (and the federated exposition) without
+        touching any hot path.
+        """
+        registry = self.registry
+        if registry is None:
+            return
+        stats = self.stats()
+        for key in ("duplicates_dropped", "long_polls_parked", "members_evicted"):
+            self._sync_counter(f"broker.{key}", stats.get(key, 0))
+        records_in = sum(t.get("records_in", 0) for t in stats.get("topics", {}).values())
+        bytes_in = sum(t.get("bytes_in", 0) for t in stats.get("topics", {}).values())
+        retained = sum(
+            t.get("bytes_retained", 0) for t in stats.get("topics", {}).values()
+        )
+        self._sync_counter("broker.records_in", records_in)
+        self._sync_counter("broker.bytes_in", bytes_in)
+        registry.gauge("broker.bytes_retained").set(retained)
+        storage = stats.get("storage")
+        if storage:
+            for key, value in storage.items():
+                if key in ("stores", "size_bytes", "pending_bytes"):
+                    registry.gauge(f"storage.{key}").set(float(value))
+                elif isinstance(value, (int, float)):
+                    self._sync_counter(f"storage.{key}", value)
+        server = self._server
+        if server is not None:
+            for key, value in server.metrics().items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    registry.gauge(f"server.{key}").set(float(value))
+
+    def metrics_snapshot(self) -> dict:
+        """The ``metrics_snapshot`` wire op: this shard's typed registry
+        snapshot, or a disabled marker when telemetry is off (the
+        aggregator skips those instead of fabricating zeros)."""
+        registry = self.registry
+        if registry is None:
+            return {"shard": self.shard_index, "enabled": False}
+        self._sync_registry()
+        snap = registry.snapshot()
+        snap["shard"] = self.shard_index
+        snap["enabled"] = True
+        return snap
+
+    def events_since(self, since: int = 0) -> dict:
+        """The ``events_since`` wire op: journal delta past cursor *since*.
+
+        ``boot`` lets a collector detect that this is a *different
+        process* than the one its cursor came from (a respawn) and
+        re-drain from zero.
+        """
+        journal = self.events
+        return {
+            "shard": self.shard_index,
+            "boot": journal.boot,
+            "next_seq": journal.next_seq,
+            "events": [e.to_dict() for e in journal.events_since(int(since))],
+        }
+
+    def trace_spans(self, since: int = 0) -> dict:
+        """The ``trace_spans`` wire op: finished spans past index *since*.
+
+        The tracer's retained-span list is append-ordered, so a plain
+        index is a stable cursor; same ``boot`` protocol as the journal.
+        """
+        out = {
+            "shard": self.shard_index,
+            "boot": self.events.boot,
+            "next": 0,
+            "spans": [],
+        }
+        tracer = self.tracer
+        if tracer is None:
+            return out
+        spans = tracer.spans()
+        cursor = max(0, int(since))
+        out["next"] = len(spans)
+        out["spans"] = [s.to_dict() for s in spans[cursor:]]
+        return out
+
 
 # -- the replication pump ----------------------------------------------------
 
@@ -500,6 +656,14 @@ class _ShardReplicator:
         self.interval_s = float(interval_s)
         self.max_lag_records = int(max_lag_records)
         self.isr_timeout_s = float(isr_timeout_s)
+        # Instruments resolved once (the registry's get-or-create lock
+        # is off the pump's per-push path); None with telemetry off.
+        registry = broker.registry
+        self._ack_latency = (
+            registry.histogram("replication.ack_latency_seconds")
+            if registry is not None
+            else None
+        )
         self._wake = threading.Event()
         self._stopping = threading.Event()
         self._thread: threading.Thread | None = None
@@ -634,6 +798,7 @@ class _ShardReplicator:
                     state["acked"] = min(int(ack["log_end"]), log.high_watermark)
                 if state["acked"] < leader_end:
                     records, _, visible = log.replication_slice(state["acked"])
+                    push_start = time.perf_counter()
                     response = remote.replicate_append(
                         name,
                         partition,
@@ -644,8 +809,11 @@ class _ShardReplicator:
                         high_watermark=visible,
                         producers=log.producer_snapshot() if records else None,
                     )
+                    if self._ack_latency is not None:
+                        self._ack_latency.observe(time.perf_counter() - push_start)
                     if response.get("accepted"):
                         state["acked"] = int(response["log_end"])
+                        self._trace_acks(records, index, response)
                     else:
                         # Gap or divergence: re-anchor on the follower's
                         # reported end and retry next cycle.
@@ -676,12 +844,28 @@ class _ShardReplicator:
                     and leader_end - state["acked"] <= self.max_lag_records
                 ):
                     state["in_isr"] = True
+                    broker.events.emit(
+                        "isr_join",
+                        topic=name,
+                        partition=partition,
+                        follower=index,
+                        lag=max(0, leader_end - state["acked"]),
+                        epoch=epoch,
+                    )
             except Exception:
                 # Unreachable / refused / link-partitioned follower: a
                 # fresh connection is cheap, a wedged one is not.
                 self._drop_remote(index)
                 if state["in_isr"] and now - state["last_good"] > self.isr_timeout_s:
                     state["in_isr"] = False
+                    broker.events.emit(
+                        "isr_evict",
+                        topic=name,
+                        partition=partition,
+                        follower=index,
+                        silent_s=round(now - state["last_good"], 3),
+                        epoch=epoch,
+                    )
         # Kafka's rule: the high-watermark is the ISR's minimum acked
         # offset; with every follower evicted the ISR is the leader
         # alone and the watermark tracks its log end. One refinement
@@ -697,7 +881,37 @@ class _ShardReplicator:
                 floor.append(state["acked"])
             elif not state["in_isr"] and now - state["last_good"] <= self.isr_timeout_s:
                 floor.append(state["acked"] or 0)
-        log.set_high_watermark(min([leader_end] + floor) if floor else leader_end)
+        hwm = log.set_high_watermark(
+            min([leader_end] + floor) if floor else leader_end
+        )
+        registry = broker.registry
+        if registry is not None:
+            registry.gauge(f"replication.hwm_lag.{name}.{partition}").set(
+                max(0, leader_end - hwm)
+            )
+
+    def _trace_acks(self, records, follower: int, response: dict) -> None:
+        """Stitch the replication hop into the producer's trace.
+
+        Each replicated record still carries the producer's trace
+        context in its headers; one ``replication.ack`` leaf per traced
+        record, recorded on the *leader*, pairs with the follower's
+        ``replica.append`` hop so the stitched tree shows both sides of
+        the wire crossing.
+        """
+        tracer = self._broker.tracer
+        if tracer is None or not records:
+            return
+        hwm = response.get("hwm", 0)
+        hops = [
+            (rec.headers.get(TRACE_HEADER), {"follower": follower, "hwm": hwm})
+            for rec in records
+            if rec.headers and rec.headers.get(TRACE_HEADER)
+        ]
+        if hops:
+            tracer.record_hops(
+                "replication.ack", hops, site=self._broker.name
+            )
 
     # -- introspection -------------------------------------------------------
 
@@ -777,6 +991,8 @@ def _shard_worker_main(
         replication_factor=opts.get("replication_factor", 1),
         log_dir=opts.get("log_dir"),
         storage=opts.get("storage"),
+        telemetry=opts.get("telemetry", False),
+        trace_sample=opts.get("trace_sample", 1.0),
     )
     # With a log_dir, create_topic opens the segment stores and runs
     # crash recovery NOW — before the cluster map arrives and replication
@@ -862,6 +1078,8 @@ class ClusterBrokerSupervisor:
         replication_factor: int = 1,
         log_dir: str | None = None,
         storage=None,
+        telemetry: bool = False,
+        trace_sample: float = 1.0,
     ) -> None:
         if num_shards < 1:
             raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
@@ -884,6 +1102,14 @@ class ClusterBrokerSupervisor:
         #: (picklable, shipped to the workers).
         self.log_dir = log_dir
         self.storage = storage
+        #: Ship per-record instrumentation (registry + tracer) to every
+        #: shard; the control-plane journals are always on regardless.
+        self.telemetry = bool(telemetry)
+        self.trace_sample = float(trace_sample)
+        #: The supervisor's own control-plane journal: deaths, elections
+        #: and respawns are *its* story — the shard that died cannot
+        #: narrate its own funeral.
+        self.events = EventJournal(origin="supervisor")
         self.epoch = 0
         #: Shards respawned by the monitor thread (chaos accounting).
         self.restarts = 0
@@ -924,6 +1150,8 @@ class ClusterBrokerSupervisor:
                         else None
                     ),
                     "storage": self.storage,
+                    "telemetry": self.telemetry,
+                    "trace_sample": self.trace_sample,
                 },
             ),
             name=f"broker-shard-{index}",
@@ -986,6 +1214,15 @@ class ClusterBrokerSupervisor:
             self._teardown()
             raise
         self.epoch = 1
+        for index, (host, port) in enumerate(self._addresses):
+            proc = self._procs[index]
+            self.events.emit(
+                "shard_started",
+                shard=index,
+                host=host,
+                port=port,
+                pid=proc.pid if proc is not None else None,
+            )
         self._broadcast("cluster")
         if self.restart:
             self._monitor = threading.Thread(
@@ -1004,6 +1241,12 @@ class ClusterBrokerSupervisor:
                     if self._stopping.is_set():
                         return
                     proc.join(timeout=0)
+                    self.events.emit(
+                        "shard_died",
+                        shard=index,
+                        pid=proc.pid,
+                        exitcode=proc.exitcode,
+                    )
                     old_pipe = self._pipes[index]
                     if old_pipe is not None:
                         try:
@@ -1033,6 +1276,13 @@ class ClusterBrokerSupervisor:
                         return
                     self.epoch += 1
                     self.restarts += 1
+                    new_proc = self._procs[index]
+                    self.events.emit(
+                        "shard_respawned",
+                        shard=index,
+                        pid=new_proc.pid if new_proc is not None else None,
+                        epoch=self.epoch,
+                    )
                     # The respawned shard receives the override table in
                     # this broadcast, so it rejoins as a *follower* for
                     # any partition it used to lead and re-syncs from the
@@ -1087,6 +1337,15 @@ class ClusterBrokerSupervisor:
                         continue  # no live replica; respawn restores the slot
                     self._leaders[(name, partition)] = (best, part_epoch + 1)
                     self.elections += 1
+                    self.events.emit(
+                        "leader_elected",
+                        topic=name,
+                        partition=partition,
+                        leader=best,
+                        previous=dead_index,
+                        epoch=part_epoch + 1,
+                        log_end=best_end,
+                    )
                     changed = True
         finally:
             for remote in remotes.values():
@@ -1713,6 +1972,69 @@ class ClusterBroker:
                 out[index] = self._remote(addr).server_metrics()
             except (BrokerError, ConnectionError, OSError):
                 continue
+        return out
+
+    # -- observability plane ---------------------------------------------------
+
+    def metrics_snapshots(self) -> dict:
+        """``{shard_index: metrics_snapshot | None}`` across the cluster.
+
+        Unreachable shards map to ``None`` (not absent) so the
+        aggregator can tell "shard down" from "shard never existed".
+        """
+        out: dict[int, dict | None] = {}
+        for index, addr in enumerate(self._meta.shards):
+            try:
+                out[index] = self._remote(addr).metrics_snapshot()
+            except (BrokerError, ConnectionError, OSError):
+                out[index] = None
+        return out
+
+    def shard_events(self, index: int, since: int = 0) -> dict | None:
+        """One shard's ``events_since`` payload (``None`` if unreachable)."""
+        shards = self._meta.shards
+        if not 0 <= index < len(shards):
+            return None
+        try:
+            return self._remote(shards[index]).events_since(since)
+        except (BrokerError, ConnectionError, OSError):
+            return None
+
+    def events_snapshots(self, cursors: dict | None = None) -> dict:
+        """``{shard_index: events_since payload | None}`` for the whole
+        cluster, each shard drained past its cursor in *cursors*."""
+        cursors = cursors or {}
+        out: dict[int, dict | None] = {}
+        for index, addr in enumerate(self._meta.shards):
+            try:
+                out[index] = self._remote(addr).events_since(
+                    int(cursors.get(index, 0))
+                )
+            except (BrokerError, ConnectionError, OSError):
+                out[index] = None
+        return out
+
+    def shard_spans(self, index: int, since: int = 0) -> dict | None:
+        """One shard's ``trace_spans`` payload (``None`` if unreachable)."""
+        shards = self._meta.shards
+        if not 0 <= index < len(shards):
+            return None
+        try:
+            return self._remote(shards[index]).trace_spans(since)
+        except (BrokerError, ConnectionError, OSError):
+            return None
+
+    def span_snapshots(self, cursors: dict | None = None) -> dict:
+        """``{shard_index: trace_spans payload | None}`` across the cluster."""
+        cursors = cursors or {}
+        out: dict[int, dict | None] = {}
+        for index, addr in enumerate(self._meta.shards):
+            try:
+                out[index] = self._remote(addr).trace_spans(
+                    int(cursors.get(index, 0))
+                )
+            except (BrokerError, ConnectionError, OSError):
+                out[index] = None
         return out
 
     def stats(self) -> dict:

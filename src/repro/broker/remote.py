@@ -921,6 +921,18 @@ class RemoteBroker:
         """The serving process's reactor gauges (sharded brokers only)."""
         return self._call("server_metrics")
 
+    def metrics_snapshot(self) -> dict:
+        """The shard's typed registry snapshot for federated aggregation."""
+        return self._call("metrics_snapshot")
+
+    def events_since(self, since: int = 0) -> dict:
+        """Drain the shard's control-plane event journal past ``since``."""
+        return self._call("events_since", since=since)
+
+    def trace_spans(self, since: int = 0) -> dict:
+        """Drain the shard tracer's finished spans past cursor ``since``."""
+        return self._call("trace_spans", since=since)
+
     # -- replication surface (replicated shards only) --------------------------
 
     def replicate_append(

@@ -423,12 +423,24 @@ class SegmentStore:
         partition: int,
         config: StorageConfig | None = None,
         flusher: GroupCommitFlusher | None = None,
+        journal=None,
+        registry=None,
     ) -> None:
         self.topic = topic
         self.partition = int(partition)
         self.config = config or StorageConfig()
         self.directory = directory
         self._flusher = flusher
+        # Observability hooks, duck-typed to avoid importing the
+        # monitoring package from the storage layer: ``journal`` quacks
+        # like EventJournal (``emit``), ``registry`` like
+        # MetricsRegistry (``histogram``/``gauge``). Either may be None.
+        self.journal = journal
+        self.registry = registry
+        # A flush whose device I/O alone exceeds this is journalled as a
+        # flush_stall: 5x the commit window, floored at 250 ms so a
+        # tight window doesn't turn every slow fsync into an incident.
+        self.flush_stall_s = max(0.25, 5.0 * self.config.flush_ms / 1000.0)
         #: Optional :class:`repro.faults.FaultInjector`; its ``on_flush``
         #: hook can tear a flush mid-batch (crash-recovery tests).
         self.fault_injector = None
@@ -479,7 +491,23 @@ class SegmentStore:
         self._base_offset = 0
         self._end_offset = 0  # next offset (includes pending)
         self._flushed_offset = 0  # durable end
+        recover_start = time.monotonic()
         self.recovered = self._recover()
+        duration = time.monotonic() - recover_start
+        if registry is not None:
+            registry.histogram("storage.recovery_seconds").observe(duration)
+        if journal is not None:
+            journal.emit(
+                "recovery_completed",
+                topic=self.topic,
+                partition=self.partition,
+                records=len(self.recovered.records),
+                scan_bytes=self.recovered.scan_bytes,
+                truncated_bytes=self.recovered.truncated_bytes,
+                segments=self.recovered.segments,
+                next_offset=self.recovered.next_offset,
+                duration_ms=round(duration * 1000.0, 3),
+            )
 
     # -- boot-time recovery --------------------------------------------------
 
@@ -734,6 +762,7 @@ class SegmentStore:
             else:
                 self._pending = []
                 self._pending_bytes = 0
+        io_elapsed = 0.0
         try:
             if pending:
                 injector = self.fault_injector
@@ -744,8 +773,10 @@ class SegmentStore:
                 buffers: list = []
                 for batch in pending:
                     buffers.extend(batch.encode())
+                io_start = time.perf_counter()
                 self._write_buffers(buffers)
                 os.fsync(self._active_fd)
+                io_elapsed = time.perf_counter() - io_start
         except TornWriteError:
             raise
         except BaseException as exc:
@@ -776,6 +807,28 @@ class SegmentStore:
                 self.counters["flushed_bytes"] += sum(b.nbytes for b in pending)
                 self._flush_cond.notify_all()
             flushed = self._flushed_offset
+            pending_bytes_now = self._pending_bytes
+        if pending:
+            registry = self.registry
+            if registry is not None:
+                registry.histogram("storage.fsync_latency_seconds").observe(io_elapsed)
+                now = time.monotonic()
+                registry.histogram("storage.flush_window_seconds").observe_many(
+                    [now - b.write_ts for b in pending]
+                )
+                registry.gauge(
+                    f"storage.pending_bytes.{self.topic}.{self.partition}"
+                ).set(pending_bytes_now)
+            journal = self.journal
+            if journal is not None and io_elapsed >= self.flush_stall_s:
+                journal.emit(
+                    "flush_stall",
+                    topic=self.topic,
+                    partition=self.partition,
+                    duration_ms=round(io_elapsed * 1000.0, 3),
+                    bytes=sum(b.nbytes for b in pending),
+                    batches=len(pending),
+                )
         self._maybe_roll_io()
         return flushed
 
@@ -1138,6 +1191,16 @@ class SegmentStore:
                     callback(self.topic, self.partition, seg.base, seg.end,
                              seg.path, seg.size)
                     self.counters["segments_offloaded"] += 1
+                    journal = self.journal
+                    if journal is not None:
+                        journal.emit(
+                            "segment_offloaded",
+                            topic=self.topic,
+                            partition=self.partition,
+                            base=seg.base,
+                            end=seg.end,
+                            bytes=seg.size,
+                        )
                 except Exception:
                     pass  # offload is best-effort; retention proceeds
             seg.close()
@@ -1183,6 +1246,12 @@ class SegmentStore:
             for seg in sealed:
                 seg.close()
 
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes appended but not yet durable (awaiting group commit)."""
+        with self._lock:
+            return self._pending_bytes
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -1217,6 +1286,12 @@ class LogStorageManager:
         self.root = root
         self.config = config or StorageConfig()
         self.flusher = GroupCommitFlusher(self.config.flush_ms)
+        # Observability hooks inherited by every store opened after they
+        # are set (duck-typed; see SegmentStore.__init__). The owning
+        # broker installs them before any topic is created, so even
+        # boot-recovery stores get instrumented.
+        self.journal = None
+        self.registry = None
         self._stores: dict[tuple, SegmentStore] = {}
         self._lock = threading.Lock()
 
@@ -1231,6 +1306,8 @@ class LogStorageManager:
                     partition,
                     config=self.config,
                     flusher=self.flusher,
+                    journal=self.journal,
+                    registry=self.registry,
                 )
                 self._stores[key] = store
             return store
@@ -1252,6 +1329,7 @@ class LogStorageManager:
                 totals[key] = totals.get(key, 0) + value
         totals["stores"] = len(stores)
         totals["size_bytes"] = sum(s.size_bytes for s in stores)
+        totals["pending_bytes"] = sum(s.pending_bytes for s in stores)
         return totals
 
     def close(self) -> None:

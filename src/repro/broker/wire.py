@@ -448,6 +448,23 @@ def execute_op(broker, request: dict, blobs: list) -> tuple:
         if handler is None:
             raise ValidationError(f"unknown op {op!r}")
         return handler(), ()
+    if op == "metrics_snapshot":
+        # Federated metrics scrape: the shard's typed registry snapshot,
+        # merged supervisor-side by the cluster aggregator.
+        handler = getattr(broker, "metrics_snapshot", None)
+        if handler is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return handler(), ()
+    if op == "events_since":
+        handler = getattr(broker, "events_since", None)
+        if handler is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return handler(request.get("since", 0)), ()
+    if op == "trace_spans":
+        handler = getattr(broker, "trace_spans", None)
+        if handler is None:
+            raise ValidationError(f"unknown op {op!r}")
+        return handler(request.get("since", 0)), ()
     raise ValidationError(f"unknown op {op!r}")
 
 

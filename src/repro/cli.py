@@ -188,6 +188,7 @@ def _make_cluster(args: argparse.Namespace, sampler):
         from repro.broker.storage import StorageConfig
 
         storage = StorageConfig(fsync_acks=True)
+    telemetry = getattr(args, "telemetry", None) is not None
     supervisor = ClusterBrokerSupervisor(
         num_shards=workers,
         topics=[("pilot-edge-data", args.devices)],
@@ -195,10 +196,16 @@ def _make_cluster(args: argparse.Namespace, sampler):
         replication_factor=min(replication, workers),
         log_dir=log_dir,
         storage=storage,
+        telemetry=telemetry,
+        trace_sample=getattr(args, "trace_sample", 1.0),
     ).start()
     broker = ClusterBroker(supervisor.bootstrap)
     if sampler is not None:
         sampler.watch_cluster(broker)
+        if telemetry:
+            from repro.monitoring.cluster import ClusterMetricsAggregator
+
+            ClusterMetricsAggregator(broker).attach(sampler)
     return supervisor, broker
 
 
@@ -236,6 +243,56 @@ def cmd_geo(args: argparse.Namespace) -> int:
         for key, value in payload.items():
             print(f"{key}={value}")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live aggregated dashboard of a running sharded cluster."""
+    import time
+
+    from repro.broker import ClusterBroker
+    from repro.monitoring.cluster import (
+        ClusterEventCollector,
+        ClusterMetricsAggregator,
+        render_dashboard,
+    )
+
+    bootstrap = []
+    for part in args.bootstrap.split(","):
+        host, _, port = part.strip().rpartition(":")
+        bootstrap.append((host or "127.0.0.1", int(port)))
+    broker = ClusterBroker(bootstrap)
+    aggregator = ClusterMetricsAggregator(broker)
+    events = ClusterEventCollector(cluster=broker)
+    rate_history: list[float] = []
+    last_records = None
+    last_t = 0.0
+    try:
+        while True:
+            merged = aggregator.scrape()
+            events.poll()
+            now = time.monotonic()
+            records = merged["counters"].get("broker.records_in", 0.0)
+            if last_records is not None and now > last_t:
+                rate_history.append(max(0.0, records - last_records) / (now - last_t))
+                del rate_history[:-60]
+            last_records, last_t = records, now
+            panel = render_dashboard(
+                merged,
+                shard_info=broker.shard_metrics(),
+                events=events.events(),
+                rate_history=rate_history,
+                scrape_s=aggregator.last_scrape_s,
+            )
+            if not args.watch:
+                print(panel)
+                return 0
+            sys.stdout.write("\x1b[2J\x1b[H" + panel + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        broker.close()
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -345,6 +402,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_geo.add_argument("--consumers", type=int, default=0, help="0 = one per device")
     p_geo.add_argument("--seed", type=int, default=0)
     p_geo.set_defaults(func=cmd_geo)
+
+    p_top = sub.add_parser("top", help="live dashboard of a running sharded cluster")
+    p_top.add_argument(
+        "--bootstrap", required=True, metavar="HOST:PORT[,HOST:PORT]",
+        help="shard addresses to bootstrap from",
+    )
+    p_top.add_argument(
+        "--watch", action="store_true",
+        help="refresh continuously until interrupted instead of printing once",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds (with --watch)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     p_info = sub.add_parser("info", help="list plugins, catalogues and profiles")
     p_info.set_defaults(func=cmd_info)

@@ -34,6 +34,13 @@ from repro.monitoring.collector import MetricsCollector
 from repro.monitoring.instruments import Counter, Gauge, Histogram, MetricsRegistry
 from repro.monitoring.tracing import NOOP_SPAN, Span, Tracer
 from repro.monitoring.sampler import TelemetrySampler, serve_exposition
+from repro.monitoring.events import Event, EventJournal, merge_timeline
+from repro.monitoring.cluster import (
+    ClusterEventCollector,
+    ClusterMetricsAggregator,
+    ClusterTraceCollector,
+    stitch_spans,
+)
 from repro.monitoring.report import (
     ThroughputReport,
     analyze_bottleneck,
@@ -55,6 +62,13 @@ __all__ = [
     "Tracer",
     "TelemetrySampler",
     "serve_exposition",
+    "Event",
+    "EventJournal",
+    "merge_timeline",
+    "ClusterEventCollector",
+    "ClusterMetricsAggregator",
+    "ClusterTraceCollector",
+    "stitch_spans",
     "ThroughputReport",
     "analyze_bottleneck",
     "lag_over_time",

@@ -1,0 +1,527 @@
+"""Cluster-wide observability plane: federate what N processes measure.
+
+Since the broker became a supervisor plus N forked shards, every
+interesting signal lives in a process the in-proc ``MetricsRegistry``
+cannot see. This module is the collection side of the fix; the serving
+side is three wire ops each shard answers:
+
+* ``metrics_snapshot`` — the shard registry's typed snapshot
+  (:meth:`~repro.monitoring.instruments.MetricsRegistry.snapshot`),
+* ``events_since`` — the shard's control-plane
+  :class:`~repro.monitoring.events.EventJournal` drained by cursor,
+* ``trace_spans`` — the shard tracer's finished spans drained by cursor.
+
+:class:`ClusterMetricsAggregator` scrapes every shard on the sampler
+tick and re-exports ONE merged Prometheus exposition: counters are
+summed across shards (a rate is a rate wherever it happened), gauges
+keep a ``shard`` label (a level is only meaningful per process), and
+histograms are bucket-merged (identical geometric bounds make the merge
+an elementwise add). :class:`ClusterEventCollector` drains journals
+into one wall-clock-ordered incident timeline, and
+:class:`ClusterTraceCollector` + :func:`stitch_spans` reassemble span
+trees whose hops happened in different processes — the produce path's
+leader append and follower replication ack included.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+
+from repro.monitoring.events import Event, merge_timeline
+from repro.monitoring.instruments import _prom_name, _prom_value
+from repro.monitoring.tracing import Span
+
+__all__ = [
+    "ClusterMetricsAggregator",
+    "ClusterEventCollector",
+    "ClusterTraceCollector",
+    "merge_metric_snapshots",
+    "merge_histogram_snapshots",
+    "stitch_spans",
+    "render_dashboard",
+]
+
+
+# -- snapshot merging ------------------------------------------------------
+
+
+def merge_histogram_snapshots(a: dict, b: dict) -> dict:
+    """Merge two histogram snapshots with identical bucket bounds.
+
+    The registry's histograms all share the default geometric layout, so
+    cross-shard merging is an elementwise bucket add; percentiles are
+    re-estimated from the merged buckets with the same log-linear rule
+    the live instrument uses. Snapshots with differing bounds cannot be
+    merged meaningfully — the larger-count one wins and the mismatch is
+    flagged so the exposition never silently lies.
+    """
+    if list(a.get("bounds", [])) != list(b.get("bounds", [])):
+        winner = dict(a if a.get("count", 0) >= b.get("count", 0) else b)
+        winner["bounds_mismatch"] = True
+        return winner
+    merged = {
+        "count": a["count"] + b["count"],
+        "sum": a["sum"] + b["sum"],
+        "min": min(a.get("min", 0.0) or math.inf, b.get("min", 0.0) or math.inf),
+        "max": max(a.get("max", 0.0), b.get("max", 0.0)),
+        "buckets": [x + y for x, y in zip(a["buckets"], b["buckets"])],
+        "bounds": list(a["bounds"]),
+    }
+    if merged["min"] == math.inf:
+        merged["min"] = 0.0
+    merged["mean"] = merged["sum"] / merged["count"] if merged["count"] else 0.0
+    for q in (50, 95, 99):
+        merged[f"p{q}"] = _percentile_from_snapshot(merged, q)
+    return merged
+
+
+def _percentile_from_snapshot(snap: dict, q: float) -> float:
+    """Log-linear percentile estimate from a (merged) snapshot dict."""
+    count = snap.get("count", 0)
+    if not count:
+        return 0.0
+    buckets, bounds = snap["buckets"], snap["bounds"]
+    lo_clamp = snap.get("min", 0.0)
+    hi_clamp = snap.get("max", 0.0)
+    target = q / 100.0 * count
+    seen = 0
+    for idx, n in enumerate(buckets):
+        if n == 0:
+            continue
+        if seen + n >= target:
+            frac = (target - seen) / n
+            lo = bounds[idx - 1] if idx > 0 else 0.0
+            hi = bounds[idx] if idx < len(bounds) else hi_clamp
+            if hi_clamp:
+                hi = min(hi, hi_clamp)
+            lo = max(lo, lo_clamp)
+            if hi <= lo:
+                return hi
+            return lo + frac * (hi - lo)
+        seen += n
+    return hi_clamp
+
+
+def merge_metric_snapshots(snapshots: dict) -> dict:
+    """Merge per-shard typed snapshots into one cluster view.
+
+    *snapshots* maps a shard index to the dict served by the
+    ``metrics_snapshot`` wire op (or ``None``/disabled for unreachable
+    shards — they are skipped, never fabricated). Returns::
+
+        {
+            "counters": {name: summed_total},
+            "gauges": {name: {shard_index: value}},
+            "histograms": {name: merged_snapshot},
+            "shards": [index, ...],   # shards that contributed
+        }
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, dict] = {}
+    histograms: dict[str, dict] = {}
+    shards: list = []
+    for index in sorted(snapshots, key=str):
+        snap = snapshots[index]
+        if not snap or not snap.get("enabled", True):
+            continue
+        shards.append(index)
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges.setdefault(name, {})[index] = value
+        for name, hsnap in snap.get("histograms", {}).items():
+            if name in histograms:
+                histograms[name] = merge_histogram_snapshots(histograms[name], hsnap)
+            else:
+                histograms[name] = dict(hsnap)
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "shards": shards,
+    }
+
+
+class ClusterMetricsAggregator:
+    """Scrape every shard's registry and serve one merged exposition.
+
+    *cluster* is anything with a ``metrics_snapshots()`` method
+    returning ``{shard_index: snapshot_dict | None}`` — in practice a
+    :class:`repro.broker.cluster.ClusterBroker`. An optional *registry*
+    (the supervisor process's own ``MetricsRegistry``) is merged in as
+    pseudo-shard ``"local"`` so client-side series ride along.
+
+    The aggregator is pull-based and stateless between scrapes except
+    for scrape metadata; hook it to a
+    :class:`~repro.monitoring.sampler.TelemetrySampler` via
+    :meth:`attach` to scrape on the sampler tick, and hand it directly
+    to :func:`~repro.monitoring.sampler.serve_exposition` — it
+    duck-types ``to_prometheus``.
+    """
+
+    def __init__(self, cluster, registry=None, namespace: str = "repro") -> None:
+        self._cluster = cluster
+        self._registry = registry
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._merged: dict = {"counters": {}, "gauges": {}, "histograms": {}, "shards": []}
+        self._scrapes = 0
+        self._last_scrape_s = 0.0
+        self._last_shards = 0
+
+    # -- scraping --------------------------------------------------------
+
+    def scrape(self) -> dict:
+        """Pull every shard once; returns (and retains) the merged view."""
+        t0 = time.perf_counter()
+        snapshots = dict(self._cluster.metrics_snapshots())
+        if self._registry is not None:
+            snapshots["local"] = self._registry.snapshot()
+        merged = merge_metric_snapshots(snapshots)
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self._merged = merged
+            self._scrapes += 1
+            self._last_scrape_s = elapsed
+            self._last_shards = len(merged["shards"])
+        return merged
+
+    def merged(self) -> dict:
+        """The most recent scrape's merged view (empty before the first)."""
+        with self._lock:
+            return self._merged
+
+    @property
+    def last_scrape_s(self) -> float:
+        with self._lock:
+            return self._last_scrape_s
+
+    # -- export ----------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Merged text exposition: summed counters, shard-labeled gauges,
+        bucket-merged histograms, plus scrape metadata."""
+        with self._lock:
+            merged = self._merged
+            scrapes, elapsed, shards_up = self._scrapes, self._last_scrape_s, self._last_shards
+        ns = self.namespace
+        lines: list[str] = []
+        meta = _prom_name(ns, "cluster")
+        lines.append(f"# TYPE {meta}_scrapes_total counter")
+        lines.append(f"{meta}_scrapes_total {scrapes}")
+        lines.append(f"# TYPE {meta}_scrape_seconds gauge")
+        lines.append(f"{meta}_scrape_seconds {_prom_value(elapsed)}")
+        lines.append(f"# TYPE {meta}_shards_scraped gauge")
+        lines.append(f"{meta}_shards_scraped {shards_up}")
+        for name in sorted(merged["counters"]):
+            metric = _prom_name(ns, name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prom_value(merged['counters'][name])}")
+        for name in sorted(merged["gauges"]):
+            metric = _prom_name(ns, name)
+            lines.append(f"# TYPE {metric} gauge")
+            for shard in sorted(merged["gauges"][name], key=str):
+                value = merged["gauges"][name][shard]
+                lines.append(f'{metric}{{shard="{shard}"}} {_prom_value(value)}')
+        for name in sorted(merged["histograms"]):
+            snap = merged["histograms"][name]
+            metric = _prom_name(ns, name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, n in zip(snap["bounds"], snap["buckets"]):
+                cumulative += n
+                lines.append(f'{metric}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {snap["count"]}')
+            lines.append(f"{metric}_sum {_prom_value(snap['sum'])}")
+            lines.append(f"{metric}_count {snap['count']}")
+        return "\n".join(lines) + "\n"
+
+    # -- sampler integration ---------------------------------------------
+
+    def sample(self) -> dict:
+        """Scrape and flatten for a ``TelemetrySampler`` source.
+
+        Counters federate as ``cluster.<name>`` totals; per-shard gauge
+        detail stays on the Prometheus endpoint (the sampler's JSONL is
+        a time series, and per-shard fan-out there would explode the
+        series count without adding anything the exposition lacks).
+        """
+        merged = self.scrape()
+        out = {
+            "cluster.scrape_ms": self.last_scrape_s * 1e3,
+            "cluster.shards_scraped": float(len(merged["shards"])),
+        }
+        for name, value in merged["counters"].items():
+            out[f"cluster.{name}"] = value
+        for name, per_shard in merged["gauges"].items():
+            if per_shard:
+                out[f"cluster.{name}.max"] = max(per_shard.values())
+        return out
+
+    def attach(self, sampler, name: str = "cluster_metrics") -> None:
+        """Scrape on every tick of *sampler* (a ``TelemetrySampler``)."""
+        sampler.add_source(name, self.sample)
+
+
+# -- event federation ------------------------------------------------------
+
+
+class ClusterEventCollector:
+    """Drain every journal in the cluster into one merged timeline.
+
+    Remote shard journals are drained through the ``events_since`` wire
+    op with a per-shard cursor; *journals* adds local
+    :class:`~repro.monitoring.events.EventJournal` instances (the
+    supervisor's, typically) polled directly. A shard respawn resets
+    that shard's journal — the payload's ``boot`` token changes — and
+    the collector re-drains from zero so the fresh process's first
+    events (recovery, ISR rejoin) are never skipped.
+    """
+
+    def __init__(self, cluster=None, journals=()) -> None:
+        self._cluster = cluster
+        self._journals = list(journals)
+        self._cursors: dict = {}          # shard index -> (boot, last_seq)
+        self._local_cursors: dict = {}    # id(journal) -> last_seq
+        self._events: list[Event] = []
+        self._lock = threading.Lock()
+
+    def add_journal(self, journal) -> None:
+        self._journals.append(journal)
+
+    def poll(self) -> list[Event]:
+        """Fetch events new since the last poll; returns just the new ones."""
+        new: list[Event] = []
+        if self._cluster is not None:
+            for index, payload in dict(self._cluster.events_snapshots(self._cursor_seqs())).items():
+                if not payload:
+                    continue
+                boot = payload.get("boot", "")
+                known_boot, _ = self._cursors.get(index, ("", 0))
+                if known_boot and boot != known_boot:
+                    # Journal restarted (shard respawn): our cursor is
+                    # from a dead process; re-drain this shard from 0.
+                    payload = self._cluster.shard_events(index, since=0) or payload
+                events = [Event.from_dict(d) for d in payload.get("events", [])]
+                if events:
+                    self._cursors[index] = (payload.get("boot", ""), events[-1].seq)
+                elif boot:
+                    self._cursors[index] = (boot, self._cursors.get(index, ("", 0))[1])
+                new.extend(events)
+        for journal in self._journals:
+            since = self._local_cursors.get(id(journal), 0)
+            events = journal.events_since(since)
+            if events:
+                self._local_cursors[id(journal)] = events[-1].seq
+            new.extend(events)
+        if new:
+            with self._lock:
+                self._events = merge_timeline(self._events, new)
+        return merge_timeline(new)
+
+    def _cursor_seqs(self) -> dict:
+        return {index: seq for index, (_, seq) in self._cursors.items()}
+
+    def events(self) -> list[Event]:
+        with self._lock:
+            return list(self._events)
+
+    def timeline(self) -> list[str]:
+        return [e.format() for e in self.events()]
+
+    def write_jsonl(self, path) -> int:
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in events:
+                fh.write(json.dumps(e.to_dict(), sort_keys=True) + "\n")
+        return len(events)
+
+
+# -- trace federation ------------------------------------------------------
+
+
+class ClusterTraceCollector:
+    """Drain finished spans from every shard tracer (plus local tracers).
+
+    Same cursor-and-boot protocol as the event collector, over the
+    ``trace_spans`` wire op. The result is a flat span-dict pool that
+    :func:`stitch_spans` turns back into per-trace trees — the only way
+    a trace whose hops ran in three processes becomes one tree again.
+    """
+
+    def __init__(self, cluster=None, tracers=()) -> None:
+        self._cluster = cluster
+        self._tracers = list(tracers)
+        self._cursors: dict = {}        # shard index -> (boot, next_index)
+        self._local_cursors: dict = {}  # id(tracer) -> next_index
+        self._spans: list[dict] = []
+        self._lock = threading.Lock()
+
+    def add_tracer(self, tracer) -> None:
+        self._tracers.append(tracer)
+
+    def poll(self) -> list[dict]:
+        new: list[dict] = []
+        if self._cluster is not None:
+            cursors = {index: nxt for index, (_, nxt) in self._cursors.items()}
+            for index, payload in dict(self._cluster.span_snapshots(cursors)).items():
+                if not payload:
+                    continue
+                boot = payload.get("boot", "")
+                known_boot, _ = self._cursors.get(index, ("", 0))
+                if known_boot and boot != known_boot:
+                    payload = self._cluster.shard_spans(index, since=0) or payload
+                spans = payload.get("spans", [])
+                self._cursors[index] = (payload.get("boot", ""), payload.get("next", 0))
+                new.extend(spans)
+        for tracer in self._tracers:
+            since = self._local_cursors.get(id(tracer), 0)
+            spans = tracer.spans()[since:]
+            self._local_cursors[id(tracer)] = since + len(spans)
+            new.extend(s.to_dict() for s in spans)
+        if new:
+            with self._lock:
+                self._spans.extend(new)
+        return new
+
+    def spans(self) -> list[dict]:
+        with self._lock:
+            return list(self._spans)
+
+    def trees(self) -> dict:
+        return stitch_spans(self.spans())
+
+    def write_json(self, path) -> int:
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(spans, fh, sort_keys=True)
+        return len(spans)
+
+
+def stitch_spans(span_dicts) -> dict:
+    """Reassemble cross-process span trees from a flat span-dict pool.
+
+    Returns ``{trace_id: {"span": Span, "children": [...]}}`` — the same
+    node shape :meth:`Tracer.span_tree` produces, but built from spans
+    collected out of many tracers. Traces whose root was not collected
+    (e.g. the rooting process died) are returned under their trace id
+    with a synthetic rootless node list, because an incident trace with
+    a dead leader is exactly the one worth inspecting.
+    """
+    by_trace: dict[str, list[Span]] = {}
+    for data in span_dicts:
+        span = data if isinstance(data, Span) else Span.from_dict(data)
+        by_trace.setdefault(span.trace_id, []).append(span)
+    trees: dict[str, dict] = {}
+    for trace_id, spans in by_trace.items():
+        nodes = {s.span_id: {"span": s, "children": []} for s in spans}
+        root = None
+        orphans = []
+        for s in spans:
+            node = nodes[s.span_id]
+            if s.parent_id and s.parent_id in nodes:
+                nodes[s.parent_id]["children"].append(node)
+            elif not s.parent_id:
+                root = node if root is None else root
+            else:
+                orphans.append(node)
+        if root is not None:
+            root["children"].extend(orphans)
+            trees[trace_id] = root
+        elif orphans:
+            head, rest = orphans[0], orphans[1:]
+            head["children"].extend(rest)
+            trees[trace_id] = head
+    return trees
+
+
+def format_span_tree(node, indent: int = 0) -> list[str]:
+    """Indented one-line-per-span rendering of a stitched tree."""
+    span = node["span"]
+    ms = span.duration * 1e3
+    line = f"{'  ' * indent}{span.name} [{span.site}] {ms:.3f} ms"
+    lines = [line]
+    for child in sorted(node["children"], key=lambda n: n["span"].start):
+        lines.extend(format_span_tree(child, indent + 1))
+    return lines
+
+
+# -- dashboard -------------------------------------------------------------
+
+
+def render_dashboard(
+    merged: dict,
+    shard_info: dict | None = None,
+    events=None,
+    rate_history=None,
+    scrape_s: float = 0.0,
+    width: int = 40,
+) -> str:
+    """One text panel of the aggregated cluster view (``repro top``).
+
+    *merged* is an aggregator scrape; *shard_info* maps shard index to
+    the ``server_metrics`` dict (connections, epoch); *events* is the
+    collector's recent tail; *rate_history* a list of records/s samples
+    (sparklined). Pure function of its inputs so the watch loop and the
+    tests share it.
+    """
+    from repro.monitoring.ascii import bar, sparkline
+
+    lines: list[str] = []
+    shards = merged.get("shards", [])
+    lines.append(
+        f"== repro cluster == shards up: {len(shards)}"
+        f"  scrape: {scrape_s * 1e3:.1f} ms"
+    )
+    if rate_history:
+        lines.append(f"produce rate: {sparkline(rate_history, width=width)} "
+                     f"{rate_history[-1]:,.0f} rec/s")
+    if shard_info:
+        lines.append("")
+        lines.append("shard  epoch  conns  requests")
+        for index in sorted(shard_info, key=str):
+            info = shard_info[index] or {}
+            server = info.get("server", info)
+            lines.append(
+                f"{str(index):>5}  {info.get('epoch', '?'):>5}  "
+                f"{server.get('connections_open', 0):>5}  "
+                f"{server.get('requests_total', 0):>8}"
+            )
+    counters = merged.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters (summed across shards)")
+        top = sorted(counters.items(), key=lambda kv: -abs(kv[1]))[:12]
+        peak = max(abs(v) for _, v in top) or 1.0
+        for name, value in top:
+            lines.append(f"{name:<40} {bar(abs(value), peak, width)} {value:,.0f}")
+    hists = merged.get("histograms", {})
+    if hists:
+        lines.append("")
+        lines.append("latency histograms (bucket-merged)")
+        for name in sorted(hists):
+            snap = hists[name]
+            lines.append(
+                f"{name:<40} n={snap['count']:<8} "
+                f"p50={snap['p50'] * 1e3:.3f}ms p99={snap['p99'] * 1e3:.3f}ms"
+            )
+    gauges = merged.get("gauges", {})
+    lag_gauges = {k: v for k, v in gauges.items() if "lag" in k or "pending" in k}
+    if lag_gauges:
+        lines.append("")
+        lines.append("lag / pending (per shard)")
+        for name in sorted(lag_gauges)[:10]:
+            per_shard = lag_gauges[name]
+            detail = " ".join(
+                f"s{shard}={value:,.0f}" for shard, value in sorted(per_shard.items(), key=lambda kv: str(kv[0]))
+            )
+            lines.append(f"{name:<40} {detail}")
+    if events:
+        lines.append("")
+        lines.append("recent control-plane events")
+        for event in list(events)[-8:]:
+            lines.append("  " + (event.format() if isinstance(event, Event) else str(event)))
+    return "\n".join(lines)

@@ -211,6 +211,8 @@ class Histogram:
         with self._lock:
             count, total = self._count, self._sum
             buckets = list(self._buckets)
+            lo = self._min if self._min != math.inf else 0.0
+            hi = self._max if self._max != -math.inf else 0.0
         return {
             "count": count,
             "sum": total,
@@ -218,6 +220,8 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "min": lo,
+            "max": hi,
             "buckets": buckets,
             "bounds": list(self._bounds),
         }
@@ -270,6 +274,27 @@ class MetricsRegistry:
             else:
                 out[name] = inst.value
         return out
+
+    def snapshot(self) -> dict:
+        """Typed, wire-friendly snapshot for the federated metrics plane.
+
+        Unlike :meth:`collect` (flat, for human dumps), this keeps the
+        instrument *types* — the cluster aggregator needs them to know
+        that counters sum across shards, gauges get a ``shard`` label,
+        and histograms bucket-merge. Everything in the returned dict is
+        JSON-serialisable (floats, ints, lists).
+        """
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name, inst in sorted(self.instruments().items()):
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.value
+            elif isinstance(inst, Histogram):
+                histograms[name] = inst.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def to_prometheus(self, namespace: str = "repro") -> str:
         """Render every instrument in Prometheus text exposition format."""

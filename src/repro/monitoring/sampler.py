@@ -355,7 +355,7 @@ class _ExpositionHandler(BaseHTTPRequestHandler):
             return
         body = registry.to_prometheus().encode("utf-8")
         self.send_response(200)
-        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -367,12 +367,21 @@ class _ExpositionHandler(BaseHTTPRequestHandler):
 def serve_exposition(registry, host: str = "127.0.0.1", port: int = 0):
     """Serve *registry* as Prometheus text at ``/metrics`` (daemon thread).
 
-    Returns the HTTP server; read the bound address from
-    ``server.server_address`` and stop it with ``server.shutdown()``.
+    *registry* is anything with ``to_prometheus()`` — a
+    :class:`~repro.monitoring.instruments.MetricsRegistry` or a
+    :class:`~repro.monitoring.cluster.ClusterMetricsAggregator`.
+
+    Returns the HTTP server. With ``port=0`` the kernel picks a free
+    port; the actually-bound one is on ``server.port`` (and the full
+    scrape target on ``server.url``) — ``server.server_address`` holds
+    the same ``(host, port)`` pair. Stop with ``server.shutdown()``.
     """
     server = ThreadingHTTPServer((host, port), _ExpositionHandler)
     server.registry = registry  # type: ignore[attr-defined]
     server.daemon_threads = True
+    bound_host, bound_port = server.server_address[:2]
+    server.port = bound_port  # type: ignore[attr-defined]
+    server.url = f"http://{bound_host}:{bound_port}/metrics"  # type: ignore[attr-defined]
     thread = threading.Thread(
         target=server.serve_forever, name="telemetry-exposition", daemon=True
     )
